@@ -1,0 +1,42 @@
+// Ablation: modelling decisions the paper leaves implicit (DESIGN.md §4).
+//
+//  * lock-manager serialization — does processing one lock request at a
+//    time (our default reading of "the transaction at the head of the
+//    pending queue is removed") change the conclusions vs a pipelined lock
+//    manager?
+//  * blocked-transaction requeue policy — released transactions appended
+//    to the pending queue (FIFO, default) vs prepended (retry first).
+//
+// What to look for: the paper's §3.7 cites a companion study showing that
+// sub-transaction scheduling policy has only a marginal effect on locking
+// granularity; the same should hold for these two policies — all four
+// curves should be close, with the same optimum region.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  base.npros = 10;
+  bench::PrintBanner("Ablation: scheduling policies",
+                     "Lock-manager serialization x blocked-requeue policy "
+                     "(npros=10, best placement)",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (bool serialize : {true, false}) {
+    for (bool tail : {true, false}) {
+      core::GranularitySimulator::Options options;
+      options.serialize_lock_manager = serialize;
+      options.requeue_blocked_at_tail = tail;
+      series.push_back({StrFormat("%s/%s", serialize ? "serial" : "pipelined",
+                                  tail ? "tail" : "head"),
+                        base, workload::WorkloadSpec::Base(base), options});
+    }
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
+  bench::PrintOptimaSummary(data);
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::bench {
+
+void BenchArgs::Register(FlagParser& parser) {
+  parser.AddInt64("seed", &seed, 42, "base PRNG seed");
+  parser.AddInt64("reps", &reps, 1, "replications per sweep point");
+  parser.AddDouble("tmax", &tmax, 10000.0, "simulated time units per run");
+  parser.AddDouble("warmup", &warmup, 0.0,
+                   "time units discarded before measuring");
+  parser.AddBool("csv", &csv, false, "emit CSV instead of aligned tables");
+  parser.AddBool("quick", &quick, false, "shrink tmax 10x for a smoke run");
+}
+
+void BenchArgs::Apply(model::SystemConfig* cfg) const {
+  cfg->tmax = quick ? tmax / 10.0 : tmax;
+  cfg->warmup = quick ? warmup / 10.0 : warmup;
+}
+
+BenchArgs ParseArgsOrDie(int argc, char** argv) {
+  BenchArgs args;
+  FlagParser parser;
+  args.Register(parser);
+  const Status status = parser.Parse(argc, argv);
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    std::exit(0);  // --help already printed usage
+  }
+  if (!status.ok()) {
+    std::cerr << status << "\n" << parser.UsageString(argv[0]);
+    std::exit(1);
+  }
+  return args;
+}
+
+void PrintBanner(const std::string& experiment_id,
+                 const std::string& description,
+                 const model::SystemConfig& cfg, const BenchArgs& args) {
+  std::printf("=== %s ===\n", experiment_id.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("base config: %s\n", cfg.ToString().c_str());
+  std::printf("seed=%lld reps=%lld\n\n", (long long)args.seed,
+              (long long)args.reps);
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kThroughput:
+      return "throughput (txn/unit)";
+    case Metric::kResponseTime:
+      return "response time (units)";
+    case Metric::kUsefulIo:
+      return "useful I/O time per processor";
+    case Metric::kUsefulCpu:
+      return "useful CPU time per processor";
+    case Metric::kLockOverheadIo:
+      return "lock I/O overhead (lockios)";
+    case Metric::kLockOverheadCpu:
+      return "lock CPU overhead (lockcpus)";
+    case Metric::kLockOverheadTotal:
+      return "total lock overhead (lockios + lockcpus)";
+    case Metric::kDenialRate:
+      return "lock denial rate";
+  }
+  return "?";
+}
+
+double MetricValue(Metric metric, const core::SimulationMetrics& m) {
+  switch (metric) {
+    case Metric::kThroughput:
+      return m.throughput;
+    case Metric::kResponseTime:
+      return m.response_time;
+    case Metric::kUsefulIo:
+      return m.usefulios;
+    case Metric::kUsefulCpu:
+      return m.usefulcpus;
+    case Metric::kLockOverheadIo:
+      return m.lockios;
+    case Metric::kLockOverheadCpu:
+      return m.lockcpus;
+    case Metric::kLockOverheadTotal:
+      return m.lockios + m.lockcpus;
+    case Metric::kDenialRate:
+      return m.denial_rate;
+  }
+  return 0.0;
+}
+
+FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
+                     std::vector<int64_t> lock_counts) {
+  GRANULOCK_CHECK(!series.empty());
+  FigureData data;
+  data.series = series;
+  data.lock_counts = lock_counts.empty()
+                         ? core::StandardLockSweep(series[0].cfg.dbsize)
+                         : std::move(lock_counts);
+  data.values.resize(series.size());
+  for (size_t s = 0; s < series.size(); ++s) {
+    model::SystemConfig cfg = series[s].cfg;
+    args.Apply(&cfg);
+    auto sweep = core::SweepLockCounts(
+        cfg, series[s].spec, data.lock_counts,
+        static_cast<uint64_t>(args.seed), static_cast<int>(args.reps),
+        series[s].options);
+    GRANULOCK_CHECK(sweep.ok())
+        << "series '" << series[s].label << "': " << sweep.status();
+    for (auto& point : *sweep) {
+      data.values[s].push_back(std::move(point.metrics));
+    }
+  }
+  return data;
+}
+
+void PrintMetricTable(const FigureData& data, Metric metric,
+                      const BenchArgs& args) {
+  std::printf("--- %s ---\n", MetricName(metric));
+  std::vector<std::string> header{"locks"};
+  for (const Series& s : data.series) header.push_back(s.label);
+  TablePrinter table(std::move(header));
+  for (size_t l = 0; l < data.lock_counts.size(); ++l) {
+    std::vector<std::string> row;
+    row.push_back(StrFormat("%lld", (long long)data.lock_counts[l]));
+    for (size_t s = 0; s < data.series.size(); ++s) {
+      row.push_back(
+          StrFormat("%.5g", MetricValue(metric, data.values[s][l].mean)));
+    }
+    table.AddRow(std::move(row));
+  }
+  if (args.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::printf("\n");
+}
+
+void PrintOptimaSummary(const FigureData& data) {
+  std::printf("throughput-optimal lock count per series:\n");
+  for (size_t s = 0; s < data.series.size(); ++s) {
+    size_t best = 0;
+    for (size_t l = 1; l < data.lock_counts.size(); ++l) {
+      if (data.values[s][l].mean.throughput >
+          data.values[s][best].mean.throughput) {
+        best = l;
+      }
+    }
+    std::printf("  %-28s ltot* = %-6lld (throughput %.5g)\n",
+                data.series[s].label.c_str(),
+                (long long)data.lock_counts[best],
+                data.values[s][best].mean.throughput);
+  }
+  std::printf("\n");
+}
+
+}  // namespace granulock::bench

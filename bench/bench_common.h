@@ -1,0 +1,94 @@
+#ifndef GRANULOCK_BENCH_BENCH_COMMON_H_
+#define GRANULOCK_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "model/config.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/workload.h"
+
+namespace granulock::bench {
+
+/// Command-line arguments shared by every figure/table bench binary, so a
+/// sweep can be re-run with different parameters without recompiling.
+struct BenchArgs {
+  int64_t seed = 42;
+  int64_t reps = 1;        ///< replications per sweep point
+  double tmax = 10000.0;   ///< simulated time units per run
+  double warmup = 0.0;     ///< paper convention: measure from t = 0
+  bool csv = false;        ///< emit CSV instead of aligned tables
+  bool quick = false;      ///< shrink tmax 10x for smoke runs
+
+  /// Registers the flags on `parser`.
+  void Register(FlagParser& parser);
+
+  /// Applies tmax/warmup (and the quick-mode shrink) onto `cfg`.
+  void Apply(model::SystemConfig* cfg) const;
+};
+
+/// Parses argv with the standard bench flags; exits the process on --help
+/// or a flag error. Returns the parsed arguments.
+BenchArgs ParseArgsOrDie(int argc, char** argv);
+
+/// Prints the standard experiment banner (figure id, what the paper shows,
+/// and the base configuration).
+void PrintBanner(const std::string& experiment_id,
+                 const std::string& description,
+                 const model::SystemConfig& cfg, const BenchArgs& args);
+
+/// One labelled curve of a figure: a configuration + workload to sweep
+/// over the lock-count grid.
+struct Series {
+  std::string label;
+  model::SystemConfig cfg;
+  workload::WorkloadSpec spec;
+  core::GranularitySimulator::Options options;
+};
+
+/// Which metric a table reports.
+enum class Metric {
+  kThroughput,
+  kResponseTime,
+  kUsefulIo,
+  kUsefulCpu,
+  kLockOverheadIo,
+  kLockOverheadCpu,
+  kLockOverheadTotal,
+  kDenialRate,
+};
+
+const char* MetricName(Metric metric);
+double MetricValue(Metric metric, const core::SimulationMetrics& m);
+
+/// The result grid of a figure: per (series, ltot) replicated metrics.
+struct FigureData {
+  std::vector<int64_t> lock_counts;
+  std::vector<Series> series;
+  /// values[s][l] = replicated metrics for series s at lock_counts[l].
+  std::vector<std::vector<core::ReplicatedMetrics>> values;
+};
+
+/// Runs every series over the standard lock sweep (or `lock_counts` when
+/// non-empty). Aborts the process on simulation errors (these are
+/// configuration bugs in the bench itself).
+FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
+                     std::vector<int64_t> lock_counts = {});
+
+/// Prints one table (rows = lock counts, columns = series) for `metric`,
+/// then a one-line summary naming each series' best lock count by
+/// throughput.
+void PrintMetricTable(const FigureData& data, Metric metric,
+                      const BenchArgs& args);
+
+/// Prints the per-series throughput-optimal lock count summary.
+void PrintOptimaSummary(const FigureData& data);
+
+}  // namespace granulock::bench
+
+#endif  // GRANULOCK_BENCH_BENCH_COMMON_H_

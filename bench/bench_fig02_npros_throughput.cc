@@ -1,0 +1,37 @@
+// Figure 2: effects of number of locks and number of processors on system
+// throughput and response time (horizontal partitioning, best placement,
+// Table 1 parameters).
+//
+// Paper shapes to look for:
+//  * throughput is convex in the number of locks with the optimum below
+//    ~200 locks for every npros;
+//  * for a fixed lock count, throughput rises and response time falls with
+//    more processors;
+//  * the penalty for missing the optimum grows with npros;
+//  * response-time curves flatten as npros grows.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  bench::PrintBanner("Figure 2",
+                     "Throughput and response time vs number of locks, for "
+                     "npros in {1,2,5,10,20,30}",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (int64_t npros : {1, 2, 5, 10, 20, 30}) {
+    model::SystemConfig cfg = base;
+    cfg.npros = npros;
+    series.push_back({StrFormat("npros=%lld", (long long)npros), cfg,
+                      workload::WorkloadSpec::Base(cfg),
+                      {}});
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
+  bench::PrintMetricTable(data, bench::Metric::kResponseTime, args);
+  bench::PrintOptimaSummary(data);
+  return 0;
+}

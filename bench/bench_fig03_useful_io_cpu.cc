@@ -1,0 +1,33 @@
+// Figure 3: effects of number of locks and number of processors on the
+// useful I/O time and useful CPU time (the per-processor busy time spent
+// on transaction work rather than lock processing).
+//
+// Paper shapes: convex in the number of locks; both useful times fall as
+// processors are added (each sub-transaction needs less service); beyond
+// the optimum (10-100 locks) the spread across npros narrows because small
+// systems burn proportionally more time on lock operations.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  bench::PrintBanner("Figure 3",
+                     "Useful I/O time and useful CPU time vs number of "
+                     "locks, for npros in {1,2,5,10,20,30}",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (int64_t npros : {1, 2, 5, 10, 20, 30}) {
+    model::SystemConfig cfg = base;
+    cfg.npros = npros;
+    series.push_back({StrFormat("npros=%lld", (long long)npros), cfg,
+                      workload::WorkloadSpec::Base(cfg),
+                      {}});
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kUsefulIo, args);
+  bench::PrintMetricTable(data, bench::Metric::kUsefulCpu, args);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 4: lock overhead (time spent requesting/setting/releasing locks)
+// vs number of locks and number of processors, with large transactions
+// (maxtransize = 500).
+//
+// Paper shapes: overhead rises substantially past ~200 locks; the curves
+// are concave at the left end (a single lock forces a high request-failure
+// rate, so even coarse granularity pays repeated request costs); the
+// overhead differences across npros shrink because lock work is shared.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  base.maxtransize = 500;
+  bench::PrintBanner("Figure 4",
+                     "Lock overhead vs number of locks and processors, "
+                     "large transactions (maxtransize=500)",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (int64_t npros : {1, 2, 5, 10, 20, 30}) {
+    model::SystemConfig cfg = base;
+    cfg.npros = npros;
+    series.push_back({StrFormat("npros=%lld", (long long)npros), cfg,
+                      workload::WorkloadSpec::Base(cfg),
+                      {}});
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kLockOverheadTotal, args);
+  bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 5: lock overhead vs number of locks and number of processors with
+// small transactions (maxtransize = 50).
+//
+// Paper shapes: as Figure 4, but the concave left end is more pronounced,
+// and in the 1..100 locks region small transactions show *more* overhead
+// than large ones because their higher completion rate drives a higher
+// lock-request rate.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  base.maxtransize = 50;
+  bench::PrintBanner("Figure 5",
+                     "Lock overhead vs number of locks and processors, "
+                     "small transactions (maxtransize=50)",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (int64_t npros : {1, 2, 5, 10, 20, 30}) {
+    model::SystemConfig cfg = base;
+    cfg.npros = npros;
+    series.push_back({StrFormat("npros=%lld", (long long)npros), cfg,
+                      workload::WorkloadSpec::Base(cfg),
+                      {}});
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kLockOverheadTotal, args);
+  bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6: effects of number of locks and transaction size on throughput
+// and response time, with npros = 10. maxtransize is swept over
+// {50, 100, 500, 2500, 5000}, i.e. mean transaction sizes of roughly
+// 0.5%, 1%, 5%, 25% and 50% of the database.
+//
+// Paper shapes: smaller transactions yield much higher throughput and
+// steeper curves (the optimum shifts right with decreasing size, but stays
+// below ~200 locks); response curves are flatter for small transactions.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  base.npros = 10;
+  bench::PrintBanner("Figure 6",
+                     "Throughput and response time vs number of locks, for "
+                     "maxtransize in {50,100,500,2500,5000} (npros=10)",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (int64_t maxtransize : {50, 100, 500, 2500, 5000}) {
+    model::SystemConfig cfg = base;
+    cfg.maxtransize = maxtransize;
+    series.push_back({StrFormat("maxtransize=%lld", (long long)maxtransize),
+                      cfg, workload::WorkloadSpec::Base(cfg),
+                      {}});
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
+  bench::PrintMetricTable(data, bench::Metric::kResponseTime, args);
+  bench::PrintOptimaSummary(data);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 7: effects of number of locks and lock I/O time on throughput
+// (npros = 10). liotime is swept over {0.2, 0.1, 0}; liotime = 0 models a
+// concurrency-control mechanism that keeps the lock table in main memory.
+//
+// Paper shapes: cheaper lock I/O tolerates more locks before overhead
+// dominates; with liotime = 0 the throughput curve has a very flat
+// extremum from ~100 locks up — so even a memory-resident lock table does
+// not make fine granularity *beneficial*, it only stops it from hurting.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  base.npros = 10;
+  bench::PrintBanner("Figure 7",
+                     "Throughput vs number of locks, for lock I/O time in "
+                     "{0.2, 0.1, 0} (npros=10)",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (double liotime : {0.2, 0.1, 0.0}) {
+    model::SystemConfig cfg = base;
+    cfg.liotime = liotime;
+    series.push_back({StrFormat("liotime=%g", liotime), cfg,
+                      workload::WorkloadSpec::Base(cfg),
+                      {}});
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
+  bench::PrintOptimaSummary(data);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 8: effects of number of locks and number of processors on
+// throughput under RANDOM partitioning (a transaction splits into
+// PU ~ U{1..npros} sub-transactions on a random processor subset instead
+// of all npros).
+//
+// Paper shapes: the impact of the number of processors does not depend on
+// the partitioning method, but every random-partitioning curve sits below
+// its horizontal-partitioning counterpart in Figure 2 — horizontal
+// partitioning maximizes the fan-out, so sub-transactions are smaller and
+// queueing/synchronization times shrink.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  bench::PrintBanner("Figure 8",
+                     "Throughput vs number of locks under random "
+                     "partitioning, for npros in {1,2,5,10,20,30}",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (int64_t npros : {1, 2, 5, 10, 20, 30}) {
+    model::SystemConfig cfg = base;
+    cfg.npros = npros;
+    workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+    spec.partitioning = workload::PartitioningMethod::kRandom;
+    series.push_back(
+        {StrFormat("npros=%lld", (long long)npros), cfg, spec, {}});
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
+  bench::PrintOptimaSummary(data);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 10: effects of number of locks and granule placement on
+// throughput with small transactions (maxtransize = 50, mean ~25
+// entities), for npros in {1, 30}.
+//
+// Paper shapes: same qualitative behaviour as Figure 9 with the dip moved
+// left — under random/worst placement throughput falls until the lock
+// count passes the mean entities accessed (~25), then rises as added
+// granularity finally buys concurrency, peaking at ltot = dbsize (fine
+// granularity pays off for small random transactions).
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  base.maxtransize = 50;
+  bench::PrintBanner("Figure 10",
+                     "Throughput vs number of locks and granule placement, "
+                     "small transactions (maxtransize=50), npros in {1,30}",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (int64_t npros : {1, 30}) {
+    for (model::Placement placement :
+         {model::Placement::kBest, model::Placement::kRandom,
+          model::Placement::kWorst}) {
+      model::SystemConfig cfg = base;
+      cfg.npros = npros;
+      workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+      spec.placement = placement;
+      series.push_back({StrFormat("%s/npros=%lld",
+                                  model::PlacementToString(placement),
+                                  (long long)npros),
+                        cfg, spec,
+                        {}});
+    }
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
+  bench::PrintOptimaSummary(data);
+  return 0;
+}

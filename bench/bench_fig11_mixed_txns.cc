@@ -1,0 +1,62 @@
+// Figure 11: effects of number of locks and granule placement on
+// throughput with a mixed workload — 80% small transactions (maxtransize
+// 50) and 20% large transactions (maxtransize 500) — at npros = 30.
+//
+// Paper shapes: the mixed curves fall between the all-small (Figure 10)
+// and all-large (Figure 9) extremes, but even 20% large transactions drag
+// throughput down substantially: at ltot = dbsize the mix achieves only a
+// small fraction of the all-small workload's throughput.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+  const bench::BenchArgs args = bench::ParseArgsOrDie(argc, argv);
+  model::SystemConfig base = model::SystemConfig::Table1Defaults();
+  base.npros = 30;
+  base.maxtransize = 500;  // upper bound across the mixture
+  bench::PrintBanner("Figure 11",
+                     "Throughput vs number of locks and placement, mixed "
+                     "workload (80% maxtransize=50 + 20% maxtransize=500), "
+                     "npros=30",
+                     base, args);
+
+  std::vector<bench::Series> series;
+  for (model::Placement placement :
+       {model::Placement::kBest, model::Placement::kRandom,
+        model::Placement::kWorst}) {
+    workload::WorkloadSpec spec;
+    spec.sizes = workload::MakeSmallLargeMix(0.8, 50, 500);
+    spec.placement = placement;
+    spec.partitioning = workload::PartitioningMethod::kHorizontal;
+    series.push_back(
+        {model::PlacementToString(placement), base, spec, {}});
+  }
+  const bench::FigureData data = bench::RunFigure(series, args);
+  bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
+  bench::PrintOptimaSummary(data);
+
+  // The paper's §3.6 comparison point: throughput at ltot = dbsize for the
+  // mix vs the all-small and all-large workloads (best placement).
+  {
+    model::SystemConfig cfg = base;
+    cfg.ltot = cfg.dbsize;
+    args.Apply(&cfg);
+    auto run = [&](std::shared_ptr<const workload::SizeDistribution> sizes) {
+      workload::WorkloadSpec spec;
+      spec.sizes = std::move(sizes);
+      auto result = core::RunReplicated(cfg, spec,
+                                        static_cast<uint64_t>(args.seed),
+                                        static_cast<int>(args.reps));
+      return result.ok() ? result->mean.throughput : -1.0;
+    };
+    std::printf("at ltot = dbsize (best placement):\n");
+    std::printf("  all small (maxtransize=50):   %.5g\n",
+                run(std::make_shared<workload::UniformSizeDistribution>(50)));
+    std::printf("  all large (maxtransize=500):  %.5g\n",
+                run(std::make_shared<workload::UniformSizeDistribution>(500)));
+    std::printf("  80/20 mix:                    %.5g\n",
+                run(workload::MakeSmallLargeMix(0.8, 50, 500)));
+  }
+  return 0;
+}

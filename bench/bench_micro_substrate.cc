@@ -1,0 +1,171 @@
+// google-benchmark microbenchmarks for the simulation substrate: the
+// event engine, the preemptive-priority server, the lock managers, and the
+// analytic model pieces. These quantify the cost of the building blocks
+// that the figure benches exercise millions of times.
+
+#include <benchmark/benchmark.h>
+
+#include "core/granularity_simulator.h"
+#include "db/granule_selector.h"
+#include "lockmgr/hierarchical.h"
+#include "lockmgr/lock_table.h"
+#include "lockmgr/waits_for.h"
+#include "model/conflict.h"
+#include "model/placement.h"
+#include "sim/priority_server.h"
+#include "sim/stats.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace granulock {
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int64_t i = 0; i < batch; ++i) {
+      sim.ScheduleAt(static_cast<double>(i % 97), [] {});
+    }
+    sim.RunUntilEmpty();
+    benchmark::DoNotOptimize(sim.ExecutedEvents());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_PriorityServerThroughput(benchmark::State& state) {
+  const int64_t jobs = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::PriorityServer server(&sim, "bench");
+    for (int64_t i = 0; i < jobs; ++i) {
+      server.Submit(i % 3 == 0 ? sim::ServiceClass::kLock
+                               : sim::ServiceClass::kTransaction,
+                    0.5, [] {});
+    }
+    sim.RunUntilEmpty();
+    benchmark::DoNotOptimize(server.TotalBusyTime());
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_PriorityServerThroughput)->Arg(1000);
+
+void BM_LockTableAcquireRelease(benchmark::State& state) {
+  const int64_t locks_per_txn = state.range(0);
+  lockmgr::LockTable table(5000);
+  Rng rng(1);
+  lockmgr::TxnId txn = 1;
+  for (auto _ : state) {
+    std::vector<lockmgr::LockRequest> reqs;
+    reqs.reserve(static_cast<size_t>(locks_per_txn));
+    const int64_t start = rng.UniformInt(0, 5000 - locks_per_txn);
+    for (int64_t i = 0; i < locks_per_txn; ++i) {
+      reqs.push_back({start + i, lockmgr::LockMode::kX});
+    }
+    auto blocker = table.TryAcquireAll(txn, reqs);
+    benchmark::DoNotOptimize(blocker);
+    table.ReleaseAll(txn);
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations() * locks_per_txn);
+}
+BENCHMARK(BM_LockTableAcquireRelease)->Arg(10)->Arg(100);
+
+void BM_HierarchicalAcquireRelease(benchmark::State& state) {
+  lockmgr::HierarchicalLockManager::Options opts;
+  opts.num_granules = 5000;
+  opts.num_files = 50;
+  lockmgr::HierarchicalLockManager mgr(opts);
+  Rng rng(1);
+  lockmgr::TxnId txn = 1;
+  for (auto _ : state) {
+    std::vector<lockmgr::HierRequest> reqs;
+    const int64_t start = rng.UniformInt(0, 4900);
+    for (int64_t i = 0; i < 20; ++i) {
+      reqs.push_back(
+          {lockmgr::ObjectId::Granule(start + i), lockmgr::LockMode::kX});
+    }
+    auto blocker = mgr.TryAcquireAll(txn, reqs);
+    benchmark::DoNotOptimize(blocker);
+    mgr.ReleaseAll(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_HierarchicalAcquireRelease);
+
+void BM_YaoExpectedGranules(benchmark::State& state) {
+  const int64_t nu = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::YaoExpectedGranules(5000, 100, nu));
+  }
+}
+BENCHMARK(BM_YaoExpectedGranules)->Arg(25)->Arg(250)->Arg(2500);
+
+void BM_ConflictDraw(benchmark::State& state) {
+  model::ConflictModel conflict(5000);
+  Rng rng(1);
+  std::vector<int64_t> active(static_cast<size_t>(state.range(0)), 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict.DrawBlocker(active, rng));
+  }
+}
+BENCHMARK(BM_ConflictDraw)->Arg(10)->Arg(200);
+
+void BM_SelectGranulesRandom(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::SelectGranules(model::Placement::kRandom,
+                                                5000, 100, state.range(0),
+                                                rng));
+  }
+}
+BENCHMARK(BM_SelectGranulesRandom)->Arg(25)->Arg(250);
+
+void BM_FullSimulationShort(benchmark::State& state) {
+  model::SystemConfig cfg = model::SystemConfig::Table1Defaults();
+  cfg.tmax = 500.0;
+  cfg.ltot = state.range(0);
+  const workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto result = core::GranularitySimulator::RunOnce(cfg, spec, seed++);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullSimulationShort)->Arg(1)->Arg(100)->Arg(5000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfGenerator zipf(5000, 0.99);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_QuantileEstimatorAdd(benchmark::State& state) {
+  sim::QuantileEstimator quantiles(4096);
+  Rng rng(1);
+  for (auto _ : state) {
+    quantiles.Add(rng.NextDouble());
+  }
+  benchmark::DoNotOptimize(quantiles.Quantile(0.99));
+}
+BENCHMARK(BM_QuantileEstimatorAdd);
+
+void BM_WaitsForCycleCheck(benchmark::State& state) {
+  // A 50-node chain with a closing back-edge: worst-case full traversal.
+  lockmgr::WaitsForGraph graph;
+  for (lockmgr::TxnId i = 0; i < 50; ++i) graph.AddWait(i, i + 1);
+  graph.AddWait(50, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.FindCycleFrom(0));
+  }
+}
+BENCHMARK(BM_WaitsForCycleCheck);
+
+}  // namespace
+}  // namespace granulock
+
+BENCHMARK_MAIN();

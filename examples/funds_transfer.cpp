@@ -1,0 +1,103 @@
+// Funds transfer: the paper's opening example, run for real.
+//
+// "If these concurrent accesses are not controlled properly, the database
+// will become inconsistent ... it might lead to the lost update problem in
+// a funds transfer transaction." (§1)
+//
+// This example executes concurrent transfers against real account records
+// inside the simulated shared-nothing machine, and shows:
+//   1. without locking, money literally disappears (lost updates);
+//   2. conservative locking restores integrity at ANY granularity;
+//   3. the granularity then only decides how FAST the correct answer is —
+//      the trade-off the rest of the paper quantifies.
+//
+//   $ ./funds_transfer [--accounts=200] [--ntrans=20] [--tmax=2000]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "db/transfer_simulator.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+
+  model::SystemConfig cfg = model::SystemConfig::Table1Defaults();
+  int64_t seed = 42;
+  FlagParser parser;
+  parser.AddInt64("accounts", &cfg.dbsize, 200, "number of accounts");
+  parser.AddInt64("ntrans", &cfg.ntrans, 20, "concurrent transfer sessions");
+  parser.AddInt64("npros", &cfg.npros, 4, "number of nodes");
+  parser.AddDouble("tmax", &cfg.tmax, 2000.0, "simulated time units");
+  parser.AddInt64("seed", &seed, 42, "PRNG seed");
+  const Status flag_status = parser.Parse(argc, argv);
+  if (flag_status.code() == StatusCode::kFailedPrecondition) return 0;
+  if (!flag_status.ok()) {
+    std::cerr << flag_status << "\n" << parser.UsageString(argv[0]);
+    return 1;
+  }
+  cfg.maxtransize = 2;  // transfers always touch two records
+
+  auto run = [&](int64_t ltot, db::TransferSimulator::ConcurrencyControl cc) {
+    model::SystemConfig point = cfg;
+    point.ltot = ltot;
+    db::TransferSimulator::Options options;
+    options.concurrency_control = cc;
+    auto report = db::TransferSimulator::RunOnce(point, static_cast<uint64_t>(seed),
+                                             options);
+    if (!report.ok()) {
+      std::cerr << "simulation failed: " << report.status() << "\n";
+      std::exit(1);
+    }
+    return *report;
+  };
+
+  std::printf("bank: %lld accounts x 1000 units on %lld nodes, %lld tellers\n\n",
+              (long long)cfg.dbsize, (long long)cfg.npros,
+              (long long)cfg.ntrans);
+
+  // Act 1: no concurrency control.
+  {
+    const auto report =
+        run(1, db::TransferSimulator::ConcurrencyControl::kNoLocking);
+    std::printf("without locking:\n");
+    std::printf("  transfers completed:  %lld\n",
+                (long long)report.metrics.totcom);
+    std::printf("  money before/after:   %lld -> %lld  (%+lld!)\n",
+                (long long)report.initial_total,
+                (long long)report.final_total,
+                (long long)(report.final_total - report.initial_total -
+                            report.in_flight_imbalance));
+    std::printf("  integrity:            %s\n\n",
+                report.conserved ? "conserved" : "VIOLATED - lost updates");
+  }
+
+  // Act 2: conservative locking at several granularities.
+  std::printf("with conservative locking (the paper's protocol):\n");
+  TablePrinter table({"locks", "granule size", "throughput", "response",
+                      "denial rate", "integrity"});
+  for (int64_t ltot : std::vector<int64_t>{1, 5, 20, 100, cfg.dbsize}) {
+    if (ltot > cfg.dbsize) continue;
+    const auto report =
+        run(ltot, db::TransferSimulator::ConcurrencyControl::kConservativeLocking);
+    table.AddRow(
+        {StrFormat("%lld", (long long)ltot),
+         StrFormat("%.0f accounts",
+                   static_cast<double>(cfg.dbsize) / static_cast<double>(ltot)),
+         StrFormat("%.4f", report.metrics.throughput),
+         StrFormat("%.2f", report.metrics.response_time),
+         StrFormat("%.3f", report.metrics.denial_rate),
+         report.conserved ? "conserved" : "VIOLATED"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nlocking makes every granularity CORRECT; granularity picks the\n"
+      "throughput. Transfers are tiny random-access transactions, so finer\n"
+      "granularity wins here — exactly the paper's conclusion for small\n"
+      "transactions under random access.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Granularity tuning: find the throughput-optimal number of locks for a
+// workload, and quantify the cost of getting it wrong — the operational
+// question the paper answers ("how many granules should my DBA configure?").
+//
+//   $ ./granularity_tuning --npros=20 --maxtransize=100 --placement=random
+//
+// Sweeps the lock-count grid with replications, prints the curve with 95%
+// confidence intervals, and reports the optimum plus the penalty for
+// running at the two extremes (1 lock, one lock per entity).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+
+  model::SystemConfig cfg = model::SystemConfig::Table1Defaults();
+  int64_t seed = 42;
+  int64_t reps = 3;
+  std::string placement_name;
+  FlagParser parser;
+  parser.AddInt64("npros", &cfg.npros, 10, "number of processors");
+  parser.AddInt64("maxtransize", &cfg.maxtransize, 500,
+                  "maximum transaction size");
+  parser.AddInt64("ntrans", &cfg.ntrans, 10, "closed-system transactions");
+  parser.AddDouble("tmax", &cfg.tmax, 10000.0, "simulated time units");
+  parser.AddInt64("seed", &seed, 42, "base PRNG seed");
+  parser.AddInt64("reps", &reps, 3, "replications per point");
+  parser.AddString("placement", &placement_name, "best",
+                   "granule placement: best|random|worst");
+  const Status flag_status = parser.Parse(argc, argv);
+  if (flag_status.code() == StatusCode::kFailedPrecondition) return 0;
+  if (!flag_status.ok()) {
+    std::cerr << flag_status << "\n" << parser.UsageString(argv[0]);
+    return 1;
+  }
+
+  workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+  if (!model::PlacementFromString(placement_name, &spec.placement)) {
+    std::cerr << "unknown placement '" << placement_name << "'\n";
+    return 1;
+  }
+
+  std::printf("tuning granularity for: %s\n", cfg.ToString().c_str());
+  std::printf("workload: %s\n\n", spec.Describe().c_str());
+
+  const auto sweep_result = core::SweepLockCounts(
+      cfg, spec, core::StandardLockSweep(cfg.dbsize),
+      static_cast<uint64_t>(seed), static_cast<int>(reps));
+  if (!sweep_result.ok()) {
+    std::cerr << "sweep failed: " << sweep_result.status() << "\n";
+    return 1;
+  }
+  const auto& sweep = *sweep_result;
+
+  TablePrinter table(
+      {"locks", "throughput", "+/-95%", "response", "denial rate"});
+  for (const core::SweepPoint& point : sweep) {
+    table.AddRow({StrFormat("%lld", (long long)point.ltot),
+                  StrFormat("%.5g", point.metrics.mean.throughput),
+                  StrFormat("%.2g", point.metrics.throughput_hw95),
+                  StrFormat("%.5g", point.metrics.mean.response_time),
+                  StrFormat("%.3f", point.metrics.mean.denial_rate)});
+  }
+  table.Print(std::cout);
+
+  const core::SweepPoint& best = core::BestThroughputPoint(sweep);
+  const double tp_coarse = sweep.front().metrics.mean.throughput;
+  const double tp_fine = sweep.back().metrics.mean.throughput;
+  const double tp_best = best.metrics.mean.throughput;
+  std::printf("\nrecommendation: ltot = %lld (throughput %.5g)\n",
+              (long long)best.ltot, tp_best);
+  std::printf("  vs 1 lock (whole database):  %.1f%% slower\n",
+              100.0 * (1.0 - tp_coarse / tp_best));
+  std::printf("  vs %lld locks (per entity):  %.1f%% slower\n",
+              (long long)sweep.back().ltot,
+              100.0 * (1.0 - tp_fine / tp_best));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Placement study on the explicit lock table: how access pattern
+// (sequential vs random vs adversarial) and read share change the picture
+// when conflicts are decided by a REAL lock table over concrete granules
+// rather than the paper's probabilistic approximation.
+//
+//   $ ./placement_study --ltot=100 --read_fraction=0.5
+//
+// Also demonstrates the hierarchical (multiple-granularity) extension:
+// transactions above a size threshold take one database-level lock.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "db/explicit_simulator.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace granulock;
+
+  model::SystemConfig cfg = model::SystemConfig::Table1Defaults();
+  int64_t seed = 42;
+  double read_fraction = 0.0;
+  int64_t coarse_threshold = 250;
+  FlagParser parser;
+  parser.AddInt64("ltot", &cfg.ltot, 100, "number of locks (granules)");
+  parser.AddInt64("npros", &cfg.npros, 10, "number of processors");
+  parser.AddInt64("maxtransize", &cfg.maxtransize, 500,
+                  "maximum transaction size");
+  parser.AddDouble("tmax", &cfg.tmax, 10000.0, "simulated time units");
+  parser.AddInt64("seed", &seed, 42, "PRNG seed");
+  parser.AddDouble("read_fraction", &read_fraction,
+                   0.0, "probability a transaction is read-only (S locks)");
+  parser.AddInt64("coarse_threshold", &coarse_threshold, 250,
+                  "MGL: entity count at which a txn locks the whole DB");
+  const Status flag_status = parser.Parse(argc, argv);
+  if (flag_status.code() == StatusCode::kFailedPrecondition) return 0;
+  if (!flag_status.ok()) {
+    std::cerr << flag_status << "\n" << parser.UsageString(argv[0]);
+    return 1;
+  }
+
+  std::printf("explicit-lock-table study: %s\n", cfg.ToString().c_str());
+  std::printf("read fraction %.2f, MGL coarse threshold %lld entities\n\n",
+              read_fraction, (long long)coarse_threshold);
+
+  TablePrinter table({"placement", "strategy", "throughput", "response",
+                      "denial rate", "avg active"});
+  for (model::Placement placement :
+       {model::Placement::kBest, model::Placement::kRandom,
+        model::Placement::kWorst}) {
+    workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+    spec.placement = placement;
+
+    for (bool hierarchical : {false, true}) {
+      db::ExplicitSimulator::Options options;
+      options.read_fraction = read_fraction;
+      if (hierarchical) {
+        options.strategy =
+            db::ExplicitSimulator::LockingStrategy::kHierarchical;
+        options.coarse_threshold = coarse_threshold;
+      }
+      auto result = db::ExplicitSimulator::RunOnce(
+          cfg, spec, static_cast<uint64_t>(seed), options);
+      if (!result.ok()) {
+        std::cerr << "simulation failed: " << result.status() << "\n";
+        return 1;
+      }
+      table.AddRow({model::PlacementToString(placement),
+                    hierarchical ? "MGL" : "flat",
+                    StrFormat("%.5g", result->throughput),
+                    StrFormat("%.5g", result->response_time),
+                    StrFormat("%.3f", result->denial_rate),
+                    StrFormat("%.2f", result->avg_active)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nreading the table: sequential access (best placement) tolerates\n"
+      "coarse granularity; random/worst access at this lock count conflicts\n"
+      "heavily unless transactions are readers; MGL rescues mixed workloads\n"
+      "by capping the large transactions' lock cost at one lock.\n");
+  return 0;
+}

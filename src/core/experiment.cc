@@ -1,0 +1,139 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "sim/stats.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace granulock::core {
+
+Result<ReplicatedMetrics> RunReplicated(const model::SystemConfig& cfg,
+                                        const workload::WorkloadSpec& spec,
+                                        uint64_t base_seed, int replications,
+                                        GranularitySimulator::Options options) {
+  if (replications < 1) {
+    return Status::InvalidArgument("replications must be >= 1");
+  }
+  Rng seeder(base_seed);
+  ReplicatedMetrics out;
+  out.replications = replications;
+  sim::RunningStat throughput_stat;
+  sim::RunningStat response_stat;
+  SimulationMetrics& m = out.mean;
+  for (int r = 0; r < replications; ++r) {
+    const uint64_t seed =
+        seeder.Fork(static_cast<uint64_t>(r)).NextUint64();
+    Result<SimulationMetrics> one =
+        GranularitySimulator::RunOnce(cfg, spec, seed, options);
+    if (!one.ok()) return one.status();
+    const SimulationMetrics& s = *one;
+    m.totcpus += s.totcpus;
+    m.totios += s.totios;
+    m.lockcpus += s.lockcpus;
+    m.lockios += s.lockios;
+    m.totcpus_sum += s.totcpus_sum;
+    m.totios_sum += s.totios_sum;
+    m.lockcpus_sum += s.lockcpus_sum;
+    m.lockios_sum += s.lockios_sum;
+    m.usefulcpus += s.usefulcpus;
+    m.usefulios += s.usefulios;
+    m.totcom += s.totcom;
+    m.throughput += s.throughput;
+    m.response_time += s.response_time;
+    m.measured_time += s.measured_time;
+    m.response_time_stddev += s.response_time_stddev;
+    m.response_p50 += s.response_p50;
+    m.response_p95 += s.response_p95;
+    m.response_p99 += s.response_p99;
+    m.lock_requests += s.lock_requests;
+    m.lock_denials += s.lock_denials;
+    m.denial_rate += s.denial_rate;
+    m.avg_active += s.avg_active;
+    m.avg_blocked += s.avg_blocked;
+    m.avg_pending += s.avg_pending;
+    m.cpu_utilization += s.cpu_utilization;
+    m.io_utilization += s.io_utilization;
+    m.deadlock_aborts += s.deadlock_aborts;
+    m.events_executed += s.events_executed;
+    throughput_stat.Add(s.throughput);
+    response_stat.Add(s.response_time);
+  }
+  const double n = static_cast<double>(replications);
+  m.totcpus /= n;
+  m.totios /= n;
+  m.lockcpus /= n;
+  m.lockios /= n;
+  m.totcpus_sum /= n;
+  m.totios_sum /= n;
+  m.lockcpus_sum /= n;
+  m.lockios_sum /= n;
+  m.usefulcpus /= n;
+  m.usefulios /= n;
+  m.totcom = static_cast<int64_t>(static_cast<double>(m.totcom) / n);
+  m.throughput /= n;
+  m.response_time /= n;
+  m.measured_time /= n;
+  m.response_time_stddev /= n;
+  m.response_p50 /= n;
+  m.response_p95 /= n;
+  m.response_p99 /= n;
+  m.lock_requests =
+      static_cast<int64_t>(static_cast<double>(m.lock_requests) / n);
+  m.lock_denials =
+      static_cast<int64_t>(static_cast<double>(m.lock_denials) / n);
+  m.denial_rate /= n;
+  m.avg_active /= n;
+  m.avg_blocked /= n;
+  m.avg_pending /= n;
+  m.cpu_utilization /= n;
+  m.io_utilization /= n;
+  m.deadlock_aborts =
+      static_cast<int64_t>(static_cast<double>(m.deadlock_aborts) / n);
+  out.throughput_hw95 = sim::ConfidenceHalfWidth(
+      throughput_stat.count(), throughput_stat.StdDev(), 0.95);
+  out.response_hw95 = sim::ConfidenceHalfWidth(
+      response_stat.count(), response_stat.StdDev(), 0.95);
+  return out;
+}
+
+std::vector<int64_t> StandardLockSweep(int64_t dbsize) {
+  GRANULOCK_CHECK_GE(dbsize, 1);
+  static constexpr int64_t kGrid[] = {1,   2,   5,    10,   20,   50,
+                                      100, 200, 500,  1000, 2000, 5000,
+                                      10000, 20000, 50000};
+  std::vector<int64_t> out;
+  for (int64_t v : kGrid) {
+    if (v <= dbsize) out.push_back(v);
+  }
+  if (out.empty() || out.back() != dbsize) out.push_back(dbsize);
+  return out;
+}
+
+Result<std::vector<SweepPoint>> SweepLockCounts(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    const std::vector<int64_t>& lock_counts, uint64_t base_seed,
+    int replications, GranularitySimulator::Options options) {
+  std::vector<SweepPoint> out;
+  out.reserve(lock_counts.size());
+  for (int64_t ltot : lock_counts) {
+    model::SystemConfig point_cfg = cfg;
+    point_cfg.ltot = ltot;
+    Result<ReplicatedMetrics> metrics =
+        RunReplicated(point_cfg, spec, base_seed, replications, options);
+    if (!metrics.ok()) return metrics.status();
+    out.push_back(SweepPoint{ltot, std::move(metrics).value()});
+  }
+  return out;
+}
+
+const SweepPoint& BestThroughputPoint(const std::vector<SweepPoint>& sweep) {
+  GRANULOCK_CHECK(!sweep.empty());
+  return *std::max_element(sweep.begin(), sweep.end(),
+                           [](const SweepPoint& a, const SweepPoint& b) {
+                             return a.metrics.mean.throughput <
+                                    b.metrics.mean.throughput;
+                           });
+}
+
+}  // namespace granulock::core

@@ -1,0 +1,58 @@
+#ifndef GRANULOCK_CORE_EXPERIMENT_H_
+#define GRANULOCK_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/granularity_simulator.h"
+#include "core/metrics.h"
+#include "model/config.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace granulock::core {
+
+/// Metrics averaged over independent replications (different PRNG streams
+/// derived from one base seed), with 95% Student-t confidence half-widths
+/// on the two headline outputs.
+struct ReplicatedMetrics {
+  /// Per-field arithmetic means across replications.
+  SimulationMetrics mean;
+  /// 95% confidence half-widths.
+  double throughput_hw95 = 0.0;
+  double response_hw95 = 0.0;
+  int replications = 0;
+};
+
+/// Runs `replications` independent simulations of (`cfg`, `spec`) and
+/// aggregates. Replication `r` uses stream `r` forked from `base_seed`.
+Result<ReplicatedMetrics> RunReplicated(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    uint64_t base_seed, int replications,
+    GranularitySimulator::Options options = GranularitySimulator::Options{});
+
+/// The lock-count grid every figure in the paper sweeps (log-spaced from a
+/// single lock to one lock per entity), clipped to `dbsize`. Always
+/// contains 1 and `dbsize`.
+std::vector<int64_t> StandardLockSweep(int64_t dbsize);
+
+/// One point of a sweep: the swept `ltot` and the aggregated metrics.
+struct SweepPoint {
+  int64_t ltot = 0;
+  ReplicatedMetrics metrics;
+};
+
+/// Sweeps `ltot` over `lock_counts` for fixed (`cfg`, `spec`), running
+/// `replications` replications at each point.
+Result<std::vector<SweepPoint>> SweepLockCounts(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    const std::vector<int64_t>& lock_counts, uint64_t base_seed,
+    int replications, GranularitySimulator::Options options = GranularitySimulator::Options{});
+
+/// Returns the sweep point with the highest mean throughput; the sweep
+/// must be non-empty.
+const SweepPoint& BestThroughputPoint(const std::vector<SweepPoint>& sweep);
+
+}  // namespace granulock::core
+
+#endif  // GRANULOCK_CORE_EXPERIMENT_H_

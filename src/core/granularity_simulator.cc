@@ -1,0 +1,404 @@
+#include "core/granularity_simulator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::core {
+
+using sim::ServiceClass;
+
+/// One live transaction. `params` is drawn once at creation; `blocked`
+/// lists the transactions this one is currently blocking.
+struct GranularitySimulator::Txn {
+  uint64_t id = 0;
+  workload::TransactionParams params;
+  double arrival_time = 0.0;  // first entry into the pending queue
+  int64_t subtxns_remaining = 0;
+  std::vector<Txn*> blocked;
+};
+
+GranularitySimulator::GranularitySimulator(model::SystemConfig cfg,
+                                           workload::WorkloadSpec spec,
+                                           uint64_t seed, Options options)
+    : cfg_(std::move(cfg)),
+      spec_(std::move(spec)),
+      options_(options),
+      rng_(seed),
+      conflict_(std::max<int64_t>(1, cfg_.ltot)) {}
+
+GranularitySimulator::GranularitySimulator(model::SystemConfig cfg,
+                                           workload::WorkloadSpec spec,
+                                           uint64_t seed)
+    : GranularitySimulator(std::move(cfg), std::move(spec), seed, Options{}) {}
+
+GranularitySimulator::~GranularitySimulator() = default;
+
+Result<SimulationMetrics> GranularitySimulator::RunOnce(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    uint64_t seed, Options options) {
+  GranularitySimulator simulator(cfg, spec, seed, options);
+  return simulator.Run();
+}
+
+Result<SimulationMetrics> GranularitySimulator::RunOnce(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    uint64_t seed) {
+  return RunOnce(cfg, spec, seed, Options{});
+}
+
+Result<SimulationMetrics> GranularitySimulator::Run() {
+  if (ran_) {
+    return Status::FailedPrecondition("Run() may only be called once");
+  }
+  ran_ = true;
+  GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
+  GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
+  if (options_.max_active < 0) {
+    return Status::InvalidArgument("max_active must be >= 0");
+  }
+  if (options_.adaptive_admission) {
+    if (options_.adaptation_interval <= 0.0) {
+      return Status::InvalidArgument("adaptation_interval must be positive");
+    }
+    if (options_.target_denial_rate <= 0.0 ||
+        options_.target_denial_rate >= 1.0) {
+      return Status::InvalidArgument("target_denial_rate must be in (0,1)");
+    }
+    adaptive_cap_ = cfg_.ntrans;  // start permissive, tighten on evidence
+    sim_.ScheduleAt(options_.adaptation_interval,
+                    [this] { AdaptAdmissionCap(); });
+  }
+
+  cpu_.reserve(static_cast<size_t>(cfg_.npros));
+  io_.reserve(static_cast<size_t>(cfg_.npros));
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    cpu_.push_back(std::make_unique<sim::PriorityServer>(
+        &sim_, StrFormat("cpu%lld", (long long)n)));
+    io_.push_back(std::make_unique<sim::PriorityServer>(
+        &sim_, StrFormat("io%lld", (long long)n)));
+    cpu_.back()->SetTransitionObserver(
+        [this](double now, int delta_any, int delta_lock) {
+          cpu_union_.Transition(now, delta_any, delta_lock);
+        });
+    io_.back()->SetTransitionObserver(
+        [this](double now, int delta_any, int delta_lock) {
+          io_union_.Transition(now, delta_any, delta_lock);
+        });
+  }
+
+  active_stat_.Start(0.0, 0.0);
+  blocked_stat_.Start(0.0, 0.0);
+  pending_stat_.Start(0.0, 0.0);
+  window_start_ = cfg_.warmup;
+  if (cfg_.warmup > 0.0) {
+    sim_.ScheduleAt(cfg_.warmup, [this] { BeginMeasurement(); });
+  }
+
+  InjectInitialTransactions();
+  sim_.RunUntil(cfg_.tmax);
+
+  SimulationMetrics m;
+  m.measured_time = cfg_.tmax - window_start_;
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    m.totcpus_sum += cpu_[static_cast<size_t>(n)]->TotalBusyTime();
+    m.totios_sum += io_[static_cast<size_t>(n)]->TotalBusyTime();
+    m.lockcpus_sum +=
+        cpu_[static_cast<size_t>(n)]->BusyTime(ServiceClass::kLock);
+    m.lockios_sum +=
+        io_[static_cast<size_t>(n)]->BusyTime(ServiceClass::kLock);
+  }
+  m.totcpus = cpu_union_.AnyBusyTime(cfg_.tmax);
+  m.lockcpus = cpu_union_.LockBusyTime(cfg_.tmax);
+  m.totios = io_union_.AnyBusyTime(cfg_.tmax);
+  m.lockios = io_union_.LockBusyTime(cfg_.tmax);
+  const double npros = static_cast<double>(cfg_.npros);
+  m.usefulcpus = (m.totcpus - m.lockcpus) / npros;
+  m.usefulios = (m.totios - m.lockios) / npros;
+  m.totcom = totcom_;
+  m.throughput =
+      m.measured_time > 0.0 ? static_cast<double>(totcom_) / m.measured_time
+                            : 0.0;
+  m.response_time = response_.Mean();
+  m.response_time_stddev = response_.StdDev();
+  m.response_p50 = response_quantiles_.Quantile(0.50);
+  m.response_p95 = response_quantiles_.Quantile(0.95);
+  m.response_p99 = response_quantiles_.Quantile(0.99);
+  m.lock_requests = lock_requests_;
+  m.lock_denials = lock_denials_;
+  m.denial_rate = lock_requests_ > 0 ? static_cast<double>(lock_denials_) /
+                                           static_cast<double>(lock_requests_)
+                                     : 0.0;
+  m.avg_active = active_stat_.Average(cfg_.tmax);
+  m.avg_blocked = blocked_stat_.Average(cfg_.tmax);
+  m.avg_pending = pending_stat_.Average(cfg_.tmax);
+  m.cpu_utilization =
+      m.measured_time > 0.0 ? m.totcpus_sum / (npros * m.measured_time)
+                            : 0.0;
+  m.io_utilization =
+      m.measured_time > 0.0 ? m.totios_sum / (npros * m.measured_time) : 0.0;
+  m.events_executed = sim_.ExecutedEvents();
+  return m;
+}
+
+void GranularitySimulator::BeginMeasurement() {
+  for (auto& server : cpu_) server->ResetStats();
+  for (auto& server : io_) server->ResetStats();
+  totcom_ = 0;
+  lock_requests_ = 0;
+  lock_denials_ = 0;
+  response_.Reset();
+  response_quantiles_.Reset();
+  const double now = sim_.Now();
+  cpu_union_.ResetWindow(now);
+  io_union_.ResetWindow(now);
+  active_stat_.ResetWindow(now);
+  blocked_stat_.ResetWindow(now);
+  pending_stat_.ResetWindow(now);
+  window_start_ = now;
+}
+
+void GranularitySimulator::InjectInitialTransactions() {
+  // "Initially, transactions arrive one time unit apart and they are put on
+  // the pending queue."
+  for (int64_t i = 0; i < cfg_.ntrans; ++i) {
+    const double at = static_cast<double>(i);
+    sim_.ScheduleAt(at, [this] {
+      Txn* txn = CreateTransaction(sim_.Now());
+      EnqueuePending(txn, /*at_tail=*/true);
+      PumpLockManager();
+    });
+  }
+}
+
+GranularitySimulator::Txn* GranularitySimulator::CreateTransaction(
+    double arrival_time) {
+  auto owned = std::make_unique<Txn>();
+  Txn* txn = owned.get();
+  txn->id = next_txn_id_++;
+  txn->params = workload::GenerateTransaction(cfg_, spec_, rng_);
+  txn->arrival_time = arrival_time;
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id, sim::TraceEventType::kCreated,
+                           txn->params.nu);
+  }
+  live_txns_.push_back(std::move(owned));
+  return txn;
+}
+
+void GranularitySimulator::DestroyTransaction(Txn* txn) {
+  auto it = std::find_if(
+      live_txns_.begin(), live_txns_.end(),
+      [txn](const std::unique_ptr<Txn>& p) { return p.get() == txn; });
+  GRANULOCK_CHECK(it != live_txns_.end());
+  // Swap-erase: order of ownership storage is irrelevant.
+  *it = std::move(live_txns_.back());
+  live_txns_.pop_back();
+}
+
+void GranularitySimulator::EnqueuePending(Txn* txn, bool at_tail) {
+  if (at_tail) {
+    pending_.push_back(txn);
+  } else {
+    pending_.push_front(txn);
+  }
+  UpdateQueueStats();
+}
+
+void GranularitySimulator::UpdateQueueStats() {
+  const double now = sim_.Now();
+  active_stat_.Update(now, static_cast<double>(active_.size()));
+  blocked_stat_.Update(now, static_cast<double>(blocked_count_));
+  pending_stat_.Update(now, static_cast<double>(pending_.size()));
+}
+
+int64_t GranularitySimulator::EffectiveCap() const {
+  if (options_.adaptive_admission) return adaptive_cap_;
+  return options_.max_active;
+}
+
+void GranularitySimulator::AdaptAdmissionCap() {
+  // AIMD on the multiprogramming level: denials waste lock-processing
+  // capacity (the cost is charged whether or not the locks are granted),
+  // so a high denial rate means too many transactions are competing.
+  const int64_t requests = lock_requests_ - window_requests_;
+  const int64_t denials = lock_denials_ - window_denials_;
+  window_requests_ = lock_requests_;
+  window_denials_ = lock_denials_;
+  if (requests > 0) {
+    const double rate =
+        static_cast<double>(denials) / static_cast<double>(requests);
+    if (rate > options_.target_denial_rate) {
+      adaptive_cap_ = std::max<int64_t>(1, (adaptive_cap_ * 3) / 4);
+    } else if (rate < 0.5 * options_.target_denial_rate) {
+      adaptive_cap_ = std::min(cfg_.ntrans, adaptive_cap_ + 1);
+      PumpLockManager();  // the looser cap may admit immediately
+    }
+  }
+  if (sim_.Now() + options_.adaptation_interval <= cfg_.tmax) {
+    sim_.ScheduleAfter(options_.adaptation_interval,
+                       [this] { AdaptAdmissionCap(); });
+  }
+}
+
+void GranularitySimulator::PumpLockManager() {
+  const int64_t cap = EffectiveCap();
+  while (!pending_.empty() &&
+         (!options_.serialize_lock_manager ||
+          outstanding_lock_requests_ == 0) &&
+         (cap == 0 ||
+          static_cast<int64_t>(active_.size()) + outstanding_lock_requests_ <
+              cap)) {
+    Txn* txn = pending_.front();
+    pending_.pop_front();
+    UpdateQueueStats();
+    BeginLockRequest(txn);
+  }
+}
+
+void GranularitySimulator::BeginLockRequest(Txn* txn) {
+  ++outstanding_lock_requests_;
+  ++lock_requests_;
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kLockRequested,
+                           txn->params.lu);
+  }
+  StartLockIoPhase(txn);
+}
+
+void GranularitySimulator::StartLockIoPhase(Txn* txn) {
+  // Lock-table I/O: the work is shared equally by all nodes' disks and
+  // served at preemptive priority. The phase ends when every node finishes
+  // its share.
+  const double per_node =
+      txn->params.lock_io_demand / static_cast<double>(cfg_.npros);
+  if (per_node <= 0.0) {
+    StartLockCpuPhase(txn);
+    return;
+  }
+  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    io_[static_cast<size_t>(n)]->Submit(
+        ServiceClass::kLock, per_node, [this, txn, remaining] {
+          if (--*remaining == 0) StartLockCpuPhase(txn);
+        });
+  }
+}
+
+void GranularitySimulator::StartLockCpuPhase(Txn* txn) {
+  const double per_node =
+      txn->params.lock_cpu_demand / static_cast<double>(cfg_.npros);
+  if (per_node <= 0.0) {
+    FinishLockRequest(txn);
+    return;
+  }
+  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    cpu_[static_cast<size_t>(n)]->Submit(
+        ServiceClass::kLock, per_node, [this, txn, remaining] {
+          if (--*remaining == 0) FinishLockRequest(txn);
+        });
+  }
+}
+
+void GranularitySimulator::FinishLockRequest(Txn* txn) {
+  --outstanding_lock_requests_;
+  std::vector<int64_t> active_locks;
+  active_locks.reserve(active_.size());
+  for (const Txn* t : active_) active_locks.push_back(t->params.lu);
+  const int blocker = conflict_.DrawBlocker(active_locks, rng_);
+  if (blocker >= 0) {
+    ++lock_denials_;
+    Txn* blocking = active_[static_cast<size_t>(blocker)];
+    if (options_.trace != nullptr) {
+      options_.trace->Record(sim_.Now(), txn->id,
+                             sim::TraceEventType::kLockDenied,
+                             static_cast<int64_t>(blocking->id));
+    }
+    blocking->blocked.push_back(txn);
+    ++blocked_count_;
+    UpdateQueueStats();
+  } else {
+    if (options_.trace != nullptr) {
+      options_.trace->Record(sim_.Now(), txn->id,
+                             sim::TraceEventType::kLockGranted,
+                             txn->params.lu);
+    }
+    Grant(txn);
+  }
+  PumpLockManager();
+}
+
+void GranularitySimulator::Grant(Txn* txn) {
+  active_.push_back(txn);
+  txn->subtxns_remaining = txn->params.pu;
+  UpdateQueueStats();
+  for (int32_t node : txn->params.nodes) {
+    StartSubTransaction(txn, node);
+  }
+}
+
+void GranularitySimulator::StartSubTransaction(Txn* txn, int32_t node) {
+  const double pu = static_cast<double>(txn->params.pu);
+  const double io_share = txn->params.io_demand / pu;
+  const double cpu_share = txn->params.cpu_demand / pu;
+  auto* io_server = io_[static_cast<size_t>(node)].get();
+  auto* cpu_server = cpu_[static_cast<size_t>(node)].get();
+  io_server->Submit(ServiceClass::kTransaction, io_share,
+                    [this, txn, cpu_server, cpu_share] {
+                      cpu_server->Submit(
+                          ServiceClass::kTransaction, cpu_share,
+                          [this, txn] { OnSubTransactionDone(txn); });
+                    });
+}
+
+void GranularitySimulator::OnSubTransactionDone(Txn* txn) {
+  GRANULOCK_CHECK_GT(txn->subtxns_remaining, 0);
+  if (--txn->subtxns_remaining == 0) {
+    Complete(txn);
+  }
+}
+
+void GranularitySimulator::Complete(Txn* txn) {
+  auto it = std::find(active_.begin(), active_.end(), txn);
+  GRANULOCK_CHECK(it != active_.end());
+  active_.erase(it);
+
+  ++totcom_;
+  response_.Add(sim_.Now() - txn->arrival_time);
+  response_quantiles_.Add(sim_.Now() - txn->arrival_time);
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kCompleted,
+                           static_cast<int64_t>(txn->blocked.size()));
+  }
+
+  // Release the transactions this one was blocking.
+  blocked_count_ -= static_cast<int64_t>(txn->blocked.size());
+  for (Txn* released : txn->blocked) {
+    EnqueuePending(released, options_.requeue_blocked_at_tail);
+  }
+  txn->blocked.clear();
+
+  // Closed system: a fresh transaction replaces the completed one, after
+  // the terminal's think time (0 in the paper's model).
+  if (cfg_.think_time > 0.0) {
+    sim_.ScheduleAfter(rng_.Exponential(cfg_.think_time), [this] {
+      Txn* fresh = CreateTransaction(sim_.Now());
+      EnqueuePending(fresh, /*at_tail=*/true);
+      PumpLockManager();
+    });
+  } else {
+    Txn* fresh = CreateTransaction(sim_.Now());
+    EnqueuePending(fresh, /*at_tail=*/true);
+  }
+
+  DestroyTransaction(txn);
+  UpdateQueueStats();
+  PumpLockManager();
+}
+
+}  // namespace granulock::core

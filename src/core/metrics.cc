@@ -1,0 +1,34 @@
+#include "core/metrics.h"
+
+#include "util/strings.h"
+
+namespace granulock::core {
+
+std::string SimulationMetrics::ToString() const {
+  std::string out;
+  out += StrFormat("throughput        %.6g txn/unit (totcom=%lld over %g)\n",
+                   throughput, (long long)totcom, measured_time);
+  out += StrFormat("response time     %.6g (stddev %.6g)\n", response_time,
+                   response_time_stddev);
+  out += StrFormat("response p50/p95/p99  %.6g / %.6g / %.6g\n",
+                   response_p50, response_p95, response_p99);
+  out += StrFormat("totcpus           %.6g   lockcpus %.6g   usefulcpus %.6g\n",
+                   totcpus, lockcpus, usefulcpus);
+  out += StrFormat("totios            %.6g   lockios  %.6g   usefulios  %.6g\n",
+                   totios, lockios, usefulios);
+  out += StrFormat("busy-time sums    cpu %.6g (lock %.6g)   io %.6g (lock %.6g)\n",
+                   totcpus_sum, lockcpus_sum, totios_sum, lockios_sum);
+  out += StrFormat("lock requests     %lld (denied %lld, rate %.3f)\n",
+                   (long long)lock_requests, (long long)lock_denials,
+                   denial_rate);
+  out += StrFormat("avg active/blocked/pending  %.3f / %.3f / %.3f\n",
+                   avg_active, avg_blocked, avg_pending);
+  out += StrFormat("utilization       cpu %.3f  io %.3f\n", cpu_utilization,
+                   io_utilization);
+  if (deadlock_aborts > 0) {
+    out += StrFormat("deadlock aborts   %lld\n", (long long)deadlock_aborts);
+  }
+  return out;
+}
+
+}  // namespace granulock::core

@@ -1,0 +1,444 @@
+#include "db/explicit_simulator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::db {
+
+using lockmgr::HierRequest;
+using lockmgr::LockMode;
+using lockmgr::LockRequest;
+using lockmgr::ObjectId;
+using sim::ServiceClass;
+
+/// One live transaction with its concrete lock set. The set is drawn once
+/// (a transaction's data needs do not change across retries); the lock
+/// *cost* is paid on every attempt, as in the paper.
+struct ExplicitSimulator::Txn {
+  lockmgr::TxnId id = 0;
+  workload::TransactionParams params;
+  double arrival_time = 0.0;
+  int64_t subtxns_remaining = 0;
+  std::vector<Txn*> blocked;
+
+  /// Granules this transaction locks (kFlat, or kHierarchical fine path).
+  std::vector<int64_t> granules;
+  /// True if this transaction takes one database-level lock instead.
+  bool coarse = false;
+  /// S for read-only transactions, X otherwise.
+  LockMode mode = LockMode::kX;
+  /// Locks actually set per attempt (drives the lock cost).
+  double locks_set = 0.0;
+};
+
+ExplicitSimulator::ExplicitSimulator(model::SystemConfig cfg,
+                                     workload::WorkloadSpec spec,
+                                     uint64_t seed, Options options)
+    : cfg_(std::move(cfg)),
+      spec_(std::move(spec)),
+      options_(options),
+      rng_(seed) {}
+
+ExplicitSimulator::ExplicitSimulator(model::SystemConfig cfg,
+                                     workload::WorkloadSpec spec,
+                                     uint64_t seed)
+    : ExplicitSimulator(std::move(cfg), std::move(spec), seed, Options{}) {}
+
+ExplicitSimulator::~ExplicitSimulator() = default;
+
+Result<core::SimulationMetrics> ExplicitSimulator::RunOnce(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    uint64_t seed, Options options) {
+  ExplicitSimulator simulator(cfg, spec, seed, options);
+  return simulator.Run();
+}
+
+Result<core::SimulationMetrics> ExplicitSimulator::RunOnce(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    uint64_t seed) {
+  return RunOnce(cfg, spec, seed, Options{});
+}
+
+Result<core::SimulationMetrics> ExplicitSimulator::Run() {
+  if (ran_) {
+    return Status::FailedPrecondition("Run() may only be called once");
+  }
+  ran_ = true;
+  GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
+  GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
+  if (options_.read_fraction < 0.0 || options_.read_fraction > 1.0) {
+    return Status::InvalidArgument("read_fraction must be in [0, 1]");
+  }
+  if (options_.coarse_threshold < 0) {
+    return Status::InvalidArgument("coarse_threshold must be >= 0");
+  }
+
+  switch (options_.strategy) {
+    case LockingStrategy::kFlat:
+      flat_table_ = std::make_unique<lockmgr::LockTable>(cfg_.ltot);
+      break;
+    case LockingStrategy::kHierarchical: {
+      if (options_.num_files < 1 || options_.num_files > cfg_.ltot) {
+        return Status::InvalidArgument(
+            "num_files must be in [1, ltot] for hierarchical locking");
+      }
+      if (options_.escalation_threshold < 0) {
+        return Status::InvalidArgument(
+            "escalation_threshold must be >= 0");
+      }
+      lockmgr::HierarchicalLockManager::Options hier;
+      hier.num_granules = cfg_.ltot;
+      hier.num_files = options_.num_files;
+      hier.escalation_threshold = options_.escalation_threshold;
+      hier_table_ =
+          std::make_unique<lockmgr::HierarchicalLockManager>(hier);
+      break;
+    }
+  }
+
+  cpu_.reserve(static_cast<size_t>(cfg_.npros));
+  io_.reserve(static_cast<size_t>(cfg_.npros));
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    cpu_.push_back(std::make_unique<sim::PriorityServer>(
+        &sim_, StrFormat("cpu%lld", (long long)n)));
+    io_.push_back(std::make_unique<sim::PriorityServer>(
+        &sim_, StrFormat("io%lld", (long long)n)));
+    cpu_.back()->SetTransitionObserver(
+        [this](double now, int delta_any, int delta_lock) {
+          cpu_union_.Transition(now, delta_any, delta_lock);
+        });
+    io_.back()->SetTransitionObserver(
+        [this](double now, int delta_any, int delta_lock) {
+          io_union_.Transition(now, delta_any, delta_lock);
+        });
+  }
+
+  active_stat_.Start(0.0, 0.0);
+  blocked_stat_.Start(0.0, 0.0);
+  pending_stat_.Start(0.0, 0.0);
+  window_start_ = cfg_.warmup;
+  if (cfg_.warmup > 0.0) {
+    sim_.ScheduleAt(cfg_.warmup, [this] { BeginMeasurement(); });
+  }
+
+  InjectInitialTransactions();
+  sim_.RunUntil(cfg_.tmax);
+
+  core::SimulationMetrics m;
+  m.measured_time = cfg_.tmax - window_start_;
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    m.totcpus_sum += cpu_[static_cast<size_t>(n)]->TotalBusyTime();
+    m.totios_sum += io_[static_cast<size_t>(n)]->TotalBusyTime();
+    m.lockcpus_sum +=
+        cpu_[static_cast<size_t>(n)]->BusyTime(ServiceClass::kLock);
+    m.lockios_sum +=
+        io_[static_cast<size_t>(n)]->BusyTime(ServiceClass::kLock);
+  }
+  m.totcpus = cpu_union_.AnyBusyTime(cfg_.tmax);
+  m.lockcpus = cpu_union_.LockBusyTime(cfg_.tmax);
+  m.totios = io_union_.AnyBusyTime(cfg_.tmax);
+  m.lockios = io_union_.LockBusyTime(cfg_.tmax);
+  const double npros = static_cast<double>(cfg_.npros);
+  m.usefulcpus = (m.totcpus - m.lockcpus) / npros;
+  m.usefulios = (m.totios - m.lockios) / npros;
+  m.totcom = totcom_;
+  m.throughput =
+      m.measured_time > 0.0 ? static_cast<double>(totcom_) / m.measured_time
+                            : 0.0;
+  m.response_time = response_.Mean();
+  m.response_time_stddev = response_.StdDev();
+  m.response_p50 = response_quantiles_.Quantile(0.50);
+  m.response_p95 = response_quantiles_.Quantile(0.95);
+  m.response_p99 = response_quantiles_.Quantile(0.99);
+  m.lock_requests = lock_requests_;
+  m.lock_denials = lock_denials_;
+  m.denial_rate = lock_requests_ > 0 ? static_cast<double>(lock_denials_) /
+                                           static_cast<double>(lock_requests_)
+                                     : 0.0;
+  m.avg_active = active_stat_.Average(cfg_.tmax);
+  m.avg_blocked = blocked_stat_.Average(cfg_.tmax);
+  m.avg_pending = pending_stat_.Average(cfg_.tmax);
+  m.cpu_utilization =
+      m.measured_time > 0.0 ? m.totcpus_sum / (npros * m.measured_time)
+                            : 0.0;
+  m.io_utilization =
+      m.measured_time > 0.0 ? m.totios_sum / (npros * m.measured_time) : 0.0;
+  m.events_executed = sim_.ExecutedEvents();
+  return m;
+}
+
+void ExplicitSimulator::BeginMeasurement() {
+  for (auto& server : cpu_) server->ResetStats();
+  for (auto& server : io_) server->ResetStats();
+  totcom_ = 0;
+  lock_requests_ = 0;
+  lock_denials_ = 0;
+  response_.Reset();
+  response_quantiles_.Reset();
+  const double now = sim_.Now();
+  cpu_union_.ResetWindow(now);
+  io_union_.ResetWindow(now);
+  active_stat_.ResetWindow(now);
+  blocked_stat_.ResetWindow(now);
+  pending_stat_.ResetWindow(now);
+  window_start_ = now;
+}
+
+void ExplicitSimulator::InjectInitialTransactions() {
+  for (int64_t i = 0; i < cfg_.ntrans; ++i) {
+    sim_.ScheduleAt(static_cast<double>(i), [this] {
+      Txn* txn = CreateTransaction(sim_.Now());
+      pending_.push_back(txn);
+      UpdateQueueStats();
+      PumpLockManager();
+    });
+  }
+}
+
+ExplicitSimulator::Txn* ExplicitSimulator::CreateTransaction(
+    double arrival_time) {
+  auto owned = std::make_unique<Txn>();
+  Txn* txn = owned.get();
+  txn->id = next_txn_id_++;
+  txn->params = workload::GenerateTransaction(cfg_, spec_, rng_);
+  txn->arrival_time = arrival_time;
+  txn->mode =
+      rng_.Bernoulli(options_.read_fraction) ? LockMode::kS : LockMode::kX;
+  txn->coarse = options_.strategy == LockingStrategy::kHierarchical &&
+                options_.coarse_threshold > 0 &&
+                txn->params.nu >= options_.coarse_threshold;
+  if (txn->coarse) {
+    txn->locks_set = 1.0;  // one database-level lock
+  } else {
+    txn->granules = SelectGranules(spec_.placement, cfg_.dbsize, cfg_.ltot,
+                                   txn->params.nu, rng_);
+    if (options_.strategy == LockingStrategy::kHierarchical) {
+      // Hierarchical transactions pay for every lock actually set:
+      // granule locks plus the derived file/root intention locks, after
+      // escalation.
+      std::vector<lockmgr::HierRequest> requests;
+      requests.reserve(txn->granules.size());
+      for (int64_t g : txn->granules) {
+        requests.push_back(
+            lockmgr::HierRequest{lockmgr::ObjectId::Granule(g), txn->mode});
+      }
+      txn->locks_set =
+          static_cast<double>(hier_table_->EffectiveLockSet(requests).size());
+    } else {
+      txn->locks_set = static_cast<double>(txn->granules.size());
+    }
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id, sim::TraceEventType::kCreated,
+                           txn->params.nu);
+  }
+  live_txns_.push_back(std::move(owned));
+  return txn;
+}
+
+void ExplicitSimulator::DestroyTransaction(Txn* txn) {
+  auto it = std::find_if(
+      live_txns_.begin(), live_txns_.end(),
+      [txn](const std::unique_ptr<Txn>& p) { return p.get() == txn; });
+  GRANULOCK_CHECK(it != live_txns_.end());
+  *it = std::move(live_txns_.back());
+  live_txns_.pop_back();
+}
+
+void ExplicitSimulator::UpdateQueueStats() {
+  const double now = sim_.Now();
+  active_stat_.Update(now, static_cast<double>(active_.size()));
+  blocked_stat_.Update(now, static_cast<double>(blocked_count_));
+  pending_stat_.Update(now, static_cast<double>(pending_.size()));
+}
+
+void ExplicitSimulator::PumpLockManager() {
+  while (!pending_.empty() &&
+         (!options_.serialize_lock_manager ||
+          outstanding_lock_requests_ == 0)) {
+    Txn* txn = pending_.front();
+    pending_.pop_front();
+    UpdateQueueStats();
+    BeginLockRequest(txn);
+  }
+}
+
+void ExplicitSimulator::BeginLockRequest(Txn* txn) {
+  ++outstanding_lock_requests_;
+  ++lock_requests_;
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kLockRequested,
+                           static_cast<int64_t>(txn->locks_set));
+  }
+  StartLockIoPhase(txn);
+}
+
+void ExplicitSimulator::StartLockIoPhase(Txn* txn) {
+  const double per_node =
+      txn->locks_set * cfg_.liotime / static_cast<double>(cfg_.npros);
+  if (per_node <= 0.0) {
+    StartLockCpuPhase(txn);
+    return;
+  }
+  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    io_[static_cast<size_t>(n)]->Submit(
+        ServiceClass::kLock, per_node, [this, txn, remaining] {
+          if (--*remaining == 0) StartLockCpuPhase(txn);
+        });
+  }
+}
+
+void ExplicitSimulator::StartLockCpuPhase(Txn* txn) {
+  const double per_node =
+      txn->locks_set * cfg_.lcputime / static_cast<double>(cfg_.npros);
+  if (per_node <= 0.0) {
+    FinishLockRequest(txn);
+    return;
+  }
+  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    cpu_[static_cast<size_t>(n)]->Submit(
+        ServiceClass::kLock, per_node, [this, txn, remaining] {
+          if (--*remaining == 0) FinishLockRequest(txn);
+        });
+  }
+}
+
+std::optional<lockmgr::TxnId> ExplicitSimulator::TryAcquire(Txn* txn) {
+  switch (options_.strategy) {
+    case LockingStrategy::kFlat: {
+      std::vector<LockRequest> requests;
+      requests.reserve(txn->granules.size());
+      for (int64_t g : txn->granules) {
+        requests.push_back(LockRequest{g, txn->mode});
+      }
+      return flat_table_->TryAcquireAll(txn->id, requests);
+    }
+    case LockingStrategy::kHierarchical: {
+      std::vector<HierRequest> requests;
+      if (txn->coarse) {
+        requests.push_back(HierRequest{ObjectId::Root(), txn->mode});
+      } else {
+        requests.reserve(txn->granules.size());
+        for (int64_t g : txn->granules) {
+          requests.push_back(HierRequest{ObjectId::Granule(g), txn->mode});
+        }
+      }
+      return hier_table_->TryAcquireAll(txn->id, requests);
+    }
+  }
+  GRANULOCK_LOG(Fatal) << "unknown locking strategy";
+  return std::nullopt;
+}
+
+void ExplicitSimulator::ReleaseLocks(Txn* txn) {
+  switch (options_.strategy) {
+    case LockingStrategy::kFlat:
+      flat_table_->ReleaseAll(txn->id);
+      break;
+    case LockingStrategy::kHierarchical:
+      hier_table_->ReleaseAll(txn->id);
+      break;
+  }
+}
+
+void ExplicitSimulator::FinishLockRequest(Txn* txn) {
+  --outstanding_lock_requests_;
+  const std::optional<lockmgr::TxnId> blocker = TryAcquire(txn);
+  if (blocker.has_value()) {
+    ++lock_denials_;
+    if (options_.trace != nullptr) {
+      options_.trace->Record(sim_.Now(), txn->id,
+                             sim::TraceEventType::kLockDenied,
+                             static_cast<int64_t>(*blocker));
+    }
+    auto it = active_.find(*blocker);
+    GRANULOCK_CHECK(it != active_.end())
+        << "blocker " << *blocker << " is not active";
+    it->second->blocked.push_back(txn);
+    ++blocked_count_;
+    UpdateQueueStats();
+  } else {
+    if (options_.trace != nullptr) {
+      options_.trace->Record(sim_.Now(), txn->id,
+                             sim::TraceEventType::kLockGranted,
+                             static_cast<int64_t>(txn->locks_set));
+    }
+    Grant(txn);
+  }
+  PumpLockManager();
+}
+
+void ExplicitSimulator::Grant(Txn* txn) {
+  active_.emplace(txn->id, txn);
+  txn->subtxns_remaining = txn->params.pu;
+  UpdateQueueStats();
+  for (int32_t node : txn->params.nodes) {
+    StartSubTransaction(txn, node);
+  }
+}
+
+void ExplicitSimulator::StartSubTransaction(Txn* txn, int32_t node) {
+  const double pu = static_cast<double>(txn->params.pu);
+  const double io_share = txn->params.io_demand / pu;
+  const double cpu_share = txn->params.cpu_demand / pu;
+  auto* io_server = io_[static_cast<size_t>(node)].get();
+  auto* cpu_server = cpu_[static_cast<size_t>(node)].get();
+  io_server->Submit(ServiceClass::kTransaction, io_share,
+                    [this, txn, cpu_server, cpu_share] {
+                      cpu_server->Submit(
+                          ServiceClass::kTransaction, cpu_share,
+                          [this, txn] { OnSubTransactionDone(txn); });
+                    });
+}
+
+void ExplicitSimulator::OnSubTransactionDone(Txn* txn) {
+  GRANULOCK_CHECK_GT(txn->subtxns_remaining, 0);
+  if (--txn->subtxns_remaining == 0) {
+    Complete(txn);
+  }
+}
+
+void ExplicitSimulator::Complete(Txn* txn) {
+  ReleaseLocks(txn);
+  auto it = active_.find(txn->id);
+  GRANULOCK_CHECK(it != active_.end());
+  active_.erase(it);
+
+  ++totcom_;
+  response_.Add(sim_.Now() - txn->arrival_time);
+  response_quantiles_.Add(sim_.Now() - txn->arrival_time);
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kCompleted,
+                           static_cast<int64_t>(txn->blocked.size()));
+  }
+
+  blocked_count_ -= static_cast<int64_t>(txn->blocked.size());
+  for (Txn* released : txn->blocked) {
+    pending_.push_back(released);
+  }
+  txn->blocked.clear();
+
+  if (cfg_.think_time > 0.0) {
+    sim_.ScheduleAfter(rng_.Exponential(cfg_.think_time), [this] {
+      Txn* fresh = CreateTransaction(sim_.Now());
+      pending_.push_back(fresh);
+      UpdateQueueStats();
+      PumpLockManager();
+    });
+  } else {
+    Txn* fresh = CreateTransaction(sim_.Now());
+    pending_.push_back(fresh);
+  }
+
+  DestroyTransaction(txn);
+  UpdateQueueStats();
+  PumpLockManager();
+}
+
+}  // namespace granulock::db

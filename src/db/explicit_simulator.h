@@ -1,0 +1,154 @@
+#ifndef GRANULOCK_DB_EXPLICIT_SIMULATOR_H_
+#define GRANULOCK_DB_EXPLICIT_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.h"
+#include "db/granule_selector.h"
+#include "lockmgr/hierarchical.h"
+#include "lockmgr/lock_table.h"
+#include "model/config.h"
+#include "sim/busy_union.h"
+#include "sim/priority_server.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace granulock::db {
+
+/// The same closed shared-nothing system as `core::GranularitySimulator`,
+/// but with an **explicit lock table** instead of the Ries–Stonebraker
+/// probabilistic conflict model: every transaction locks a concrete set of
+/// granules (drawn by `SelectGranules`), conflicts are detected against
+/// real holders, and lock cost is charged per lock actually set.
+///
+/// Two purposes:
+///  1. Cross-validation — the paper *approximates* conflicts; this engine
+///     measures them. `bench_ablation_conflict_model` overlays the two.
+///  2. Extension — the hierarchical strategy implements the paper's
+///     closing recommendation (file-level locks for large transactions,
+///     block-level for small ones, as in the Gamma machine) and lets
+///     `bench_ablation_mgl` quantify it on the mixed workload.
+class ExplicitSimulator {
+ public:
+  /// How transactions translate their granule set into lock requests.
+  enum class LockingStrategy {
+    /// Exclusive (or shared, see `read_fraction`) locks on each granule in
+    /// a flat lock table — the paper's protocol, made explicit.
+    kFlat,
+    /// Multiple-granularity locking: transactions touching at least
+    /// `coarse_threshold` entities take one database-level lock; smaller
+    /// ones take intention locks plus granule locks.
+    kHierarchical,
+  };
+
+  struct Options {
+    LockingStrategy strategy = LockingStrategy::kFlat;
+    /// kHierarchical only: entity-count threshold at which a transaction
+    /// locks the whole database instead of individual granules. 0 disables
+    /// coarse locking (everyone locks granules).
+    int64_t coarse_threshold = 0;
+    /// kHierarchical only: number of files the granules are divided into
+    /// (>= 1). Fine-grained transactions take intention locks on the
+    /// files they touch; with > 1 file a coarse reader/writer conflicts
+    /// only at the root.
+    int64_t num_files = 1;
+    /// kHierarchical only: per-file lock escalation threshold passed to
+    /// the hierarchical manager (0 disables escalation).
+    int64_t escalation_threshold = 0;
+    /// Probability that a transaction is read-only and takes S locks
+    /// (default 0: all transactions update, matching the paper).
+    double read_fraction = 0.0;
+    /// Process one lock request at a time (see DESIGN.md §4.2).
+    bool serialize_lock_manager = true;
+    /// Optional lifecycle tracer (not owned; must outlive the run).
+    sim::TraceRecorder* trace = nullptr;
+  };
+
+  ExplicitSimulator(model::SystemConfig cfg, workload::WorkloadSpec spec,
+                    uint64_t seed, Options options);
+  ExplicitSimulator(model::SystemConfig cfg, workload::WorkloadSpec spec,
+                    uint64_t seed);
+  ~ExplicitSimulator();
+
+  ExplicitSimulator(const ExplicitSimulator&) = delete;
+  ExplicitSimulator& operator=(const ExplicitSimulator&) = delete;
+
+  /// Validates, runs to `cfg.tmax`, returns the metrics. Call once.
+  Result<core::SimulationMetrics> Run();
+
+  static Result<core::SimulationMetrics> RunOnce(
+      const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+      uint64_t seed, Options options);
+  static Result<core::SimulationMetrics> RunOnce(
+      const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+      uint64_t seed);
+
+ private:
+  struct Txn;
+
+  void InjectInitialTransactions();
+  void PumpLockManager();
+  void BeginLockRequest(Txn* txn);
+  void StartLockIoPhase(Txn* txn);
+  void StartLockCpuPhase(Txn* txn);
+  void FinishLockRequest(Txn* txn);
+  void Grant(Txn* txn);
+  void StartSubTransaction(Txn* txn, int32_t node);
+  void OnSubTransactionDone(Txn* txn);
+  void Complete(Txn* txn);
+
+  Txn* CreateTransaction(double arrival_time);
+  void DestroyTransaction(Txn* txn);
+  void UpdateQueueStats();
+  void BeginMeasurement();
+
+  /// Attempts the acquisition against whichever lock manager is active;
+  /// returns the blocking transaction id or nullopt.
+  std::optional<lockmgr::TxnId> TryAcquire(Txn* txn);
+  void ReleaseLocks(Txn* txn);
+
+  model::SystemConfig cfg_;
+  workload::WorkloadSpec spec_;
+  Options options_;
+  Rng rng_;
+
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<sim::PriorityServer>> cpu_;
+  std::vector<std::unique_ptr<sim::PriorityServer>> io_;
+  sim::BusyUnionTracker cpu_union_;
+  sim::BusyUnionTracker io_union_;
+
+  std::unique_ptr<lockmgr::LockTable> flat_table_;
+  std::unique_ptr<lockmgr::HierarchicalLockManager> hier_table_;
+
+  std::deque<Txn*> pending_;
+  std::unordered_map<lockmgr::TxnId, Txn*> active_;
+  std::vector<std::unique_ptr<Txn>> live_txns_;
+  int64_t blocked_count_ = 0;
+  int outstanding_lock_requests_ = 0;
+
+  int64_t totcom_ = 0;
+  int64_t lock_requests_ = 0;
+  int64_t lock_denials_ = 0;
+  sim::RunningStat response_;
+  sim::QuantileEstimator response_quantiles_;
+  sim::TimeWeightedStat active_stat_;
+  sim::TimeWeightedStat blocked_stat_;
+  sim::TimeWeightedStat pending_stat_;
+  double window_start_ = 0.0;
+
+  uint64_t next_txn_id_ = 1;
+  bool ran_ = false;
+};
+
+}  // namespace granulock::db
+
+#endif  // GRANULOCK_DB_EXPLICIT_SIMULATOR_H_

@@ -1,0 +1,60 @@
+#include "db/granule_selector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace granulock::db {
+
+int64_t GranuleOfEntity(int64_t entity, int64_t dbsize, int64_t ltot) {
+  GRANULOCK_CHECK_GE(entity, 0);
+  GRANULOCK_CHECK_LT(entity, dbsize);
+  // 128-bit intermediate: entity * ltot can exceed 2^63 for very large
+  // configured databases.
+  const auto g = static_cast<int64_t>(
+      (static_cast<__int128>(entity) * ltot) / dbsize);
+  return std::min(g, ltot - 1);
+}
+
+std::vector<int64_t> SelectGranules(model::Placement placement,
+                                    int64_t dbsize, int64_t ltot, int64_t nu,
+                                    Rng& rng) {
+  GRANULOCK_CHECK_GE(nu, 1);
+  GRANULOCK_CHECK_LE(nu, dbsize);
+  GRANULOCK_CHECK_GE(ltot, 1);
+  GRANULOCK_CHECK_LE(ltot, dbsize);
+  switch (placement) {
+    case model::Placement::kBest: {
+      const int64_t count = model::BestPlacementLocks(dbsize, ltot, nu);
+      const int64_t start = rng.UniformInt(0, ltot - 1);
+      std::vector<int64_t> out;
+      out.reserve(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        out.push_back((start + i) % ltot);
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+    case model::Placement::kRandom: {
+      const std::vector<int64_t> entities =
+          rng.SampleWithoutReplacement(dbsize, nu);
+      std::vector<int64_t> out;
+      out.reserve(entities.size());
+      for (int64_t e : entities) {
+        out.push_back(GranuleOfEntity(e, dbsize, ltot));
+      }
+      // Entities are sorted, and GranuleOfEntity is monotone, so the
+      // granules are sorted too; just deduplicate.
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return out;
+    }
+    case model::Placement::kWorst: {
+      const int64_t count = model::WorstPlacementLocks(ltot, nu);
+      return rng.SampleWithoutReplacement(ltot, count);
+    }
+  }
+  GRANULOCK_LOG(Fatal) << "unknown placement";
+  return {};
+}
+
+}  // namespace granulock::db

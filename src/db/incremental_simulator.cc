@@ -1,0 +1,403 @@
+#include "db/incremental_simulator.h"
+
+#include <algorithm>
+
+#include "db/granule_selector.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::db {
+
+using lockmgr::LockMode;
+using lockmgr::WaitQueueLockTable;
+using sim::ServiceClass;
+
+/// One live transaction under claim-as-needed locking. The granule list is
+/// acquired in (shuffled) order; `next_lock` indexes the stage being
+/// worked on.
+struct IncrementalSimulator::Txn {
+  lockmgr::TxnId id = 0;
+  workload::TransactionParams params;
+  double arrival_time = 0.0;
+  LockMode mode = LockMode::kX;
+  std::vector<int64_t> granules;  // acquisition order (shuffled)
+  size_t next_lock = 0;
+  int64_t substages_remaining = 0;
+  int64_t restarts = 0;
+};
+
+IncrementalSimulator::IncrementalSimulator(model::SystemConfig cfg,
+                                           workload::WorkloadSpec spec,
+                                           uint64_t seed, Options options)
+    : cfg_(std::move(cfg)),
+      spec_(std::move(spec)),
+      options_(options),
+      rng_(seed) {}
+
+IncrementalSimulator::IncrementalSimulator(model::SystemConfig cfg,
+                                           workload::WorkloadSpec spec,
+                                           uint64_t seed)
+    : IncrementalSimulator(std::move(cfg), std::move(spec), seed, Options{}) {}
+
+IncrementalSimulator::~IncrementalSimulator() = default;
+
+Result<core::SimulationMetrics> IncrementalSimulator::RunOnce(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    uint64_t seed, Options options) {
+  IncrementalSimulator simulator(cfg, spec, seed, options);
+  return simulator.Run();
+}
+
+Result<core::SimulationMetrics> IncrementalSimulator::RunOnce(
+    const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+    uint64_t seed) {
+  return RunOnce(cfg, spec, seed, Options{});
+}
+
+Result<core::SimulationMetrics> IncrementalSimulator::Run() {
+  if (ran_) {
+    return Status::FailedPrecondition("Run() may only be called once");
+  }
+  ran_ = true;
+  GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
+  GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
+  if (options_.read_fraction < 0.0 || options_.read_fraction > 1.0) {
+    return Status::InvalidArgument("read_fraction must be in [0, 1]");
+  }
+  if (options_.restart_delay <= 0.0) {
+    return Status::InvalidArgument("restart_delay must be positive");
+  }
+
+  table_ = std::make_unique<WaitQueueLockTable>(cfg_.ltot);
+  cpu_.reserve(static_cast<size_t>(cfg_.npros));
+  io_.reserve(static_cast<size_t>(cfg_.npros));
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    cpu_.push_back(std::make_unique<sim::PriorityServer>(
+        &sim_, StrFormat("cpu%lld", (long long)n)));
+    io_.push_back(std::make_unique<sim::PriorityServer>(
+        &sim_, StrFormat("io%lld", (long long)n)));
+    cpu_.back()->SetTransitionObserver(
+        [this](double now, int delta_any, int delta_lock) {
+          cpu_union_.Transition(now, delta_any, delta_lock);
+        });
+    io_.back()->SetTransitionObserver(
+        [this](double now, int delta_any, int delta_lock) {
+          io_union_.Transition(now, delta_any, delta_lock);
+        });
+  }
+
+  active_stat_.Start(0.0, 0.0);
+  blocked_stat_.Start(0.0, 0.0);
+  window_start_ = cfg_.warmup;
+  if (cfg_.warmup > 0.0) {
+    sim_.ScheduleAt(cfg_.warmup, [this] { BeginMeasurement(); });
+  }
+
+  for (int64_t i = 0; i < cfg_.ntrans; ++i) {
+    sim_.ScheduleAt(static_cast<double>(i), [this] {
+      Txn* txn = CreateTransaction(sim_.Now());
+      StartTransaction(txn);
+    });
+  }
+  sim_.RunUntil(cfg_.tmax);
+
+  core::SimulationMetrics m;
+  m.measured_time = cfg_.tmax - window_start_;
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    m.totcpus_sum += cpu_[static_cast<size_t>(n)]->TotalBusyTime();
+    m.totios_sum += io_[static_cast<size_t>(n)]->TotalBusyTime();
+    m.lockcpus_sum +=
+        cpu_[static_cast<size_t>(n)]->BusyTime(ServiceClass::kLock);
+    m.lockios_sum +=
+        io_[static_cast<size_t>(n)]->BusyTime(ServiceClass::kLock);
+  }
+  m.totcpus = cpu_union_.AnyBusyTime(cfg_.tmax);
+  m.lockcpus = cpu_union_.LockBusyTime(cfg_.tmax);
+  m.totios = io_union_.AnyBusyTime(cfg_.tmax);
+  m.lockios = io_union_.LockBusyTime(cfg_.tmax);
+  const double npros = static_cast<double>(cfg_.npros);
+  m.usefulcpus = (m.totcpus - m.lockcpus) / npros;
+  m.usefulios = (m.totios - m.lockios) / npros;
+  m.totcom = totcom_;
+  m.throughput =
+      m.measured_time > 0.0 ? static_cast<double>(totcom_) / m.measured_time
+                            : 0.0;
+  m.response_time = response_.Mean();
+  m.response_time_stddev = response_.StdDev();
+  m.response_p50 = response_quantiles_.Quantile(0.50);
+  m.response_p95 = response_quantiles_.Quantile(0.95);
+  m.response_p99 = response_quantiles_.Quantile(0.99);
+  m.lock_requests = lock_requests_;
+  m.lock_denials = lock_waits_;
+  m.denial_rate = lock_requests_ > 0 ? static_cast<double>(lock_waits_) /
+                                           static_cast<double>(lock_requests_)
+                                     : 0.0;
+  m.avg_active = active_stat_.Average(cfg_.tmax);
+  m.avg_blocked = blocked_stat_.Average(cfg_.tmax);
+  m.avg_pending = 0.0;  // no pending queue under claim-as-needed
+  m.cpu_utilization =
+      m.measured_time > 0.0 ? m.totcpus_sum / (npros * m.measured_time)
+                            : 0.0;
+  m.io_utilization =
+      m.measured_time > 0.0 ? m.totios_sum / (npros * m.measured_time) : 0.0;
+  m.deadlock_aborts = deadlock_aborts_;
+  m.events_executed = sim_.ExecutedEvents();
+  return m;
+}
+
+void IncrementalSimulator::BeginMeasurement() {
+  for (auto& server : cpu_) server->ResetStats();
+  for (auto& server : io_) server->ResetStats();
+  totcom_ = 0;
+  lock_requests_ = 0;
+  lock_waits_ = 0;
+  deadlock_aborts_ = 0;
+  response_.Reset();
+  response_quantiles_.Reset();
+  const double now = sim_.Now();
+  cpu_union_.ResetWindow(now);
+  io_union_.ResetWindow(now);
+  active_stat_.ResetWindow(now);
+  blocked_stat_.ResetWindow(now);
+  window_start_ = now;
+}
+
+IncrementalSimulator::Txn* IncrementalSimulator::CreateTransaction(
+    double arrival_time) {
+  auto owned = std::make_unique<Txn>();
+  Txn* txn = owned.get();
+  txn->id = next_txn_id_++;
+  txn->params = workload::GenerateTransaction(cfg_, spec_, rng_);
+  txn->arrival_time = arrival_time;
+  txn->mode =
+      rng_.Bernoulli(options_.read_fraction) ? LockMode::kS : LockMode::kX;
+  txn->granules = SelectGranules(spec_.placement, cfg_.dbsize, cfg_.ltot,
+                                 txn->params.nu, rng_);
+  // Claim-as-needed acquires each lock when the data is first touched, so
+  // the acquisition order follows the ACCESS order:
+  //  * best placement models a sequential scan — scan order. The selected
+  //    run may wrap past the last granule; rotate the sorted set so it
+  //    starts after the wrap gap (wrapped ranges are the only way two
+  //    scans can deadlock).
+  //  * random/worst placement model random access — a random order, which
+  //    is what makes hold-and-wait cycles (deadlocks) common there.
+  if (spec_.placement == model::Placement::kBest) {
+    for (size_t i = 0; i + 1 < txn->granules.size(); ++i) {
+      if (txn->granules[i + 1] - txn->granules[i] > 1) {
+        std::rotate(txn->granules.begin(), txn->granules.begin() + i + 1,
+                    txn->granules.end());
+        break;
+      }
+    }
+  } else {
+    rng_.Shuffle(txn->granules);
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id, sim::TraceEventType::kCreated,
+                           txn->params.nu);
+  }
+  txn_by_id_.emplace(txn->id, txn);
+  live_txns_.push_back(std::move(owned));
+  return txn;
+}
+
+void IncrementalSimulator::DestroyTransaction(Txn* txn) {
+  txn_by_id_.erase(txn->id);
+  auto it = std::find_if(
+      live_txns_.begin(), live_txns_.end(),
+      [txn](const std::unique_ptr<Txn>& p) { return p.get() == txn; });
+  GRANULOCK_CHECK(it != live_txns_.end());
+  *it = std::move(live_txns_.back());
+  live_txns_.pop_back();
+}
+
+void IncrementalSimulator::UpdateQueueStats() {
+  const double now = sim_.Now();
+  active_stat_.Update(now, static_cast<double>(running_count_));
+  blocked_stat_.Update(now, static_cast<double>(waiting_count_));
+}
+
+void IncrementalSimulator::StartTransaction(Txn* txn) {
+  txn->next_lock = 0;
+  ++running_count_;
+  UpdateQueueStats();
+  RequestNextLock(txn);
+}
+
+void IncrementalSimulator::RequestNextLock(Txn* txn) {
+  GRANULOCK_CHECK_LT(txn->next_lock, txn->granules.size());
+  ++lock_requests_;
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kLockRequested,
+                           txn->granules[txn->next_lock]);
+  }
+  PayLockCost(txn, [this, txn] { OnLockCostPaid(txn); });
+}
+
+void IncrementalSimulator::PayLockCost(Txn* txn, std::function<void()> then) {
+  // One lock's request/set/release cost, shared by all processors at
+  // preemptive priority (same sharing rule as the conservative engines,
+  // scaled to a single lock).
+  const double npros = static_cast<double>(cfg_.npros);
+  const double io_share = cfg_.liotime / npros;
+  const double cpu_share = cfg_.lcputime / npros;
+  auto after_io = [this, txn, cpu_share, then = std::move(then)]() mutable {
+    if (cpu_share <= 0.0) {
+      then();
+      return;
+    }
+    auto remaining = std::make_shared<int64_t>(cfg_.npros);
+    auto shared_then = std::make_shared<std::function<void()>>(std::move(then));
+    for (int64_t n = 0; n < cfg_.npros; ++n) {
+      cpu_[static_cast<size_t>(n)]->Submit(
+          ServiceClass::kLock, cpu_share, [remaining, shared_then] {
+            if (--*remaining == 0) (*shared_then)();
+          });
+    }
+    (void)txn;
+  };
+  if (io_share <= 0.0) {
+    after_io();
+    return;
+  }
+  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  auto shared_after = std::make_shared<std::function<void()>>(std::move(after_io));
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    io_[static_cast<size_t>(n)]->Submit(
+        ServiceClass::kLock, io_share, [remaining, shared_after] {
+          if (--*remaining == 0) (*shared_after)();
+        });
+  }
+}
+
+void IncrementalSimulator::OnLockCostPaid(Txn* txn) {
+  const int64_t granule = txn->granules[txn->next_lock];
+  const WaitQueueLockTable::AcquireResult result =
+      table_->Acquire(txn->id, granule, txn->mode);
+  if (result == WaitQueueLockTable::AcquireResult::kGranted) {
+    if (options_.trace != nullptr) {
+      options_.trace->Record(sim_.Now(), txn->id,
+                             sim::TraceEventType::kLockGranted, granule);
+    }
+    DoStageWork(txn);
+    return;
+  }
+  // Queued: the transaction now waits while holding its earlier locks.
+  ++lock_waits_;
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kLockDenied, granule);
+  }
+  --running_count_;
+  ++waiting_count_;
+  UpdateQueueStats();
+  // Deadlock check: rebuild the waits-for graph from the table's queues
+  // (holder sets shift as grants move, so stored edges would go stale).
+  waits_for_ = lockmgr::WaitsForGraph();
+  for (const auto& [waiter, waited_granule] : table_->WaitingRequests()) {
+    for (lockmgr::TxnId holder : table_->Holders(waited_granule)) {
+      waits_for_.AddWait(waiter, holder);
+    }
+  }
+  if (!waits_for_.FindCycleFrom(txn->id).empty()) {
+    AbortAndRestart(txn);
+  }
+}
+
+void IncrementalSimulator::AbortAndRestart(Txn* txn) {
+  ++deadlock_aborts_;
+  ++txn->restarts;
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kAborted, txn->restarts);
+  }
+  --waiting_count_;
+  const std::vector<lockmgr::TxnId> granted = table_->Abort(txn->id);
+  UpdateQueueStats();
+  HandleGrants(granted);
+  // Restart from the first granule with the same parameters (all lock
+  // costs are paid again) after a randomized backoff — restarting
+  // immediately would re-form the same cycle under heavy contention and
+  // livelock the system.
+  sim_.ScheduleAfter(rng_.Exponential(options_.restart_delay), [this, txn] {
+    ++running_count_;
+    txn->next_lock = 0;
+    UpdateQueueStats();
+    RequestNextLock(txn);
+  });
+}
+
+void IncrementalSimulator::HandleGrants(
+    const std::vector<lockmgr::TxnId>& granted) {
+  for (lockmgr::TxnId id : granted) {
+    auto it = txn_by_id_.find(id);
+    GRANULOCK_CHECK(it != txn_by_id_.end());
+    Txn* waiter = it->second;
+    --waiting_count_;
+    ++running_count_;
+    UpdateQueueStats();
+    DoStageWork(waiter);
+  }
+}
+
+void IncrementalSimulator::DoStageWork(Txn* txn) {
+  // Process this granule's share of the transaction's entities: the
+  // entities are spread over the transaction's nodes (horizontal
+  // partitioning spreads every granule across all disks), so each stage
+  // fork-joins across the same node set.
+  const double stages = static_cast<double>(txn->granules.size());
+  const double pu = static_cast<double>(txn->params.pu);
+  const double io_share = txn->params.io_demand / (stages * pu);
+  const double cpu_share = txn->params.cpu_demand / (stages * pu);
+  txn->substages_remaining = txn->params.pu;
+  for (int32_t node : txn->params.nodes) {
+    auto* io_server = io_[static_cast<size_t>(node)].get();
+    auto* cpu_server = cpu_[static_cast<size_t>(node)].get();
+    io_server->Submit(ServiceClass::kTransaction, io_share,
+                      [this, txn, cpu_server, cpu_share] {
+                        cpu_server->Submit(
+                            ServiceClass::kTransaction, cpu_share,
+                            [this, txn] { OnStageDone(txn); });
+                      });
+  }
+}
+
+void IncrementalSimulator::OnStageDone(Txn* txn) {
+  GRANULOCK_CHECK_GT(txn->substages_remaining, 0);
+  if (--txn->substages_remaining > 0) return;
+  ++txn->next_lock;
+  if (txn->next_lock < txn->granules.size()) {
+    RequestNextLock(txn);
+    return;
+  }
+  Complete(txn);
+}
+
+void IncrementalSimulator::Complete(Txn* txn) {
+  const std::vector<lockmgr::TxnId> granted = table_->ReleaseAll(txn->id);
+  --running_count_;
+  ++totcom_;
+  response_.Add(sim_.Now() - txn->arrival_time);
+  response_quantiles_.Add(sim_.Now() - txn->arrival_time);
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kCompleted,
+                           static_cast<int64_t>(txn->granules.size()));
+  }
+  UpdateQueueStats();
+  HandleGrants(granted);
+  if (cfg_.think_time > 0.0) {
+    sim_.ScheduleAfter(rng_.Exponential(cfg_.think_time), [this] {
+      StartTransaction(CreateTransaction(sim_.Now()));
+    });
+  } else {
+    Txn* fresh = CreateTransaction(sim_.Now());
+    DestroyTransaction(txn);
+    StartTransaction(fresh);
+    return;
+  }
+  DestroyTransaction(txn);
+}
+
+}  // namespace granulock::db

@@ -1,0 +1,136 @@
+#ifndef GRANULOCK_DB_INCREMENTAL_SIMULATOR_H_
+#define GRANULOCK_DB_INCREMENTAL_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.h"
+#include "lockmgr/wait_queue_table.h"
+#include "lockmgr/waits_for.h"
+#include "model/config.h"
+#include "sim/busy_union.h"
+#include "sim/priority_server.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace granulock::db {
+
+/// The closed shared-nothing system under **incremental (claim-as-needed)
+/// two-phase locking** — the alternative the paper explicitly chose NOT to
+/// model, citing Ries & Stonebraker's finding that it "did not affect the
+/// conclusions of the study" (§2, footnote 1). This engine exists to
+/// re-verify that claim within this reproduction
+/// (`bench_ablation_claim_policy`).
+///
+/// Protocol differences from the conservative engines:
+///  * a transaction acquires its locks one at a time, interleaved with
+///    processing: lock granule k (paying one lock's cost), then process
+///    its `NU/LU` entities (fork–join across the transaction's nodes),
+///    then lock granule k+1, ...;
+///  * a conflicting request joins a per-granule FIFO wait queue while the
+///    transaction KEEPS its earlier locks — so deadlock is possible;
+///  * deadlock detection runs on every wait (waits-for cycle search); the
+///    requesting transaction is the victim: it aborts, releases its
+///    locks, and restarts from its first granule (same parameters),
+///    paying all costs again. Aborts are reported in
+///    `SimulationMetrics::deadlock_aborts`.
+///
+/// Granule acquisition order is a random shuffle of the transaction's
+/// granule set — sorted acquisition would make deadlock impossible and
+/// silently turn this into ordered locking.
+class IncrementalSimulator {
+ public:
+  struct Options {
+    /// Probability that a transaction is read-only and takes S locks.
+    double read_fraction = 0.0;
+    /// Mean of the exponential backoff a deadlock victim sleeps before
+    /// restarting. Without it, high-contention random-access workloads
+    /// livelock (victims restart instantly, re-form the same cycle and
+    /// abort again). Must be > 0.
+    double restart_delay = 10.0;
+    /// Optional lifecycle tracer (not owned; must outlive the run).
+    /// Incremental runs additionally record `aborted` events for deadlock
+    /// victims.
+    sim::TraceRecorder* trace = nullptr;
+  };
+
+  IncrementalSimulator(model::SystemConfig cfg, workload::WorkloadSpec spec,
+                       uint64_t seed, Options options);
+  IncrementalSimulator(model::SystemConfig cfg, workload::WorkloadSpec spec,
+                       uint64_t seed);
+  ~IncrementalSimulator();
+
+  IncrementalSimulator(const IncrementalSimulator&) = delete;
+  IncrementalSimulator& operator=(const IncrementalSimulator&) = delete;
+
+  /// Validates, runs to `cfg.tmax`, returns the metrics. Call once.
+  Result<core::SimulationMetrics> Run();
+
+  static Result<core::SimulationMetrics> RunOnce(
+      const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+      uint64_t seed, Options options);
+  static Result<core::SimulationMetrics> RunOnce(
+      const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
+      uint64_t seed);
+
+ private:
+  struct Txn;
+
+  void StartTransaction(Txn* txn);
+  void RequestNextLock(Txn* txn);
+  void PayLockCost(Txn* txn, std::function<void()> then);
+  void OnLockCostPaid(Txn* txn);
+  void OnLockGranted(Txn* txn);
+  void DoStageWork(Txn* txn);
+  void OnStageDone(Txn* txn);
+  void Complete(Txn* txn);
+  void AbortAndRestart(Txn* txn);
+  void HandleGrants(const std::vector<lockmgr::TxnId>& granted);
+
+  Txn* CreateTransaction(double arrival_time);
+  void DestroyTransaction(Txn* txn);
+  void UpdateQueueStats();
+  void BeginMeasurement();
+
+  model::SystemConfig cfg_;
+  workload::WorkloadSpec spec_;
+  Options options_;
+  Rng rng_;
+
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<sim::PriorityServer>> cpu_;
+  std::vector<std::unique_ptr<sim::PriorityServer>> io_;
+  sim::BusyUnionTracker cpu_union_;
+  sim::BusyUnionTracker io_union_;
+
+  std::unique_ptr<lockmgr::WaitQueueLockTable> table_;
+  lockmgr::WaitsForGraph waits_for_;
+  std::unordered_map<lockmgr::TxnId, Txn*> txn_by_id_;
+  std::vector<std::unique_ptr<Txn>> live_txns_;
+  int64_t waiting_count_ = 0;
+  int64_t running_count_ = 0;
+
+  int64_t totcom_ = 0;
+  int64_t lock_requests_ = 0;
+  int64_t lock_waits_ = 0;
+  int64_t deadlock_aborts_ = 0;
+  sim::RunningStat response_;
+  sim::QuantileEstimator response_quantiles_;
+  sim::TimeWeightedStat active_stat_;
+  sim::TimeWeightedStat blocked_stat_;
+  double window_start_ = 0.0;
+
+  uint64_t next_txn_id_ = 1;
+  bool ran_ = false;
+};
+
+}  // namespace granulock::db
+
+#endif  // GRANULOCK_DB_INCREMENTAL_SIMULATOR_H_

@@ -1,0 +1,162 @@
+#include "lockmgr/hierarchical.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace granulock::lockmgr {
+
+HierarchicalLockManager::HierarchicalLockManager(Options options)
+    : options_(options) {
+  GRANULOCK_CHECK_GE(options_.num_granules, 1);
+  GRANULOCK_CHECK_GE(options_.num_files, 1);
+  GRANULOCK_CHECK_LE(options_.num_files, options_.num_granules);
+  granules_per_file_ = options_.num_granules / options_.num_files;
+  if (granules_per_file_ < 1) granules_per_file_ = 1;
+}
+
+int64_t HierarchicalLockManager::FileOfGranule(int64_t granule) const {
+  GRANULOCK_CHECK_GE(granule, 0);
+  GRANULOCK_CHECK_LT(granule, options_.num_granules);
+  const int64_t file = granule / granules_per_file_;
+  return std::min(file, options_.num_files - 1);
+}
+
+HierarchicalLockManager::Key HierarchicalLockManager::KeyOf(
+    const ObjectId& object) {
+  return (static_cast<uint64_t>(object.level) << 48) |
+         static_cast<uint64_t>(object.index);
+}
+
+ObjectId HierarchicalLockManager::ObjectOf(Key key) {
+  ObjectId out;
+  out.level = static_cast<ObjectId::Level>(key >> 48);
+  out.index = static_cast<int64_t>(key & ((1ull << 48) - 1));
+  return out;
+}
+
+std::vector<HierRequest> HierarchicalLockManager::EffectiveLockSet(
+    const std::vector<HierRequest>& requests) const {
+  // 1. Optional escalation: group granule requests by file and replace
+  //    oversized groups with one file lock of the strongest mode.
+  std::map<int64_t, std::vector<HierRequest>> per_file;
+  std::vector<HierRequest> flat;
+  for (const HierRequest& req : requests) {
+    if (req.object.level == ObjectId::Level::kGranule) {
+      per_file[FileOfGranule(req.object.index)].push_back(req);
+    } else {
+      flat.push_back(req);
+    }
+  }
+  for (auto& [file, group] : per_file) {
+    if (options_.escalation_threshold > 0 &&
+        static_cast<int64_t>(group.size()) > options_.escalation_threshold) {
+      LockMode strongest = LockMode::kNL;
+      for (const HierRequest& req : group) {
+        strongest = Supremum(strongest, req.mode);
+      }
+      // Intention modes never reach here (granule requests are leaf
+      // requests), so `strongest` is S or X.
+      flat.push_back(HierRequest{ObjectId::File(file), strongest});
+    } else {
+      flat.insert(flat.end(), group.begin(), group.end());
+    }
+  }
+
+  // 2. Add required intention locks on ancestors, merging modes per
+  //    object with the supremum.
+  std::map<ObjectId, LockMode> effective;
+  auto add = [&effective](const ObjectId& object, LockMode mode) {
+    if (mode == LockMode::kNL) return;
+    auto [it, inserted] = effective.emplace(object, mode);
+    if (!inserted) it->second = Supremum(it->second, mode);
+  };
+  for (const HierRequest& req : flat) {
+    add(req.object, req.mode);
+    const LockMode intention = RequiredIntention(req.mode);
+    switch (req.object.level) {
+      case ObjectId::Level::kGranule:
+        add(ObjectId::File(FileOfGranule(req.object.index)), intention);
+        add(ObjectId::Root(), intention);
+        break;
+      case ObjectId::Level::kFile:
+        add(ObjectId::Root(), intention);
+        break;
+      case ObjectId::Level::kRoot:
+        break;
+    }
+  }
+
+  std::vector<HierRequest> out;
+  out.reserve(effective.size());
+  for (const auto& [object, mode] : effective) {
+    out.push_back(HierRequest{object, mode});
+  }
+  return out;  // already sorted by ObjectId's total order (std::map)
+}
+
+std::optional<TxnId> HierarchicalLockManager::FindConflict(
+    TxnId txn, Key key, LockMode mode) const {
+  auto it = holders_.find(key);
+  if (it == holders_.end()) return std::nullopt;
+  for (const auto& [holder, held_mode] : it->second) {
+    if (holder == txn) continue;
+    if (!Compatible(held_mode, mode)) return holder;
+  }
+  return std::nullopt;
+}
+
+std::optional<TxnId> HierarchicalLockManager::TryAcquireAll(
+    TxnId txn, const std::vector<HierRequest>& requests) {
+  GRANULOCK_CHECK(held_by_txn_.find(txn) == held_by_txn_.end())
+      << "conservative protocol: txn " << txn << " already holds locks";
+  const std::vector<HierRequest> effective = EffectiveLockSet(requests);
+  for (const HierRequest& req : effective) {
+    if (req.object.level == ObjectId::Level::kGranule) {
+      GRANULOCK_CHECK_GE(req.object.index, 0);
+      GRANULOCK_CHECK_LT(req.object.index, options_.num_granules);
+    } else if (req.object.level == ObjectId::Level::kFile) {
+      GRANULOCK_CHECK_GE(req.object.index, 0);
+      GRANULOCK_CHECK_LT(req.object.index, options_.num_files);
+    }
+    if (auto blocker = FindConflict(txn, KeyOf(req.object), req.mode)) {
+      return blocker;
+    }
+  }
+  std::vector<Key>& held = held_by_txn_[txn];
+  for (const HierRequest& req : effective) {
+    const Key key = KeyOf(req.object);
+    holders_[key].emplace_back(txn, req.mode);
+    held.push_back(key);
+  }
+  return std::nullopt;
+}
+
+void HierarchicalLockManager::ReleaseAll(TxnId txn) {
+  auto it = held_by_txn_.find(txn);
+  if (it == held_by_txn_.end()) return;
+  for (Key key : it->second) {
+    auto hit = holders_.find(key);
+    GRANULOCK_CHECK(hit != holders_.end());
+    auto& list = hit->second;
+    list.erase(std::remove_if(
+                   list.begin(), list.end(),
+                   [txn](const auto& h) { return h.first == txn; }),
+               list.end());
+    if (list.empty()) holders_.erase(hit);
+  }
+  held_by_txn_.erase(it);
+}
+
+LockMode HierarchicalLockManager::HeldMode(TxnId txn,
+                                           const ObjectId& object) const {
+  auto it = holders_.find(KeyOf(object));
+  if (it == holders_.end()) return LockMode::kNL;
+  for (const auto& [holder, mode] : it->second) {
+    if (holder == txn) return mode;
+  }
+  return LockMode::kNL;
+}
+
+}  // namespace granulock::lockmgr

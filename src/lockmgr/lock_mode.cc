@@ -1,0 +1,82 @@
+#include "lockmgr/lock_mode.h"
+
+#include "util/logging.h"
+
+namespace granulock::lockmgr {
+namespace {
+
+// Rows: held mode; columns: requested mode. Order: NL IS IX S SIX X.
+constexpr bool kCompatible[kNumLockModes][kNumLockModes] = {
+    // NL     IS     IX     S      SIX    X
+    {true, true, true, true, true, true},       // NL
+    {true, true, true, true, true, false},      // IS
+    {true, true, true, false, false, false},    // IX
+    {true, true, false, true, false, false},    // S
+    {true, true, false, false, false, false},   // SIX
+    {true, false, false, false, false, false},  // X
+};
+
+// Strength rank used by the supremum; IX and S are incomparable, their
+// join is SIX.
+constexpr int kRank[kNumLockModes] = {0, 1, 2, 2, 3, 4};
+
+}  // namespace
+
+const char* LockModeToString(LockMode mode) {
+  switch (mode) {
+    case LockMode::kNL:
+      return "NL";
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+bool Compatible(LockMode held, LockMode requested) {
+  return kCompatible[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+LockMode Supremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  const int ra = kRank[static_cast<int>(a)];
+  const int rb = kRank[static_cast<int>(b)];
+  // IX and S are the only incomparable pair; their join is SIX.
+  if ((a == LockMode::kIX && b == LockMode::kS) ||
+      (a == LockMode::kS && b == LockMode::kIX)) {
+    return LockMode::kSIX;
+  }
+  // S + IX-flavoured combinations that pass through SIX.
+  if ((a == LockMode::kSIX && (b == LockMode::kIX || b == LockMode::kS)) ||
+      (b == LockMode::kSIX && (a == LockMode::kIX || a == LockMode::kS))) {
+    return LockMode::kSIX;
+  }
+  return ra >= rb ? a : b;
+}
+
+bool Covers(LockMode a, LockMode b) { return Supremum(a, b) == a; }
+
+LockMode RequiredIntention(LockMode mode) {
+  switch (mode) {
+    case LockMode::kNL:
+      return LockMode::kNL;
+    case LockMode::kIS:
+    case LockMode::kS:
+      return LockMode::kIS;
+    case LockMode::kIX:
+    case LockMode::kSIX:
+    case LockMode::kX:
+      return LockMode::kIX;
+  }
+  GRANULOCK_LOG(Fatal) << "unknown lock mode";
+  return LockMode::kNL;
+}
+
+}  // namespace granulock::lockmgr

@@ -1,0 +1,46 @@
+#ifndef GRANULOCK_LOCKMGR_LOCK_MODE_H_
+#define GRANULOCK_LOCKMGR_LOCK_MODE_H_
+
+#include <cstdint>
+
+namespace granulock::lockmgr {
+
+/// Lock modes in Gray's multiple-granularity scheme. The paper's simulated
+/// system uses exclusive granule locks only; the hierarchical manager
+/// (the "Gamma-style block + file granularity" extension suggested by the
+/// paper's conclusions) uses the full set.
+enum class LockMode : uint8_t {
+  kNL = 0,   ///< no lock (identity element)
+  kIS = 1,   ///< intention shared
+  kIX = 2,   ///< intention exclusive
+  kS = 3,    ///< shared
+  kSIX = 4,  ///< shared + intention exclusive
+  kX = 5,    ///< exclusive
+};
+
+/// Number of modes (array sizing).
+inline constexpr int kNumLockModes = 6;
+
+/// Short name ("IS", "X", ...).
+const char* LockModeToString(LockMode mode);
+
+/// Gray's compatibility matrix: may a lock in `held` coexist with a request
+/// for `requested` on the same object by a *different* transaction?
+bool Compatible(LockMode held, LockMode requested);
+
+/// The least upper bound of two modes under the standard lock-strength
+/// lattice (NL < IS < {IX, S} < SIX < X); used when a transaction upgrades
+/// a lock it already holds.
+LockMode Supremum(LockMode a, LockMode b);
+
+/// True iff `a` is at least as strong as `b` (i.e. Supremum(a,b) == a).
+bool Covers(LockMode a, LockMode b);
+
+/// The intention mode a transaction must hold on every ancestor before
+/// locking a descendant in `mode`: kIS for {kIS, kS}, kIX for {kIX, kSIX,
+/// kX}, kNL for kNL.
+LockMode RequiredIntention(LockMode mode);
+
+}  // namespace granulock::lockmgr
+
+#endif  // GRANULOCK_LOCKMGR_LOCK_MODE_H_

@@ -1,0 +1,88 @@
+#include "lockmgr/lock_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace granulock::lockmgr {
+
+LockTable::LockTable(int64_t num_granules) : num_granules_(num_granules) {
+  GRANULOCK_CHECK_GE(num_granules, 1);
+}
+
+std::optional<TxnId> LockTable::FindConflict(TxnId txn, int64_t granule,
+                                             LockMode mode) const {
+  auto it = granules_.find(granule);
+  if (it == granules_.end()) return std::nullopt;
+  for (const auto& [holder, held_mode] : it->second.holders) {
+    if (holder == txn) continue;
+    if (!Compatible(held_mode, mode)) return holder;
+  }
+  return std::nullopt;
+}
+
+std::optional<TxnId> LockTable::TryAcquireAll(
+    TxnId txn, const std::vector<LockRequest>& requests) {
+  GRANULOCK_CHECK(held_by_txn_.find(txn) == held_by_txn_.end())
+      << "conservative protocol: txn " << txn << " already holds locks";
+  // Conflict scan in granule order so the reported blocker is
+  // deterministic (lowest conflicting granule).
+  std::vector<LockRequest> sorted = requests;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LockRequest& a, const LockRequest& b) {
+              return a.granule < b.granule;
+            });
+  for (const LockRequest& req : sorted) {
+    GRANULOCK_CHECK_GE(req.granule, 0);
+    GRANULOCK_CHECK_LT(req.granule, num_granules_);
+    if (auto blocker = FindConflict(txn, req.granule, req.mode)) {
+      return blocker;
+    }
+  }
+  // All clear: acquire. Deduplicate, keeping the strongest mode per
+  // granule.
+  std::vector<int64_t>& held = held_by_txn_[txn];
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    LockMode mode = sorted[i].mode;
+    while (i + 1 < sorted.size() &&
+           sorted[i + 1].granule == sorted[i].granule) {
+      ++i;
+      mode = Supremum(mode, sorted[i].mode);
+    }
+    granules_[sorted[i].granule].holders.emplace_back(txn, mode);
+    held.push_back(sorted[i].granule);
+  }
+  return std::nullopt;
+}
+
+void LockTable::ReleaseAll(TxnId txn) {
+  auto it = held_by_txn_.find(txn);
+  if (it == held_by_txn_.end()) return;
+  for (int64_t granule : it->second) {
+    auto git = granules_.find(granule);
+    GRANULOCK_CHECK(git != granules_.end());
+    auto& holders = git->second.holders;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [txn](const auto& h) {
+                                   return h.first == txn;
+                                 }),
+                  holders.end());
+    if (holders.empty()) granules_.erase(git);
+  }
+  held_by_txn_.erase(it);
+}
+
+LockMode LockTable::HeldMode(TxnId txn, int64_t granule) const {
+  auto it = granules_.find(granule);
+  if (it == granules_.end()) return LockMode::kNL;
+  for (const auto& [holder, mode] : it->second.holders) {
+    if (holder == txn) return mode;
+  }
+  return LockMode::kNL;
+}
+
+int64_t LockTable::LockedGranules() const {
+  return static_cast<int64_t>(granules_.size());
+}
+
+}  // namespace granulock::lockmgr

@@ -1,0 +1,88 @@
+#ifndef GRANULOCK_LOCKMGR_LOCK_TABLE_H_
+#define GRANULOCK_LOCKMGR_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lockmgr/lock_mode.h"
+#include "util/status.h"
+
+namespace granulock::lockmgr {
+
+/// Transaction identifier used by the lock managers.
+using TxnId = uint64_t;
+
+/// One granule the transaction wants, and in which mode.
+struct LockRequest {
+  int64_t granule = 0;
+  LockMode mode = LockMode::kX;
+};
+
+/// A flat lock table over `num_granules` equal-size granules, supporting
+/// shared and exclusive granule locks with **conservative (static)
+/// all-or-nothing acquisition** — the locking protocol the paper simulates
+/// ("Transactions request all needed locks before using the I/O and CPU
+/// resources. Thus deadlock is impossible.").
+///
+/// The table is a passive data structure: it grants or refuses atomically
+/// and reports a blocking holder, but queueing/wake-up policy belongs to
+/// the caller (the simulators keep their own blocked queues, mirroring the
+/// paper's model). Single-threaded by design — it lives inside a
+/// discrete-event simulation.
+class LockTable {
+ public:
+  /// Creates a table with `num_granules` >= 1 granules, all unlocked.
+  explicit LockTable(int64_t num_granules);
+
+  /// Atomically acquires every request in `requests` for `txn`, or
+  /// acquires nothing. Returns the id of *a* transaction holding a
+  /// conflicting lock when refused (the holder of the lowest-numbered
+  /// conflicting granule), or `std::nullopt` on success.
+  ///
+  /// `txn` must not already hold locks (conservative protocol: one
+  /// acquisition per transaction lifetime). Duplicate granules in
+  /// `requests` are allowed; the strongest requested mode wins.
+  std::optional<TxnId> TryAcquireAll(TxnId txn,
+                                     const std::vector<LockRequest>& requests);
+
+  /// Releases everything `txn` holds. No-op for an unknown transaction.
+  void ReleaseAll(TxnId txn);
+
+  /// The mode `txn` holds on `granule` (kNL if none).
+  LockMode HeldMode(TxnId txn, int64_t granule) const;
+
+  /// True iff no transaction holds any lock.
+  bool Empty() const { return held_by_txn_.empty(); }
+
+  /// Number of granules currently locked (in any mode, by anyone).
+  int64_t LockedGranules() const;
+
+  /// Number of transactions currently holding locks.
+  int64_t ActiveTransactions() const {
+    return static_cast<int64_t>(held_by_txn_.size());
+  }
+
+  int64_t num_granules() const { return num_granules_; }
+
+ private:
+  struct GranuleState {
+    // Holders of this granule with their modes. With conservative S/X
+    // locking the list is either one X holder or any number of S holders.
+    std::vector<std::pair<TxnId, LockMode>> holders;
+  };
+
+  /// Returns a holder of `granule` whose mode conflicts with `mode` for
+  /// `txn` (ignoring `txn`'s own holdings), or nullopt.
+  std::optional<TxnId> FindConflict(TxnId txn, int64_t granule,
+                                    LockMode mode) const;
+
+  int64_t num_granules_;
+  std::unordered_map<int64_t, GranuleState> granules_;
+  std::unordered_map<TxnId, std::vector<int64_t>> held_by_txn_;
+};
+
+}  // namespace granulock::lockmgr
+
+#endif  // GRANULOCK_LOCKMGR_LOCK_TABLE_H_

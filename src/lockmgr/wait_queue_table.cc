@@ -1,0 +1,153 @@
+#include "lockmgr/wait_queue_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace granulock::lockmgr {
+
+WaitQueueLockTable::WaitQueueLockTable(int64_t num_granules)
+    : num_granules_(num_granules) {
+  GRANULOCK_CHECK_GE(num_granules, 1);
+}
+
+bool WaitQueueLockTable::CompatibleWithHolders(const GranuleState& state,
+                                               TxnId txn,
+                                               LockMode mode) const {
+  for (const auto& [holder, held_mode] : state.holders) {
+    if (holder == txn) continue;
+    if (!Compatible(held_mode, mode)) return false;
+  }
+  return true;
+}
+
+void WaitQueueLockTable::GrantTo(GranuleState& state, int64_t granule,
+                                 TxnId txn, LockMode mode) {
+  for (auto& [holder, held_mode] : state.holders) {
+    if (holder == txn) {
+      held_mode = Supremum(held_mode, mode);
+      return;  // upgrade in place; already recorded in held_by_txn_
+    }
+  }
+  state.holders.emplace_back(txn, mode);
+  held_by_txn_[txn].push_back(granule);
+}
+
+WaitQueueLockTable::AcquireResult WaitQueueLockTable::Acquire(TxnId txn,
+                                                              int64_t granule,
+                                                              LockMode mode) {
+  GRANULOCK_CHECK_GE(granule, 0);
+  GRANULOCK_CHECK_LT(granule, num_granules_);
+  GRANULOCK_CHECK(queued_on_.find(txn) == queued_on_.end())
+      << "txn " << txn << " already has a queued request";
+  GranuleState& state = granules_[granule];
+  if (HeldMode(txn, granule) != LockMode::kNL &&
+      Covers(HeldMode(txn, granule), mode)) {
+    return AcquireResult::kGranted;  // already covered
+  }
+  if (state.queue.empty() && CompatibleWithHolders(state, txn, mode)) {
+    GrantTo(state, granule, txn, mode);
+    return AcquireResult::kGranted;
+  }
+  state.queue.push_back(Waiter{txn, mode});
+  queued_on_[txn] = granule;
+  ++waiting_count_;
+  return AcquireResult::kQueued;
+}
+
+void WaitQueueLockTable::DrainQueue(int64_t granule,
+                                    std::vector<TxnId>* granted) {
+  auto it = granules_.find(granule);
+  if (it == granules_.end()) return;
+  GranuleState& state = it->second;
+  while (!state.queue.empty()) {
+    const Waiter& front = state.queue.front();
+    if (!CompatibleWithHolders(state, front.txn, front.mode)) break;
+    GrantTo(state, granule, front.txn, front.mode);
+    granted->push_back(front.txn);
+    queued_on_.erase(front.txn);
+    --waiting_count_;
+    state.queue.pop_front();
+  }
+  if (state.holders.empty() && state.queue.empty()) {
+    granules_.erase(it);
+  }
+}
+
+std::vector<TxnId> WaitQueueLockTable::ReleaseAll(TxnId txn) {
+  std::vector<TxnId> granted;
+  auto it = held_by_txn_.find(txn);
+  if (it == held_by_txn_.end()) return granted;
+  const std::vector<int64_t> held = std::move(it->second);
+  held_by_txn_.erase(it);
+  for (int64_t granule : held) {
+    auto git = granules_.find(granule);
+    GRANULOCK_CHECK(git != granules_.end());
+    auto& holders = git->second.holders;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [txn](const auto& h) {
+                                   return h.first == txn;
+                                 }),
+                  holders.end());
+    DrainQueue(granule, &granted);
+  }
+  return granted;
+}
+
+std::vector<TxnId> WaitQueueLockTable::Abort(TxnId txn) {
+  // Remove the queued request first so it cannot be granted by the
+  // release below.
+  auto qit = queued_on_.find(txn);
+  if (qit != queued_on_.end()) {
+    const int64_t granule = qit->second;
+    auto git = granules_.find(granule);
+    GRANULOCK_CHECK(git != granules_.end());
+    auto& queue = git->second.queue;
+    auto wit = std::find_if(queue.begin(), queue.end(), [txn](const Waiter& w) {
+      return w.txn == txn;
+    });
+    GRANULOCK_CHECK(wit != queue.end());
+    queue.erase(wit);
+    queued_on_.erase(qit);
+    --waiting_count_;
+    // Removing a queued head may unblock those behind it.
+    std::vector<TxnId> granted;
+    DrainQueue(granule, &granted);
+    auto more = ReleaseAll(txn);
+    granted.insert(granted.end(), more.begin(), more.end());
+    return granted;
+  }
+  return ReleaseAll(txn);
+}
+
+std::vector<std::pair<TxnId, int64_t>> WaitQueueLockTable::WaitingRequests()
+    const {
+  std::vector<std::pair<TxnId, int64_t>> out;
+  out.reserve(queued_on_.size());
+  for (const auto& [txn, granule] : queued_on_) {
+    out.emplace_back(txn, granule);
+  }
+  return out;
+}
+
+std::vector<TxnId> WaitQueueLockTable::Holders(int64_t granule) const {
+  std::vector<TxnId> out;
+  auto it = granules_.find(granule);
+  if (it == granules_.end()) return out;
+  out.reserve(it->second.holders.size());
+  for (const auto& [holder, mode] : it->second.holders) {
+    out.push_back(holder);
+  }
+  return out;
+}
+
+LockMode WaitQueueLockTable::HeldMode(TxnId txn, int64_t granule) const {
+  auto it = granules_.find(granule);
+  if (it == granules_.end()) return LockMode::kNL;
+  for (const auto& [holder, mode] : it->second.holders) {
+    if (holder == txn) return mode;
+  }
+  return LockMode::kNL;
+}
+
+}  // namespace granulock::lockmgr

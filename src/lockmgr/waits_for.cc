@@ -1,0 +1,84 @@
+#include "lockmgr/waits_for.h"
+
+#include <algorithm>
+
+namespace granulock::lockmgr {
+
+void WaitsForGraph::AddWait(TxnId waiter, TxnId holder) {
+  if (waiter == holder) return;
+  out_[waiter].insert(holder);
+}
+
+void WaitsForGraph::ClearWaits(TxnId waiter) { out_.erase(waiter); }
+
+void WaitsForGraph::RemoveTransaction(TxnId txn) {
+  out_.erase(txn);
+  for (auto it = out_.begin(); it != out_.end();) {
+    it->second.erase(txn);
+    if (it->second.empty()) {
+      it = out_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<TxnId> WaitsForGraph::FindCycleFrom(TxnId start) const {
+  // Iterative DFS from `start`; a path back to `start` is a cycle. The
+  // stack stores (node, next-neighbor iterator) pairs; `path` mirrors the
+  // current DFS chain.
+  std::vector<TxnId> path{start};
+  std::unordered_set<TxnId> visited{start};
+  struct Frame {
+    TxnId node;
+    std::unordered_set<TxnId>::const_iterator next;
+    std::unordered_set<TxnId>::const_iterator end;
+  };
+  std::vector<Frame> stack;
+  auto push = [&](TxnId node) {
+    auto it = out_.find(node);
+    if (it == out_.end()) {
+      stack.push_back({node, {}, {}});
+      return false;
+    }
+    stack.push_back({node, it->second.begin(), it->second.end()});
+    return true;
+  };
+  if (!push(start)) return {};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    bool descended = false;
+    while (frame.next != frame.end) {
+      const TxnId next = *frame.next;
+      ++frame.next;
+      if (next == start) {
+        return path;  // found a cycle back to start
+      }
+      if (visited.insert(next).second) {
+        path.push_back(next);
+        push(next);
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && !stack.empty() &&
+        (stack.back().next == stack.back().end)) {
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+    }
+  }
+  return {};
+}
+
+bool WaitsForGraph::HasEdge(TxnId waiter, TxnId holder) const {
+  auto it = out_.find(waiter);
+  return it != out_.end() && it->second.count(holder) > 0;
+}
+
+size_t WaitsForGraph::EdgeCount() const {
+  size_t count = 0;
+  for (const auto& [node, edges] : out_) count += edges.size();
+  return count;
+}
+
+}  // namespace granulock::lockmgr

@@ -1,0 +1,58 @@
+#ifndef GRANULOCK_LOCKMGR_WAITS_FOR_H_
+#define GRANULOCK_LOCKMGR_WAITS_FOR_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lockmgr/lock_table.h"
+
+namespace granulock::lockmgr {
+
+/// A waits-for graph for deadlock detection under incremental ("claim as
+/// needed") two-phase locking. Nodes are transactions; an edge `w -> h`
+/// means transaction `w` is waiting for a lock held by `h`.
+///
+/// The paper assumes conservative locking precisely to avoid deadlock,
+/// citing Ries & Stonebraker's observation that switching to claim-as-
+/// needed "did not affect the conclusions"; the incremental simulator
+/// uses this graph to re-verify that claim (see
+/// `db::IncrementalSimulator` and `bench_ablation_claim_policy`).
+class WaitsForGraph {
+ public:
+  WaitsForGraph() = default;
+
+  /// Adds the edge `waiter -> holder`. Self-edges are ignored (a
+  /// transaction never waits for itself under S-lock sharing). Duplicate
+  /// edges are stored once.
+  void AddWait(TxnId waiter, TxnId holder);
+
+  /// Removes every outgoing edge of `waiter` (it stopped waiting).
+  void ClearWaits(TxnId waiter);
+
+  /// Removes the transaction entirely: its outgoing edges and every edge
+  /// pointing at it.
+  void RemoveTransaction(TxnId txn);
+
+  /// Returns a deadlock cycle through `start` as an ordered list
+  /// [start, t1, ..., tk] with tk waiting for start, or an empty vector
+  /// if `start` is not on any cycle. Iterative DFS; O(V + E).
+  std::vector<TxnId> FindCycleFrom(TxnId start) const;
+
+  /// True iff the edge exists.
+  bool HasEdge(TxnId waiter, TxnId holder) const;
+
+  /// Total number of edges (diagnostics).
+  size_t EdgeCount() const;
+
+  /// True iff the graph has no edges.
+  bool Empty() const { return EdgeCount() == 0; }
+
+ private:
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> out_;
+};
+
+}  // namespace granulock::lockmgr
+
+#endif  // GRANULOCK_LOCKMGR_WAITS_FOR_H_

@@ -1,0 +1,87 @@
+#include "model/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::model {
+
+double ThroughputBounds::Upper() const {
+  return std::min({io_capacity, cpu_capacity, population_bound});
+}
+
+std::string ThroughputBounds::ToString() const {
+  return StrFormat(
+      "io_capacity=%.5g cpu_capacity=%.5g population=%.5g serial=%.5g "
+      "(E[NU]=%.4g E[LU]=%.4g)",
+      io_capacity, cpu_capacity, population_bound, serial_estimate,
+      mean_entities, mean_locks);
+}
+
+ThroughputBounds ComputeThroughputBoundsForMeanSize(const SystemConfig& cfg,
+                                                    Placement placement,
+                                                    double mean_entities) {
+  GRANULOCK_CHECK(cfg.Validate().ok()) << cfg.ToString();
+  GRANULOCK_CHECK_GT(mean_entities, 0.0);
+  ThroughputBounds bounds;
+  bounds.mean_entities = mean_entities;
+
+  // Mean lock demand evaluated at the mean transaction size. For best
+  // placement LU is linear in NU (so this is exact up to the ceil); for
+  // worst placement min(NU, ltot) is concave (the value at the mean is an
+  // upper bound on the mean — still valid for *upper* throughput bounds
+  // because more locks means more demand); for random placement Yao's
+  // formula is concave in NU, same argument.
+  const int64_t nu = std::clamp<int64_t>(
+      static_cast<int64_t>(std::llround(mean_entities)), 1, cfg.dbsize);
+  const LockDemand demand = LocksRequired(placement, cfg.dbsize, cfg.ltot, nu);
+  bounds.mean_locks = demand.expected_locks;
+
+  const double npros = static_cast<double>(cfg.npros);
+
+  // Pool capacity bounds. Each completion consumes at least
+  // E[NU]*iotime + E[LU]*liotime of disk-pool time (one successful lock
+  // request; retries only add demand, so ignoring them keeps this an
+  // upper bound on throughput).
+  const double io_demand =
+      mean_entities * cfg.iotime + bounds.mean_locks * cfg.liotime;
+  const double cpu_demand =
+      mean_entities * cfg.cputime + bounds.mean_locks * cfg.lcputime;
+  bounds.io_capacity =
+      io_demand > 0.0 ? npros / io_demand
+                      : std::numeric_limits<double>::infinity();
+  bounds.cpu_capacity =
+      cpu_demand > 0.0 ? npros / cpu_demand
+                       : std::numeric_limits<double>::infinity();
+
+  // Minimal response time on an idle system: the lock phase runs in
+  // parallel on all nodes (elapsed E[LU]*(liotime+lcputime)/npros), then
+  // each sub-transaction performs its I/O and CPU shares back to back.
+  const double lock_phase =
+      bounds.mean_locks * (cfg.liotime + cfg.lcputime) / npros;
+  const double work_phase =
+      mean_entities * (cfg.iotime + cfg.cputime) / npros;
+  const double r_min = lock_phase + work_phase;
+  bounds.population_bound =
+      r_min > 0.0 ? static_cast<double>(cfg.ntrans) / r_min
+                  : std::numeric_limits<double>::infinity();
+
+  // Serial system (ltot = 1): one lock per request, one transaction at a
+  // time; throughput is the reciprocal of one transaction's cycle.
+  const double serial_lock_phase = (cfg.liotime + cfg.lcputime) / npros;
+  const double serial_cycle = serial_lock_phase + work_phase;
+  bounds.serial_estimate = serial_cycle > 0.0 ? 1.0 / serial_cycle : 0.0;
+  return bounds;
+}
+
+ThroughputBounds ComputeThroughputBounds(const SystemConfig& cfg,
+                                         Placement placement) {
+  const double mean_entities =
+      (static_cast<double>(cfg.maxtransize) + 1.0) / 2.0;
+  return ComputeThroughputBoundsForMeanSize(cfg, placement, mean_entities);
+}
+
+}  // namespace granulock::model

@@ -1,0 +1,67 @@
+#ifndef GRANULOCK_MODEL_ANALYTIC_H_
+#define GRANULOCK_MODEL_ANALYTIC_H_
+
+#include <string>
+
+#include "model/config.h"
+#include "model/placement.h"
+
+namespace granulock::model {
+
+/// Operational-analysis throughput bounds for the paper's closed system.
+///
+/// These are *model-independent* bounds computed from the configuration
+/// alone (no simulation): any correct simulation of the system must stay
+/// below `Upper()`, and the `ltot = 1` serial system must track
+/// `serial_estimate`. The test suite uses them as an oracle for the
+/// simulators, and `bench` output can show how close each operating point
+/// gets to its ceiling.
+struct ThroughputBounds {
+  /// Disk-pool capacity bound: completions per time unit if every disk
+  /// did nothing but useful transaction I/O plus the (un-retried) lock
+  /// I/O, `npros / (E[NU]*iotime + E[LU]*liotime)`.
+  double io_capacity = 0.0;
+
+  /// CPU-pool capacity bound, analogously.
+  double cpu_capacity = 0.0;
+
+  /// Population (asymptotic) bound: `ntrans / R_min`, where `R_min` is
+  /// the no-queueing response time of one transaction — its lock phase
+  /// plus its I/O and CPU shares on an otherwise idle system.
+  double population_bound = 0.0;
+
+  /// Expected throughput of the fully serialized system (`ltot = 1`,
+  /// exactly one transaction active at a time): `1 / R_min` with a
+  /// single-lock lock phase. The simulated `ltot = 1` point must land
+  /// near this value.
+  double serial_estimate = 0.0;
+
+  /// Mean per-transaction quantities the bounds were computed from.
+  double mean_entities = 0.0;  ///< E[NU]
+  double mean_locks = 0.0;     ///< E[LU] under the chosen placement
+
+  /// The tightest upper bound: min(io_capacity, cpu_capacity,
+  /// population_bound).
+  double Upper() const;
+
+  /// Human-readable summary.
+  std::string ToString() const;
+};
+
+/// Computes the bounds for (`cfg`, `placement`) assuming the paper's base
+/// size distribution `U{1..maxtransize}` (mean entities
+/// `(maxtransize+1)/2`). `mean_locks` is evaluated at the mean transaction
+/// size — exact for best/worst placement (which are linear / saturating in
+/// NU over the relevant range) and a first-order approximation for
+/// random placement.
+ThroughputBounds ComputeThroughputBounds(const SystemConfig& cfg,
+                                         Placement placement);
+
+/// Same, for an arbitrary mean transaction size (e.g. mixtures).
+ThroughputBounds ComputeThroughputBoundsForMeanSize(const SystemConfig& cfg,
+                                                    Placement placement,
+                                                    double mean_entities);
+
+}  // namespace granulock::model
+
+#endif  // GRANULOCK_MODEL_ANALYTIC_H_

@@ -1,0 +1,76 @@
+#ifndef GRANULOCK_MODEL_CONFIG_H_
+#define GRANULOCK_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace granulock::model {
+
+/// The simulation input parameters, named exactly as in §2 of the paper
+/// (Dandamudi & Au, ICDE 1991). Defaults are the Table 1 values used by
+/// the paper's base experiments (§3.1).
+struct SystemConfig {
+  /// Number of accessible entities in the entire database. An entity is
+  /// the unit moved by the operating system (e.g. a 1 KiB page).
+  int64_t dbsize = 5000;
+
+  /// Number of locks (granules) in the database. `ltot == 1` is one lock
+  /// for the whole database; `ltot == dbsize` is one lock per entity.
+  /// This is the swept variable in every experiment.
+  int64_t ltot = 100;
+
+  /// Number of transactions in the closed system (terminal users). A
+  /// completed transaction is immediately replaced by a fresh one.
+  int64_t ntrans = 10;
+
+  /// Maximum transaction size; sizes are uniform on {1..maxtransize}, so
+  /// the mean size is ~maxtransize/2.
+  int64_t maxtransize = 500;
+
+  /// CPU time to process one database entity.
+  double cputime = 0.05;
+
+  /// I/O time to process one database entity (one read + one write).
+  double iotime = 0.2;
+
+  /// CPU time to request and set one lock (includes its release).
+  double lcputime = 0.01;
+
+  /// I/O time to request and set one lock (0 models a memory-resident
+  /// lock table).
+  double liotime = 0.2;
+
+  /// Number of processors; each has a private CPU and disk
+  /// (shared-nothing).
+  int64_t npros = 10;
+
+  /// Number of time units to run the simulation.
+  double tmax = 10000.0;
+
+  /// Measurement starts after this many time units (0 reproduces the
+  /// paper's measure-from-the-start convention; benches keep 0).
+  double warmup = 0.0;
+
+  /// Mean terminal think time: a completed transaction's replacement
+  /// enters the system after an exponentially distributed delay with this
+  /// mean. 0 (the paper's model) replaces transactions immediately.
+  double think_time = 0.0;
+
+  /// Returns OK iff every parameter is in its documented domain
+  /// (all sizes positive, ltot <= dbsize, warmup < tmax, costs >= 0, ...).
+  Status Validate() const;
+
+  /// The exact Table 1 parameter set.
+  static SystemConfig Table1Defaults();
+
+  /// One-line summary for logs and bench headers.
+  std::string ToString() const;
+
+  friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
+};
+
+}  // namespace granulock::model
+
+#endif  // GRANULOCK_MODEL_CONFIG_H_

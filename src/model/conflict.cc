@@ -1,0 +1,35 @@
+#include "model/conflict.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace granulock::model {
+
+ConflictModel::ConflictModel(int64_t ltot) : ltot_(ltot) {
+  GRANULOCK_CHECK_GE(ltot, 1);
+}
+
+int ConflictModel::DrawBlocker(const std::vector<int64_t>& active_locks,
+                               Rng& rng) const {
+  if (active_locks.empty()) return -1;
+  // p ~ U(0, 1]; find the first j with p <= cum_j / ltot. Working with
+  // p * ltot avoids accumulating division error across the partial sums.
+  const double scaled_p = rng.NextDoubleOpenClosed() * static_cast<double>(ltot_);
+  double cum = 0.0;
+  for (size_t j = 0; j < active_locks.size(); ++j) {
+    GRANULOCK_CHECK_GE(active_locks[j], 0);
+    cum += static_cast<double>(active_locks[j]);
+    if (scaled_p <= cum) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+double ConflictModel::BlockProbability(
+    const std::vector<int64_t>& active_locks) const {
+  double sum = 0.0;
+  for (int64_t l : active_locks) sum += static_cast<double>(l);
+  return std::min(1.0, sum / static_cast<double>(ltot_));
+}
+
+}  // namespace granulock::model

@@ -1,0 +1,50 @@
+#ifndef GRANULOCK_MODEL_CONFLICT_H_
+#define GRANULOCK_MODEL_CONFLICT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace granulock::model {
+
+/// The Ries–Stonebraker probabilistic lock-conflict model used by the paper
+/// (§2, "The computation of lock conflicts").
+///
+/// Let `T1..Tk` be the transactions currently holding locks, with `Lj`
+/// locks each, out of `ltot` total locks. The unit interval (0, 1] is
+/// partitioned into
+///
+///   P1 = (0, L1/ltot],  P2 = (L1/ltot, (L1+L2)/ltot], ...,
+///   Pk = (sum_{j<k} Lj / ltot, sum_{j<=k} Lj / ltot],  P_{k+1} = rest.
+///
+/// A requester draws `p ~ U(0, 1]`; if p lands in Pj (j <= k) it is blocked
+/// by Tj, otherwise it may proceed. Thus each active transaction blocks the
+/// requester with probability `Lj/ltot`, and the total blocking probability
+/// is `min(1, sum Lj / ltot)` — when active transactions jointly hold every
+/// lock, a requester always blocks.
+class ConflictModel {
+ public:
+  /// `ltot` is the total number of locks in the system (>= 1).
+  explicit ConflictModel(int64_t ltot);
+
+  /// Draws the conflict outcome. `active_locks[j]` is the number of locks
+  /// held by the j-th active transaction. Returns the index of the blocking
+  /// transaction in [0, k), or -1 if the requester may proceed. `k == 0`
+  /// always proceeds.
+  int DrawBlocker(const std::vector<int64_t>& active_locks, Rng& rng) const;
+
+  /// The analytic probability that a requester is blocked (by anyone),
+  /// `min(1, sum Lj / ltot)`. Exposed for tests and for the analytic
+  /// cross-checks in the benches.
+  double BlockProbability(const std::vector<int64_t>& active_locks) const;
+
+  int64_t ltot() const { return ltot_; }
+
+ private:
+  int64_t ltot_;
+};
+
+}  // namespace granulock::model
+
+#endif  // GRANULOCK_MODEL_CONFLICT_H_

@@ -1,0 +1,93 @@
+#include "model/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace granulock::model {
+
+const char* PlacementToString(Placement p) {
+  switch (p) {
+    case Placement::kBest:
+      return "best";
+    case Placement::kRandom:
+      return "random";
+    case Placement::kWorst:
+      return "worst";
+  }
+  return "?";
+}
+
+bool PlacementFromString(const std::string& s, Placement* out) {
+  if (s == "best") {
+    *out = Placement::kBest;
+  } else if (s == "random") {
+    *out = Placement::kRandom;
+  } else if (s == "worst") {
+    *out = Placement::kWorst;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double YaoExpectedGranules(int64_t dbsize, int64_t ltot, int64_t nu) {
+  GRANULOCK_CHECK_GE(nu, 1);
+  GRANULOCK_CHECK_LE(nu, dbsize);
+  GRANULOCK_CHECK_GE(ltot, 1);
+  GRANULOCK_CHECK_LE(ltot, dbsize);
+  const double n = static_cast<double>(dbsize);
+  const double granule = n / static_cast<double>(ltot);
+  // P(a fixed granule is untouched) = C(dbsize - granule, nu) / C(dbsize, nu)
+  //   = prod_{j=0}^{nu-1} (dbsize - granule - j) / (dbsize - j).
+  // Each factor is in [0, 1), so the running product is numerically stable
+  // and can only underflow harmlessly to 0.
+  double miss_prob = 1.0;
+  for (int64_t j = 0; j < nu; ++j) {
+    const double numer = n - granule - static_cast<double>(j);
+    if (numer <= 0.0) {
+      miss_prob = 0.0;
+      break;
+    }
+    miss_prob *= numer / (n - static_cast<double>(j));
+    if (miss_prob == 0.0) break;
+  }
+  return static_cast<double>(ltot) * (1.0 - miss_prob);
+}
+
+int64_t BestPlacementLocks(int64_t dbsize, int64_t ltot, int64_t nu) {
+  GRANULOCK_CHECK_GE(nu, 1);
+  // ceil(nu * ltot / dbsize), at least one lock.
+  const int64_t locks = (nu * ltot + dbsize - 1) / dbsize;
+  return std::max<int64_t>(1, locks);
+}
+
+int64_t WorstPlacementLocks(int64_t ltot, int64_t nu) {
+  GRANULOCK_CHECK_GE(nu, 1);
+  return std::min(nu, ltot);
+}
+
+LockDemand LocksRequired(Placement placement, int64_t dbsize, int64_t ltot,
+                         int64_t nu) {
+  const int64_t best = BestPlacementLocks(dbsize, ltot, nu);
+  const int64_t worst = WorstPlacementLocks(ltot, nu);
+  switch (placement) {
+    case Placement::kBest:
+      return LockDemand{best, static_cast<double>(best)};
+    case Placement::kWorst:
+      return LockDemand{worst, static_cast<double>(worst)};
+    case Placement::kRandom: {
+      const double expected = YaoExpectedGranules(dbsize, ltot, nu);
+      // Round the expectation for the conflict model's integer lock count,
+      // clamped into the feasible [best, worst] envelope.
+      int64_t locks = std::llround(expected);
+      locks = std::clamp(locks, best, worst);
+      return LockDemand{locks, expected};
+    }
+  }
+  GRANULOCK_LOG(Fatal) << "unknown placement";
+  return LockDemand{1, 1.0};
+}
+
+}  // namespace granulock::model

@@ -1,0 +1,62 @@
+#ifndef GRANULOCK_MODEL_PLACEMENT_H_
+#define GRANULOCK_MODEL_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace granulock::model {
+
+/// Granule placement strategies (§2 and §3.5 of the paper): how the `NU`
+/// entities a transaction touches map onto lockable granules, i.e. how many
+/// of the `ltot` locks the transaction must acquire.
+enum class Placement {
+  /// Entities are packed into the fewest possible granules — models purely
+  /// sequential access (range scans): `LU = ceil(NU * ltot / dbsize)`.
+  kBest,
+  /// Entities are drawn at random; the expected number of granules touched
+  /// follows Yao's formula (Ries & Stonebraker's "random placement").
+  kRandom,
+  /// Every entity may land in a distinct granule: `LU = min(NU, ltot)`.
+  kWorst,
+};
+
+/// Parse/format helpers ("best" / "random" / "worst").
+const char* PlacementToString(Placement p);
+bool PlacementFromString(const std::string& s, Placement* out);
+
+/// The number of locks a transaction needs, as both the real-valued
+/// expectation (used for lock-overhead cost, where fractional expected
+/// locks are meaningful) and the integer count fed to the conflict model.
+struct LockDemand {
+  /// Integer lock count used by the conflict-interval computation;
+  /// clamped to [best, min(NU, ltot)] and >= 1.
+  int64_t locks;
+  /// Real-valued lock count used for overhead cost: LIOtime = expected_locks
+  /// * liotime, LCPUtime = expected_locks * lcputime.
+  double expected_locks;
+};
+
+/// Yao's approximation for the expected number of granules touched when
+/// `nu` distinct entities are drawn uniformly from `dbsize` entities that
+/// are grouped into `ltot` equal granules:
+///
+///   E[granules] = ltot * (1 - C(dbsize - dbsize/ltot, nu) / C(dbsize, nu))
+///
+/// Granule size `dbsize/ltot` is treated as a real number (the paper sweeps
+/// `ltot` values that do not divide `dbsize`). Requires 1 <= nu <= dbsize
+/// and 1 <= ltot <= dbsize.
+double YaoExpectedGranules(int64_t dbsize, int64_t ltot, int64_t nu);
+
+/// Locks under best placement: ceil(nu * ltot / dbsize).
+int64_t BestPlacementLocks(int64_t dbsize, int64_t ltot, int64_t nu);
+
+/// Locks under worst placement: min(nu, ltot).
+int64_t WorstPlacementLocks(int64_t ltot, int64_t nu);
+
+/// Lock demand for a transaction of `nu` entities under `placement`.
+LockDemand LocksRequired(Placement placement, int64_t dbsize, int64_t ltot,
+                         int64_t nu);
+
+}  // namespace granulock::model
+
+#endif  // GRANULOCK_MODEL_PLACEMENT_H_

@@ -1,0 +1,115 @@
+#ifndef GRANULOCK_SIM_PRIORITY_SERVER_H_
+#define GRANULOCK_SIM_PRIORITY_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace granulock::sim {
+
+/// Service classes at a node resource. The paper specifies that "the locking
+/// mechanism has preemptive power over running transactions for I/O and CPU
+/// resources": lock-manager work always runs ahead of (and interrupts)
+/// transaction work.
+enum class ServiceClass {
+  kLock = 0,         ///< lock request/set/release processing (high priority)
+  kTransaction = 1,  ///< useful transaction work (low priority)
+};
+
+/// Number of distinct service classes (array sizing).
+inline constexpr int kNumServiceClasses = 2;
+
+/// A single-server queue with two priority classes and preemptive-resume
+/// discipline, used for both the CPU and the disk of every node.
+///
+/// * Within a class, jobs are served FCFS.
+/// * A kLock arrival preempts an in-service kTransaction job; the preempted
+///   job keeps its accumulated service and resumes (at the head of its
+///   class queue) once no lock work remains.
+/// * Zero-length jobs are legal and complete immediately (same timestamp).
+///
+/// The server keeps per-class busy-time accounting, which is exactly what
+/// the paper's `totcpus/lockcpus/totios/lockios` outputs aggregate.
+class PriorityServer {
+ public:
+  using Completion = std::function<void()>;
+
+  /// Observer invoked at every busy-state change: `delta_any` is +1/-1
+  /// when the server becomes busy/idle, `delta_lock` likewise for
+  /// busy-on-lock-work. Feed these into a `BusyUnionTracker` to measure
+  /// pool-level union busy time.
+  using TransitionObserver =
+      std::function<void(SimTime now, int delta_any, int delta_lock)>;
+
+  /// Creates a server that schedules itself on `sim` (not owned; must
+  /// outlive the server). `name` is used in diagnostics only.
+  PriorityServer(Simulator* sim, std::string name);
+
+  PriorityServer(const PriorityServer&) = delete;
+  PriorityServer& operator=(const PriorityServer&) = delete;
+
+  /// Enqueues a job demanding `service` (>= 0) time units in class `cls`;
+  /// `on_complete` fires when the job has received its full service.
+  void Submit(ServiceClass cls, SimTime service, Completion on_complete);
+
+  /// Busy time delivered to class `cls` since construction (or the last
+  /// `ResetStats`), including the in-progress portion of the current job.
+  double BusyTime(ServiceClass cls) const;
+
+  /// Total busy time across all classes.
+  double TotalBusyTime() const;
+
+  /// Jobs fully served per class.
+  uint64_t CompletedJobs(ServiceClass cls) const;
+
+  /// Zeroes all accounting; an in-progress job keeps its remaining demand
+  /// but its pre-reset service is no longer counted. Used to discard a
+  /// warmup interval.
+  void ResetStats();
+
+  /// Instantaneous queue length of class `cls` (excluding the in-service
+  /// job).
+  size_t QueueLength(ServiceClass cls) const;
+
+  /// True iff a job is in service.
+  bool busy() const { return current_.has_value(); }
+
+  const std::string& name() const { return name_; }
+
+  /// Installs the busy-transition observer (may be null). Must be set
+  /// before the first `Submit`.
+  void SetTransitionObserver(TransitionObserver observer);
+
+ private:
+  struct Job {
+    ServiceClass cls;
+    SimTime remaining;
+    Completion on_complete;
+  };
+
+  void StartNextIfIdle();
+  void BeginService(Job job);
+  void FinishCurrent();
+  /// Moves the in-service job back to the head of its queue, crediting the
+  /// service it received so far.
+  void PreemptCurrent();
+  int ClassIndex(ServiceClass cls) const { return static_cast<int>(cls); }
+  void NotifyTransition(bool entering, ServiceClass cls);
+
+  Simulator* sim_;
+  std::string name_;
+  std::deque<Job> queues_[kNumServiceClasses];
+  std::optional<Job> current_;
+  SimTime service_start_ = 0.0;
+  EventId completion_event_ = 0;
+  TransitionObserver observer_;
+  double busy_time_[kNumServiceClasses] = {0.0, 0.0};
+  uint64_t completed_[kNumServiceClasses] = {0, 0};
+};
+
+}  // namespace granulock::sim
+
+#endif  // GRANULOCK_SIM_PRIORITY_SERVER_H_

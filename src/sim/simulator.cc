@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace granulock::sim {
+
+EventId Simulator::ScheduleAt(SimTime at, Callback callback) {
+  GRANULOCK_CHECK_GE(at, now_) << "cannot schedule into the past";
+  const EventId id = next_id_++;
+  heap_.push(Event{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(callback));
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(SimTime delay, Callback callback) {
+  GRANULOCK_CHECK_GE(delay, 0.0);
+  return ScheduleAt(now_ + delay, std::move(callback));
+}
+
+void Simulator::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already fired or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(ev.id);
+    GRANULOCK_CHECK(cb_it != callbacks_.end());
+    Callback cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = ev.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  GRANULOCK_CHECK_GE(deadline, now_);
+  while (!heap_.empty()) {
+    // Skip stale cancelled entries at the top without advancing time.
+    Event ev = heap_.top();
+    if (cancelled_.count(ev.id) > 0) {
+      heap_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > deadline) break;
+    Step();
+  }
+  now_ = deadline;
+}
+
+void Simulator::RunUntilEmpty() {
+  while (Step()) {
+  }
+}
+
+}  // namespace granulock::sim

@@ -1,0 +1,97 @@
+#ifndef GRANULOCK_SIM_SIMULATOR_H_
+#define GRANULOCK_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace granulock::sim {
+
+/// Simulation time. The paper's model is expressed in abstract "time units"
+/// (1 unit ~ 0.5 s under the paper's example calibration); we keep them as
+/// doubles since all service times are products of real-valued parameters.
+using SimTime = double;
+
+/// Identifier for a scheduled event, usable to cancel it before it fires.
+using EventId = uint64_t;
+
+/// A sequential discrete-event simulation engine.
+///
+/// The engine owns a clock and a pending-event set ordered by (time,
+/// insertion sequence) — ties fire in scheduling order, which makes every
+/// run fully deterministic for a fixed seed. Events are arbitrary
+/// callbacks; higher-level abstractions (servers, queues) are built on top.
+///
+/// Not thread-safe: a `Simulator` and everything scheduled on it must be
+/// driven from one thread. (Running *replications* in parallel is safe —
+/// use one Simulator per replication.)
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Starts at 0.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `callback` to run at absolute time `at` (>= Now()). Returns
+  /// an id that can be passed to `Cancel`.
+  EventId ScheduleAt(SimTime at, Callback callback);
+
+  /// Schedules `callback` to run `delay` (>= 0) time units from now.
+  EventId ScheduleAfter(SimTime delay, Callback callback);
+
+  /// Cancels a pending event. Cancelling an event that already fired (or
+  /// was already cancelled) is a no-op.
+  void Cancel(EventId id);
+
+  /// Runs the earliest pending event, advancing the clock to its timestamp.
+  /// Returns false if no events remain.
+  bool Step();
+
+  /// Runs events until the next event would fire strictly after `deadline`
+  /// (or no events remain), then sets the clock to exactly `deadline`.
+  /// Events scheduled *at* `deadline` do fire.
+  void RunUntil(SimTime deadline);
+
+  /// Runs events until none remain.
+  void RunUntilEmpty();
+
+  /// Number of pending (non-cancelled) events.
+  size_t PendingEvents() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total number of events executed so far (diagnostics).
+  uint64_t ExecutedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    // `Callback` lives in callbacks_ keyed by id so the heap stays cheap to
+    // copy during sift operations.
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace granulock::sim
+
+#endif  // GRANULOCK_SIM_SIMULATOR_H_

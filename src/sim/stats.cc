@@ -1,0 +1,200 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace granulock::sim {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void TimeWeightedStat::Start(double start_time, double value) {
+  start_time_ = last_time_ = start_time;
+  value_ = value;
+  weighted_sum_ = 0.0;
+  started_ = true;
+}
+
+void TimeWeightedStat::Update(double now, double value) {
+  GRANULOCK_CHECK(started_) << "TimeWeightedStat::Start was not called";
+  GRANULOCK_CHECK_GE(now, last_time_);
+  weighted_sum_ += value_ * (now - last_time_);
+  last_time_ = now;
+  value_ = value;
+}
+
+double TimeWeightedStat::Average(double now) const {
+  GRANULOCK_CHECK(started_);
+  GRANULOCK_CHECK_GE(now, last_time_);
+  const double span = now - start_time_;
+  if (span <= 0.0) return value_;
+  return (weighted_sum_ + value_ * (now - last_time_)) / span;
+}
+
+void TimeWeightedStat::ResetWindow(double now) {
+  GRANULOCK_CHECK(started_);
+  start_time_ = last_time_ = now;
+  weighted_sum_ = 0.0;
+}
+
+QuantileEstimator::QuantileEstimator(std::size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_state_(seed) {
+  GRANULOCK_CHECK_GE(capacity, 1u);
+  sample_.reserve(capacity);
+}
+
+void QuantileEstimator::Add(double x) {
+  ++count_;
+  sorted_valid_ = false;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // Reservoir sampling (Algorithm R): keep x with probability
+  // capacity/count, replacing a uniformly random resident. SplitMix64
+  // inline keeps this header-light and deterministic.
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const uint64_t slot = z % count_;
+  if (slot < sample_.size()) {
+    sample_[static_cast<std::size_t>(slot)] = x;
+  }
+}
+
+double QuantileEstimator::Quantile(double q) const {
+  if (sample_.empty()) return 0.0;
+  GRANULOCK_CHECK_GE(q, 0.0);
+  GRANULOCK_CHECK_LE(q, 1.0);
+  if (!sorted_valid_) {
+    sorted_ = sample_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void QuantileEstimator::Reset() {
+  count_ = 0;
+  sample_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+namespace {
+
+// Exact two-sided t quantiles for small degrees of freedom, one row per
+// confidence level {0.90, 0.95, 0.99}, df = 1..30.
+constexpr double kT90[30] = {
+    6.3138, 2.9200, 2.3534, 2.1318, 2.0150, 1.9432, 1.8946, 1.8595, 1.8331,
+    1.8125, 1.7959, 1.7823, 1.7709, 1.7613, 1.7531, 1.7459, 1.7396, 1.7341,
+    1.7291, 1.7247, 1.7207, 1.7171, 1.7139, 1.7109, 1.7081, 1.7056, 1.7033,
+    1.7011, 1.6991, 1.6973};
+constexpr double kT95[30] = {
+    12.7062, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646, 2.3060, 2.2622,
+    2.2281,  2.2010, 2.1788, 2.1604, 2.1448, 2.1314, 2.1199, 2.1098, 2.1009,
+    2.0930,  2.0860, 2.0796, 2.0739, 2.0687, 2.0639, 2.0595, 2.0555, 2.0518,
+    2.0484,  2.0452, 2.0423};
+constexpr double kT99[30] = {
+    63.6567, 9.9248, 5.8409, 4.6041, 4.0321, 3.7074, 3.4995, 3.3554, 3.2498,
+    3.1693,  3.1058, 3.0545, 3.0123, 2.9768, 2.9467, 2.9208, 2.8982, 2.8784,
+    2.8609,  2.8453, 2.8314, 2.8188, 2.8073, 2.7969, 2.7874, 2.7787, 2.7707,
+    2.7633,  2.7564, 2.7500};
+
+double NormalQuantileTwoSided(double level) {
+  if (level >= 0.989) return 2.5758;
+  if (level >= 0.949) return 1.9600;
+  return 1.6449;  // 0.90
+}
+
+}  // namespace
+
+double StudentTQuantile(uint64_t df, double level) {
+  GRANULOCK_CHECK_GE(df, 1u);
+  const double* table;
+  if (level >= 0.989) {
+    table = kT99;
+  } else if (level >= 0.949) {
+    table = kT95;
+  } else {
+    table = kT90;
+  }
+  if (df <= 30) return table[df - 1];
+  // For df > 30, the t distribution is close to normal; apply the standard
+  // 1/(4*df) first-order correction.
+  const double z = NormalQuantileTwoSided(level);
+  return z * (1.0 + (z * z + 1.0) / (4.0 * static_cast<double>(df)));
+}
+
+double ConfidenceHalfWidth(uint64_t count, double stddev, double level) {
+  if (count < 2) return 0.0;
+  const double t = StudentTQuantile(count - 1, level);
+  return t * stddev / std::sqrt(static_cast<double>(count));
+}
+
+std::vector<double> BatchMeans(const std::vector<double>& series,
+                               size_t num_batches) {
+  GRANULOCK_CHECK_GE(num_batches, 1u);
+  std::vector<double> out;
+  if (series.empty()) return out;
+  if (num_batches > series.size()) num_batches = series.size();
+  const size_t batch = series.size() / num_batches;
+  out.reserve(num_batches);
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t begin = b * batch;
+    // Fold the remainder into the last batch.
+    const size_t end = (b + 1 == num_batches) ? series.size() : begin + batch;
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += series[i];
+    out.push_back(sum / static_cast<double>(end - begin));
+  }
+  return out;
+}
+
+}  // namespace granulock::sim

@@ -1,0 +1,134 @@
+#ifndef GRANULOCK_SIM_STATS_H_
+#define GRANULOCK_SIM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace granulock::sim {
+
+/// Online mean/variance accumulator (Welford's algorithm). Numerically
+/// stable for long simulation runs; O(1) per observation.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations so far.
+  uint64_t count() const { return count_; }
+
+  /// Sample mean (0 when empty).
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double Variance() const;
+
+  /// Sample standard deviation.
+  double StdDev() const;
+
+  /// Smallest / largest observation (0 when empty).
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+
+  /// Forgets everything.
+  void Reset();
+
+  /// Merges another accumulator into this one (parallel reduction of
+  /// replications).
+  void Merge(const RunningStat& other);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (queue lengths,
+/// number of active transactions, ...). Call `Update(now, new_value)` at
+/// every change; the value holds between updates.
+class TimeWeightedStat {
+ public:
+  /// Starts observation at `start_time` with initial value `value`.
+  void Start(double start_time, double value);
+
+  /// Records that the signal changed to `value` at time `now` (>= the last
+  /// update time).
+  void Update(double now, double value);
+
+  /// Time average over [start, now]; `now` must be >= the last update.
+  double Average(double now) const;
+
+  /// Restarts the window at `now`, keeping the current value (warmup
+  /// discard).
+  void ResetWindow(double now);
+
+  /// The current (most recently set) value of the signal.
+  double current() const { return value_; }
+
+ private:
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  bool started_ = false;
+};
+
+/// Streaming quantile estimator: keeps an exact sample up to `capacity`
+/// observations, then switches to uniform reservoir sampling, so memory is
+/// bounded while quantiles stay unbiased. Used for response-time
+/// percentiles (p50/p95/p99).
+class QuantileEstimator {
+ public:
+  /// `capacity` bounds the retained sample (>= 1). `seed` drives the
+  /// reservoir replacement draws (the estimator is deterministic given
+  /// the seed and input order).
+  explicit QuantileEstimator(std::size_t capacity = 4096,
+                             uint64_t seed = 0x5eed);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// The q-quantile (0 <= q <= 1) of the retained sample, by linear
+  /// interpolation; 0 when empty.
+  double Quantile(double q) const;
+
+  /// Observations seen (not retained).
+  uint64_t count() const { return count_; }
+
+  /// Forgets everything (keeps capacity and PRNG state).
+  void Reset();
+
+ private:
+  std::size_t capacity_;
+  uint64_t count_ = 0;
+  uint64_t rng_state_;
+  std::vector<double> sample_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Two-sided Student-t confidence half-width for a sample with the given
+/// count/stddev, at the given confidence level (supported: 0.90, 0.95,
+/// 0.99). Returns 0 for fewer than two observations.
+double ConfidenceHalfWidth(uint64_t count, double stddev, double level);
+
+/// The t-distribution quantile t_{df, 1-(1-level)/2} used above; exposed
+/// for tests. Uses an exact small-df table and the Cornish-Fisher-style
+/// normal expansion beyond it.
+double StudentTQuantile(uint64_t df, double level);
+
+/// Batch-means helper: splits a series of observations into `num_batches`
+/// equal batches and returns the per-batch means (used to estimate the
+/// variance of correlated output series like response times).
+std::vector<double> BatchMeans(const std::vector<double>& series,
+                               std::size_t num_batches);
+
+}  // namespace granulock::sim
+
+#endif  // GRANULOCK_SIM_STATS_H_

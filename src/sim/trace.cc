@@ -1,0 +1,121 @@
+#include "sim/trace.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::sim {
+
+const char* TraceEventTypeToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCreated:
+      return "created";
+    case TraceEventType::kLockRequested:
+      return "lock_requested";
+    case TraceEventType::kLockGranted:
+      return "lock_granted";
+    case TraceEventType::kLockDenied:
+      return "lock_denied";
+    case TraceEventType::kCompleted:
+      return "completed";
+    case TraceEventType::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
+  GRANULOCK_CHECK_GE(capacity, 1u);
+}
+
+void TraceRecorder::Record(double time, uint64_t txn, TraceEventType type,
+                           int64_t detail) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{time, txn, type, detail});
+}
+
+void TraceRecorder::WriteCsv(std::ostream& os) const {
+  os << "time,txn,event,detail\n";
+  for (const TraceEvent& ev : events_) {
+    os << StrFormat("%.6f,%llu,%s,%lld\n", ev.time,
+                    (unsigned long long)ev.txn,
+                    TraceEventTypeToString(ev.type), (long long)ev.detail);
+  }
+}
+
+Status TraceRecorder::ValidateLifecycles() const {
+  struct TxnState {
+    bool created = false;
+    bool completed = false;
+    int outstanding_requests = 0;
+  };
+  std::unordered_map<uint64_t, TxnState> states;
+  double last_time = -1.0;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    if (ev.time < last_time) {
+      return Status::Internal(StrFormat(
+          "event %zu: time went backwards (%.6f after %.6f)", i, ev.time,
+          last_time));
+    }
+    last_time = ev.time;
+    TxnState& state = states[ev.txn];
+    if (ev.type != TraceEventType::kCreated && !state.created) {
+      return Status::Internal(
+          StrFormat("event %zu: txn %llu %s before creation", i,
+                    (unsigned long long)ev.txn,
+                    TraceEventTypeToString(ev.type)));
+    }
+    if (state.completed) {
+      return Status::Internal(
+          StrFormat("event %zu: txn %llu %s after completion", i,
+                    (unsigned long long)ev.txn,
+                    TraceEventTypeToString(ev.type)));
+    }
+    switch (ev.type) {
+      case TraceEventType::kCreated:
+        if (state.created) {
+          return Status::Internal(StrFormat(
+              "event %zu: txn %llu created twice", i,
+              (unsigned long long)ev.txn));
+        }
+        state.created = true;
+        break;
+      case TraceEventType::kLockRequested:
+        if (state.outstanding_requests != 0) {
+          return Status::Internal(StrFormat(
+              "event %zu: txn %llu has overlapping lock requests", i,
+              (unsigned long long)ev.txn));
+        }
+        state.outstanding_requests = 1;
+        break;
+      case TraceEventType::kLockGranted:
+      case TraceEventType::kLockDenied:
+        if (state.outstanding_requests != 1) {
+          return Status::Internal(StrFormat(
+              "event %zu: txn %llu lock outcome without a request", i,
+              (unsigned long long)ev.txn));
+        }
+        state.outstanding_requests = 0;
+        break;
+      case TraceEventType::kCompleted:
+        state.completed = true;
+        break;
+      case TraceEventType::kAborted:
+        state.outstanding_requests = 0;  // aborted requests are withdrawn
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace granulock::sim

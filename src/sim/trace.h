@@ -1,0 +1,85 @@
+#ifndef GRANULOCK_SIM_TRACE_H_
+#define GRANULOCK_SIM_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/status.h"
+
+namespace granulock::sim {
+
+/// Transaction-lifecycle event kinds recorded by the tracer.
+enum class TraceEventType : uint8_t {
+  kCreated = 0,        ///< transaction entered the system
+  kLockRequested = 1,  ///< a lock request began (detail: locks asked)
+  kLockGranted = 2,    ///< the request was granted
+  kLockDenied = 3,     ///< the request was denied/blocked (detail: blocker)
+  kCompleted = 4,      ///< the transaction finished and released its locks
+  kAborted = 5,        ///< deadlock victim (incremental engine only)
+};
+
+/// Short name ("created", "granted", ...).
+const char* TraceEventTypeToString(TraceEventType type);
+
+/// One recorded event.
+struct TraceEvent {
+  double time = 0.0;
+  uint64_t txn = 0;
+  TraceEventType type = TraceEventType::kCreated;
+  /// Type-specific payload: locks requested, blocker id, etc.
+  int64_t detail = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// A bounded, in-memory recorder of transaction lifecycle events —
+/// the simulators' observability hook. Pass a recorder through an
+/// engine's options to capture what happened, then inspect events
+/// programmatically, dump them as CSV, or run the built-in lifecycle
+/// validator (used by the test suite as an end-to-end oracle).
+///
+/// When `capacity` is reached recording stops (the earliest events are
+/// the ones kept; `dropped()` counts the rest) — simulation behaviour is
+/// never affected by tracing.
+class TraceRecorder {
+ public:
+  /// `capacity` bounds the stored events (>= 1).
+  explicit TraceRecorder(size_t capacity = 1 << 20);
+
+  /// Appends one event (no-op beyond capacity, counted in dropped()).
+  void Record(double time, uint64_t txn, TraceEventType type,
+              int64_t detail = 0);
+
+  /// All retained events, in recording order (which is time order — the
+  /// simulators record as they execute).
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events discarded after the buffer filled.
+  uint64_t dropped() const { return dropped_; }
+
+  /// Writes "time,txn,event,detail" CSV (with header).
+  void WriteCsv(std::ostream& os) const;
+
+  /// Checks per-transaction lifecycle sanity over the retained events:
+  ///  * timestamps are non-decreasing overall;
+  ///  * a transaction's first event is kCreated, recorded exactly once;
+  ///  * kCompleted/kAborted events are preceded by a kCreated;
+  ///  * at most one kCompleted per transaction, and nothing after it;
+  ///  * every grant has a preceding request with no undenied request
+  ///    outstanding.
+  /// Returns OK or an Internal status naming the first violation.
+  Status ValidateLifecycles() const;
+
+  /// Forgets everything.
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace granulock::sim
+
+#endif  // GRANULOCK_SIM_TRACE_H_

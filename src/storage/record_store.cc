@@ -1,0 +1,49 @@
+#include "storage/record_store.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace granulock::storage {
+
+RecordStore::RecordStore(int64_t num_records, int64_t num_nodes,
+                         int64_t initial_value)
+    : values_(static_cast<size_t>(num_records), initial_value),
+      num_nodes_(num_nodes) {
+  GRANULOCK_CHECK_GE(num_records, 1);
+  GRANULOCK_CHECK_GE(num_nodes, 1);
+}
+
+int64_t RecordStore::Read(int64_t key) const {
+  GRANULOCK_CHECK_GE(key, 0);
+  GRANULOCK_CHECK_LT(key, num_records());
+  return values_[static_cast<size_t>(key)];
+}
+
+void RecordStore::Write(int64_t key, int64_t value) {
+  GRANULOCK_CHECK_GE(key, 0);
+  GRANULOCK_CHECK_LT(key, num_records());
+  values_[static_cast<size_t>(key)] = value;
+  ++write_count_;
+}
+
+int64_t RecordStore::Add(int64_t key, int64_t delta) {
+  GRANULOCK_CHECK_GE(key, 0);
+  GRANULOCK_CHECK_LT(key, num_records());
+  values_[static_cast<size_t>(key)] += delta;
+  ++write_count_;
+  return values_[static_cast<size_t>(key)];
+}
+
+int32_t RecordStore::NodeOf(int64_t key) const {
+  GRANULOCK_CHECK_GE(key, 0);
+  GRANULOCK_CHECK_LT(key, num_records());
+  return static_cast<int32_t>(key % num_nodes_);
+}
+
+int64_t RecordStore::Total() const {
+  return std::accumulate(values_.begin(), values_.end(),
+                         static_cast<int64_t>(0));
+}
+
+}  // namespace granulock::storage

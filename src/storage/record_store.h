@@ -1,0 +1,65 @@
+#ifndef GRANULOCK_STORAGE_RECORD_STORE_H_
+#define GRANULOCK_STORAGE_RECORD_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace granulock::storage {
+
+/// An in-memory record store partitioned round-robin across the nodes of a
+/// shared-nothing cluster — the concrete data substrate under the
+/// simulated database. Records are the paper's "accessible entities"
+/// (`dbsize` of them); each holds one 64-bit value.
+///
+/// Partitioning follows the paper's layout: "relations are partitioned
+/// into tuples and the tuples are distributed to disk drives in the system
+/// [round robin]", i.e. record `k` lives on node `k mod npros`.
+///
+/// The store itself performs no concurrency control: it is the thing the
+/// lock managers protect. The funds-transfer engine uses it to *observe*
+/// what happens to data integrity when locking is correct, too coarse, or
+/// absent.
+class RecordStore {
+ public:
+  /// Creates `num_records` records on `num_nodes` nodes, all initialized
+  /// to `initial_value`. Requires num_records >= 1, num_nodes >= 1.
+  RecordStore(int64_t num_records, int64_t num_nodes,
+              int64_t initial_value = 0);
+
+  /// Reads record `key` (0 <= key < num_records).
+  int64_t Read(int64_t key) const;
+
+  /// Writes record `key`.
+  void Write(int64_t key, int64_t value);
+
+  /// Atomically adds `delta` to record `key` and returns the new value
+  /// (used by reference/oracle paths, not by simulated transactions —
+  /// those must read and write separately so races can manifest).
+  int64_t Add(int64_t key, int64_t delta);
+
+  /// The node record `key` lives on (round-robin).
+  int32_t NodeOf(int64_t key) const;
+
+  /// Sum of every record's value — the integrity invariant of the
+  /// funds-transfer workload (transfers must conserve it).
+  int64_t Total() const;
+
+  /// Number of writes ever applied (diagnostics).
+  int64_t write_count() const { return write_count_; }
+
+  int64_t num_records() const {
+    return static_cast<int64_t>(values_.size());
+  }
+  int64_t num_nodes() const { return num_nodes_; }
+
+ private:
+  std::vector<int64_t> values_;
+  int64_t num_nodes_;
+  int64_t write_count_ = 0;
+};
+
+}  // namespace granulock::storage
+
+#endif  // GRANULOCK_STORAGE_RECORD_STORE_H_

@@ -1,0 +1,63 @@
+#ifndef GRANULOCK_UTIL_FLAGS_H_
+#define GRANULOCK_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace granulock {
+
+/// A minimal command-line flag parser used by the bench and example
+/// binaries, so every experiment can be re-run with different parameters
+/// without recompiling (`bench_fig02 --tmax=20000 --seed=7`).
+///
+/// Supported syntax: `--name=value`, `--name value`, and bare `--name` for
+/// booleans. Unknown flags are an error (catching typos in sweep scripts).
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Registers a flag of the given type with a default and a help string.
+  /// The pointee receives the default immediately and the parsed value when
+  /// `Parse` runs. Pointers must outlive the parser.
+  void AddInt64(const std::string& name, int64_t* value, int64_t def,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* value, double def,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, bool def,
+               const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& def, const std::string& help);
+
+  /// Parses argv. On `--help`, prints usage to stdout and returns a status
+  /// with code kFailedPrecondition (callers exit 0 on it). Positional
+  /// arguments are collected into `positional()`.
+  Status Parse(int argc, char** argv);
+
+  /// Arguments that were not flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the registered flags with defaults and help text.
+  std::string UsageString(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct FlagInfo {
+    Type type;
+    void* value;
+    std::string default_repr;
+    std::string help;
+  };
+
+  Status SetFlag(const std::string& name, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace granulock
+
+#endif  // GRANULOCK_UTIL_FLAGS_H_

@@ -1,0 +1,78 @@
+#ifndef GRANULOCK_UTIL_LOGGING_H_
+#define GRANULOCK_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace granulock {
+
+/// Severity levels for the lightweight logger. `kFatal` aborts the process
+/// after emitting the message; the others write to stderr and continue.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum severity that is actually emitted. Defaults to kInfo.
+void SetLogThreshold(LogLevel level);
+
+/// Returns the current minimum emitted severity.
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+/// Stream-style log message builder; emits on destruction. Used through the
+/// GRANULOCK_LOG / GRANULOCK_CHECK macros, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Sink type for the `... : GRANULOCK_LOG(...)` void-conversion trick.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace granulock
+
+/// Emits a log record at `level` (one of DEBUG, INFO, WARNING, ERROR, FATAL).
+/// FATAL aborts after logging.
+#define GRANULOCK_LOG(level)                                          \
+  ::granulock::internal::LogMessage(::granulock::LogLevel::k##level, \
+                                    __FILE__, __LINE__)               \
+      .stream()
+
+/// Aborts with a diagnostic unless `condition` holds. Intended for internal
+/// invariants of the library, not for validating user input (use Status for
+/// that). Additional context may be streamed in:
+/// `GRANULOCK_CHECK(x > 0) << "x was " << x;`
+#define GRANULOCK_CHECK(condition)                                     \
+  (condition) ? (void)0                                                \
+              : ::granulock::internal::LogMessageVoidify() &           \
+                    GRANULOCK_LOG(Fatal)                               \
+                        << "Check failed: " #condition " "
+
+#define GRANULOCK_CHECK_EQ(a, b) GRANULOCK_CHECK((a) == (b))
+#define GRANULOCK_CHECK_NE(a, b) GRANULOCK_CHECK((a) != (b))
+#define GRANULOCK_CHECK_LT(a, b) GRANULOCK_CHECK((a) < (b))
+#define GRANULOCK_CHECK_LE(a, b) GRANULOCK_CHECK((a) <= (b))
+#define GRANULOCK_CHECK_GT(a, b) GRANULOCK_CHECK((a) > (b))
+#define GRANULOCK_CHECK_GE(a, b) GRANULOCK_CHECK((a) >= (b))
+
+#endif  // GRANULOCK_UTIL_LOGGING_H_

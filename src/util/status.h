@@ -1,0 +1,139 @@
+#ifndef GRANULOCK_UTIL_STATUS_H_
+#define GRANULOCK_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace granulock {
+
+/// Error categories used across the library. The set is deliberately small:
+/// simulation code mostly fails on invalid configuration or misuse.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< A parameter is out of its documented domain.
+  kFailedPrecondition,///< The object is not in a state that allows the call.
+  kNotFound,          ///< A looked-up entity does not exist.
+  kAlreadyExists,     ///< An entity that must be unique already exists.
+  kOutOfRange,        ///< An index or time value is outside a valid range.
+  kInternal,          ///< An invariant of the library itself was violated.
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, in the style of Arrow/RocksDB.
+///
+/// The library does not throw exceptions across its public API; fallible
+/// operations return `Status` (or `Result<T>` when they produce a value).
+/// A default-constructed `Status` is OK. Statuses are cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a descriptive message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status category.
+  StatusCode code() const { return code_; }
+
+  /// The human-readable detail message ("" for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error result. Holds either a `T` or a non-OK `Status`.
+///
+/// Usage:
+/// ```
+///   Result<SystemConfig> cfg = SystemConfig::FromFlags(...);
+///   if (!cfg.ok()) return cfg.status();
+///   Use(*cfg);
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status. Aborts (in debug) if
+  /// `status` is OK, since that would leave no value to hold.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; `Status::OK()` when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors for the contained value. Must only be called when `ok()`.
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace granulock
+
+/// Propagates a non-OK status from an expression that yields a `Status`.
+#define GRANULOCK_RETURN_NOT_OK(expr)                \
+  do {                                               \
+    ::granulock::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#endif  // GRANULOCK_UTIL_STATUS_H_

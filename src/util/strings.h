@@ -1,0 +1,35 @@
+#ifndef GRANULOCK_UTIL_STRINGS_H_
+#define GRANULOCK_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace granulock {
+
+/// printf-style formatting into a std::string. The format string is checked
+/// by the compiler where supported.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `input` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True iff `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a whole string as the given numeric type; returns false (leaving
+/// `out` untouched) on any trailing garbage, overflow, or empty input.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace granulock
+
+#endif  // GRANULOCK_UTIL_STRINGS_H_

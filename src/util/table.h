@@ -1,0 +1,51 @@
+#ifndef GRANULOCK_UTIL_TABLE_H_
+#define GRANULOCK_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace granulock {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// ASCII table (for terminal output, the format the bench binaries use to
+/// print paper-style series) or as CSV (for plotting).
+///
+/// Usage:
+/// ```
+///   TablePrinter t({"locks", "throughput", "response"});
+///   t.AddRow({"100", "0.124", "80.2"});
+///   t.Print(std::cout);
+/// ```
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row. The row is padded (with "") or truncated to the
+  /// header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `%.6g` into a row.
+  void AddNumericRow(const std::vector<double>& values);
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders an aligned, right-justified ASCII table.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV cell per RFC 4180 (quote iff it contains , " or newline).
+std::string CsvEscape(const std::string& cell);
+
+}  // namespace granulock
+
+#endif  // GRANULOCK_UTIL_TABLE_H_

@@ -1,0 +1,100 @@
+#ifndef GRANULOCK_WORKLOAD_SIZE_DISTRIBUTION_H_
+#define GRANULOCK_WORKLOAD_SIZE_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace granulock::workload {
+
+/// Distribution of transaction sizes (`NU`, the number of database entities
+/// a transaction accesses). The paper uses `U{1..maxtransize}` for the base
+/// experiments (§3.1–3.5) and an 80%/20% small/large mix in §3.6.
+class SizeDistribution {
+ public:
+  virtual ~SizeDistribution() = default;
+
+  /// Draws one transaction size (>= 1).
+  virtual int64_t Sample(Rng& rng) const = 0;
+
+  /// The distribution mean, used for analytic sanity checks and reporting.
+  virtual double Mean() const = 0;
+
+  /// The largest size this distribution can produce; must be <= dbsize for
+  /// a valid experiment.
+  virtual int64_t MaxSize() const = 0;
+
+  /// Human-readable description for bench headers.
+  virtual std::string Describe() const = 0;
+};
+
+/// Sizes uniform on {1, ..., maxtransize} — the paper's base workload,
+/// giving a mean of (maxtransize + 1) / 2 ~ 0.5 * maxtransize.
+class UniformSizeDistribution final : public SizeDistribution {
+ public:
+  /// Requires maxtransize >= 1.
+  explicit UniformSizeDistribution(int64_t maxtransize);
+
+  int64_t Sample(Rng& rng) const override;
+  double Mean() const override;
+  int64_t MaxSize() const override { return maxtransize_; }
+  std::string Describe() const override;
+
+ private:
+  int64_t maxtransize_;
+};
+
+/// Every transaction has exactly `size` entities; useful for tests and
+/// ablations where size variance would confound the effect under study.
+class ConstantSizeDistribution final : public SizeDistribution {
+ public:
+  explicit ConstantSizeDistribution(int64_t size);
+
+  int64_t Sample(Rng& rng) const override;
+  double Mean() const override { return static_cast<double>(size_); }
+  int64_t MaxSize() const override { return size_; }
+  std::string Describe() const override;
+
+ private:
+  int64_t size_;
+};
+
+/// A finite mixture of size distributions: component `i` is drawn with
+/// probability `weight[i]`. The paper's §3.6 workload is
+/// `Mixed({0.8, U{1..50}}, {0.2, U{1..500}})`.
+class MixedSizeDistribution final : public SizeDistribution {
+ public:
+  struct Component {
+    double weight;  ///< selection probability; weights must sum to ~1
+    std::shared_ptr<const SizeDistribution> dist;
+  };
+
+  /// Validates and builds the mixture. Fails if `components` is empty, a
+  /// weight is negative, a component is null, or weights do not sum to 1
+  /// (within 1e-9).
+  static Result<std::shared_ptr<const SizeDistribution>> Create(
+      std::vector<Component> components);
+
+  int64_t Sample(Rng& rng) const override;
+  double Mean() const override;
+  int64_t MaxSize() const override;
+  std::string Describe() const override;
+
+ private:
+  explicit MixedSizeDistribution(std::vector<Component> components);
+
+  std::vector<Component> components_;
+};
+
+/// Convenience: the paper's §3.6 mixed workload — `small_fraction` of
+/// transactions are `U{1..small_max}`, the rest `U{1..large_max}`.
+std::shared_ptr<const SizeDistribution> MakeSmallLargeMix(
+    double small_fraction, int64_t small_max, int64_t large_max);
+
+}  // namespace granulock::workload
+
+#endif  // GRANULOCK_WORKLOAD_SIZE_DISTRIBUTION_H_

@@ -1,0 +1,73 @@
+#ifndef GRANULOCK_WORKLOAD_WORKLOAD_H_
+#define GRANULOCK_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+#include "model/placement.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/size_distribution.h"
+
+namespace granulock::workload {
+
+/// How relations are partitioned across the shared-nothing nodes (§2).
+enum class PartitioningMethod {
+  /// Round-robin horizontal partitioning: every relation is spread over all
+  /// disks, so a transaction splits into exactly `npros` sub-transactions.
+  kHorizontal,
+  /// Random partitioning: items land on a random subset of disks, modelled
+  /// as `PU ~ U{1..npros}` sub-transactions on distinct random nodes.
+  kRandom,
+};
+
+const char* PartitioningToString(PartitioningMethod m);
+bool PartitioningFromString(const std::string& s, PartitioningMethod* out);
+
+/// A complete workload description: transaction sizes, granule placement,
+/// and data partitioning. Combined with a `SystemConfig`, this fully
+/// determines the simulated system.
+struct WorkloadSpec {
+  std::shared_ptr<const SizeDistribution> sizes;
+  model::Placement placement = model::Placement::kBest;
+  PartitioningMethod partitioning = PartitioningMethod::kHorizontal;
+
+  /// The paper's base workload for `cfg`: uniform sizes on
+  /// {1..maxtransize}, best placement, horizontal partitioning.
+  static WorkloadSpec Base(const model::SystemConfig& cfg);
+
+  /// Returns OK iff the spec is internally consistent with `cfg`
+  /// (distribution present, max size <= dbsize).
+  Status Validate(const model::SystemConfig& cfg) const;
+
+  /// One-line description for bench headers.
+  std::string Describe() const;
+};
+
+/// Everything random about one transaction, drawn once at creation
+/// (the variables called NUi, LUi, PUi, IOtimei, CPUtimei, LIOtimei,
+/// LCPUtimei in §2 of the paper).
+struct TransactionParams {
+  int64_t nu = 0;          ///< entities accessed
+  int64_t lu = 0;          ///< integer lock count (conflict model)
+  double expected_locks = 0.0;  ///< real lock count (overhead cost basis)
+  int64_t pu = 0;          ///< number of sub-transactions (processors used)
+  std::vector<int32_t> nodes;  ///< the `pu` distinct nodes assigned
+
+  double io_demand = 0.0;       ///< NU * iotime (split across sub-txns)
+  double cpu_demand = 0.0;      ///< NU * cputime
+  double lock_io_demand = 0.0;  ///< expected_locks * liotime
+  double lock_cpu_demand = 0.0; ///< expected_locks * lcputime
+};
+
+/// Draws a fresh transaction's parameters for (`cfg`, `spec`) using `rng`.
+/// `spec` must have passed `Validate(cfg)`.
+TransactionParams GenerateTransaction(const model::SystemConfig& cfg,
+                                      const WorkloadSpec& spec, Rng& rng);
+
+}  // namespace granulock::workload
+
+#endif  // GRANULOCK_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,139 @@
+#include "model/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/granularity_simulator.h"
+#include "workload/workload.h"
+
+namespace granulock::model {
+namespace {
+
+SystemConfig BaseConfig() {
+  SystemConfig cfg = SystemConfig::Table1Defaults();
+  cfg.tmax = 4000.0;
+  return cfg;
+}
+
+TEST(ThroughputBoundsTest, KnownValuesForTable1) {
+  SystemConfig cfg = BaseConfig();
+  cfg.npros = 10;
+  cfg.ltot = 100;
+  const ThroughputBounds b =
+      ComputeThroughputBounds(cfg, Placement::kBest);
+  EXPECT_DOUBLE_EQ(b.mean_entities, 250.5);
+  // Best placement at NU ~ 251: ceil(251*100/5000) = 6 locks.
+  EXPECT_NEAR(b.mean_locks, 6.0, 1e-9);
+  // io bound: 10 / (250.5*0.2 + 6*0.2) = 10 / 51.3.
+  EXPECT_NEAR(b.io_capacity, 10.0 / 51.3, 1e-9);
+  // cpu bound: 10 / (250.5*0.05 + 6*0.01) = 10 / 12.585.
+  EXPECT_NEAR(b.cpu_capacity, 10.0 / 12.585, 1e-9);
+  // io is the bottleneck.
+  EXPECT_LT(b.io_capacity, b.cpu_capacity);
+}
+
+TEST(ThroughputBoundsTest, UpperIsTheMinimum) {
+  const ThroughputBounds b =
+      ComputeThroughputBounds(BaseConfig(), Placement::kBest);
+  EXPECT_LE(b.Upper(), b.io_capacity);
+  EXPECT_LE(b.Upper(), b.cpu_capacity);
+  EXPECT_LE(b.Upper(), b.population_bound);
+}
+
+TEST(ThroughputBoundsTest, SimulatedThroughputRespectsBound) {
+  for (int64_t npros : {1, 5, 10, 30}) {
+    for (int64_t ltot : {1, 50, 1000, 5000}) {
+      SystemConfig cfg = BaseConfig();
+      cfg.npros = npros;
+      cfg.ltot = ltot;
+      const ThroughputBounds b =
+          ComputeThroughputBounds(cfg, Placement::kBest);
+      auto result = core::GranularitySimulator::RunOnce(
+          cfg, workload::WorkloadSpec::Base(cfg), 42);
+      ASSERT_TRUE(result.ok());
+      // 10% slack: the bound uses the mean size, single runs fluctuate.
+      EXPECT_LE(result->throughput, b.Upper() * 1.1)
+          << "npros=" << npros << " ltot=" << ltot;
+    }
+  }
+}
+
+TEST(ThroughputBoundsTest, SerialEstimateMatchesSerializedSimulation) {
+  for (int64_t npros : {1, 10, 30}) {
+    SystemConfig cfg = BaseConfig();
+    cfg.npros = npros;
+    cfg.ltot = 1;
+    const ThroughputBounds b =
+        ComputeThroughputBounds(cfg, Placement::kBest);
+    auto result = core::GranularitySimulator::RunOnce(
+        cfg, workload::WorkloadSpec::Base(cfg), 42);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->throughput, b.serial_estimate,
+                0.15 * b.serial_estimate)
+        << "npros=" << npros;
+  }
+}
+
+TEST(ThroughputBoundsTest, SaturatedSystemApproachesIoCapacity) {
+  // At the throughput-optimal granularity the I/O pool saturates: the
+  // simulated throughput should come within ~20% of the capacity bound.
+  SystemConfig cfg = BaseConfig();
+  cfg.npros = 10;
+  cfg.ltot = 50;
+  const ThroughputBounds b = ComputeThroughputBounds(cfg, Placement::kBest);
+  auto result = core::GranularitySimulator::RunOnce(
+      cfg, workload::WorkloadSpec::Base(cfg), 42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->throughput, 0.8 * b.io_capacity);
+}
+
+TEST(ThroughputBoundsTest, ScalesLinearlyWithProcessors) {
+  SystemConfig cfg = BaseConfig();
+  cfg.npros = 1;
+  const double one =
+      ComputeThroughputBounds(cfg, Placement::kBest).io_capacity;
+  cfg.npros = 30;
+  const double thirty =
+      ComputeThroughputBounds(cfg, Placement::kBest).io_capacity;
+  EXPECT_NEAR(thirty, 30.0 * one, 1e-9);
+}
+
+TEST(ThroughputBoundsTest, WorstPlacementTightensTheBound) {
+  SystemConfig cfg = BaseConfig();
+  cfg.ltot = 100;
+  const double best =
+      ComputeThroughputBounds(cfg, Placement::kBest).io_capacity;
+  const double worst =
+      ComputeThroughputBounds(cfg, Placement::kWorst).io_capacity;
+  EXPECT_LT(worst, best);  // more locks -> more lock I/O per txn
+}
+
+TEST(ThroughputBoundsTest, ZeroLockIoLoosensIoBound) {
+  SystemConfig cfg = BaseConfig();
+  cfg.ltot = 5000;
+  const double with_io =
+      ComputeThroughputBounds(cfg, Placement::kBest).io_capacity;
+  cfg.liotime = 0.0;
+  const double without_io =
+      ComputeThroughputBounds(cfg, Placement::kBest).io_capacity;
+  EXPECT_GT(without_io, with_io);
+}
+
+TEST(ThroughputBoundsTest, MeanSizeOverrideUsed) {
+  SystemConfig cfg = BaseConfig();
+  const ThroughputBounds b =
+      ComputeThroughputBoundsForMeanSize(cfg, Placement::kBest, 25.0);
+  EXPECT_DOUBLE_EQ(b.mean_entities, 25.0);
+  EXPECT_GT(b.io_capacity,
+            ComputeThroughputBounds(cfg, Placement::kBest).io_capacity);
+}
+
+TEST(ThroughputBoundsTest, ToStringMentionsBounds) {
+  const ThroughputBounds b =
+      ComputeThroughputBounds(BaseConfig(), Placement::kBest);
+  const std::string s = b.ToString();
+  EXPECT_NE(s.find("io_capacity"), std::string::npos);
+  EXPECT_NE(s.find("serial"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace granulock::model

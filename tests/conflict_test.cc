@@ -1,0 +1,103 @@
+#include "model/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace granulock::model {
+namespace {
+
+TEST(ConflictModelTest, NoActiveTransactionsNeverBlocks) {
+  ConflictModel model(100);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.DrawBlocker({}, rng), -1);
+  }
+}
+
+TEST(ConflictModelTest, AllLocksHeldAlwaysBlocks) {
+  // One active transaction holding every lock: P(block) = 1.
+  ConflictModel model(100);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.DrawBlocker({100}, rng), 0);
+  }
+}
+
+TEST(ConflictModelTest, ZeroLocksHeldNeverBlocks) {
+  ConflictModel model(100);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.DrawBlocker({0, 0, 0}, rng), -1);
+  }
+}
+
+TEST(ConflictModelTest, BlockFrequencyMatchesLockFraction) {
+  // One active holder of 25 of 100 locks: P(block) = 0.25.
+  ConflictModel model(100);
+  Rng rng(4);
+  int blocked = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (model.DrawBlocker({25}, rng) == 0) ++blocked;
+  }
+  EXPECT_NEAR(static_cast<double>(blocked) / n, 0.25, 0.005);
+}
+
+TEST(ConflictModelTest, BlockerSelectionProportionalToHoldings) {
+  // Holders of 10, 20, 30 locks of 100: blocker j with prob Lj/100.
+  ConflictModel model(100);
+  Rng rng(5);
+  std::vector<int> counts(4, 0);  // [0..2] blockers, [3] proceed
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const int b = model.DrawBlocker({10, 20, 30}, rng);
+    counts[b < 0 ? 3u : static_cast<size_t>(b)]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.10, 0.005);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.20, 0.005);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.30, 0.005);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.40, 0.005);
+}
+
+TEST(ConflictModelTest, OversubscribedLocksAlwaysBlock) {
+  // Sum of holdings exceeds ltot: a requester can never proceed.
+  ConflictModel model(100);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(model.DrawBlocker({60, 60}, rng), 0);
+  }
+}
+
+TEST(ConflictModelTest, BlockProbabilityAnalytic) {
+  ConflictModel model(200);
+  EXPECT_DOUBLE_EQ(model.BlockProbability({}), 0.0);
+  EXPECT_DOUBLE_EQ(model.BlockProbability({50}), 0.25);
+  EXPECT_DOUBLE_EQ(model.BlockProbability({50, 50}), 0.5);
+  EXPECT_DOUBLE_EQ(model.BlockProbability({150, 150}), 1.0);  // capped
+}
+
+TEST(ConflictModelTest, SingleLockSystemSerializes) {
+  // ltot = 1 and any active holder (Lj >= 1): always blocked — the
+  // serial-execution degenerate case of the paper.
+  ConflictModel model(1);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.DrawBlocker({1}, rng), 0);
+  }
+}
+
+TEST(ConflictModelTest, DeterministicGivenSeed) {
+  ConflictModel model(100);
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.DrawBlocker({10, 30}, a), model.DrawBlocker({10, 30}, b));
+  }
+}
+
+TEST(ConflictModelTest, LtotAccessor) {
+  EXPECT_EQ(ConflictModel(77).ltot(), 77);
+}
+
+}  // namespace
+}  // namespace granulock::model

@@ -1,0 +1,136 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace granulock::core {
+namespace {
+
+model::SystemConfig QuickConfig() {
+  model::SystemConfig cfg = model::SystemConfig::Table1Defaults();
+  cfg.tmax = 1000.0;
+  return cfg;
+}
+
+TEST(StandardLockSweepTest, CoversFullRangeForPaperDatabase) {
+  const auto sweep = StandardLockSweep(5000);
+  ASSERT_FALSE(sweep.empty());
+  EXPECT_EQ(sweep.front(), 1);
+  EXPECT_EQ(sweep.back(), 5000);
+  EXPECT_TRUE(std::is_sorted(sweep.begin(), sweep.end()));
+  EXPECT_NE(std::find(sweep.begin(), sweep.end(), 100), sweep.end());
+  EXPECT_NE(std::find(sweep.begin(), sweep.end(), 200), sweep.end());
+}
+
+TEST(StandardLockSweepTest, ClipsToSmallDatabases) {
+  const auto sweep = StandardLockSweep(30);
+  EXPECT_EQ(sweep.front(), 1);
+  EXPECT_EQ(sweep.back(), 30);  // dbsize itself is appended
+  for (int64_t v : sweep) EXPECT_LE(v, 30);
+}
+
+TEST(StandardLockSweepTest, DegenerateSingleEntityDatabase) {
+  const auto sweep = StandardLockSweep(1);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep[0], 1);
+}
+
+TEST(RunReplicatedTest, RejectsBadReplicationCount) {
+  const model::SystemConfig cfg = QuickConfig();
+  auto result =
+      RunReplicated(cfg, workload::WorkloadSpec::Base(cfg), 1, 0);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunReplicatedTest, SingleReplicationMatchesDirectRun) {
+  const model::SystemConfig cfg = QuickConfig();
+  const auto spec = workload::WorkloadSpec::Base(cfg);
+  auto replicated = RunReplicated(cfg, spec, 99, 1);
+  ASSERT_TRUE(replicated.ok());
+  // The replication machinery derives the seed via Fork(0); re-derive it.
+  Rng seeder(99);
+  const uint64_t derived = seeder.Fork(0).NextUint64();
+  auto direct = GranularitySimulator::RunOnce(cfg, spec, derived);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(replicated->mean.throughput, direct->throughput);
+  EXPECT_EQ(replicated->replications, 1);
+  EXPECT_DOUBLE_EQ(replicated->throughput_hw95, 0.0);  // n=1: no CI
+}
+
+TEST(RunReplicatedTest, MultipleReplicationsAverageAndBoundCi) {
+  const model::SystemConfig cfg = QuickConfig();
+  const auto spec = workload::WorkloadSpec::Base(cfg);
+  auto result = RunReplicated(cfg, spec, 7, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->replications, 5);
+  EXPECT_GT(result->mean.throughput, 0.0);
+  EXPECT_GT(result->throughput_hw95, 0.0);
+  // Replication noise on throughput should be small relative to the mean.
+  EXPECT_LT(result->throughput_hw95, result->mean.throughput);
+}
+
+TEST(RunReplicatedTest, PropagatesSimulationErrors) {
+  model::SystemConfig cfg = QuickConfig();
+  cfg.npros = 0;
+  auto result =
+      RunReplicated(cfg, workload::WorkloadSpec::Base(cfg), 1, 2);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SweepLockCountsTest, ProducesOnePointPerLockCount) {
+  const model::SystemConfig cfg = QuickConfig();
+  const auto spec = workload::WorkloadSpec::Base(cfg);
+  const std::vector<int64_t> counts{1, 100, 5000};
+  auto sweep = SweepLockCounts(cfg, spec, counts, 3, 1);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 3u);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ((*sweep)[i].ltot, counts[i]);
+    EXPECT_GT((*sweep)[i].metrics.mean.totcom, 0);
+  }
+}
+
+TEST(SweepLockCountsTest, ModerateGranularityBeatsExtremes) {
+  // The paper's central result in miniature: at npros=10 the optimum lock
+  // count lies strictly between 1 and dbsize.
+  model::SystemConfig cfg = QuickConfig();
+  cfg.tmax = 2000.0;
+  const auto spec = workload::WorkloadSpec::Base(cfg);
+  auto sweep = SweepLockCounts(cfg, spec, {1, 50, 5000}, 11, 2);
+  ASSERT_TRUE(sweep.ok());
+  const double tp_serial = (*sweep)[0].metrics.mean.throughput;
+  const double tp_mid = (*sweep)[1].metrics.mean.throughput;
+  const double tp_fine = (*sweep)[2].metrics.mean.throughput;
+  EXPECT_GT(tp_mid, tp_serial);
+  EXPECT_GT(tp_mid, tp_fine);
+}
+
+TEST(StandardLockSweepTest, NoDuplicatesWhenDbsizeOnGrid) {
+  const auto sweep = StandardLockSweep(100);
+  EXPECT_EQ(std::count(sweep.begin(), sweep.end(), 100), 1);
+  EXPECT_TRUE(std::adjacent_find(sweep.begin(), sweep.end()) == sweep.end());
+}
+
+TEST(BestThroughputPointTest, FirstOfEqualMaximaWins) {
+  std::vector<SweepPoint> sweep(2);
+  sweep[0].ltot = 10;
+  sweep[0].metrics.mean.throughput = 0.2;
+  sweep[1].ltot = 20;
+  sweep[1].metrics.mean.throughput = 0.2;
+  EXPECT_EQ(BestThroughputPoint(sweep).ltot, 10);
+}
+
+TEST(BestThroughputPointTest, FindsMaximum) {
+  std::vector<SweepPoint> sweep(3);
+  sweep[0].ltot = 1;
+  sweep[0].metrics.mean.throughput = 0.05;
+  sweep[1].ltot = 100;
+  sweep[1].metrics.mean.throughput = 0.2;
+  sweep[2].ltot = 5000;
+  sweep[2].metrics.mean.throughput = 0.1;
+  EXPECT_EQ(BestThroughputPoint(sweep).ltot, 100);
+}
+
+}  // namespace
+}  // namespace granulock::core

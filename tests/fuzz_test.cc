@@ -1,0 +1,139 @@
+// Randomized-configuration fuzzing: draw whole system configurations at
+// random (sizes, costs, populations, workloads), run every engine briefly,
+// and assert the structural invariants. Catches interactions no
+// hand-picked grid covers; failures print the offending configuration.
+
+#include <gtest/gtest.h>
+
+#include "core/granularity_simulator.h"
+#include "db/explicit_simulator.h"
+#include "db/incremental_simulator.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace granulock {
+namespace {
+
+struct FuzzCase {
+  model::SystemConfig cfg;
+  workload::WorkloadSpec spec;
+};
+
+FuzzCase DrawCase(Rng& rng) {
+  FuzzCase out;
+  model::SystemConfig& cfg = out.cfg;
+  cfg.dbsize = rng.UniformInt(10, 2000);
+  cfg.ltot = rng.UniformInt(1, cfg.dbsize);
+  cfg.ntrans = rng.UniformInt(1, 40);
+  cfg.maxtransize = rng.UniformInt(1, std::min<int64_t>(cfg.dbsize, 200));
+  cfg.cputime = rng.UniformDouble(0.0, 0.1);
+  cfg.iotime = rng.UniformDouble(0.01, 0.4);  // keep io positive
+  cfg.lcputime = rng.UniformDouble(0.0, 0.05);
+  cfg.liotime = rng.Bernoulli(0.2) ? 0.0 : rng.UniformDouble(0.0, 0.4);
+  cfg.npros = rng.UniformInt(1, 16);
+  cfg.tmax = 300.0;
+  cfg.warmup = rng.Bernoulli(0.3) ? 50.0 : 0.0;
+  cfg.think_time = rng.Bernoulli(0.2) ? rng.UniformDouble(1.0, 20.0) : 0.0;
+
+  out.spec = workload::WorkloadSpec::Base(cfg);
+  const int placement_die = static_cast<int>(rng.UniformInt(0, 2));
+  out.spec.placement = placement_die == 0   ? model::Placement::kBest
+                       : placement_die == 1 ? model::Placement::kRandom
+                                            : model::Placement::kWorst;
+  out.spec.partitioning = rng.Bernoulli(0.5)
+                              ? workload::PartitioningMethod::kHorizontal
+                              : workload::PartitioningMethod::kRandom;
+  return out;
+}
+
+void CheckInvariants(const core::SimulationMetrics& m,
+                     const model::SystemConfig& cfg,
+                     const std::string& context) {
+  SCOPED_TRACE(context + " | " + cfg.ToString());
+  EXPECT_GE(m.totcpus, m.lockcpus - 1e-9);
+  EXPECT_GE(m.totios, m.lockios - 1e-9);
+  EXPECT_GE(m.totcpus_sum, m.lockcpus_sum - 1e-9);
+  EXPECT_GE(m.totios_sum, m.lockios_sum - 1e-9);
+  EXPECT_LE(m.totcpus, m.measured_time + 1e-6);
+  EXPECT_LE(m.totios, m.measured_time + 1e-6);
+  EXPECT_LE(m.cpu_utilization, 1.0 + 1e-9);
+  EXPECT_LE(m.io_utilization, 1.0 + 1e-9);
+  EXPECT_LE(m.lock_denials, m.lock_requests);
+  EXPECT_GE(m.response_time, 0.0);
+  EXPECT_GE(m.throughput, 0.0);
+  EXPECT_LE(m.avg_active + m.avg_blocked + m.avg_pending,
+            static_cast<double>(cfg.ntrans) + 1e-6);
+}
+
+class EngineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineFuzzTest, ProbabilisticEngineInvariants) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 8; ++i) {
+    const FuzzCase fuzz = DrawCase(rng);
+    auto result = core::GranularitySimulator::RunOnce(
+        fuzz.cfg, fuzz.spec, rng.NextUint64());
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " for "
+                             << fuzz.cfg.ToString();
+    CheckInvariants(*result, fuzz.cfg, "probabilistic");
+  }
+}
+
+TEST_P(EngineFuzzTest, ExplicitEngineInvariants) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 6; ++i) {
+    FuzzCase fuzz = DrawCase(rng);
+    db::ExplicitSimulator::Options options;
+    options.read_fraction = rng.Bernoulli(0.5) ? rng.NextDouble() : 0.0;
+    if (rng.Bernoulli(0.3)) {
+      options.strategy = db::ExplicitSimulator::LockingStrategy::kHierarchical;
+      options.coarse_threshold = rng.UniformInt(0, fuzz.cfg.maxtransize);
+    }
+    auto result = db::ExplicitSimulator::RunOnce(
+        fuzz.cfg, fuzz.spec, rng.NextUint64(), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " for "
+                             << fuzz.cfg.ToString();
+    CheckInvariants(*result, fuzz.cfg, "explicit");
+  }
+}
+
+TEST_P(EngineFuzzTest, IncrementalEngineInvariants) {
+  Rng rng(GetParam() ^ 0x123456);
+  for (int i = 0; i < 4; ++i) {
+    FuzzCase fuzz = DrawCase(rng);
+    // Keep incremental runs cheap: stage count = granules per txn.
+    fuzz.cfg.maxtransize = std::min<int64_t>(fuzz.cfg.maxtransize, 60);
+    db::IncrementalSimulator::Options options;
+    options.read_fraction = rng.Bernoulli(0.5) ? rng.NextDouble() : 0.0;
+    auto result = db::IncrementalSimulator::RunOnce(
+        fuzz.cfg, fuzz.spec, rng.NextUint64(), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " for "
+                             << fuzz.cfg.ToString();
+    CheckInvariants(*result, fuzz.cfg, "incremental");
+    EXPECT_GE(result->deadlock_aborts, 0);
+  }
+}
+
+TEST_P(EngineFuzzTest, AdmissionCappedEngineInvariants) {
+  Rng rng(GetParam() ^ 0x777);
+  for (int i = 0; i < 6; ++i) {
+    const FuzzCase fuzz = DrawCase(rng);
+    core::GranularitySimulator::Options options;
+    options.max_active = rng.UniformInt(1, fuzz.cfg.ntrans);
+    options.serialize_lock_manager = rng.Bernoulli(0.5);
+    options.requeue_blocked_at_tail = rng.Bernoulli(0.5);
+    auto result = core::GranularitySimulator::RunOnce(
+        fuzz.cfg, fuzz.spec, rng.NextUint64(), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " for "
+                             << fuzz.cfg.ToString();
+    CheckInvariants(*result, fuzz.cfg, "capped");
+    EXPECT_LE(result->avg_active,
+              static_cast<double>(options.max_active) + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
+                         ::testing::Values<uint64_t>(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace granulock

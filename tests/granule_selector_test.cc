@@ -1,0 +1,149 @@
+#include "db/granule_selector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace granulock::db {
+namespace {
+
+void ExpectValidGranuleSet(const std::vector<int64_t>& set, int64_t ltot) {
+  ASSERT_FALSE(set.empty());
+  ASSERT_TRUE(std::is_sorted(set.begin(), set.end()));
+  ASSERT_TRUE(std::adjacent_find(set.begin(), set.end()) == set.end());
+  for (int64_t g : set) {
+    ASSERT_GE(g, 0);
+    ASSERT_LT(g, ltot);
+  }
+}
+
+TEST(GranuleOfEntityTest, EqualDivision) {
+  // dbsize=100, ltot=10: entities 0..9 -> granule 0, 10..19 -> 1, ...
+  EXPECT_EQ(GranuleOfEntity(0, 100, 10), 0);
+  EXPECT_EQ(GranuleOfEntity(9, 100, 10), 0);
+  EXPECT_EQ(GranuleOfEntity(10, 100, 10), 1);
+  EXPECT_EQ(GranuleOfEntity(99, 100, 10), 9);
+}
+
+TEST(GranuleOfEntityTest, NonDividingCounts) {
+  // dbsize=10, ltot=3: every granule must be hit, ids within range.
+  for (int64_t e = 0; e < 10; ++e) {
+    const int64_t g = GranuleOfEntity(e, 10, 3);
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, 3);
+  }
+  EXPECT_EQ(GranuleOfEntity(0, 10, 3), 0);
+  EXPECT_EQ(GranuleOfEntity(9, 10, 3), 2);
+}
+
+TEST(GranuleOfEntityTest, IsMonotone) {
+  int64_t prev = 0;
+  for (int64_t e = 0; e < 1000; ++e) {
+    const int64_t g = GranuleOfEntity(e, 1000, 37);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(SelectGranulesTest, BestIsContiguousModuloWrap) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto set =
+        SelectGranules(model::Placement::kBest, 5000, 100, 500, rng);
+    ASSERT_EQ(set.size(), 10u);  // ceil(500*100/5000)
+    ExpectValidGranuleSet(set, 100);
+    // Contiguous modulo ltot: gaps of 1 except possibly one wrap gap.
+    int big_gaps = 0;
+    for (size_t i = 1; i < set.size(); ++i) {
+      if (set[i] - set[i - 1] != 1) ++big_gaps;
+    }
+    EXPECT_LE(big_gaps, 1);
+  }
+}
+
+TEST(SelectGranulesTest, BestSizeMatchesFormulaAcrossParameters) {
+  Rng rng(2);
+  for (int64_t ltot : {1, 7, 100, 5000}) {
+    for (int64_t nu : {1, 50, 499, 5000}) {
+      const auto set =
+          SelectGranules(model::Placement::kBest, 5000, ltot, nu, rng);
+      EXPECT_EQ(static_cast<int64_t>(set.size()),
+                model::BestPlacementLocks(5000, ltot, nu))
+          << "ltot=" << ltot << " nu=" << nu;
+      ExpectValidGranuleSet(set, ltot);
+    }
+  }
+}
+
+TEST(SelectGranulesTest, WorstSizeIsMinNuLtot) {
+  Rng rng(3);
+  auto set = SelectGranules(model::Placement::kWorst, 5000, 100, 30, rng);
+  EXPECT_EQ(set.size(), 30u);
+  ExpectValidGranuleSet(set, 100);
+  set = SelectGranules(model::Placement::kWorst, 5000, 100, 500, rng);
+  EXPECT_EQ(set.size(), 100u);  // every lock in the system
+}
+
+TEST(SelectGranulesTest, RandomSizeConcentratesAroundYao) {
+  Rng rng(4);
+  const double expected = model::YaoExpectedGranules(5000, 100, 250);
+  double sum = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto set =
+        SelectGranules(model::Placement::kRandom, 5000, 100, 250, rng);
+    ExpectValidGranuleSet(set, 100);
+    sum += static_cast<double>(set.size());
+  }
+  EXPECT_NEAR(sum / trials, expected, expected * 0.02);
+}
+
+TEST(SelectGranulesTest, RandomBoundedByBestAndWorst) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto set =
+        SelectGranules(model::Placement::kRandom, 5000, 50, 100, rng);
+    const auto size = static_cast<int64_t>(set.size());
+    EXPECT_GE(size, model::BestPlacementLocks(5000, 50, 100) > 0 ? 1 : 0);
+    EXPECT_LE(size, model::WorstPlacementLocks(50, 100));
+  }
+}
+
+TEST(SelectGranulesTest, SingleLockDatabase) {
+  Rng rng(6);
+  for (model::Placement p : {model::Placement::kBest,
+                             model::Placement::kRandom,
+                             model::Placement::kWorst}) {
+    const auto set = SelectGranules(p, 5000, 1, 123, rng);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set[0], 0);
+  }
+}
+
+TEST(SelectGranulesTest, EntityGranularityRandomTouchesNuGranules) {
+  Rng rng(7);
+  const auto set =
+      SelectGranules(model::Placement::kRandom, 5000, 5000, 77, rng);
+  EXPECT_EQ(set.size(), 77u);
+  ExpectValidGranuleSet(set, 5000);
+}
+
+TEST(SelectGranulesTest, FullScanTouchesEverything) {
+  Rng rng(8);
+  const auto set =
+      SelectGranules(model::Placement::kRandom, 5000, 100, 5000, rng);
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(SelectGranulesTest, Deterministic) {
+  Rng a(9), b(9);
+  for (model::Placement p : {model::Placement::kBest,
+                             model::Placement::kRandom,
+                             model::Placement::kWorst}) {
+    EXPECT_EQ(SelectGranules(p, 5000, 100, 250, a),
+              SelectGranules(p, 5000, 100, 250, b));
+  }
+}
+
+}  // namespace
+}  // namespace granulock::db

@@ -1,0 +1,195 @@
+#include "lockmgr/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace granulock::lockmgr {
+namespace {
+
+HierarchicalLockManager::Options SmallHier() {
+  HierarchicalLockManager::Options opts;
+  opts.num_granules = 12;
+  opts.num_files = 3;  // files of 4 granules each
+  return opts;
+}
+
+TEST(HierarchicalTest, FileOfGranuleContiguousRanges) {
+  HierarchicalLockManager mgr(SmallHier());
+  EXPECT_EQ(mgr.FileOfGranule(0), 0);
+  EXPECT_EQ(mgr.FileOfGranule(3), 0);
+  EXPECT_EQ(mgr.FileOfGranule(4), 1);
+  EXPECT_EQ(mgr.FileOfGranule(7), 1);
+  EXPECT_EQ(mgr.FileOfGranule(8), 2);
+  EXPECT_EQ(mgr.FileOfGranule(11), 2);
+}
+
+TEST(HierarchicalTest, FileOfGranuleWithRemainder) {
+  HierarchicalLockManager::Options opts;
+  opts.num_granules = 10;
+  opts.num_files = 3;  // 3,3,4 via last-file-takes-remainder
+  HierarchicalLockManager mgr(opts);
+  EXPECT_EQ(mgr.FileOfGranule(9), 2);  // clamped into the last file
+}
+
+TEST(HierarchicalTest, GranuleLockImpliesIntentionsUpward) {
+  HierarchicalLockManager mgr(SmallHier());
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Granule(5), LockMode::kX}}),
+            std::nullopt);
+  EXPECT_EQ(mgr.HeldMode(1, ObjectId::Granule(5)), LockMode::kX);
+  EXPECT_EQ(mgr.HeldMode(1, ObjectId::File(1)), LockMode::kIX);
+  EXPECT_EQ(mgr.HeldMode(1, ObjectId::Root()), LockMode::kIX);
+}
+
+TEST(HierarchicalTest, SharedGranuleUsesIsIntentions) {
+  HierarchicalLockManager mgr(SmallHier());
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Granule(0), LockMode::kS}}),
+            std::nullopt);
+  EXPECT_EQ(mgr.HeldMode(1, ObjectId::File(0)), LockMode::kIS);
+  EXPECT_EQ(mgr.HeldMode(1, ObjectId::Root()), LockMode::kIS);
+}
+
+TEST(HierarchicalTest, RootXBlocksEveryGranuleAccess) {
+  HierarchicalLockManager mgr(SmallHier());
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Root(), LockMode::kX}}),
+            std::nullopt);
+  auto blocker = mgr.TryAcquireAll(2, {{ObjectId::Granule(7), LockMode::kS}});
+  ASSERT_TRUE(blocker.has_value());
+  EXPECT_EQ(*blocker, 1u);
+}
+
+TEST(HierarchicalTest, GranuleXBlocksRootX) {
+  HierarchicalLockManager mgr(SmallHier());
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Granule(7), LockMode::kX}}),
+            std::nullopt);
+  // The root holds IX for txn 1; a root X request conflicts with it.
+  EXPECT_TRUE(
+      mgr.TryAcquireAll(2, {{ObjectId::Root(), LockMode::kX}}).has_value());
+}
+
+TEST(HierarchicalTest, DistinctGranulesWithinFileCoexist) {
+  HierarchicalLockManager mgr(SmallHier());
+  EXPECT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Granule(0), LockMode::kX}}),
+            std::nullopt);
+  EXPECT_EQ(mgr.TryAcquireAll(2, {{ObjectId::Granule(1), LockMode::kX}}),
+            std::nullopt);
+}
+
+TEST(HierarchicalTest, FileXBlocksGranuleInThatFileOnly) {
+  HierarchicalLockManager mgr(SmallHier());
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::File(0), LockMode::kX}}),
+            std::nullopt);
+  // Granule 2 is in file 0 -> blocked at the file level.
+  EXPECT_TRUE(mgr.TryAcquireAll(2, {{ObjectId::Granule(2), LockMode::kX}})
+                  .has_value());
+  // Granule 8 is in file 2 -> no conflict (root intentions IX+IX are
+  // compatible).
+  EXPECT_EQ(mgr.TryAcquireAll(3, {{ObjectId::Granule(8), LockMode::kX}}),
+            std::nullopt);
+}
+
+TEST(HierarchicalTest, SharedFileAllowsSharedGranulesInside) {
+  HierarchicalLockManager mgr(SmallHier());
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::File(0), LockMode::kS}}),
+            std::nullopt);
+  // S on file is compatible with IS+S underneath from another txn.
+  EXPECT_EQ(mgr.TryAcquireAll(2, {{ObjectId::Granule(1), LockMode::kS}}),
+            std::nullopt);
+  // ...but not with a writer in that file (IX vs S conflict at file).
+  EXPECT_TRUE(mgr.TryAcquireAll(3, {{ObjectId::Granule(1), LockMode::kX}})
+                  .has_value());
+}
+
+TEST(HierarchicalTest, ReleaseRemovesIntentionsToo) {
+  HierarchicalLockManager mgr(SmallHier());
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Granule(5), LockMode::kX}}),
+            std::nullopt);
+  mgr.ReleaseAll(1);
+  EXPECT_TRUE(mgr.Empty());
+  EXPECT_EQ(mgr.HeldMode(1, ObjectId::Root()), LockMode::kNL);
+  // Root X now succeeds.
+  EXPECT_EQ(mgr.TryAcquireAll(2, {{ObjectId::Root(), LockMode::kX}}),
+            std::nullopt);
+}
+
+TEST(HierarchicalTest, AllOrNothingOnConflict) {
+  HierarchicalLockManager mgr(SmallHier());
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Granule(5), LockMode::kX}}),
+            std::nullopt);
+  auto blocker = mgr.TryAcquireAll(2, {{ObjectId::Granule(4), LockMode::kX},
+                                       {ObjectId::Granule(5), LockMode::kX}});
+  ASSERT_TRUE(blocker.has_value());
+  EXPECT_EQ(mgr.HeldMode(2, ObjectId::Granule(4)), LockMode::kNL);
+  EXPECT_EQ(mgr.HeldMode(2, ObjectId::Root()), LockMode::kNL);
+}
+
+TEST(HierarchicalTest, EffectiveLockSetMergesIntentions) {
+  HierarchicalLockManager mgr(SmallHier());
+  const auto set = mgr.EffectiveLockSet({{ObjectId::Granule(0), LockMode::kX},
+                                         {ObjectId::Granule(1), LockMode::kX}});
+  // root IX + file0 IX + two granule X = 4 locks.
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0].object, ObjectId::Root());
+  EXPECT_EQ(set[0].mode, LockMode::kIX);
+}
+
+TEST(HierarchicalTest, EffectiveLockSetMixedModesMergeWithSupremum) {
+  HierarchicalLockManager mgr(SmallHier());
+  const auto set = mgr.EffectiveLockSet({{ObjectId::Granule(0), LockMode::kS},
+                                         {ObjectId::Granule(4), LockMode::kX}});
+  // Root intention must be sup(IS, IX) = IX.
+  ASSERT_FALSE(set.empty());
+  EXPECT_EQ(set[0].object, ObjectId::Root());
+  EXPECT_EQ(set[0].mode, LockMode::kIX);
+}
+
+TEST(HierarchicalEscalationTest, EscalatesOversizedGranuleGroups) {
+  HierarchicalLockManager::Options opts = SmallHier();
+  opts.escalation_threshold = 2;
+  HierarchicalLockManager mgr(opts);
+  // Three granules in file 0 -> escalate to file-level X.
+  const auto set = mgr.EffectiveLockSet({{ObjectId::Granule(0), LockMode::kX},
+                                         {ObjectId::Granule(1), LockMode::kX},
+                                         {ObjectId::Granule(2), LockMode::kX}});
+  ASSERT_EQ(set.size(), 2u);  // root IX + file0 X
+  EXPECT_EQ(set[1].object, ObjectId::File(0));
+  EXPECT_EQ(set[1].mode, LockMode::kX);
+}
+
+TEST(HierarchicalEscalationTest, BelowThresholdStaysFine) {
+  HierarchicalLockManager::Options opts = SmallHier();
+  opts.escalation_threshold = 2;
+  HierarchicalLockManager mgr(opts);
+  const auto set = mgr.EffectiveLockSet({{ObjectId::Granule(0), LockMode::kX},
+                                         {ObjectId::Granule(1), LockMode::kX}});
+  EXPECT_EQ(set.size(), 4u);  // root IX + file IX + 2 granule X
+}
+
+TEST(HierarchicalEscalationTest, EscalatedLockBlocksWholeFile) {
+  HierarchicalLockManager::Options opts = SmallHier();
+  opts.escalation_threshold = 1;
+  HierarchicalLockManager mgr(opts);
+  ASSERT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Granule(0), LockMode::kX},
+                                  {ObjectId::Granule(1), LockMode::kX}}),
+            std::nullopt);
+  EXPECT_EQ(mgr.HeldMode(1, ObjectId::File(0)), LockMode::kX);
+  EXPECT_TRUE(mgr.TryAcquireAll(2, {{ObjectId::Granule(3), LockMode::kS}})
+                  .has_value());
+}
+
+TEST(HierarchicalTest, TwoCoarseReadersCoexist) {
+  HierarchicalLockManager mgr(SmallHier());
+  EXPECT_EQ(mgr.TryAcquireAll(1, {{ObjectId::Root(), LockMode::kS}}),
+            std::nullopt);
+  EXPECT_EQ(mgr.TryAcquireAll(2, {{ObjectId::Root(), LockMode::kS}}),
+            std::nullopt);
+  // A fine-grained reader is fine too (IS vs S at root).
+  EXPECT_EQ(mgr.TryAcquireAll(3, {{ObjectId::Granule(2), LockMode::kS}}),
+            std::nullopt);
+  // A writer anywhere is not (IX vs S at root).
+  EXPECT_TRUE(mgr.TryAcquireAll(4, {{ObjectId::Granule(2), LockMode::kX}})
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace granulock::lockmgr

@@ -1,0 +1,144 @@
+#include "lockmgr/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace granulock::lockmgr {
+namespace {
+
+constexpr LockMode kAll[] = {LockMode::kNL, LockMode::kIS, LockMode::kIX,
+                             LockMode::kS, LockMode::kSIX, LockMode::kX};
+
+TEST(LockModeTest, Names) {
+  EXPECT_STREQ(LockModeToString(LockMode::kNL), "NL");
+  EXPECT_STREQ(LockModeToString(LockMode::kIS), "IS");
+  EXPECT_STREQ(LockModeToString(LockMode::kIX), "IX");
+  EXPECT_STREQ(LockModeToString(LockMode::kS), "S");
+  EXPECT_STREQ(LockModeToString(LockMode::kSIX), "SIX");
+  EXPECT_STREQ(LockModeToString(LockMode::kX), "X");
+}
+
+TEST(CompatibilityTest, MatrixIsSymmetric) {
+  for (LockMode a : kAll) {
+    for (LockMode b : kAll) {
+      EXPECT_EQ(Compatible(a, b), Compatible(b, a))
+          << LockModeToString(a) << " vs " << LockModeToString(b);
+    }
+  }
+}
+
+TEST(CompatibilityTest, NlCompatibleWithEverything) {
+  for (LockMode m : kAll) {
+    EXPECT_TRUE(Compatible(LockMode::kNL, m));
+  }
+}
+
+TEST(CompatibilityTest, XConflictsWithEverythingButNl) {
+  for (LockMode m : kAll) {
+    if (m == LockMode::kNL) {
+      EXPECT_TRUE(Compatible(LockMode::kX, m));
+    } else {
+      EXPECT_FALSE(Compatible(LockMode::kX, m));
+    }
+  }
+}
+
+TEST(CompatibilityTest, GraysMatrixSpotChecks) {
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kIX));
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kS));
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kSIX));
+  EXPECT_TRUE(Compatible(LockMode::kIX, LockMode::kIX));
+  EXPECT_FALSE(Compatible(LockMode::kIX, LockMode::kS));
+  EXPECT_FALSE(Compatible(LockMode::kIX, LockMode::kSIX));
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kS));
+  EXPECT_FALSE(Compatible(LockMode::kS, LockMode::kSIX));
+  EXPECT_FALSE(Compatible(LockMode::kSIX, LockMode::kSIX));
+}
+
+TEST(SupremumTest, IdentityAndIdempotence) {
+  for (LockMode m : kAll) {
+    EXPECT_EQ(Supremum(m, m), m);
+    EXPECT_EQ(Supremum(m, LockMode::kNL), m);
+    EXPECT_EQ(Supremum(LockMode::kNL, m), m);
+  }
+}
+
+TEST(SupremumTest, Commutative) {
+  for (LockMode a : kAll) {
+    for (LockMode b : kAll) {
+      EXPECT_EQ(Supremum(a, b), Supremum(b, a));
+    }
+  }
+}
+
+TEST(SupremumTest, IncomparablePairJoinsAtSix) {
+  EXPECT_EQ(Supremum(LockMode::kIX, LockMode::kS), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kS, LockMode::kIX), LockMode::kSIX);
+}
+
+TEST(SupremumTest, XIsTop) {
+  for (LockMode m : kAll) {
+    EXPECT_EQ(Supremum(LockMode::kX, m), LockMode::kX);
+  }
+}
+
+TEST(SupremumTest, SixAbsorbsItsLowerBounds) {
+  EXPECT_EQ(Supremum(LockMode::kSIX, LockMode::kS), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kSIX, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kSIX, LockMode::kIS), LockMode::kSIX);
+}
+
+TEST(SupremumTest, ResultCoversBothOperands) {
+  for (LockMode a : kAll) {
+    for (LockMode b : kAll) {
+      const LockMode join = Supremum(a, b);
+      EXPECT_TRUE(Covers(join, a))
+          << LockModeToString(a) << "," << LockModeToString(b);
+      EXPECT_TRUE(Covers(join, b))
+          << LockModeToString(a) << "," << LockModeToString(b);
+    }
+  }
+}
+
+TEST(SupremumTest, StrongerModeConflictsWithAtLeastAsMuch) {
+  // If j = sup(a, b), anything incompatible with a is incompatible with j.
+  for (LockMode a : kAll) {
+    for (LockMode b : kAll) {
+      const LockMode join = Supremum(a, b);
+      for (LockMode other : kAll) {
+        if (!Compatible(a, other)) {
+          EXPECT_FALSE(Compatible(join, other))
+              << LockModeToString(a) << "," << LockModeToString(b) << ","
+              << LockModeToString(other);
+        }
+      }
+    }
+  }
+}
+
+TEST(CoversTest, ReflexiveAndNlBottom) {
+  for (LockMode m : kAll) {
+    EXPECT_TRUE(Covers(m, m));
+    EXPECT_TRUE(Covers(m, LockMode::kNL));
+  }
+  EXPECT_FALSE(Covers(LockMode::kIS, LockMode::kS));
+  EXPECT_FALSE(Covers(LockMode::kIX, LockMode::kS));
+  EXPECT_FALSE(Covers(LockMode::kS, LockMode::kIX));
+}
+
+TEST(RequiredIntentionTest, ReadPathUsesIs) {
+  EXPECT_EQ(RequiredIntention(LockMode::kS), LockMode::kIS);
+  EXPECT_EQ(RequiredIntention(LockMode::kIS), LockMode::kIS);
+}
+
+TEST(RequiredIntentionTest, WritePathUsesIx) {
+  EXPECT_EQ(RequiredIntention(LockMode::kX), LockMode::kIX);
+  EXPECT_EQ(RequiredIntention(LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(RequiredIntention(LockMode::kSIX), LockMode::kIX);
+}
+
+TEST(RequiredIntentionTest, NlNeedsNothing) {
+  EXPECT_EQ(RequiredIntention(LockMode::kNL), LockMode::kNL);
+}
+
+}  // namespace
+}  // namespace granulock::lockmgr

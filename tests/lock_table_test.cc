@@ -1,0 +1,156 @@
+#include "lockmgr/lock_table.h"
+
+#include <gtest/gtest.h>
+
+namespace granulock::lockmgr {
+namespace {
+
+std::vector<LockRequest> XLocks(std::vector<int64_t> granules) {
+  std::vector<LockRequest> out;
+  for (int64_t g : granules) out.push_back({g, LockMode::kX});
+  return out;
+}
+
+std::vector<LockRequest> SLocks(std::vector<int64_t> granules) {
+  std::vector<LockRequest> out;
+  for (int64_t g : granules) out.push_back({g, LockMode::kS});
+  return out;
+}
+
+TEST(LockTableTest, StartsEmpty) {
+  LockTable table(10);
+  EXPECT_TRUE(table.Empty());
+  EXPECT_EQ(table.LockedGranules(), 0);
+  EXPECT_EQ(table.ActiveTransactions(), 0);
+  EXPECT_EQ(table.num_granules(), 10);
+}
+
+TEST(LockTableTest, AcquireAndRelease) {
+  LockTable table(10);
+  EXPECT_EQ(table.TryAcquireAll(1, XLocks({2, 4, 6})), std::nullopt);
+  EXPECT_EQ(table.HeldMode(1, 2), LockMode::kX);
+  EXPECT_EQ(table.HeldMode(1, 3), LockMode::kNL);
+  EXPECT_EQ(table.LockedGranules(), 3);
+  EXPECT_EQ(table.ActiveTransactions(), 1);
+  table.ReleaseAll(1);
+  EXPECT_TRUE(table.Empty());
+  EXPECT_EQ(table.HeldMode(1, 2), LockMode::kNL);
+}
+
+TEST(LockTableTest, ExclusiveConflictReportsHolder) {
+  LockTable table(10);
+  ASSERT_EQ(table.TryAcquireAll(1, XLocks({3})), std::nullopt);
+  auto blocker = table.TryAcquireAll(2, XLocks({3}));
+  ASSERT_TRUE(blocker.has_value());
+  EXPECT_EQ(*blocker, 1u);
+}
+
+TEST(LockTableTest, AllOrNothingAcquiresNothingOnConflict) {
+  LockTable table(10);
+  ASSERT_EQ(table.TryAcquireAll(1, XLocks({5})), std::nullopt);
+  auto blocker = table.TryAcquireAll(2, XLocks({0, 5, 9}));
+  ASSERT_TRUE(blocker.has_value());
+  // Granules 0 and 9 must not be held by txn 2.
+  EXPECT_EQ(table.HeldMode(2, 0), LockMode::kNL);
+  EXPECT_EQ(table.HeldMode(2, 9), LockMode::kNL);
+  EXPECT_EQ(table.LockedGranules(), 1);
+}
+
+TEST(LockTableTest, DisjointTransactionsCoexist) {
+  LockTable table(10);
+  EXPECT_EQ(table.TryAcquireAll(1, XLocks({0, 1})), std::nullopt);
+  EXPECT_EQ(table.TryAcquireAll(2, XLocks({2, 3})), std::nullopt);
+  EXPECT_EQ(table.ActiveTransactions(), 2);
+}
+
+TEST(LockTableTest, SharedLocksAreCompatible) {
+  LockTable table(10);
+  EXPECT_EQ(table.TryAcquireAll(1, SLocks({4})), std::nullopt);
+  EXPECT_EQ(table.TryAcquireAll(2, SLocks({4})), std::nullopt);
+  EXPECT_EQ(table.HeldMode(1, 4), LockMode::kS);
+  EXPECT_EQ(table.HeldMode(2, 4), LockMode::kS);
+}
+
+TEST(LockTableTest, SharedBlocksExclusive) {
+  LockTable table(10);
+  ASSERT_EQ(table.TryAcquireAll(1, SLocks({4})), std::nullopt);
+  auto blocker = table.TryAcquireAll(2, XLocks({4}));
+  ASSERT_TRUE(blocker.has_value());
+  EXPECT_EQ(*blocker, 1u);
+}
+
+TEST(LockTableTest, ExclusiveBlocksShared) {
+  LockTable table(10);
+  ASSERT_EQ(table.TryAcquireAll(1, XLocks({4})), std::nullopt);
+  EXPECT_TRUE(table.TryAcquireAll(2, SLocks({4})).has_value());
+}
+
+TEST(LockTableTest, BlockerIsLowestConflictingGranuleHolder) {
+  LockTable table(10);
+  ASSERT_EQ(table.TryAcquireAll(1, XLocks({7})), std::nullopt);
+  ASSERT_EQ(table.TryAcquireAll(2, XLocks({3})), std::nullopt);
+  // Requests listed out of order; granule 3 is the lowest conflict.
+  auto blocker = table.TryAcquireAll(5, XLocks({7, 3}));
+  ASSERT_TRUE(blocker.has_value());
+  EXPECT_EQ(*blocker, 2u);
+}
+
+TEST(LockTableTest, DuplicateRequestsKeepStrongestMode) {
+  LockTable table(10);
+  std::vector<LockRequest> reqs = {{6, LockMode::kS}, {6, LockMode::kX}};
+  EXPECT_EQ(table.TryAcquireAll(1, reqs), std::nullopt);
+  EXPECT_EQ(table.HeldMode(1, 6), LockMode::kX);
+  EXPECT_EQ(table.LockedGranules(), 1);
+  table.ReleaseAll(1);
+  EXPECT_TRUE(table.Empty());
+}
+
+TEST(LockTableTest, ReleaseUnknownTxnIsNoOp) {
+  LockTable table(10);
+  table.ReleaseAll(42);  // must not crash
+  EXPECT_TRUE(table.Empty());
+}
+
+TEST(LockTableTest, ReacquireAfterReleaseSucceeds) {
+  LockTable table(10);
+  ASSERT_EQ(table.TryAcquireAll(1, XLocks({0})), std::nullopt);
+  table.ReleaseAll(1);
+  EXPECT_EQ(table.TryAcquireAll(2, XLocks({0})), std::nullopt);
+  // Txn 1 may also come back with a new acquisition (new incarnation).
+  table.ReleaseAll(2);
+  EXPECT_EQ(table.TryAcquireAll(1, XLocks({0})), std::nullopt);
+}
+
+TEST(LockTableTest, EmptyRequestListAcquiresNothing) {
+  LockTable table(10);
+  EXPECT_EQ(table.TryAcquireAll(1, {}), std::nullopt);
+  EXPECT_EQ(table.LockedGranules(), 0);
+  // Txn 1 is now registered as a holder of nothing; release works.
+  table.ReleaseAll(1);
+  EXPECT_TRUE(table.Empty());
+}
+
+TEST(LockTableTest, WholeTableLockSerializesEverything) {
+  LockTable table(4);
+  ASSERT_EQ(table.TryAcquireAll(1, XLocks({0, 1, 2, 3})), std::nullopt);
+  for (TxnId t = 2; t <= 5; ++t) {
+    auto blocker =
+        table.TryAcquireAll(t, XLocks({static_cast<int64_t>(t) % 4}));
+    ASSERT_TRUE(blocker.has_value());
+    EXPECT_EQ(*blocker, 1u);
+  }
+}
+
+TEST(LockTableTest, ManySharedHoldersThenRelease) {
+  LockTable table(4);
+  for (TxnId t = 1; t <= 20; ++t) {
+    ASSERT_EQ(table.TryAcquireAll(t, SLocks({2})), std::nullopt);
+  }
+  EXPECT_EQ(table.ActiveTransactions(), 20);
+  for (TxnId t = 1; t <= 20; ++t) table.ReleaseAll(t);
+  EXPECT_TRUE(table.Empty());
+  EXPECT_EQ(table.TryAcquireAll(99, XLocks({2})), std::nullopt);
+}
+
+}  // namespace
+}  // namespace granulock::lockmgr

@@ -1,0 +1,198 @@
+// Model-checked fuzzing for the hierarchical (MGL) lock manager and the
+// wait-queue lock table: random operation sequences are mirrored against
+// simple reference models, and the semantics are compared step by step.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "lockmgr/hierarchical.h"
+#include "lockmgr/wait_queue_table.h"
+#include "util/random.h"
+
+namespace granulock::lockmgr {
+namespace {
+
+// ---------------------------------------------------------------------
+// Hierarchical manager vs a brute-force reference: a request set is
+// grantable iff, for every granule it touches in X (S), no other live
+// transaction touches that granule in any (X) mode — computed straight
+// from each transaction's leaf-level intent, ignoring the hierarchy.
+// MGL with correct intention locks must agree with this leaf-level truth
+// whenever no transaction holds coarse locks (all requests are leaf
+// requests), which is the property fuzzed here.
+// ---------------------------------------------------------------------
+
+class HierFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HierFuzzTest, LeafRequestsMatchLeafLevelTruth) {
+  constexpr int64_t kGranules = 40;
+  HierarchicalLockManager::Options opts;
+  opts.num_granules = kGranules;
+  opts.num_files = 4;
+  HierarchicalLockManager mgr(opts);
+  Rng rng(GetParam());
+
+  struct LiveTxn {
+    std::vector<int64_t> granules;
+    LockMode mode;
+  };
+  std::map<TxnId, LiveTxn> live;
+  TxnId next_txn = 1;
+
+  for (int step = 0; step < 1500; ++step) {
+    if (rng.Bernoulli(0.65)) {
+      // New transaction requests a random granule set in S or X.
+      const int64_t k = rng.UniformInt(1, 6);
+      const auto granules = rng.SampleWithoutReplacement(kGranules, k);
+      const LockMode mode = rng.Bernoulli(0.5) ? LockMode::kX : LockMode::kS;
+      std::vector<HierRequest> requests;
+      for (int64_t g : granules) {
+        requests.push_back({ObjectId::Granule(g), mode});
+      }
+      // Reference verdict from leaf-level intent.
+      bool expect_conflict = false;
+      for (const auto& [other_id, other] : live) {
+        for (int64_t g : granules) {
+          const bool overlap =
+              std::binary_search(other.granules.begin(),
+                                 other.granules.end(), g);
+          if (overlap && !Compatible(other.mode, mode)) {
+            expect_conflict = true;
+          }
+        }
+      }
+      const auto blocker = mgr.TryAcquireAll(next_txn, requests);
+      ASSERT_EQ(blocker.has_value(), expect_conflict)
+          << "step " << step << " txn " << next_txn;
+      if (!blocker) {
+        live.emplace(next_txn,
+                     LiveTxn{{granules.begin(), granules.end()}, mode});
+      }
+      ++next_txn;
+    } else if (!live.empty()) {
+      // Release a random live transaction.
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(
+                           0, static_cast<int64_t>(live.size()) - 1));
+      mgr.ReleaseAll(it->first);
+      live.erase(it);
+    }
+    if (live.empty()) {
+      ASSERT_TRUE(mgr.Empty()) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierFuzzTest,
+                         ::testing::Values<uint64_t>(10, 20, 30, 40));
+
+// ---------------------------------------------------------------------
+// Wait-queue table vs a queueing reference: X-only operations with FIFO
+// grants, checked after every operation.
+// ---------------------------------------------------------------------
+
+class WaitQueueFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WaitQueueFuzzTest, FifoGrantSemanticsMatchReference) {
+  constexpr int64_t kGranules = 12;
+  WaitQueueLockTable table(kGranules);
+  Rng rng(GetParam());
+
+  // Reference model: per-granule owner and FIFO waiter queue.
+  std::vector<int64_t> owner(kGranules, -1);
+  std::vector<std::vector<TxnId>> queue(kGranules);
+  std::map<TxnId, std::vector<int64_t>> held;
+  std::map<TxnId, int64_t> waiting_on;
+  TxnId next_txn = 1;
+
+  auto ref_grant_front = [&](int64_t g, std::vector<TxnId>* granted) {
+    while (owner[static_cast<size_t>(g)] < 0 &&
+           !queue[static_cast<size_t>(g)].empty()) {
+      const TxnId w = queue[static_cast<size_t>(g)].front();
+      queue[static_cast<size_t>(g)].erase(
+          queue[static_cast<size_t>(g)].begin());
+      owner[static_cast<size_t>(g)] = static_cast<int64_t>(w);
+      held[w].push_back(g);
+      waiting_on.erase(w);
+      granted->push_back(w);
+      break;  // X locks: exactly one grant per free-up
+    }
+  };
+
+  for (int step = 0; step < 1500; ++step) {
+    const int64_t action = rng.UniformInt(0, 2);
+    if (action == 0) {
+      // Acquire: a transaction with no pending wait asks for one granule.
+      const TxnId txn = next_txn++;
+      const int64_t g = rng.UniformInt(0, kGranules - 1);
+      const auto result = table.Acquire(txn, g, LockMode::kX);
+      if (owner[static_cast<size_t>(g)] < 0 &&
+          queue[static_cast<size_t>(g)].empty()) {
+        ASSERT_EQ(result, WaitQueueLockTable::AcquireResult::kGranted)
+            << "step " << step;
+        owner[static_cast<size_t>(g)] = static_cast<int64_t>(txn);
+        held[txn].push_back(g);
+      } else {
+        ASSERT_EQ(result, WaitQueueLockTable::AcquireResult::kQueued)
+            << "step " << step;
+        queue[static_cast<size_t>(g)].push_back(txn);
+        waiting_on[txn] = g;
+      }
+    } else if (action == 1 && !held.empty()) {
+      // Release a random holder (that is not also waiting — mirrors the
+      // engines, which only release transactions that are running).
+      std::vector<TxnId> candidates;
+      for (const auto& [txn, granules] : held) {
+        if (waiting_on.find(txn) == waiting_on.end()) {
+          candidates.push_back(txn);
+        }
+      }
+      if (candidates.empty()) continue;
+      const TxnId victim = candidates[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(candidates.size()) - 1))];
+      const auto granted = table.ReleaseAll(victim);
+      std::vector<TxnId> expected;
+      for (int64_t g : held[victim]) {
+        owner[static_cast<size_t>(g)] = -1;
+        ref_grant_front(g, &expected);
+      }
+      held.erase(victim);
+      ASSERT_EQ(granted, expected) << "step " << step;
+    } else if (!waiting_on.empty()) {
+      // Abort a random waiter.
+      auto it = waiting_on.begin();
+      std::advance(it, rng.UniformInt(
+                           0, static_cast<int64_t>(waiting_on.size()) - 1));
+      const TxnId victim = it->first;
+      const int64_t g = it->second;
+      const auto granted = table.Abort(victim);
+      auto& q = queue[static_cast<size_t>(g)];
+      q.erase(std::find(q.begin(), q.end(), victim));
+      std::vector<TxnId> expected;
+      ref_grant_front(g, &expected);
+      for (int64_t held_g : held[victim]) {
+        owner[static_cast<size_t>(held_g)] = -1;
+        ref_grant_front(held_g, &expected);
+      }
+      held.erase(victim);
+      waiting_on.erase(victim);
+      ASSERT_EQ(granted, expected) << "step " << step;
+    }
+    // Global invariant: waiting counts agree.
+    int64_t ref_waiting = 0;
+    for (const auto& q : queue) {
+      ref_waiting += static_cast<int64_t>(q.size());
+    }
+    ASSERT_EQ(table.WaitingCount(), ref_waiting) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaitQueueFuzzTest,
+                         ::testing::Values<uint64_t>(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace granulock::lockmgr

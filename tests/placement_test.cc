@@ -1,0 +1,150 @@
+#include "model/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace granulock::model {
+namespace {
+
+TEST(PlacementStringsTest, RoundTrip) {
+  for (Placement p :
+       {Placement::kBest, Placement::kRandom, Placement::kWorst}) {
+    Placement parsed;
+    ASSERT_TRUE(PlacementFromString(PlacementToString(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  Placement unused;
+  EXPECT_FALSE(PlacementFromString("bogus", &unused));
+}
+
+TEST(BestPlacementTest, ProportionalToDatabaseFraction) {
+  // A transaction touching 10% of the database needs 10% of the locks
+  // (§3.5: "a transaction accessing 10% of the database requires 10% of
+  // the total locks").
+  EXPECT_EQ(BestPlacementLocks(5000, 100, 500), 10);
+  EXPECT_EQ(BestPlacementLocks(5000, 1000, 500), 100);
+}
+
+TEST(BestPlacementTest, CeilBehaviour) {
+  EXPECT_EQ(BestPlacementLocks(5000, 100, 1), 1);    // tiny txn: 1 lock
+  EXPECT_EQ(BestPlacementLocks(5000, 100, 50), 1);   // exactly one granule
+  EXPECT_EQ(BestPlacementLocks(5000, 100, 51), 2);   // spills into a second
+  EXPECT_EQ(BestPlacementLocks(5000, 5000, 7), 7);   // entity granularity
+  EXPECT_EQ(BestPlacementLocks(5000, 1, 5000), 1);   // whole-db lock
+}
+
+TEST(WorstPlacementTest, MinOfSizeAndLocks) {
+  EXPECT_EQ(WorstPlacementLocks(100, 50), 50);    // NU < ltot
+  EXPECT_EQ(WorstPlacementLocks(100, 100), 100);  // equal
+  EXPECT_EQ(WorstPlacementLocks(100, 500), 100);  // NU > ltot: all locks
+  EXPECT_EQ(WorstPlacementLocks(1, 1), 1);
+}
+
+TEST(YaoTest, SingleGranuleAlwaysTouched) {
+  // ltot = 1: any access touches the single granule.
+  EXPECT_NEAR(YaoExpectedGranules(5000, 1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(YaoExpectedGranules(5000, 1, 5000), 1.0, 1e-12);
+}
+
+TEST(YaoTest, OneEntityTouchesExactlyOneGranule) {
+  for (int64_t ltot : {1, 10, 100, 5000}) {
+    EXPECT_NEAR(YaoExpectedGranules(5000, ltot, 1), 1.0, 1e-9)
+        << "ltot=" << ltot;
+  }
+}
+
+TEST(YaoTest, FullScanTouchesAllGranules) {
+  EXPECT_NEAR(YaoExpectedGranules(5000, 100, 5000), 100.0, 1e-9);
+  EXPECT_NEAR(YaoExpectedGranules(5000, 5000, 5000), 5000.0, 1e-6);
+}
+
+TEST(YaoTest, EntityGranularityEqualsTransactionSize) {
+  // One entity per granule: a transaction of NU random entities touches
+  // exactly NU granules.
+  for (int64_t nu : {1, 10, 250, 2500}) {
+    EXPECT_NEAR(YaoExpectedGranules(5000, 5000, nu),
+                static_cast<double>(nu), 1e-6)
+        << "nu=" << nu;
+  }
+}
+
+TEST(YaoTest, KnownClosedFormSmallCase) {
+  // dbsize=4, ltot=2 (granules of 2), nu=2:
+  // P(granule untouched) = C(2,2)/C(4,2) = 1/6; E = 2*(1 - 1/6) = 5/3.
+  EXPECT_NEAR(YaoExpectedGranules(4, 2, 2), 5.0 / 3.0, 1e-12);
+}
+
+TEST(YaoTest, MonotoneInTransactionSize) {
+  double prev = 0.0;
+  for (int64_t nu = 1; nu <= 5000; nu += 71) {
+    const double e = YaoExpectedGranules(5000, 100, nu);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(YaoTest, BoundedByBestAndWorst) {
+  for (int64_t ltot : {2, 10, 100, 1000, 5000}) {
+    for (int64_t nu : {1, 5, 50, 250, 2500, 5000}) {
+      const double yao = YaoExpectedGranules(5000, ltot, nu);
+      const double best =
+          static_cast<double>(BestPlacementLocks(5000, ltot, nu));
+      const double worst =
+          static_cast<double>(WorstPlacementLocks(ltot, nu));
+      EXPECT_GE(yao, best - 1.0 + 1e-9)
+          << "ltot=" << ltot << " nu=" << nu;  // best uses ceil; allow slack
+      EXPECT_LE(yao, worst + 1e-9) << "ltot=" << ltot << " nu=" << nu;
+    }
+  }
+}
+
+TEST(YaoTest, NonIntegerGranuleSizeIsHandled) {
+  // ltot = 3 does not divide dbsize = 10; the real-valued granule size
+  // formula must still give a value in [1, 3].
+  const double e = YaoExpectedGranules(10, 3, 4);
+  EXPECT_GT(e, 1.0);
+  EXPECT_LE(e, 3.0);
+}
+
+TEST(LocksRequiredTest, BestMatchesFormula) {
+  const LockDemand d = LocksRequired(Placement::kBest, 5000, 100, 500);
+  EXPECT_EQ(d.locks, 10);
+  EXPECT_DOUBLE_EQ(d.expected_locks, 10.0);
+}
+
+TEST(LocksRequiredTest, WorstMatchesFormula) {
+  const LockDemand d = LocksRequired(Placement::kWorst, 5000, 100, 500);
+  EXPECT_EQ(d.locks, 100);
+  EXPECT_DOUBLE_EQ(d.expected_locks, 100.0);
+}
+
+TEST(LocksRequiredTest, RandomBetweenBestAndWorst) {
+  const LockDemand best = LocksRequired(Placement::kBest, 5000, 100, 250);
+  const LockDemand rand = LocksRequired(Placement::kRandom, 5000, 100, 250);
+  const LockDemand worst = LocksRequired(Placement::kWorst, 5000, 100, 250);
+  EXPECT_LE(best.locks, rand.locks);
+  EXPECT_LE(rand.locks, worst.locks);
+  EXPECT_LE(best.expected_locks, rand.expected_locks + 1e-9);
+  EXPECT_LE(rand.expected_locks, worst.expected_locks + 1e-9);
+}
+
+TEST(LocksRequiredTest, AtLeastOneLockAlways) {
+  for (Placement p :
+       {Placement::kBest, Placement::kRandom, Placement::kWorst}) {
+    const LockDemand d = LocksRequired(p, 5000, 50, 1);
+    EXPECT_GE(d.locks, 1) << PlacementToString(p);
+    EXPECT_GE(d.expected_locks, 1.0 - 1e-9) << PlacementToString(p);
+  }
+}
+
+TEST(LocksRequiredTest, LargeRandomTransactionLocksWholeDatabase) {
+  // §3.5: with random/worst placement a large transaction effectively
+  // locks the entire database for moderate ltot.
+  const LockDemand d = LocksRequired(Placement::kRandom, 5000, 10, 2500);
+  EXPECT_EQ(d.locks, 10);
+  EXPECT_NEAR(d.expected_locks, 10.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace granulock::model

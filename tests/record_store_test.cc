@@ -1,0 +1,56 @@
+#include "storage/record_store.h"
+
+#include <gtest/gtest.h>
+
+namespace granulock::storage {
+namespace {
+
+TEST(RecordStoreTest, InitializesAllRecords) {
+  RecordStore store(10, 3, 100);
+  EXPECT_EQ(store.num_records(), 10);
+  EXPECT_EQ(store.num_nodes(), 3);
+  for (int64_t k = 0; k < 10; ++k) EXPECT_EQ(store.Read(k), 100);
+  EXPECT_EQ(store.Total(), 1000);
+  EXPECT_EQ(store.write_count(), 0);
+}
+
+TEST(RecordStoreTest, ReadAfterWrite) {
+  RecordStore store(5, 2);
+  store.Write(3, 42);
+  EXPECT_EQ(store.Read(3), 42);
+  EXPECT_EQ(store.Read(2), 0);
+  EXPECT_EQ(store.write_count(), 1);
+}
+
+TEST(RecordStoreTest, AddIsReadModifyWrite) {
+  RecordStore store(5, 2, 10);
+  EXPECT_EQ(store.Add(1, 5), 15);
+  EXPECT_EQ(store.Add(1, -20), -5);
+  EXPECT_EQ(store.Read(1), -5);
+  EXPECT_EQ(store.write_count(), 2);
+}
+
+TEST(RecordStoreTest, RoundRobinPartitioning) {
+  RecordStore store(10, 3);
+  EXPECT_EQ(store.NodeOf(0), 0);
+  EXPECT_EQ(store.NodeOf(1), 1);
+  EXPECT_EQ(store.NodeOf(2), 2);
+  EXPECT_EQ(store.NodeOf(3), 0);
+  EXPECT_EQ(store.NodeOf(9), 0);
+}
+
+TEST(RecordStoreTest, SingleNodeOwnsEverything) {
+  RecordStore store(7, 1);
+  for (int64_t k = 0; k < 7; ++k) EXPECT_EQ(store.NodeOf(k), 0);
+}
+
+TEST(RecordStoreTest, TotalTracksWrites) {
+  RecordStore store(4, 2, 25);
+  EXPECT_EQ(store.Total(), 100);
+  store.Write(0, 0);
+  store.Write(1, 50);
+  EXPECT_EQ(store.Total(), 100);  // 0 + 50 + 25 + 25
+}
+
+}  // namespace
+}  // namespace granulock::storage

@@ -1,0 +1,138 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace granulock::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilEmpty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesRelativeDelay) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(2.0, [&] {
+    sim.ScheduleAfter(1.5, [&] { fired_at = sim.Now(); });
+  });
+  sim.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(1.0, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.RunUntilEmpty();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelTwiceIsNoOp) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(1.0, [] {});
+  sim.Cancel(id);
+  sim.Cancel(id);  // must not crash
+  sim.RunUntilEmpty();
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(1.0, [] {});
+  sim.RunUntilEmpty();
+  sim.Cancel(id);  // must not crash
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(2.0, [&] { ++fired; });
+  sim.ScheduleAt(5.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline do fire
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, RunUntilWithNoEventsAdvancesClock) {
+  Simulator sim;
+  sim.RunUntil(7.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 7.0);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.ScheduleAfter(1.0, chain);
+  };
+  sim.ScheduleAt(0.0, chain);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.0);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, ExecutedEventsCounter) {
+  Simulator sim;
+  for (int i = 0; i < 4; ++i) sim.ScheduleAt(i, [] {});
+  sim.RunUntilEmpty();
+  EXPECT_EQ(sim.ExecutedEvents(), 4u);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  EventId a = sim.ScheduleAt(1.0, [] {});
+  sim.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, ZeroDelayEventFiresAtSameTime) {
+  Simulator sim;
+  double t = -1.0;
+  sim.ScheduleAt(3.0, [&] {
+    sim.ScheduleAfter(0.0, [&] { t = sim.Now(); });
+  });
+  sim.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(t, 3.0);
+}
+
+}  // namespace
+}  // namespace granulock::sim

@@ -1,0 +1,245 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace granulock::sim {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sample variance with Bessel correction: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(RunningStatTest, SingleObservation) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.5);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(RunningStatTest, MergeMatchesCombinedStream) {
+  RunningStat a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i;
+    a.Add(x);
+    combined.Add(x);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const double x = 5.0 - 0.2 * i;
+    b.Add(x);
+    combined.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.Mean(), combined.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), combined.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 1.0);
+}
+
+TEST(TimeWeightedStatTest, ConstantSignal) {
+  TimeWeightedStat s;
+  s.Start(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.Average(10.0), 3.0);
+}
+
+TEST(TimeWeightedStatTest, StepSignal) {
+  TimeWeightedStat s;
+  s.Start(0.0, 0.0);
+  s.Update(4.0, 2.0);  // value 0 on [0,4), 2 on [4,10)
+  EXPECT_DOUBLE_EQ(s.Average(10.0), (0.0 * 4.0 + 2.0 * 6.0) / 10.0);
+}
+
+TEST(TimeWeightedStatTest, MultipleSteps) {
+  TimeWeightedStat s;
+  s.Start(0.0, 1.0);
+  s.Update(2.0, 3.0);
+  s.Update(5.0, 0.0);
+  // 1*2 + 3*3 + 0*5 over [0,10]
+  EXPECT_DOUBLE_EQ(s.Average(10.0), (2.0 + 9.0) / 10.0);
+}
+
+TEST(TimeWeightedStatTest, AverageAtStartReturnsCurrent) {
+  TimeWeightedStat s;
+  s.Start(5.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.Average(5.0), 7.0);
+}
+
+TEST(TimeWeightedStatTest, ResetWindowDiscardsHistory) {
+  TimeWeightedStat s;
+  s.Start(0.0, 100.0);
+  s.Update(10.0, 2.0);
+  s.ResetWindow(10.0);
+  EXPECT_DOUBLE_EQ(s.Average(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.current(), 2.0);
+}
+
+TEST(StudentTQuantileTest, MatchesTablesAtSmallDf) {
+  EXPECT_NEAR(StudentTQuantile(1, 0.95), 12.7062, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(9, 0.95), 2.2622, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(30, 0.95), 2.0423, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(5, 0.90), 2.0150, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(5, 0.99), 4.0321, 1e-3);
+}
+
+TEST(StudentTQuantileTest, LargeDfApproachesNormal) {
+  EXPECT_NEAR(StudentTQuantile(1000, 0.95), 1.96, 0.01);
+  EXPECT_NEAR(StudentTQuantile(1000, 0.99), 2.58, 0.01);
+  // Monotone decreasing in df.
+  EXPECT_GT(StudentTQuantile(31, 0.95), StudentTQuantile(100, 0.95));
+}
+
+TEST(ConfidenceHalfWidthTest, ZeroForTinySamples) {
+  EXPECT_DOUBLE_EQ(ConfidenceHalfWidth(0, 1.0, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(ConfidenceHalfWidth(1, 1.0, 0.95), 0.0);
+}
+
+TEST(ConfidenceHalfWidthTest, ShrinksWithSampleSize) {
+  const double hw10 = ConfidenceHalfWidth(10, 2.0, 0.95);
+  const double hw100 = ConfidenceHalfWidth(100, 2.0, 0.95);
+  EXPECT_GT(hw10, hw100);
+  EXPECT_GT(hw10, 0.0);
+}
+
+TEST(ConfidenceHalfWidthTest, KnownValue) {
+  // n=10, s=2: t_{9,0.975} * 2 / sqrt(10) = 2.2622 * 0.63246 ~ 1.4307
+  EXPECT_NEAR(ConfidenceHalfWidth(10, 2.0, 0.95), 1.4307, 1e-3);
+}
+
+TEST(BatchMeansTest, SplitsEvenly) {
+  std::vector<double> series{1, 2, 3, 4, 5, 6};
+  auto batches = BatchMeans(series, 3);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_DOUBLE_EQ(batches[0], 1.5);
+  EXPECT_DOUBLE_EQ(batches[1], 3.5);
+  EXPECT_DOUBLE_EQ(batches[2], 5.5);
+}
+
+TEST(BatchMeansTest, RemainderFoldsIntoLastBatch) {
+  std::vector<double> series{1, 2, 3, 4, 5, 6, 7};
+  auto batches = BatchMeans(series, 3);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_DOUBLE_EQ(batches[0], 1.5);
+  EXPECT_DOUBLE_EQ(batches[1], 3.5);
+  EXPECT_DOUBLE_EQ(batches[2], 6.0);  // mean of {5,6,7}
+}
+
+TEST(BatchMeansTest, MoreBatchesThanPointsClamps) {
+  std::vector<double> series{2.0, 4.0};
+  auto batches = BatchMeans(series, 10);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_DOUBLE_EQ(batches[0], 2.0);
+  EXPECT_DOUBLE_EQ(batches[1], 4.0);
+}
+
+TEST(BatchMeansTest, EmptySeries) {
+  EXPECT_TRUE(BatchMeans({}, 4).empty());
+}
+
+TEST(QuantileEstimatorTest, EmptyReturnsZero) {
+  QuantileEstimator q;
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(QuantileEstimatorTest, ExactQuantilesBelowCapacity) {
+  QuantileEstimator q(100);
+  for (int i = 1; i <= 99; ++i) q.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 99.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 50.0);
+  EXPECT_NEAR(q.Quantile(0.95), 94.1, 1e-9);
+}
+
+TEST(QuantileEstimatorTest, SingleValue) {
+  QuantileEstimator q;
+  q.Add(7.5);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 7.5);
+}
+
+TEST(QuantileEstimatorTest, InterleavedAddAndQuery) {
+  QuantileEstimator q(16);
+  q.Add(1.0);
+  q.Add(3.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 2.0);  // interpolated
+  q.Add(2.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 2.0);  // exact middle
+}
+
+TEST(QuantileEstimatorTest, ReservoirApproximatesUniform) {
+  // 100k uniform [0, 1) samples through a 2048-slot reservoir: quantile
+  // estimates should be close to the true values.
+  QuantileEstimator q(2048, 99);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) q.Add(rng.NextDouble());
+  EXPECT_EQ(q.count(), 100000u);
+  EXPECT_NEAR(q.Quantile(0.5), 0.5, 0.05);
+  EXPECT_NEAR(q.Quantile(0.95), 0.95, 0.03);
+  EXPECT_NEAR(q.Quantile(0.99), 0.99, 0.02);
+}
+
+TEST(QuantileEstimatorTest, ResetForgets) {
+  QuantileEstimator q;
+  q.Add(100.0);
+  q.Reset();
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 0.0);
+  q.Add(1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 1.0);
+}
+
+TEST(QuantileEstimatorTest, DeterministicForSeedAndOrder) {
+  QuantileEstimator a(64, 7), b(64, 7);
+  Rng ra(3), rb(3);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(ra.NextDouble());
+    b.Add(rb.NextDouble());
+  }
+  EXPECT_DOUBLE_EQ(a.Quantile(0.9), b.Quantile(0.9));
+}
+
+}  // namespace
+}  // namespace granulock::sim

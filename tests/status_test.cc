@@ -1,0 +1,111 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace granulock {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("boom").message(), "boom");
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  Status s = Status::InvalidArgument("bad ltot");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad ltot");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::NotFound("nothing");
+  EXPECT_EQ(os.str(), "NotFound: nothing");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ReturnNotOkTest, PropagatesError) {
+  auto fails = [] { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    GRANULOCK_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(ReturnNotOkTest, PassesThroughOk) {
+  auto succeeds = [] { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    GRANULOCK_RETURN_NOT_OK(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace granulock

@@ -1,0 +1,85 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace granulock {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f s=%s", 3, 1.5, "hi"), "x=3 y=1.50 s=hi");
+}
+
+TEST(StrFormatTest, EmptyFormat) { EXPECT_EQ(StrFormat("%s", ""), ""); }
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_arg(5000, 'a');
+  EXPECT_EQ(StrFormat("%s", long_arg.c_str()).size(), 5000u);
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\nabc\r "), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-flag", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  int64_t v = 99;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("x12", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_EQ(v, 99);  // untouched on failure
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_TRUE(ParseDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 9.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("1.5abc", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_DOUBLE_EQ(v, 9.0);
+}
+
+}  // namespace
+}  // namespace granulock

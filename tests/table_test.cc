@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace granulock {
+namespace {
+
+TEST(CsvEscapeTest, PlainCellPassesThrough) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesCellsWithSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"locks", "tp"});
+  t.AddRow({"1", "0.5"});
+  t.AddRow({"10000", "0.25"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header, separator, two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("locks"), std::string::npos);
+  EXPECT_NE(out.find("10000"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TablePrinterTest, TruncatesOverlongRows) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2", "3", "4"});  // extra cells dropped
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"x", "note"});
+  t.AddRow({"1", "plain"});
+  t.AddRow({"2", "with,comma"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,note\n1,plain\n2,\"with,comma\"\n");
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter t({"a", "b"});
+  t.AddNumericRow({1.0, 0.123456789});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,0.123457\n");
+}
+
+}  // namespace
+}  // namespace granulock

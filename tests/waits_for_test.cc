@@ -1,0 +1,162 @@
+#include "lockmgr/waits_for.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace granulock::lockmgr {
+namespace {
+
+TEST(WaitsForGraphTest, EmptyGraphHasNoCycle) {
+  WaitsForGraph g;
+  EXPECT_TRUE(g.FindCycleFrom(1).empty());
+  EXPECT_TRUE(g.Empty());
+}
+
+TEST(WaitsForGraphTest, AddAndQueryEdges) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(1, 3);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+  EXPECT_EQ(g.EdgeCount(), 2u);
+}
+
+TEST(WaitsForGraphTest, DuplicateEdgesStoredOnce) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(1, 2);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(WaitsForGraphTest, SelfEdgesIgnored) {
+  WaitsForGraph g;
+  g.AddWait(5, 5);
+  EXPECT_TRUE(g.Empty());
+  EXPECT_TRUE(g.FindCycleFrom(5).empty());
+}
+
+TEST(WaitsForGraphTest, TwoCycleDetected) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(2, 1);
+  const auto cycle = g.FindCycleFrom(1);
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_EQ(cycle[0], 1u);
+  EXPECT_EQ(cycle[1], 2u);
+}
+
+TEST(WaitsForGraphTest, ChainIsNotACycle) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(2, 3);
+  g.AddWait(3, 4);
+  EXPECT_TRUE(g.FindCycleFrom(1).empty());
+  EXPECT_TRUE(g.FindCycleFrom(4).empty());
+}
+
+TEST(WaitsForGraphTest, LongCycleDetectedFromEveryMember) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(2, 3);
+  g.AddWait(3, 4);
+  g.AddWait(4, 1);
+  for (TxnId start : {1u, 2u, 3u, 4u}) {
+    const auto cycle = g.FindCycleFrom(start);
+    ASSERT_EQ(cycle.size(), 4u) << "start=" << start;
+    EXPECT_EQ(cycle[0], start);
+  }
+}
+
+TEST(WaitsForGraphTest, NodeOffTheCycleSeesNoCycle) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(2, 1);
+  g.AddWait(3, 1);  // 3 waits into the cycle but is not on it
+  EXPECT_TRUE(g.FindCycleFrom(3).empty());
+  EXPECT_FALSE(g.FindCycleFrom(1).empty());
+}
+
+TEST(WaitsForGraphTest, CycleThroughBranchingFound) {
+  // start has a dead branch and a cyclic branch; DFS must not give up
+  // after the dead one.
+  WaitsForGraph g;
+  g.AddWait(1, 2);  // dead branch
+  g.AddWait(2, 9);
+  g.AddWait(1, 3);  // cyclic branch
+  g.AddWait(3, 4);
+  g.AddWait(4, 1);
+  const auto cycle = g.FindCycleFrom(1);
+  ASSERT_FALSE(cycle.empty());
+  EXPECT_EQ(cycle.front(), 1u);
+  // Last node on the path must point back at start.
+  EXPECT_TRUE(g.HasEdge(cycle.back(), 1));
+}
+
+TEST(WaitsForGraphTest, MultiHolderWaits) {
+  // One waiter, two holders (S locks): edges to both; cycle through
+  // either is detected.
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(1, 3);
+  g.AddWait(3, 1);
+  const auto cycle = g.FindCycleFrom(1);
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_EQ(cycle[1], 3u);
+}
+
+TEST(WaitsForGraphTest, ClearWaitsRemovesOutgoingOnly) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(2, 1);
+  g.ClearWaits(1);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_TRUE(g.FindCycleFrom(2).empty());
+}
+
+TEST(WaitsForGraphTest, RemoveTransactionRemovesBothDirections) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(2, 3);
+  g.AddWait(3, 2);
+  g.RemoveTransaction(2);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(3, 2));
+  EXPECT_TRUE(g.Empty());
+}
+
+TEST(WaitsForGraphTest, BreakingTheCycleClearsDetection) {
+  WaitsForGraph g;
+  g.AddWait(1, 2);
+  g.AddWait(2, 3);
+  g.AddWait(3, 1);
+  ASSERT_FALSE(g.FindCycleFrom(1).empty());
+  g.ClearWaits(2);  // victim released
+  EXPECT_TRUE(g.FindCycleFrom(1).empty());
+  EXPECT_TRUE(g.FindCycleFrom(3).empty());
+}
+
+TEST(WaitsForGraphTest, LargeRandomGraphTerminates) {
+  WaitsForGraph g;
+  // A 100-node ring plus chords: cycle must be found quickly from any
+  // node and the DFS must terminate.
+  for (TxnId i = 0; i < 100; ++i) {
+    g.AddWait(i, (i + 1) % 100);
+    g.AddWait(i, (i + 7) % 100);
+  }
+  const auto cycle = g.FindCycleFrom(42);
+  ASSERT_FALSE(cycle.empty());
+  EXPECT_EQ(cycle.front(), 42u);
+  EXPECT_TRUE(g.HasEdge(cycle.back(), 42));
+  // Path must be simple (no repeated nodes).
+  auto sorted = cycle;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+}  // namespace
+}  // namespace granulock::lockmgr

@@ -1,0 +1,159 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace granulock::workload {
+namespace {
+
+model::SystemConfig TestConfig() {
+  model::SystemConfig cfg = model::SystemConfig::Table1Defaults();
+  cfg.npros = 10;
+  cfg.ltot = 100;
+  return cfg;
+}
+
+TEST(PartitioningStringsTest, RoundTrip) {
+  for (PartitioningMethod m :
+       {PartitioningMethod::kHorizontal, PartitioningMethod::kRandom}) {
+    PartitioningMethod parsed;
+    ASSERT_TRUE(PartitioningFromString(PartitioningToString(m), &parsed));
+    EXPECT_EQ(parsed, m);
+  }
+  PartitioningMethod unused;
+  EXPECT_FALSE(PartitioningFromString("diagonal", &unused));
+}
+
+TEST(WorkloadSpecTest, BaseMatchesPaperBaseWorkload) {
+  const model::SystemConfig cfg = TestConfig();
+  const WorkloadSpec spec = WorkloadSpec::Base(cfg);
+  ASSERT_NE(spec.sizes, nullptr);
+  EXPECT_EQ(spec.sizes->MaxSize(), cfg.maxtransize);
+  EXPECT_EQ(spec.placement, model::Placement::kBest);
+  EXPECT_EQ(spec.partitioning, PartitioningMethod::kHorizontal);
+  EXPECT_TRUE(spec.Validate(cfg).ok());
+}
+
+TEST(WorkloadSpecTest, ValidateRejectsMissingSizes) {
+  WorkloadSpec spec;
+  EXPECT_FALSE(spec.Validate(TestConfig()).ok());
+}
+
+TEST(WorkloadSpecTest, ValidateRejectsOversizedTransactions) {
+  const model::SystemConfig cfg = TestConfig();
+  WorkloadSpec spec = WorkloadSpec::Base(cfg);
+  spec.sizes = std::make_shared<UniformSizeDistribution>(cfg.dbsize + 1);
+  EXPECT_FALSE(spec.Validate(cfg).ok());
+}
+
+TEST(WorkloadSpecTest, DescribeMentionsEveryDimension) {
+  const WorkloadSpec spec = WorkloadSpec::Base(TestConfig());
+  const std::string d = spec.Describe();
+  EXPECT_NE(d.find("uniform"), std::string::npos);
+  EXPECT_NE(d.find("best"), std::string::npos);
+  EXPECT_NE(d.find("horizontal"), std::string::npos);
+}
+
+TEST(GenerateTransactionTest, HorizontalUsesAllProcessors) {
+  const model::SystemConfig cfg = TestConfig();
+  const WorkloadSpec spec = WorkloadSpec::Base(cfg);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const TransactionParams p = GenerateTransaction(cfg, spec, rng);
+    EXPECT_EQ(p.pu, cfg.npros);
+    ASSERT_EQ(p.nodes.size(), static_cast<size_t>(cfg.npros));
+    for (int64_t n = 0; n < cfg.npros; ++n) {
+      EXPECT_EQ(p.nodes[static_cast<size_t>(n)], n);
+    }
+  }
+}
+
+TEST(GenerateTransactionTest, RandomPartitioningUsesSubset) {
+  const model::SystemConfig cfg = TestConfig();
+  WorkloadSpec spec = WorkloadSpec::Base(cfg);
+  spec.partitioning = PartitioningMethod::kRandom;
+  Rng rng(2);
+  std::set<int64_t> pu_seen;
+  for (int i = 0; i < 500; ++i) {
+    const TransactionParams p = GenerateTransaction(cfg, spec, rng);
+    ASSERT_GE(p.pu, 1);
+    ASSERT_LE(p.pu, cfg.npros);
+    pu_seen.insert(p.pu);
+    // Nodes are distinct and in range.
+    std::set<int32_t> distinct(p.nodes.begin(), p.nodes.end());
+    ASSERT_EQ(distinct.size(), p.nodes.size());
+    for (int32_t n : p.nodes) {
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, cfg.npros);
+    }
+  }
+  // PU ~ U{1..10}: with 500 draws we should see every value.
+  EXPECT_EQ(pu_seen.size(), static_cast<size_t>(cfg.npros));
+}
+
+TEST(GenerateTransactionTest, DemandsFollowDefinitions) {
+  const model::SystemConfig cfg = TestConfig();
+  const WorkloadSpec spec = WorkloadSpec::Base(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const TransactionParams p = GenerateTransaction(cfg, spec, rng);
+    EXPECT_DOUBLE_EQ(p.io_demand, static_cast<double>(p.nu) * cfg.iotime);
+    EXPECT_DOUBLE_EQ(p.cpu_demand, static_cast<double>(p.nu) * cfg.cputime);
+    EXPECT_DOUBLE_EQ(p.lock_io_demand, p.expected_locks * cfg.liotime);
+    EXPECT_DOUBLE_EQ(p.lock_cpu_demand, p.expected_locks * cfg.lcputime);
+  }
+}
+
+TEST(GenerateTransactionTest, LockCountMatchesBestPlacement) {
+  const model::SystemConfig cfg = TestConfig();
+  const WorkloadSpec spec = WorkloadSpec::Base(cfg);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const TransactionParams p = GenerateTransaction(cfg, spec, rng);
+    EXPECT_EQ(p.lu, model::BestPlacementLocks(cfg.dbsize, cfg.ltot, p.nu));
+  }
+}
+
+TEST(GenerateTransactionTest, SizesWithinDistributionBounds) {
+  const model::SystemConfig cfg = TestConfig();
+  const WorkloadSpec spec = WorkloadSpec::Base(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const TransactionParams p = GenerateTransaction(cfg, spec, rng);
+    ASSERT_GE(p.nu, 1);
+    ASSERT_LE(p.nu, cfg.maxtransize);
+  }
+}
+
+TEST(GenerateTransactionTest, DeterministicForSeed) {
+  const model::SystemConfig cfg = TestConfig();
+  const WorkloadSpec spec = WorkloadSpec::Base(cfg);
+  Rng a(77), b(77);
+  for (int i = 0; i < 50; ++i) {
+    const TransactionParams pa = GenerateTransaction(cfg, spec, a);
+    const TransactionParams pb = GenerateTransaction(cfg, spec, b);
+    EXPECT_EQ(pa.nu, pb.nu);
+    EXPECT_EQ(pa.lu, pb.lu);
+    EXPECT_EQ(pa.pu, pb.pu);
+    EXPECT_EQ(pa.nodes, pb.nodes);
+  }
+}
+
+TEST(GenerateTransactionTest, SingleProcessorDegeneratesToUniprocessor) {
+  model::SystemConfig cfg = TestConfig();
+  cfg.npros = 1;
+  for (PartitioningMethod m :
+       {PartitioningMethod::kHorizontal, PartitioningMethod::kRandom}) {
+    WorkloadSpec spec = WorkloadSpec::Base(cfg);
+    spec.partitioning = m;
+    Rng rng(6);
+    const TransactionParams p = GenerateTransaction(cfg, spec, rng);
+    EXPECT_EQ(p.pu, 1);
+    ASSERT_EQ(p.nodes.size(), 1u);
+    EXPECT_EQ(p.nodes[0], 0);
+  }
+}
+
+}  // namespace
+}  // namespace granulock::workload
