@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_claim_policy.dir/bench_ablation_claim_policy.cc.o"
+  "CMakeFiles/bench_ablation_claim_policy.dir/bench_ablation_claim_policy.cc.o.d"
+  "CMakeFiles/bench_ablation_claim_policy.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_claim_policy.dir/bench_common.cc.o.d"
+  "bench_ablation_claim_policy"
+  "bench_ablation_claim_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_claim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

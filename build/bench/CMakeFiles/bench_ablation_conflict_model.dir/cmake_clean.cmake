@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conflict_model.dir/bench_ablation_conflict_model.cc.o"
+  "CMakeFiles/bench_ablation_conflict_model.dir/bench_ablation_conflict_model.cc.o.d"
+  "CMakeFiles/bench_ablation_conflict_model.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_conflict_model.dir/bench_common.cc.o.d"
+  "bench_ablation_conflict_model"
+  "bench_ablation_conflict_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conflict_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mgl.dir/bench_ablation_mgl.cc.o"
+  "CMakeFiles/bench_ablation_mgl.dir/bench_ablation_mgl.cc.o.d"
+  "CMakeFiles/bench_ablation_mgl.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_mgl.dir/bench_common.cc.o.d"
+  "bench_ablation_mgl"
+  "bench_ablation_mgl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mgl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_npros_throughput.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig02_npros_throughput.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig02_npros_throughput.dir/bench_fig02_npros_throughput.cc.o"
+  "CMakeFiles/bench_fig02_npros_throughput.dir/bench_fig02_npros_throughput.cc.o.d"
+  "bench_fig02_npros_throughput"
+  "bench_fig02_npros_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_npros_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_lock_overhead_large.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig04_lock_overhead_large.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig04_lock_overhead_large.dir/bench_fig04_lock_overhead_large.cc.o"
+  "CMakeFiles/bench_fig04_lock_overhead_large.dir/bench_fig04_lock_overhead_large.cc.o.d"
+  "bench_fig04_lock_overhead_large"
+  "bench_fig04_lock_overhead_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_lock_overhead_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_lock_overhead_small.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig05_lock_overhead_small.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig05_lock_overhead_small.dir/bench_fig05_lock_overhead_small.cc.o"
+  "CMakeFiles/bench_fig05_lock_overhead_small.dir/bench_fig05_lock_overhead_small.cc.o.d"
+  "bench_fig05_lock_overhead_small"
+  "bench_fig05_lock_overhead_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_lock_overhead_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_txn_size.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig06_txn_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig06_txn_size.dir/bench_fig06_txn_size.cc.o"
+  "CMakeFiles/bench_fig06_txn_size.dir/bench_fig06_txn_size.cc.o.d"
+  "bench_fig06_txn_size"
+  "bench_fig06_txn_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_txn_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_lock_io_time.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig07_lock_io_time.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig07_lock_io_time.dir/bench_fig07_lock_io_time.cc.o"
+  "CMakeFiles/bench_fig07_lock_io_time.dir/bench_fig07_lock_io_time.cc.o.d"
+  "bench_fig07_lock_io_time"
+  "bench_fig07_lock_io_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_lock_io_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

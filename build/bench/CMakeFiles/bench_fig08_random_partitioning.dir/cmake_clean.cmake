@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_random_partitioning.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig08_random_partitioning.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig08_random_partitioning.dir/bench_fig08_random_partitioning.cc.o"
+  "CMakeFiles/bench_fig08_random_partitioning.dir/bench_fig08_random_partitioning.cc.o.d"
+  "bench_fig08_random_partitioning"
+  "bench_fig08_random_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_random_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_placement_large.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig09_placement_large.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig09_placement_large.dir/bench_fig09_placement_large.cc.o"
+  "CMakeFiles/bench_fig09_placement_large.dir/bench_fig09_placement_large.cc.o.d"
+  "bench_fig09_placement_large"
+  "bench_fig09_placement_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_placement_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mixed_txns.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_mixed_txns.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_mixed_txns.dir/bench_fig11_mixed_txns.cc.o"
+  "CMakeFiles/bench_fig11_mixed_txns.dir/bench_fig11_mixed_txns.cc.o.d"
+  "bench_fig11_mixed_txns"
+  "bench_fig11_mixed_txns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mixed_txns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funds_transfer.dir/funds_transfer.cpp.o"
+  "CMakeFiles/funds_transfer.dir/funds_transfer.cpp.o.d"
+  "funds_transfer"
+  "funds_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funds_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_tuning.dir/granularity_tuning.cpp.o"
+  "CMakeFiles/granularity_tuning.dir/granularity_tuning.cpp.o.d"
+  "granularity_tuning"
+  "granularity_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/granulock_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/granulock_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/granularity_simulator.cc" "src/core/CMakeFiles/granulock_core.dir/granularity_simulator.cc.o" "gcc" "src/core/CMakeFiles/granulock_core.dir/granularity_simulator.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/granulock_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/granulock_core.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/granulock_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/granulock_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/granulock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/granulock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

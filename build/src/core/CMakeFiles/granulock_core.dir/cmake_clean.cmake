@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granulock_core.dir/experiment.cc.o"
+  "CMakeFiles/granulock_core.dir/experiment.cc.o.d"
+  "CMakeFiles/granulock_core.dir/granularity_simulator.cc.o"
+  "CMakeFiles/granulock_core.dir/granularity_simulator.cc.o.d"
+  "CMakeFiles/granulock_core.dir/metrics.cc.o"
+  "CMakeFiles/granulock_core.dir/metrics.cc.o.d"
+  "libgranulock_core.a"
+  "libgranulock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granulock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/explicit_simulator.cc" "src/db/CMakeFiles/granulock_db.dir/explicit_simulator.cc.o" "gcc" "src/db/CMakeFiles/granulock_db.dir/explicit_simulator.cc.o.d"
+  "/root/repo/src/db/granule_selector.cc" "src/db/CMakeFiles/granulock_db.dir/granule_selector.cc.o" "gcc" "src/db/CMakeFiles/granulock_db.dir/granule_selector.cc.o.d"
+  "/root/repo/src/db/incremental_simulator.cc" "src/db/CMakeFiles/granulock_db.dir/incremental_simulator.cc.o" "gcc" "src/db/CMakeFiles/granulock_db.dir/incremental_simulator.cc.o.d"
+  "/root/repo/src/db/transfer_simulator.cc" "src/db/CMakeFiles/granulock_db.dir/transfer_simulator.cc.o" "gcc" "src/db/CMakeFiles/granulock_db.dir/transfer_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/granulock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lockmgr/CMakeFiles/granulock_lockmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/granulock_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/granulock_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/granulock_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/granulock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/granulock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granulock_db.dir/explicit_simulator.cc.o"
+  "CMakeFiles/granulock_db.dir/explicit_simulator.cc.o.d"
+  "CMakeFiles/granulock_db.dir/granule_selector.cc.o"
+  "CMakeFiles/granulock_db.dir/granule_selector.cc.o.d"
+  "CMakeFiles/granulock_db.dir/incremental_simulator.cc.o"
+  "CMakeFiles/granulock_db.dir/incremental_simulator.cc.o.d"
+  "CMakeFiles/granulock_db.dir/transfer_simulator.cc.o"
+  "CMakeFiles/granulock_db.dir/transfer_simulator.cc.o.d"
+  "libgranulock_db.a"
+  "libgranulock_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granulock_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

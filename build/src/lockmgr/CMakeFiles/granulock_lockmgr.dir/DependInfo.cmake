@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lockmgr/hierarchical.cc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/hierarchical.cc.o" "gcc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/hierarchical.cc.o.d"
+  "/root/repo/src/lockmgr/lock_mode.cc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/lock_mode.cc.o" "gcc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/lock_mode.cc.o.d"
+  "/root/repo/src/lockmgr/lock_table.cc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/lock_table.cc.o" "gcc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/lock_table.cc.o.d"
+  "/root/repo/src/lockmgr/wait_queue_table.cc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/wait_queue_table.cc.o" "gcc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/wait_queue_table.cc.o.d"
+  "/root/repo/src/lockmgr/waits_for.cc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/waits_for.cc.o" "gcc" "src/lockmgr/CMakeFiles/granulock_lockmgr.dir/waits_for.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/granulock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

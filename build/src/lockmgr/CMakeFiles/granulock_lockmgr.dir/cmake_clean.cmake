@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granulock_lockmgr.dir/hierarchical.cc.o"
+  "CMakeFiles/granulock_lockmgr.dir/hierarchical.cc.o.d"
+  "CMakeFiles/granulock_lockmgr.dir/lock_mode.cc.o"
+  "CMakeFiles/granulock_lockmgr.dir/lock_mode.cc.o.d"
+  "CMakeFiles/granulock_lockmgr.dir/lock_table.cc.o"
+  "CMakeFiles/granulock_lockmgr.dir/lock_table.cc.o.d"
+  "CMakeFiles/granulock_lockmgr.dir/wait_queue_table.cc.o"
+  "CMakeFiles/granulock_lockmgr.dir/wait_queue_table.cc.o.d"
+  "CMakeFiles/granulock_lockmgr.dir/waits_for.cc.o"
+  "CMakeFiles/granulock_lockmgr.dir/waits_for.cc.o.d"
+  "libgranulock_lockmgr.a"
+  "libgranulock_lockmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granulock_lockmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

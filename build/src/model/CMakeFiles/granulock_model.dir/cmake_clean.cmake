@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granulock_model.dir/analytic.cc.o"
+  "CMakeFiles/granulock_model.dir/analytic.cc.o.d"
+  "CMakeFiles/granulock_model.dir/config.cc.o"
+  "CMakeFiles/granulock_model.dir/config.cc.o.d"
+  "CMakeFiles/granulock_model.dir/conflict.cc.o"
+  "CMakeFiles/granulock_model.dir/conflict.cc.o.d"
+  "CMakeFiles/granulock_model.dir/placement.cc.o"
+  "CMakeFiles/granulock_model.dir/placement.cc.o.d"
+  "libgranulock_model.a"
+  "libgranulock_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granulock_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/busy_union.cc" "src/sim/CMakeFiles/granulock_sim.dir/busy_union.cc.o" "gcc" "src/sim/CMakeFiles/granulock_sim.dir/busy_union.cc.o.d"
+  "/root/repo/src/sim/priority_server.cc" "src/sim/CMakeFiles/granulock_sim.dir/priority_server.cc.o" "gcc" "src/sim/CMakeFiles/granulock_sim.dir/priority_server.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/granulock_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/granulock_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/granulock_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/granulock_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/granulock_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/granulock_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/granulock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

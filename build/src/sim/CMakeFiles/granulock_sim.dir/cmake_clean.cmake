@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granulock_sim.dir/busy_union.cc.o"
+  "CMakeFiles/granulock_sim.dir/busy_union.cc.o.d"
+  "CMakeFiles/granulock_sim.dir/priority_server.cc.o"
+  "CMakeFiles/granulock_sim.dir/priority_server.cc.o.d"
+  "CMakeFiles/granulock_sim.dir/simulator.cc.o"
+  "CMakeFiles/granulock_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/granulock_sim.dir/stats.cc.o"
+  "CMakeFiles/granulock_sim.dir/stats.cc.o.d"
+  "CMakeFiles/granulock_sim.dir/trace.cc.o"
+  "CMakeFiles/granulock_sim.dir/trace.cc.o.d"
+  "libgranulock_sim.a"
+  "libgranulock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granulock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granulock_storage.dir/record_store.cc.o"
+  "CMakeFiles/granulock_storage.dir/record_store.cc.o.d"
+  "libgranulock_storage.a"
+  "libgranulock_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granulock_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgranulock_storage.a"
+)

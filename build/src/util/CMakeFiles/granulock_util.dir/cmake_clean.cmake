@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granulock_util.dir/flags.cc.o"
+  "CMakeFiles/granulock_util.dir/flags.cc.o.d"
+  "CMakeFiles/granulock_util.dir/logging.cc.o"
+  "CMakeFiles/granulock_util.dir/logging.cc.o.d"
+  "CMakeFiles/granulock_util.dir/random.cc.o"
+  "CMakeFiles/granulock_util.dir/random.cc.o.d"
+  "CMakeFiles/granulock_util.dir/status.cc.o"
+  "CMakeFiles/granulock_util.dir/status.cc.o.d"
+  "CMakeFiles/granulock_util.dir/strings.cc.o"
+  "CMakeFiles/granulock_util.dir/strings.cc.o.d"
+  "CMakeFiles/granulock_util.dir/table.cc.o"
+  "CMakeFiles/granulock_util.dir/table.cc.o.d"
+  "libgranulock_util.a"
+  "libgranulock_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granulock_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

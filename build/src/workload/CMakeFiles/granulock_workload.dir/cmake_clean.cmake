@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granulock_workload.dir/size_distribution.cc.o"
+  "CMakeFiles/granulock_workload.dir/size_distribution.cc.o.d"
+  "CMakeFiles/granulock_workload.dir/workload.cc.o"
+  "CMakeFiles/granulock_workload.dir/workload.cc.o.d"
+  "libgranulock_workload.a"
+  "libgranulock_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granulock_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytic_test.cc" "tests/CMakeFiles/analytic_test.dir/analytic_test.cc.o" "gcc" "tests/CMakeFiles/analytic_test.dir/analytic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/granulock_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/granulock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lockmgr/CMakeFiles/granulock_lockmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/granulock_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/granulock_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/granulock_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/granulock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/granulock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/busy_union_test.dir/busy_union_test.cc.o"
+  "CMakeFiles/busy_union_test.dir/busy_union_test.cc.o.d"
+  "busy_union_test"
+  "busy_union_test.pdb"
+  "busy_union_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/busy_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explicit_simulator_test.dir/explicit_simulator_test.cc.o"
+  "CMakeFiles/explicit_simulator_test.dir/explicit_simulator_test.cc.o.d"
+  "explicit_simulator_test"
+  "explicit_simulator_test.pdb"
+  "explicit_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explicit_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_simulator_test.dir/granularity_simulator_test.cc.o"
+  "CMakeFiles/granularity_simulator_test.dir/granularity_simulator_test.cc.o.d"
+  "granularity_simulator_test"
+  "granularity_simulator_test.pdb"
+  "granularity_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

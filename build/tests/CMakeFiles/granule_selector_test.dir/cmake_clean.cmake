@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granule_selector_test.dir/granule_selector_test.cc.o"
+  "CMakeFiles/granule_selector_test.dir/granule_selector_test.cc.o.d"
+  "granule_selector_test"
+  "granule_selector_test.pdb"
+  "granule_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granule_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

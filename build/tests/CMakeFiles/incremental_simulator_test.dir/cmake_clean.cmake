@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_simulator_test.dir/incremental_simulator_test.cc.o"
+  "CMakeFiles/incremental_simulator_test.dir/incremental_simulator_test.cc.o.d"
+  "incremental_simulator_test"
+  "incremental_simulator_test.pdb"
+  "incremental_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_mode_test.dir/lock_mode_test.cc.o"
+  "CMakeFiles/lock_mode_test.dir/lock_mode_test.cc.o.d"
+  "lock_mode_test"
+  "lock_mode_test.pdb"
+  "lock_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

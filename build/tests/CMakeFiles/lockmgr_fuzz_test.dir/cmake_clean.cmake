@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockmgr_fuzz_test.dir/lockmgr_fuzz_test.cc.o"
+  "CMakeFiles/lockmgr_fuzz_test.dir/lockmgr_fuzz_test.cc.o.d"
+  "lockmgr_fuzz_test"
+  "lockmgr_fuzz_test.pdb"
+  "lockmgr_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockmgr_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

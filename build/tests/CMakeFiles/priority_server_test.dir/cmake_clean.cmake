@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_server_test.dir/priority_server_test.cc.o"
+  "CMakeFiles/priority_server_test.dir/priority_server_test.cc.o.d"
+  "priority_server_test"
+  "priority_server_test.pdb"
+  "priority_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_distribution_test.dir/size_distribution_test.cc.o"
+  "CMakeFiles/size_distribution_test.dir/size_distribution_test.cc.o.d"
+  "size_distribution_test"
+  "size_distribution_test.pdb"
+  "size_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

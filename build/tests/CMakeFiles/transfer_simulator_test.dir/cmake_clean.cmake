@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_simulator_test.dir/transfer_simulator_test.cc.o"
+  "CMakeFiles/transfer_simulator_test.dir/transfer_simulator_test.cc.o.d"
+  "transfer_simulator_test"
+  "transfer_simulator_test.pdb"
+  "transfer_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

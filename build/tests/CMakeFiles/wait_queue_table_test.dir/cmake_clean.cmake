@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_queue_table_test.dir/wait_queue_table_test.cc.o"
+  "CMakeFiles/wait_queue_table_test.dir/wait_queue_table_test.cc.o.d"
+  "wait_queue_table_test"
+  "wait_queue_table_test.pdb"
+  "wait_queue_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_queue_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
