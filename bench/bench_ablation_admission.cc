@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
   bench::PrintOptimaSummary(data);
+  bench::MaybeWriteJsonReport("ablation_admission", data, args);
   return 0;
 }

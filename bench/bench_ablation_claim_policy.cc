@@ -106,5 +106,8 @@ int main(int argc, char** argv) {
       "almost surely), which strengthens — not weakens — the paper's "
       "coarse-granularity conclusion for large random-access "
       "transactions.\n");
+  bench::MaybeWriteTableJsonReport(
+      "ablation_claim_policy",
+      {{"best_placement", &table}, {"worst_placement", &table2}}, args);
   return 0;
 }

@@ -77,5 +77,7 @@ int main(int argc, char** argv) {
       "\noptimal ltot: probabilistic=%lld (tp %.5g), explicit=%lld (tp "
       "%.5g)\n",
       (long long)best_prob, best_prob_tp, (long long)best_expl, best_expl_tp);
+  bench::MaybeWriteTableJsonReport("ablation_conflict_model",
+                                   {{"throughput", &table}}, args);
   return 0;
 }

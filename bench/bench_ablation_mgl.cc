@@ -85,5 +85,7 @@ int main(int argc, char** argv) {
   } else {
     table.Print(std::cout);
   }
+  bench::MaybeWriteTableJsonReport("ablation_mgl", {{"throughput", &table}},
+                                   args);
   return 0;
 }

@@ -38,5 +38,6 @@ int main(int argc, char** argv) {
   const bench::FigureData data = bench::RunFigure(series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
+  bench::MaybeWriteJsonReport("ablation_release_policy", data, args);
   return 0;
 }

@@ -1,9 +1,13 @@
 #include "bench/bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "obs/json_writer.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -17,12 +21,35 @@ void BenchArgs::Register(FlagParser& parser) {
                    "time units discarded before measuring");
   parser.AddBool("csv", &csv, false, "emit CSV instead of aligned tables");
   parser.AddBool("quick", &quick, false, "shrink tmax 10x for a smoke run");
+  parser.AddBool("json_out", &json_out, false,
+                 "also write BENCH_<id>.json with the full result grid");
+  parser.AddString("log_level", &log_level, "info",
+                   "minimum log severity: debug|info|warning|error");
 }
 
 void BenchArgs::Apply(model::SystemConfig* cfg) const {
   cfg->tmax = quick ? tmax / 10.0 : tmax;
   cfg->warmup = quick ? warmup / 10.0 : warmup;
 }
+
+namespace {
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 BenchArgs ParseArgsOrDie(int argc, char** argv) {
   BenchArgs args;
@@ -36,6 +63,13 @@ BenchArgs ParseArgsOrDie(int argc, char** argv) {
     std::cerr << status << "\n" << parser.UsageString(argv[0]);
     std::exit(1);
   }
+  LogLevel level = LogLevel::kInfo;
+  if (!ParseLogLevel(args.log_level, &level)) {
+    std::cerr << "unknown --log_level '" << args.log_level
+              << "' (expected debug|info|warning|error)\n";
+    std::exit(1);
+  }
+  SetLogThreshold(level);
   return args;
 }
 
@@ -96,6 +130,7 @@ double MetricValue(Metric metric, const core::SimulationMetrics& m) {
 FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
                      std::vector<int64_t> lock_counts) {
   GRANULOCK_CHECK(!series.empty());
+  const auto wall_start = std::chrono::steady_clock::now();
   FigureData data;
   data.series = series;
   data.lock_counts = lock_counts.empty()
@@ -115,6 +150,10 @@ FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
       data.values[s].push_back(std::move(point.metrics));
     }
   }
+  data.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return data;
 }
 
@@ -139,6 +178,138 @@ void PrintMetricTable(const FigureData& data, Metric metric,
     table.Print(std::cout);
   }
   std::printf("\n");
+}
+
+namespace {
+
+void WriteArgsJson(obs::JsonWriter& w, const BenchArgs& args) {
+  w.Key("params").BeginObject();
+  w.Key("seed").Value(args.seed);
+  w.Key("reps").Value(args.reps);
+  w.Key("tmax").Value(args.tmax);
+  w.Key("warmup").Value(args.warmup);
+  w.Key("quick").Value(args.quick);
+  w.EndObject();
+}
+
+}  // namespace
+
+Status WriteJsonReport(const std::string& experiment_id,
+                       const FigureData& data, const BenchArgs& args) {
+  // Total simulation events across the grid; RunReplicated reports the
+  // per-point total over replications, so summing the grid gives the
+  // whole bench's event count.
+  double total_events = 0.0;
+  for (const auto& series_values : data.values) {
+    for (const auto& rep : series_values) {
+      total_events += static_cast<double>(rep.mean.events_executed);
+    }
+  }
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("experiment").Value(experiment_id);
+  WriteArgsJson(w, args);
+  w.Key("wall_seconds").Value(data.wall_seconds);
+  w.Key("events_executed").Value(total_events);
+  w.Key("events_per_sec")
+      .Value(data.wall_seconds > 0.0 ? total_events / data.wall_seconds
+                                     : 0.0);
+  w.Key("lock_counts").BeginArray();
+  for (int64_t ltot : data.lock_counts) w.Value(ltot);
+  w.EndArray();
+  w.Key("series").BeginArray();
+  for (size_t s = 0; s < data.series.size(); ++s) {
+    w.BeginObject();
+    w.Key("label").Value(data.series[s].label);
+    w.Key("points").BeginArray();
+    for (size_t l = 0; l < data.lock_counts.size(); ++l) {
+      const core::ReplicatedMetrics& rep = data.values[s][l];
+      const core::SimulationMetrics& m = rep.mean;
+      w.BeginObject();
+      w.Key("ltot").Value(data.lock_counts[l]);
+      w.Key("throughput").Value(m.throughput);
+      w.Key("throughput_hw95").Value(rep.throughput_hw95);
+      w.Key("response_time").Value(m.response_time);
+      w.Key("response_hw95").Value(rep.response_hw95);
+      w.Key("usefulcpus").Value(m.usefulcpus);
+      w.Key("usefulios").Value(m.usefulios);
+      w.Key("lockcpus").Value(m.lockcpus);
+      w.Key("lockios").Value(m.lockios);
+      w.Key("denial_rate").Value(m.denial_rate);
+      w.Key("deadlock_aborts").Value(m.deadlock_aborts);
+      w.Key("events_executed").Value(m.events_executed);
+      w.Key("phase_pending_wait").Value(m.phase_pending_wait);
+      w.Key("phase_lock_wait").Value(m.phase_lock_wait);
+      w.Key("phase_io_service").Value(m.phase_io_service);
+      w.Key("phase_cpu_service").Value(m.phase_cpu_service);
+      w.Key("phase_sync_wait").Value(m.phase_sync_wait);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string path = StrFormat("BENCH_%s.json", experiment_id.c_str());
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Internal(StrFormat("cannot open %s", path.c_str()));
+  }
+  file << os.str() << "\n";
+  if (!file.good()) {
+    return Status::Internal(StrFormat("write to %s failed", path.c_str()));
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return Status::OK();
+}
+
+void MaybeWriteJsonReport(const std::string& experiment_id,
+                          const FigureData& data, const BenchArgs& args) {
+  if (!args.json_out) return;
+  const Status status = WriteJsonReport(experiment_id, data, args);
+  if (!status.ok()) {
+    GRANULOCK_LOG(Error) << "JSON report: " << status;
+  }
+}
+
+void MaybeWriteTableJsonReport(
+    const std::string& experiment_id,
+    const std::vector<std::pair<std::string, const TablePrinter*>>& tables,
+    const BenchArgs& args) {
+  if (!args.json_out) return;
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("experiment").Value(experiment_id);
+  WriteArgsJson(w, args);
+  w.Key("tables").BeginObject();
+  for (const auto& [name, table] : tables) {
+    w.Key(name).BeginObject();
+    w.Key("columns").BeginArray();
+    for (const std::string& col : table->header()) w.Value(col);
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const auto& row : table->rows()) {
+      w.BeginArray();
+      for (const std::string& cell : row) w.Value(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+
+  const std::string path = StrFormat("BENCH_%s.json", experiment_id.c_str());
+  std::ofstream file(path);
+  if (!file) {
+    GRANULOCK_LOG(Error) << "JSON report: cannot open " << path;
+    return;
+  }
+  file << os.str() << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 void PrintOptimaSummary(const FigureData& data) {

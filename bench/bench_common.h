@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
 #include "model/config.h"
 #include "util/flags.h"
+#include "util/status.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workload/workload.h"
@@ -24,6 +26,8 @@ struct BenchArgs {
   double warmup = 0.0;     ///< paper convention: measure from t = 0
   bool csv = false;        ///< emit CSV instead of aligned tables
   bool quick = false;      ///< shrink tmax 10x for smoke runs
+  bool json_out = false;   ///< also write BENCH_<id>.json (machine-readable)
+  std::string log_level = "info";  ///< debug|info|warning|error
 
   /// Registers the flags on `parser`.
   void Register(FlagParser& parser);
@@ -33,7 +37,8 @@ struct BenchArgs {
 };
 
 /// Parses argv with the standard bench flags; exits the process on --help
-/// or a flag error. Returns the parsed arguments.
+/// or a flag error. Applies `--log_level` to the global log threshold.
+/// Returns the parsed arguments.
 BenchArgs ParseArgsOrDie(int argc, char** argv);
 
 /// Prints the standard experiment banner (figure id, what the paper shows,
@@ -72,6 +77,9 @@ struct FigureData {
   std::vector<Series> series;
   /// values[s][l] = replicated metrics for series s at lock_counts[l].
   std::vector<std::vector<core::ReplicatedMetrics>> values;
+  /// Wall-clock seconds `RunFigure` spent executing the whole grid
+  /// (engine self-profiling; feeds the JSON report's events/sec).
+  double wall_seconds = 0.0;
 };
 
 /// Runs every series over the standard lock sweep (or `lock_counts` when
@@ -88,6 +96,26 @@ void PrintMetricTable(const FigureData& data, Metric metric,
 
 /// Prints the per-series throughput-optimal lock count summary.
 void PrintOptimaSummary(const FigureData& data);
+
+/// Writes `BENCH_<experiment_id>.json` in the working directory: run
+/// parameters, the full (series x ltot) metric grid with confidence
+/// half-widths and phase decomposition, plus wall time and simulation
+/// events/sec. The format is stable enough to diff across runs.
+Status WriteJsonReport(const std::string& experiment_id,
+                       const FigureData& data, const BenchArgs& args);
+
+/// Calls `WriteJsonReport` when `--json_out` was passed; logs (but does
+/// not propagate) failures, so benches can call it unconditionally.
+void MaybeWriteJsonReport(const std::string& experiment_id,
+                          const FigureData& data, const BenchArgs& args);
+
+/// `--json_out` support for the table-shaped benches (table1, ablations):
+/// serializes `tables` (name -> rendered TablePrinter) with the run
+/// parameters into `BENCH_<experiment_id>.json`.
+void MaybeWriteTableJsonReport(
+    const std::string& experiment_id,
+    const std::vector<std::pair<std::string, const TablePrinter*>>& tables,
+    const BenchArgs& args);
 
 }  // namespace granulock::bench
 

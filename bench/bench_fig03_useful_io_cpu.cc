@@ -29,5 +29,6 @@ int main(int argc, char** argv) {
   const bench::FigureData data = bench::RunFigure(series, args);
   bench::PrintMetricTable(data, bench::Metric::kUsefulIo, args);
   bench::PrintMetricTable(data, bench::Metric::kUsefulCpu, args);
+  bench::MaybeWriteJsonReport("fig03", data, args);
   return 0;
 }

@@ -30,5 +30,6 @@ int main(int argc, char** argv) {
   const bench::FigureData data = bench::RunFigure(series, args);
   bench::PrintMetricTable(data, bench::Metric::kLockOverheadTotal, args);
   bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
+  bench::MaybeWriteJsonReport("fig04", data, args);
   return 0;
 }

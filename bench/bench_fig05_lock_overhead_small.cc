@@ -29,5 +29,6 @@ int main(int argc, char** argv) {
   const bench::FigureData data = bench::RunFigure(series, args);
   bench::PrintMetricTable(data, bench::Metric::kLockOverheadTotal, args);
   bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
+  bench::MaybeWriteJsonReport("fig05", data, args);
   return 0;
 }

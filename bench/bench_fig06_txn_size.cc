@@ -31,5 +31,6 @@ int main(int argc, char** argv) {
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintMetricTable(data, bench::Metric::kResponseTime, args);
   bench::PrintOptimaSummary(data);
+  bench::MaybeWriteJsonReport("fig06", data, args);
   return 0;
 }

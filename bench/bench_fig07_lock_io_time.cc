@@ -30,5 +30,6 @@ int main(int argc, char** argv) {
   const bench::FigureData data = bench::RunFigure(series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
+  bench::MaybeWriteJsonReport("fig07", data, args);
   return 0;
 }

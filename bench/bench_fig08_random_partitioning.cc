@@ -32,5 +32,6 @@ int main(int argc, char** argv) {
   const bench::FigureData data = bench::RunFigure(series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
+  bench::MaybeWriteJsonReport("fig08", data, args);
   return 0;
 }

@@ -39,5 +39,6 @@ int main(int argc, char** argv) {
   const bench::FigureData data = bench::RunFigure(series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
+  bench::MaybeWriteJsonReport("fig09", data, args);
   return 0;
 }

@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
     std::printf("  80/20 mix:                    %.5g\n",
                 run(workload::MakeSmallLargeMix(0.8, 50, 500)));
   }
+  bench::MaybeWriteJsonReport("fig11", data, args);
   return 0;
 }

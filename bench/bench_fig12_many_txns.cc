@@ -35,5 +35,6 @@ int main(int argc, char** argv) {
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
   bench::PrintOptimaSummary(data);
+  bench::MaybeWriteJsonReport("fig12", data, args);
   return 0;
 }

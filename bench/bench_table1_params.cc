@@ -37,5 +37,6 @@ int main(int argc, char** argv) {
 
   const Status status = cfg.Validate();
   std::printf("\nvalidation: %s\n", status.ToString().c_str());
+  bench::MaybeWriteTableJsonReport("table1", {{"params", &table}}, args);
   return status.ok() ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include "db/incremental_simulator.h"
 #include "model/analytic.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace {
@@ -39,14 +40,24 @@ void Section(const char* title) { std::printf("\n== %s ==\n", title); }
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string log_level = "info";
   FlagParser parser;
   parser.AddDouble("tmax", &g_tmax, 2500.0, "time units per mini-run");
   parser.AddInt64("seed", &g_seed, 42, "PRNG seed");
+  parser.AddString("log_level", &log_level, "info",
+                   "minimum log severity: debug|info|warning|error");
   const Status flag_status = parser.Parse(argc, argv);
   if (flag_status.code() == StatusCode::kFailedPrecondition) return 0;
   if (!flag_status.ok()) {
     std::cerr << flag_status << "\n" << parser.UsageString(argv[0]);
     return 1;
+  }
+  if (log_level == "debug") {
+    SetLogThreshold(LogLevel::kDebug);
+  } else if (log_level == "warning") {
+    SetLogThreshold(LogLevel::kWarning);
+  } else if (log_level == "error") {
+    SetLogThreshold(LogLevel::kError);
   }
 
   std::printf(

@@ -56,6 +56,11 @@ Result<ReplicatedMetrics> RunReplicated(const model::SystemConfig& cfg,
     m.io_utilization += s.io_utilization;
     m.deadlock_aborts += s.deadlock_aborts;
     m.events_executed += s.events_executed;
+    m.phase_pending_wait += s.phase_pending_wait;
+    m.phase_lock_wait += s.phase_lock_wait;
+    m.phase_io_service += s.phase_io_service;
+    m.phase_cpu_service += s.phase_cpu_service;
+    m.phase_sync_wait += s.phase_sync_wait;
     throughput_stat.Add(s.throughput);
     response_stat.Add(s.response_time);
   }
@@ -90,6 +95,11 @@ Result<ReplicatedMetrics> RunReplicated(const model::SystemConfig& cfg,
   m.io_utilization /= n;
   m.deadlock_aborts =
       static_cast<int64_t>(static_cast<double>(m.deadlock_aborts) / n);
+  m.phase_pending_wait /= n;
+  m.phase_lock_wait /= n;
+  m.phase_io_service /= n;
+  m.phase_cpu_service /= n;
+  m.phase_sync_wait /= n;
   out.throughput_hw95 = sim::ConfidenceHalfWidth(
       throughput_stat.count(), throughput_stat.StdDev(), 0.95);
   out.response_hw95 = sim::ConfidenceHalfWidth(

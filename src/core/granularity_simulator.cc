@@ -1,7 +1,9 @@
 #include "core/granularity_simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/strings.h"
@@ -18,6 +20,22 @@ struct GranularitySimulator::Txn {
   double arrival_time = 0.0;  // first entry into the pending queue
   int64_t subtxns_remaining = 0;
   std::vector<Txn*> blocked;
+
+  // Phase accounting (always on). The five per-txn phase values sum to
+  // the response time exactly: pending/lock intervals tile [arrival,
+  // grant], and each sub-transaction's io/cpu/sync spans tile [grant,
+  // completion], so their mean over `pu` sub-transactions does too.
+  double pending_since = 0.0;  // entered the pending queue (current stint)
+  double lock_since = 0.0;     // left pending / started lock processing
+  double grant_time = 0.0;     // locks granted, sub-transactions fanned out
+  double pending_wait = 0.0;   // accumulated over all pending stints
+  double lock_wait = 0.0;      // accumulated over all lock attempts
+  double io_span_sum = 0.0;    // sum over sub-txns of [grant, io done]
+  double cpu_span_sum = 0.0;   // sum over sub-txns of [io done, cpu done]
+  double cpu_done_sum = 0.0;   // sum of cpu-done timestamps (for sync)
+  // (node, cpu-done) per sub-transaction; filled only when a SpanRecorder
+  // is attached, to emit the sync spans at completion.
+  std::vector<std::pair<int32_t, double>> sub_cpu_done;
 };
 
 GranularitySimulator::GranularitySimulator(model::SystemConfig cfg,
@@ -54,6 +72,7 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
     return Status::FailedPrecondition("Run() may only be called once");
   }
   ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
   GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
   GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
   if (options_.max_active < 0) {
@@ -88,6 +107,8 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
           io_union_.Transition(now, delta_any, delta_lock);
         });
   }
+
+  SetUpObservability();
 
   active_stat_.Start(0.0, 0.0);
   blocked_stat_.Start(0.0, 0.0);
@@ -140,7 +161,107 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
   m.io_utilization =
       m.measured_time > 0.0 ? m.totios_sum / (npros * m.measured_time) : 0.0;
   m.events_executed = sim_.ExecutedEvents();
+  m.phase_pending_wait = phase_pending_.Mean();
+  m.phase_lock_wait = phase_lock_.Mean();
+  m.phase_io_service = phase_io_.Mean();
+  m.phase_cpu_service = phase_cpu_.Mean();
+  m.phase_sync_wait = phase_sync_.Mean();
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  PublishRunProfile(wall_seconds);
   return m;
+}
+
+void GranularitySimulator::SetUpObservability() {
+  if (options_.obs.registry != nullptr) {
+    auto* reg = options_.obs.registry;
+    ctr_txn_created_ = reg->GetCounter("engine.txn_created");
+    ctr_lock_requests_ = reg->GetCounter("engine.lock_requests");
+    ctr_lock_denials_ = reg->GetCounter("engine.lock_denials");
+    ctr_lock_grants_ = reg->GetCounter("engine.lock_grants");
+    ctr_subtxns_done_ = reg->GetCounter("engine.subtxns_completed");
+    ctr_txn_completed_ = reg->GetCounter("engine.txn_completed");
+    hist_response_ = reg->GetHistogram(
+        "engine.response_time",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+  }
+  if (options_.obs.sampler != nullptr) {
+    auto* sampler = options_.obs.sampler;
+    std::vector<std::string> cols = {"active", "blocked", "pending",
+                                     "throughput"};
+    for (int64_t n = 0; n < cfg_.npros; ++n) {
+      cols.push_back(StrFormat("cpu%lld_util", (long long)n));
+    }
+    for (int64_t n = 0; n < cfg_.npros; ++n) {
+      cols.push_back(StrFormat("disk%lld_util", (long long)n));
+    }
+    sampler->SetColumns(std::move(cols));
+    sample_cpu_busy_.assign(static_cast<size_t>(cfg_.npros), 0.0);
+    sample_io_busy_.assign(static_cast<size_t>(cfg_.npros), 0.0);
+    const double iv = sampler->interval();
+    if (iv > 0.0 && iv <= cfg_.tmax) {
+      sim_.ScheduleObserverAt(iv, [this] { SampleTick(); });
+    }
+  }
+}
+
+void GranularitySimulator::SampleTick() {
+  auto* sampler = options_.obs.sampler;
+  const double now = sim_.Now();
+  const double dt = now - sample_time_;
+  std::vector<double> row;
+  row.reserve(4 + 2 * static_cast<size_t>(cfg_.npros));
+  row.push_back(static_cast<double>(active_.size()));
+  row.push_back(static_cast<double>(blocked_count_));
+  row.push_back(static_cast<double>(pending_.size()));
+  // Interval deltas are clamped at 0: the warmup reset zeroes the
+  // underlying totals mid-stream, so the one row straddling the warmup
+  // boundary under-reports rather than going negative.
+  row.push_back(dt > 0.0 ? std::max(0.0, static_cast<double>(
+                                             totcom_ - sample_totcom_)) /
+                               dt
+                         : 0.0);
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    const size_t i = static_cast<size_t>(n);
+    const double busy = cpu_[i]->TotalBusyTime();
+    row.push_back(dt > 0.0
+                      ? std::max(0.0, busy - sample_cpu_busy_[i]) / dt
+                      : 0.0);
+    sample_cpu_busy_[i] = busy;
+  }
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    const size_t i = static_cast<size_t>(n);
+    const double busy = io_[i]->TotalBusyTime();
+    row.push_back(dt > 0.0 ? std::max(0.0, busy - sample_io_busy_[i]) / dt
+                           : 0.0);
+    sample_io_busy_[i] = busy;
+  }
+  sample_totcom_ = totcom_;
+  sample_time_ = now;
+  sampler->Push(now, std::move(row));
+  const double iv = sampler->interval();
+  if (now + iv <= cfg_.tmax) {
+    sim_.ScheduleObserverAfter(iv, [this] { SampleTick(); });
+  }
+}
+
+void GranularitySimulator::PublishRunProfile(double wall_seconds) {
+  if (options_.obs.registry == nullptr) return;
+  auto* reg = options_.obs.registry;
+  reg->GetGauge("sim.events_executed")
+      ->Set(static_cast<double>(sim_.ExecutedEvents()));
+  reg->GetGauge("sim.observer_events")
+      ->Set(static_cast<double>(sim_.ExecutedObserverEvents()));
+  reg->GetGauge("sim.event_queue_hwm")
+      ->Set(static_cast<double>(sim_.MaxPendingEvents()));
+  reg->GetGauge("engine.wall_seconds")->Set(wall_seconds);
+  reg->GetGauge("engine.events_per_sec")
+      ->Set(wall_seconds > 0.0
+                ? static_cast<double>(sim_.ExecutedEvents()) / wall_seconds
+                : 0.0);
 }
 
 void GranularitySimulator::BeginMeasurement() {
@@ -151,6 +272,14 @@ void GranularitySimulator::BeginMeasurement() {
   lock_denials_ = 0;
   response_.Reset();
   response_quantiles_.Reset();
+  phase_pending_.Reset();
+  phase_lock_.Reset();
+  phase_io_.Reset();
+  phase_cpu_.Reset();
+  phase_sync_.Reset();
+  sample_totcom_ = 0;
+  std::fill(sample_cpu_busy_.begin(), sample_cpu_busy_.end(), 0.0);
+  std::fill(sample_io_busy_.begin(), sample_io_busy_.end(), 0.0);
   const double now = sim_.Now();
   cpu_union_.ResetWindow(now);
   io_union_.ResetWindow(now);
@@ -180,6 +309,7 @@ GranularitySimulator::Txn* GranularitySimulator::CreateTransaction(
   txn->id = next_txn_id_++;
   txn->params = workload::GenerateTransaction(cfg_, spec_, rng_);
   txn->arrival_time = arrival_time;
+  if (ctr_txn_created_ != nullptr) ctr_txn_created_->Increment();
   if (options_.trace != nullptr) {
     options_.trace->Record(sim_.Now(), txn->id, sim::TraceEventType::kCreated,
                            txn->params.nu);
@@ -199,6 +329,7 @@ void GranularitySimulator::DestroyTransaction(Txn* txn) {
 }
 
 void GranularitySimulator::EnqueuePending(Txn* txn, bool at_tail) {
+  txn->pending_since = sim_.Now();
   if (at_tail) {
     pending_.push_back(txn);
   } else {
@@ -261,6 +392,15 @@ void GranularitySimulator::PumpLockManager() {
 void GranularitySimulator::BeginLockRequest(Txn* txn) {
   ++outstanding_lock_requests_;
   ++lock_requests_;
+  const double now = sim_.Now();
+  txn->pending_wait += now - txn->pending_since;
+  txn->lock_since = now;
+  if (options_.obs.spans != nullptr) {
+    options_.obs.spans->Record(txn->id, obs::Phase::kPendingWait,
+                               obs::kLifecycleTrack, txn->pending_since,
+                               now);
+  }
+  if (ctr_lock_requests_ != nullptr) ctr_lock_requests_->Increment();
   if (options_.trace != nullptr) {
     options_.trace->Record(sim_.Now(), txn->id,
                            sim::TraceEventType::kLockRequested,
@@ -312,6 +452,7 @@ void GranularitySimulator::FinishLockRequest(Txn* txn) {
   const int blocker = conflict_.DrawBlocker(active_locks, rng_);
   if (blocker >= 0) {
     ++lock_denials_;
+    if (ctr_lock_denials_ != nullptr) ctr_lock_denials_->Increment();
     Txn* blocking = active_[static_cast<size_t>(blocker)];
     if (options_.trace != nullptr) {
       options_.trace->Record(sim_.Now(), txn->id,
@@ -335,6 +476,14 @@ void GranularitySimulator::FinishLockRequest(Txn* txn) {
 void GranularitySimulator::Grant(Txn* txn) {
   active_.push_back(txn);
   txn->subtxns_remaining = txn->params.pu;
+  const double now = sim_.Now();
+  txn->lock_wait += now - txn->lock_since;
+  txn->grant_time = now;
+  if (options_.obs.spans != nullptr) {
+    options_.obs.spans->Record(txn->id, obs::Phase::kLockWait,
+                               obs::kLifecycleTrack, txn->lock_since, now);
+  }
+  if (ctr_lock_grants_ != nullptr) ctr_lock_grants_->Increment();
   UpdateQueueStats();
   for (int32_t node : txn->params.nodes) {
     StartSubTransaction(txn, node);
@@ -347,16 +496,35 @@ void GranularitySimulator::StartSubTransaction(Txn* txn, int32_t node) {
   const double cpu_share = txn->params.cpu_demand / pu;
   auto* io_server = io_[static_cast<size_t>(node)].get();
   auto* cpu_server = cpu_[static_cast<size_t>(node)].get();
-  io_server->Submit(ServiceClass::kTransaction, io_share,
-                    [this, txn, cpu_server, cpu_share] {
-                      cpu_server->Submit(
-                          ServiceClass::kTransaction, cpu_share,
-                          [this, txn] { OnSubTransactionDone(txn); });
-                    });
+  io_server->Submit(
+      ServiceClass::kTransaction, io_share,
+      [this, txn, node, cpu_server, cpu_share] {
+        const double io_done = sim_.Now();
+        txn->io_span_sum += io_done - txn->grant_time;
+        if (options_.obs.spans != nullptr) {
+          options_.obs.spans->Record(txn->id, obs::Phase::kIoService, node,
+                                     txn->grant_time, io_done);
+        }
+        cpu_server->Submit(ServiceClass::kTransaction, cpu_share,
+                           [this, txn, node, io_done] {
+                             const double cpu_done = sim_.Now();
+                             txn->cpu_span_sum += cpu_done - io_done;
+                             txn->cpu_done_sum += cpu_done;
+                             if (options_.obs.spans != nullptr) {
+                               options_.obs.spans->Record(
+                                   txn->id, obs::Phase::kCpuService, node,
+                                   io_done, cpu_done);
+                               txn->sub_cpu_done.emplace_back(node,
+                                                              cpu_done);
+                             }
+                             OnSubTransactionDone(txn);
+                           });
+      });
 }
 
 void GranularitySimulator::OnSubTransactionDone(Txn* txn) {
   GRANULOCK_CHECK_GT(txn->subtxns_remaining, 0);
+  if (ctr_subtxns_done_ != nullptr) ctr_subtxns_done_->Increment();
   if (--txn->subtxns_remaining == 0) {
     Complete(txn);
   }
@@ -367,18 +535,43 @@ void GranularitySimulator::Complete(Txn* txn) {
   GRANULOCK_CHECK(it != active_.end());
   active_.erase(it);
 
+  const double now = sim_.Now();
+  const double response = now - txn->arrival_time;
   ++totcom_;
-  response_.Add(sim_.Now() - txn->arrival_time);
-  response_quantiles_.Add(sim_.Now() - txn->arrival_time);
+  response_.Add(response);
+  response_quantiles_.Add(response);
+  const double pu = static_cast<double>(txn->params.pu);
+  phase_pending_.Add(txn->pending_wait);
+  phase_lock_.Add(txn->lock_wait);
+  phase_io_.Add(txn->io_span_sum / pu);
+  phase_cpu_.Add(txn->cpu_span_sum / pu);
+  phase_sync_.Add(now - txn->cpu_done_sum / pu);
+  if (ctr_txn_completed_ != nullptr) ctr_txn_completed_->Increment();
+  if (hist_response_ != nullptr) hist_response_->Observe(response);
+  if (options_.obs.spans != nullptr) {
+    for (const auto& [node, cpu_done] : txn->sub_cpu_done) {
+      options_.obs.spans->Record(txn->id, obs::Phase::kSyncWait, node,
+                                 cpu_done, now);
+    }
+    options_.obs.spans->TxnComplete(txn->id, txn->arrival_time, now,
+                                    txn->params.pu);
+  }
   if (options_.trace != nullptr) {
     options_.trace->Record(sim_.Now(), txn->id,
                            sim::TraceEventType::kCompleted,
                            static_cast<int64_t>(txn->blocked.size()));
   }
 
-  // Release the transactions this one was blocking.
+  // Release the transactions this one was blocking. Their blocked stint
+  // counts as lock wait (they are still paying for the denied request).
   blocked_count_ -= static_cast<int64_t>(txn->blocked.size());
   for (Txn* released : txn->blocked) {
+    released->lock_wait += now - released->lock_since;
+    if (options_.obs.spans != nullptr) {
+      options_.obs.spans->Record(released->id, obs::Phase::kLockWait,
+                                 obs::kLifecycleTrack, released->lock_since,
+                                 now);
+    }
     EnqueuePending(released, options_.requeue_blocked_at_tail);
   }
   txn->blocked.clear();

@@ -9,6 +9,7 @@
 #include "core/metrics.h"
 #include "model/config.h"
 #include "model/conflict.h"
+#include "obs/hooks.h"
 #include "sim/busy_union.h"
 #include "sim/priority_server.h"
 #include "sim/simulator.h"
@@ -74,6 +75,10 @@ class GranularitySimulator {
     /// Records created / lock_requested / lock_granted / lock_denied /
     /// completed events without affecting simulation behaviour.
     sim::TraceRecorder* trace = nullptr;
+    /// Optional observability sinks (not owned; must outlive the run).
+    /// Attaching any of them never changes simulated results: the same
+    /// seed yields bit-identical `SimulationMetrics` either way.
+    obs::Hooks obs;
   };
 
   /// Builds a simulator for (`cfg`, `spec`); `seed` fully determines the
@@ -119,6 +124,12 @@ class GranularitySimulator {
   void EnqueuePending(Txn* txn, bool at_tail);
   void UpdateQueueStats();
   void BeginMeasurement();
+  /// Observability: cache registry instruments / declare sampler columns.
+  void SetUpObservability();
+  /// One periodic sampler row (runs as an observer event).
+  void SampleTick();
+  /// Post-run self-profiling gauges (event counts, queue HWM, events/sec).
+  void PublishRunProfile(double wall_seconds);
   /// Adaptive admission: periodically retune the MPL cap from the denial
   /// rate observed in the last window.
   void AdaptAdmissionCap();
@@ -152,6 +163,28 @@ class GranularitySimulator {
   sim::TimeWeightedStat blocked_stat_;
   sim::TimeWeightedStat pending_stat_;
   double window_start_ = 0.0;
+
+  // Response-time decomposition (always on; see SimulationMetrics).
+  sim::RunningStat phase_pending_;
+  sim::RunningStat phase_lock_;
+  sim::RunningStat phase_io_;
+  sim::RunningStat phase_cpu_;
+  sim::RunningStat phase_sync_;
+
+  // Cached registry instruments (null unless options_.obs.registry set).
+  obs::Counter* ctr_txn_created_ = nullptr;
+  obs::Counter* ctr_lock_requests_ = nullptr;
+  obs::Counter* ctr_lock_denials_ = nullptr;
+  obs::Counter* ctr_lock_grants_ = nullptr;
+  obs::Counter* ctr_subtxns_done_ = nullptr;
+  obs::Counter* ctr_txn_completed_ = nullptr;
+  obs::Histogram* hist_response_ = nullptr;
+
+  // Sampler baselines for per-interval deltas (utilization, throughput).
+  std::vector<double> sample_cpu_busy_;
+  std::vector<double> sample_io_busy_;
+  int64_t sample_totcom_ = 0;
+  double sample_time_ = 0.0;
 
   // Adaptive admission controller state.
   int64_t adaptive_cap_ = 0;

@@ -1,5 +1,7 @@
 #include "core/metrics.h"
 
+#include <cmath>
+
 #include "util/strings.h"
 
 namespace granulock::core {
@@ -27,6 +29,29 @@ std::string SimulationMetrics::ToString() const {
                    io_utilization);
   if (deadlock_aborts > 0) {
     out += StrFormat("deadlock aborts   %lld\n", (long long)deadlock_aborts);
+  }
+  // Display-only: Welford accumulation can leave a phase mean at a tiny
+  // negative (e.g. -2e-16) when its true value is 0; print it as 0 rather
+  // than as "-0.0%". The stored fields stay untouched.
+  const auto tidy = [](double p) {
+    return std::abs(p) < 1e-9 ? 0.0 : p;
+  };
+  const double phases[] = {tidy(phase_pending_wait), tidy(phase_lock_wait),
+                           tidy(phase_io_service), tidy(phase_cpu_service),
+                           tidy(phase_sync_wait)};
+  const char* names[] = {"pending wait", "lock wait", "io service",
+                         "cpu service", "sync wait"};
+  double phase_total = 0.0;
+  for (double p : phases) phase_total += p;
+  if (phase_total > 0.0) {
+    out += "response decomposition:\n";
+    const double denom = response_time > 0.0 ? response_time : 1.0;
+    for (int i = 0; i < 5; ++i) {
+      out += StrFormat("  %-14s %10.6g  (%5.1f%%)\n", names[i], phases[i],
+                       100.0 * phases[i] / denom);
+    }
+    out += StrFormat("  %-14s %10.6g  (vs response %.6g)\n", "sum",
+                     phase_total, response_time);
   }
   return out;
 }

@@ -83,8 +83,33 @@ struct SimulationMetrics {
   /// conservative protocol; populated by the incremental claim-as-needed
   /// engine).
   int64_t deadlock_aborts = 0;
-  /// Discrete events the engine executed (diagnostics / perf).
+  /// Discrete events the engine executed (diagnostics / perf). Observer
+  /// events (metric sampling) are excluded, so the count is identical
+  /// with observability on or off.
   uint64_t events_executed = 0;
+
+  // --- Response-time decomposition --------------------------------------
+  // Where the mean response time goes, phase by phase: means over the
+  // transactions completed in the measurement window. Every wall-clock
+  // instant of a transaction's life is attributed to exactly one phase
+  // (averaged across its parallel sub-transactions for io/cpu/sync), so
+  // the five fields sum to `response_time` up to floating-point noise.
+  // Always recorded — the bookkeeping is a few arithmetic ops per
+  // lifecycle transition — so results do not depend on observability
+  // being enabled.
+  /// Waiting in the FIFO pending queue (all attempts; 0 for the
+  /// incremental engine, which has no pending queue).
+  double phase_pending_wait = 0.0;
+  /// Acquiring locks: lock-manager I/O+CPU service, blocked-on-a-holder
+  /// wait, and (incremental engine) deadlock-restart backoff.
+  double phase_lock_wait = 0.0;
+  /// Sub-transaction I/O stage, including queueing at the node's disk.
+  double phase_io_service = 0.0;
+  /// Sub-transaction CPU stage, including queueing at the node's CPU.
+  double phase_cpu_service = 0.0;
+  /// Fork-join synchronization: a finished sub-transaction waiting for
+  /// its siblings.
+  double phase_sync_wait = 0.0;
 
   /// Multi-line human-readable report.
   std::string ToString() const;

@@ -12,6 +12,7 @@
 #include "lockmgr/hierarchical.h"
 #include "lockmgr/lock_table.h"
 #include "model/config.h"
+#include "obs/hooks.h"
 #include "sim/busy_union.h"
 #include "sim/priority_server.h"
 #include "sim/simulator.h"
@@ -70,6 +71,9 @@ class ExplicitSimulator {
     bool serialize_lock_manager = true;
     /// Optional lifecycle tracer (not owned; must outlive the run).
     sim::TraceRecorder* trace = nullptr;
+    /// Optional observability sinks (not owned; must outlive the run).
+    /// Attaching any of them never changes simulated results.
+    obs::Hooks obs;
   };
 
   ExplicitSimulator(model::SystemConfig cfg, workload::WorkloadSpec spec,
@@ -107,8 +111,12 @@ class ExplicitSimulator {
 
   Txn* CreateTransaction(double arrival_time);
   void DestroyTransaction(Txn* txn);
+  void EnqueuePending(Txn* txn);
   void UpdateQueueStats();
   void BeginMeasurement();
+  void SetUpObservability();
+  void SampleTick();
+  void PublishRunProfile(double wall_seconds);
 
   /// Attempts the acquisition against whichever lock manager is active;
   /// returns the blocking transaction id or nullopt.
@@ -144,6 +152,28 @@ class ExplicitSimulator {
   sim::TimeWeightedStat blocked_stat_;
   sim::TimeWeightedStat pending_stat_;
   double window_start_ = 0.0;
+
+  // Response-time decomposition (always on; see SimulationMetrics).
+  sim::RunningStat phase_pending_;
+  sim::RunningStat phase_lock_;
+  sim::RunningStat phase_io_;
+  sim::RunningStat phase_cpu_;
+  sim::RunningStat phase_sync_;
+
+  // Cached registry instruments (null unless options_.obs.registry set).
+  obs::Counter* ctr_txn_created_ = nullptr;
+  obs::Counter* ctr_lock_requests_ = nullptr;
+  obs::Counter* ctr_lock_denials_ = nullptr;
+  obs::Counter* ctr_lock_grants_ = nullptr;
+  obs::Counter* ctr_subtxns_done_ = nullptr;
+  obs::Counter* ctr_txn_completed_ = nullptr;
+  obs::Histogram* hist_response_ = nullptr;
+
+  // Sampler baselines for per-interval deltas.
+  std::vector<double> sample_cpu_busy_;
+  std::vector<double> sample_io_busy_;
+  int64_t sample_totcom_ = 0;
+  double sample_time_ = 0.0;
 
   uint64_t next_txn_id_ = 1;
   bool ran_ = false;

@@ -1,6 +1,8 @@
 #include "db/incremental_simulator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "db/granule_selector.h"
 #include "util/logging.h"
@@ -24,6 +26,22 @@ struct IncrementalSimulator::Txn {
   size_t next_lock = 0;
   int64_t substages_remaining = 0;
   int64_t restarts = 0;
+
+  // Phase accounting (always on). There is no pending queue, so
+  // `phase_lock_wait` absorbs everything between stages: lock-cost
+  // service, wait-queue time, and deadlock abort/backoff. Each stage's
+  // fork-join io/cpu/sync sub-spans tile [stage grant, stage end], and
+  // re-run stages after an abort occupy fresh wall-clock, so the per-txn
+  // identity lock + io/pu + cpu/pu + sync/pu = response still holds.
+  double lock_since = 0.0;   // entered lock acquisition (current stint)
+  double stage_start = 0.0;  // current stage's lock granted, work began
+  double lock_wait = 0.0;
+  double io_span_sum = 0.0;
+  double cpu_span_sum = 0.0;
+  double sync_span_sum = 0.0;
+  double stage_cpu_done_sum = 0.0;  // current stage only
+  // (node, cpu-done) of the current stage; spans-attached runs only.
+  std::vector<std::pair<int32_t, double>> sub_cpu_done;
 };
 
 IncrementalSimulator::IncrementalSimulator(model::SystemConfig cfg,
@@ -59,6 +77,7 @@ Result<core::SimulationMetrics> IncrementalSimulator::Run() {
     return Status::FailedPrecondition("Run() may only be called once");
   }
   ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
   GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
   GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
   if (options_.read_fraction < 0.0 || options_.read_fraction > 1.0) {
@@ -85,6 +104,8 @@ Result<core::SimulationMetrics> IncrementalSimulator::Run() {
           io_union_.Transition(now, delta_any, delta_lock);
         });
   }
+
+  SetUpObservability();
 
   active_stat_.Start(0.0, 0.0);
   blocked_stat_.Start(0.0, 0.0);
@@ -142,7 +163,106 @@ Result<core::SimulationMetrics> IncrementalSimulator::Run() {
       m.measured_time > 0.0 ? m.totios_sum / (npros * m.measured_time) : 0.0;
   m.deadlock_aborts = deadlock_aborts_;
   m.events_executed = sim_.ExecutedEvents();
+  m.phase_pending_wait = 0.0;  // no pending queue under claim-as-needed
+  m.phase_lock_wait = phase_lock_.Mean();
+  m.phase_io_service = phase_io_.Mean();
+  m.phase_cpu_service = phase_cpu_.Mean();
+  m.phase_sync_wait = phase_sync_.Mean();
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  PublishRunProfile(wall_seconds);
   return m;
+}
+
+void IncrementalSimulator::SetUpObservability() {
+  if (options_.obs.registry != nullptr) {
+    auto* reg = options_.obs.registry;
+    ctr_txn_created_ = reg->GetCounter("engine.txn_created");
+    ctr_lock_requests_ = reg->GetCounter("engine.lock_requests");
+    ctr_lock_denials_ = reg->GetCounter("engine.lock_denials");
+    ctr_lock_grants_ = reg->GetCounter("engine.lock_grants");
+    ctr_subtxns_done_ = reg->GetCounter("engine.subtxns_completed");
+    ctr_txn_completed_ = reg->GetCounter("engine.txn_completed");
+    ctr_deadlock_aborts_ = reg->GetCounter("engine.deadlock_aborts");
+    hist_response_ = reg->GetHistogram(
+        "engine.response_time",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+  }
+  if (options_.obs.sampler != nullptr) {
+    auto* sampler = options_.obs.sampler;
+    std::vector<std::string> cols = {"active", "blocked", "pending",
+                                     "throughput"};
+    for (int64_t n = 0; n < cfg_.npros; ++n) {
+      cols.push_back(StrFormat("cpu%lld_util", (long long)n));
+    }
+    for (int64_t n = 0; n < cfg_.npros; ++n) {
+      cols.push_back(StrFormat("disk%lld_util", (long long)n));
+    }
+    sampler->SetColumns(std::move(cols));
+    sample_cpu_busy_.assign(static_cast<size_t>(cfg_.npros), 0.0);
+    sample_io_busy_.assign(static_cast<size_t>(cfg_.npros), 0.0);
+    const double iv = sampler->interval();
+    if (iv > 0.0 && iv <= cfg_.tmax) {
+      sim_.ScheduleObserverAt(iv, [this] { SampleTick(); });
+    }
+  }
+}
+
+void IncrementalSimulator::SampleTick() {
+  auto* sampler = options_.obs.sampler;
+  const double now = sim_.Now();
+  const double dt = now - sample_time_;
+  std::vector<double> row;
+  row.reserve(4 + 2 * static_cast<size_t>(cfg_.npros));
+  row.push_back(static_cast<double>(running_count_));
+  row.push_back(static_cast<double>(waiting_count_));
+  row.push_back(0.0);  // no pending queue
+  // Deltas clamp at 0 across the warmup reset (see GranularitySimulator).
+  row.push_back(dt > 0.0 ? std::max(0.0, static_cast<double>(
+                                             totcom_ - sample_totcom_)) /
+                               dt
+                         : 0.0);
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    const size_t i = static_cast<size_t>(n);
+    const double busy = cpu_[i]->TotalBusyTime();
+    row.push_back(dt > 0.0
+                      ? std::max(0.0, busy - sample_cpu_busy_[i]) / dt
+                      : 0.0);
+    sample_cpu_busy_[i] = busy;
+  }
+  for (int64_t n = 0; n < cfg_.npros; ++n) {
+    const size_t i = static_cast<size_t>(n);
+    const double busy = io_[i]->TotalBusyTime();
+    row.push_back(dt > 0.0 ? std::max(0.0, busy - sample_io_busy_[i]) / dt
+                           : 0.0);
+    sample_io_busy_[i] = busy;
+  }
+  sample_totcom_ = totcom_;
+  sample_time_ = now;
+  sampler->Push(now, std::move(row));
+  const double iv = sampler->interval();
+  if (now + iv <= cfg_.tmax) {
+    sim_.ScheduleObserverAfter(iv, [this] { SampleTick(); });
+  }
+}
+
+void IncrementalSimulator::PublishRunProfile(double wall_seconds) {
+  if (options_.obs.registry == nullptr) return;
+  auto* reg = options_.obs.registry;
+  reg->GetGauge("sim.events_executed")
+      ->Set(static_cast<double>(sim_.ExecutedEvents()));
+  reg->GetGauge("sim.observer_events")
+      ->Set(static_cast<double>(sim_.ExecutedObserverEvents()));
+  reg->GetGauge("sim.event_queue_hwm")
+      ->Set(static_cast<double>(sim_.MaxPendingEvents()));
+  reg->GetGauge("engine.wall_seconds")->Set(wall_seconds);
+  reg->GetGauge("engine.events_per_sec")
+      ->Set(wall_seconds > 0.0
+                ? static_cast<double>(sim_.ExecutedEvents()) / wall_seconds
+                : 0.0);
 }
 
 void IncrementalSimulator::BeginMeasurement() {
@@ -154,6 +274,13 @@ void IncrementalSimulator::BeginMeasurement() {
   deadlock_aborts_ = 0;
   response_.Reset();
   response_quantiles_.Reset();
+  phase_lock_.Reset();
+  phase_io_.Reset();
+  phase_cpu_.Reset();
+  phase_sync_.Reset();
+  sample_totcom_ = 0;
+  std::fill(sample_cpu_busy_.begin(), sample_cpu_busy_.end(), 0.0);
+  std::fill(sample_io_busy_.begin(), sample_io_busy_.end(), 0.0);
   const double now = sim_.Now();
   cpu_union_.ResetWindow(now);
   io_union_.ResetWindow(now);
@@ -192,6 +319,7 @@ IncrementalSimulator::Txn* IncrementalSimulator::CreateTransaction(
   } else {
     rng_.Shuffle(txn->granules);
   }
+  if (ctr_txn_created_ != nullptr) ctr_txn_created_->Increment();
   if (options_.trace != nullptr) {
     options_.trace->Record(sim_.Now(), txn->id, sim::TraceEventType::kCreated,
                            txn->params.nu);
@@ -219,6 +347,7 @@ void IncrementalSimulator::UpdateQueueStats() {
 
 void IncrementalSimulator::StartTransaction(Txn* txn) {
   txn->next_lock = 0;
+  txn->lock_since = sim_.Now();
   ++running_count_;
   UpdateQueueStats();
   RequestNextLock(txn);
@@ -227,6 +356,7 @@ void IncrementalSimulator::StartTransaction(Txn* txn) {
 void IncrementalSimulator::RequestNextLock(Txn* txn) {
   GRANULOCK_CHECK_LT(txn->next_lock, txn->granules.size());
   ++lock_requests_;
+  if (ctr_lock_requests_ != nullptr) ctr_lock_requests_->Increment();
   if (options_.trace != nullptr) {
     options_.trace->Record(sim_.Now(), txn->id,
                            sim::TraceEventType::kLockRequested,
@@ -285,6 +415,7 @@ void IncrementalSimulator::OnLockCostPaid(Txn* txn) {
   }
   // Queued: the transaction now waits while holding its earlier locks.
   ++lock_waits_;
+  if (ctr_lock_denials_ != nullptr) ctr_lock_denials_->Increment();
   if (options_.trace != nullptr) {
     options_.trace->Record(sim_.Now(), txn->id,
                            sim::TraceEventType::kLockDenied, granule);
@@ -308,6 +439,7 @@ void IncrementalSimulator::OnLockCostPaid(Txn* txn) {
 void IncrementalSimulator::AbortAndRestart(Txn* txn) {
   ++deadlock_aborts_;
   ++txn->restarts;
+  if (ctr_deadlock_aborts_ != nullptr) ctr_deadlock_aborts_->Increment();
   if (options_.trace != nullptr) {
     options_.trace->Record(sim_.Now(), txn->id,
                            sim::TraceEventType::kAborted, txn->restarts);
@@ -346,6 +478,15 @@ void IncrementalSimulator::DoStageWork(Txn* txn) {
   // entities are spread over the transaction's nodes (horizontal
   // partitioning spreads every granule across all disks), so each stage
   // fork-joins across the same node set.
+  const double now = sim_.Now();
+  txn->lock_wait += now - txn->lock_since;
+  txn->stage_start = now;
+  txn->stage_cpu_done_sum = 0.0;
+  if (options_.obs.spans != nullptr) {
+    options_.obs.spans->Record(txn->id, obs::Phase::kLockWait,
+                               obs::kLifecycleTrack, txn->lock_since, now);
+  }
+  if (ctr_lock_grants_ != nullptr) ctr_lock_grants_->Increment();
   const double stages = static_cast<double>(txn->granules.size());
   const double pu = static_cast<double>(txn->params.pu);
   const double io_share = txn->params.io_demand / (stages * pu);
@@ -354,20 +495,52 @@ void IncrementalSimulator::DoStageWork(Txn* txn) {
   for (int32_t node : txn->params.nodes) {
     auto* io_server = io_[static_cast<size_t>(node)].get();
     auto* cpu_server = cpu_[static_cast<size_t>(node)].get();
-    io_server->Submit(ServiceClass::kTransaction, io_share,
-                      [this, txn, cpu_server, cpu_share] {
-                        cpu_server->Submit(
-                            ServiceClass::kTransaction, cpu_share,
-                            [this, txn] { OnStageDone(txn); });
-                      });
+    io_server->Submit(
+        ServiceClass::kTransaction, io_share,
+        [this, txn, node, cpu_server, cpu_share] {
+          const double io_done = sim_.Now();
+          txn->io_span_sum += io_done - txn->stage_start;
+          if (options_.obs.spans != nullptr) {
+            options_.obs.spans->Record(txn->id, obs::Phase::kIoService,
+                                       node, txn->stage_start, io_done);
+          }
+          cpu_server->Submit(ServiceClass::kTransaction, cpu_share,
+                             [this, txn, node, io_done] {
+                               const double cpu_done = sim_.Now();
+                               txn->cpu_span_sum += cpu_done - io_done;
+                               txn->stage_cpu_done_sum += cpu_done;
+                               if (options_.obs.spans != nullptr) {
+                                 options_.obs.spans->Record(
+                                     txn->id, obs::Phase::kCpuService, node,
+                                     io_done, cpu_done);
+                                 txn->sub_cpu_done.emplace_back(node,
+                                                                cpu_done);
+                               }
+                               OnStageDone(txn);
+                             });
+        });
   }
 }
 
 void IncrementalSimulator::OnStageDone(Txn* txn) {
   GRANULOCK_CHECK_GT(txn->substages_remaining, 0);
+  if (ctr_subtxns_done_ != nullptr) ctr_subtxns_done_->Increment();
   if (--txn->substages_remaining > 0) return;
+  // Stage fork-join complete: every sub-stage's remaining time until now
+  // is synchronization wait (zero for the last one to finish).
+  const double now = sim_.Now();
+  const double pu = static_cast<double>(txn->params.pu);
+  txn->sync_span_sum += pu * now - txn->stage_cpu_done_sum;
+  if (options_.obs.spans != nullptr) {
+    for (const auto& [node, cpu_done] : txn->sub_cpu_done) {
+      options_.obs.spans->Record(txn->id, obs::Phase::kSyncWait, node,
+                                 cpu_done, now);
+    }
+    txn->sub_cpu_done.clear();
+  }
   ++txn->next_lock;
   if (txn->next_lock < txn->granules.size()) {
+    txn->lock_since = now;
     RequestNextLock(txn);
     return;
   }
@@ -378,8 +551,21 @@ void IncrementalSimulator::Complete(Txn* txn) {
   const std::vector<lockmgr::TxnId> granted = table_->ReleaseAll(txn->id);
   --running_count_;
   ++totcom_;
-  response_.Add(sim_.Now() - txn->arrival_time);
-  response_quantiles_.Add(sim_.Now() - txn->arrival_time);
+  const double now = sim_.Now();
+  const double response = now - txn->arrival_time;
+  response_.Add(response);
+  response_quantiles_.Add(response);
+  const double pu = static_cast<double>(txn->params.pu);
+  phase_lock_.Add(txn->lock_wait);
+  phase_io_.Add(txn->io_span_sum / pu);
+  phase_cpu_.Add(txn->cpu_span_sum / pu);
+  phase_sync_.Add(txn->sync_span_sum / pu);
+  if (ctr_txn_completed_ != nullptr) ctr_txn_completed_->Increment();
+  if (hist_response_ != nullptr) hist_response_->Observe(response);
+  if (options_.obs.spans != nullptr) {
+    options_.obs.spans->TxnComplete(txn->id, txn->arrival_time, now,
+                                    txn->params.pu);
+  }
   if (options_.trace != nullptr) {
     options_.trace->Record(sim_.Now(), txn->id,
                            sim::TraceEventType::kCompleted,

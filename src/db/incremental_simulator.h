@@ -11,6 +11,7 @@
 #include "lockmgr/wait_queue_table.h"
 #include "lockmgr/waits_for.h"
 #include "model/config.h"
+#include "obs/hooks.h"
 #include "sim/busy_union.h"
 #include "sim/priority_server.h"
 #include "sim/simulator.h"
@@ -59,6 +60,12 @@ class IncrementalSimulator {
     /// Incremental runs additionally record `aborted` events for deadlock
     /// victims.
     sim::TraceRecorder* trace = nullptr;
+    /// Optional observability sinks (not owned; must outlive the run).
+    /// Attaching any of them never changes simulated results. Under this
+    /// engine `phase_lock_wait` covers lock-cost service, wait-queue
+    /// time, and deadlock abort/backoff; `phase_pending_wait` is 0 (no
+    /// pending queue).
+    obs::Hooks obs;
   };
 
   IncrementalSimulator(model::SystemConfig cfg, workload::WorkloadSpec spec,
@@ -98,6 +105,9 @@ class IncrementalSimulator {
   void DestroyTransaction(Txn* txn);
   void UpdateQueueStats();
   void BeginMeasurement();
+  void SetUpObservability();
+  void SampleTick();
+  void PublishRunProfile(double wall_seconds);
 
   model::SystemConfig cfg_;
   workload::WorkloadSpec spec_;
@@ -126,6 +136,28 @@ class IncrementalSimulator {
   sim::TimeWeightedStat active_stat_;
   sim::TimeWeightedStat blocked_stat_;
   double window_start_ = 0.0;
+
+  // Response-time decomposition (always on; see SimulationMetrics).
+  sim::RunningStat phase_lock_;
+  sim::RunningStat phase_io_;
+  sim::RunningStat phase_cpu_;
+  sim::RunningStat phase_sync_;
+
+  // Cached registry instruments (null unless options_.obs.registry set).
+  obs::Counter* ctr_txn_created_ = nullptr;
+  obs::Counter* ctr_lock_requests_ = nullptr;
+  obs::Counter* ctr_lock_denials_ = nullptr;
+  obs::Counter* ctr_lock_grants_ = nullptr;
+  obs::Counter* ctr_subtxns_done_ = nullptr;
+  obs::Counter* ctr_txn_completed_ = nullptr;
+  obs::Counter* ctr_deadlock_aborts_ = nullptr;
+  obs::Histogram* hist_response_ = nullptr;
+
+  // Sampler baselines for per-interval deltas.
+  std::vector<double> sample_cpu_busy_;
+  std::vector<double> sample_io_busy_;
+  int64_t sample_totcom_ = 0;
+  double sample_time_ = 0.0;
 
   uint64_t next_txn_id_ = 1;
   bool ran_ = false;

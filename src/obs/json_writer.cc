@@ -1,0 +1,299 @@
+#include "obs/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the comma and the ':' follows it
+  }
+  GRANULOCK_CHECK(!counts_.empty()) << "value written after document end";
+  if (counts_.back() > 0) os_ << ',';
+  ++counts_.back();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  GRANULOCK_CHECK_GT(counts_.size(), 1u) << "EndObject without BeginObject";
+  counts_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  GRANULOCK_CHECK_GT(counts_.size(), 1u) << "EndArray without BeginArray";
+  counts_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  GRANULOCK_CHECK(!pending_key_) << "two keys in a row";
+  if (counts_.back() > 0) os_ << ',';
+  ++counts_.back();
+  os_ << '"' << JsonEscape(key) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  BeforeValue();
+  os_ << '"' << JsonEscape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double d) {
+  if (!std::isfinite(d)) return Null();
+  BeforeValue();
+  // %.17g round-trips every double but litters output with noise digits;
+  // use the shortest of %.15g/%.17g that re-parses exactly.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.15g", d);
+  double back = 0.0;
+  if (!ParseDouble(buf, &back) || back != d) {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  }
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t i) {
+  BeforeValue();
+  os_ << i;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t u) {
+  BeforeValue();
+  os_ << u;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool b) {
+  BeforeValue();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+  return *this;
+}
+
+namespace {
+
+/// Recursive-descent JSON checker. Tracks position only; values are not
+/// materialized.
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : text_(text) {}
+
+  Status Check() {
+    SkipWs();
+    GRANULOCK_RETURN_NOT_OK(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing garbage");
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("invalid JSON at byte %zu: %s", pos_, what));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value(int depth) {
+    if (depth > 256) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == '-' || (c >= '0' && c <= '9')) return Number();
+    if (Literal("true") || Literal("false") || Literal("null")) {
+      return Status::OK();
+    }
+    return Error("expected a value");
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Object(int depth) {
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      GRANULOCK_RETURN_NOT_OK(String());
+      SkipWs();
+      if (!Eat(':')) return Error("expected ':'");
+      SkipWs();
+      GRANULOCK_RETURN_NOT_OK(Value(depth + 1));
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat('}')) return Status::OK();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status Array(int depth) {
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      GRANULOCK_RETURN_NOT_OK(Value(depth + 1));
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat(']')) return Status::OK();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status String() {
+    Eat('"');
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Error("dangling escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Error("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Error("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status Number() {
+    Eat('-');
+    // JSON allows a single leading 0 only when the integer part is 0.
+    const size_t int_start = pos_;
+    if (!Digits()) return Error("expected digits");
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      pos_ = int_start;
+      return Error("leading zero in number");
+    }
+    if (Eat('.') && !Digits()) return Error("expected fraction digits");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!Digits()) return Error("expected exponent digits");
+    }
+    return Status::OK();
+  }
+
+  bool Digits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) { return Checker(text).Check(); }
+
+}  // namespace granulock::obs

@@ -1,0 +1,79 @@
+#ifndef GRANULOCK_OBS_JSON_WRITER_H_
+#define GRANULOCK_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace granulock::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): `"`, `\`, control characters become escape sequences.
+std::string JsonEscape(std::string_view s);
+
+/// A minimal streaming JSON writer — the only JSON producer in the
+/// codebase (no third-party dependency). Handles structure (commas,
+/// nesting) so exporters cannot emit malformed documents:
+///
+/// ```
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("name").Value("fig02");
+///   w.Key("points").BeginArray();
+///   w.Value(1.5).Value(2);
+///   w.EndArray();
+///   w.EndObject();
+/// ```
+///
+/// Doubles are written with enough digits to round-trip; non-finite
+/// doubles (which JSON cannot represent) are emitted as `null`.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value (or
+  /// Begin*). Only legal directly inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(double d);
+  JsonWriter& Value(int64_t i);
+  JsonWriter& Value(uint64_t u);
+  JsonWriter& Value(int i) { return Value(static_cast<int64_t>(i)); }
+  JsonWriter& Value(bool b);
+  JsonWriter& Null();
+
+ private:
+  /// Emits the separating comma if a sibling value precedes this one.
+  void BeforeValue();
+
+  std::ostream& os_;
+  /// One entry per open container: the number of elements written so far
+  /// (keys count once, via the value that follows them).
+  std::vector<int> counts_{0};
+  bool pending_key_ = false;
+};
+
+/// Validates that `text` is one well-formed JSON value (object, array,
+/// string, number, or literal) with nothing but whitespace around it.
+/// A deliberately small recursive-descent checker used by tests and the
+/// trace tooling; returns OK or an InvalidArgument status with the byte
+/// offset of the first error.
+Status ValidateJson(std::string_view text);
+
+}  // namespace granulock::obs
+
+#endif  // GRANULOCK_OBS_JSON_WRITER_H_

@@ -1,0 +1,156 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace granulock::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  GRANULOCK_CHECK(!bounds_.empty()) << "histogram needs at least one bucket";
+  GRANULOCK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must ascend";
+}
+
+void Histogram::Observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  GRANULOCK_CHECK(gauges_.find(name) == gauges_.end() &&
+                  histograms_.find(name) == histograms_.end())
+      << "instrument kind mismatch for '" << name << "'";
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  GRANULOCK_CHECK(counters_.find(name) == counters_.end() &&
+                  histograms_.find(name) == histograms_.end())
+      << "instrument kind mismatch for '" << name << "'";
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  GRANULOCK_CHECK(counters_.find(name) == counters_.end() &&
+                  gauges_.find(name) == gauges_.end())
+      << "instrument kind mismatch for '" << name << "'";
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name,
+                      std::unique_ptr<Histogram>(new Histogram(std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramEntry e;
+    e.name = name;
+    e.bounds = h->bounds();
+    e.counts = h->counts();
+    e.count = h->count();
+    e.sum = h->sum();
+    e.min = h->min();
+    e.max = h->max();
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  const Snapshot snap = TakeSnapshot();
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snap.counters) {
+    w.Key(name).Value(value);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snap.gauges) {
+    w.Key(name).Value(value);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& h : snap.histograms) {
+    w.Key(h.name).BeginObject();
+    w.Key("bounds").BeginArray();
+    for (double b : h.bounds) w.Value(b);
+    w.EndArray();
+    w.Key("counts").BeginArray();
+    for (int64_t c : h.counts) w.Value(c);
+    w.EndArray();
+    w.Key("count").Value(h.count);
+    w.Key("sum").Value(h.sum);
+    w.Key("min").Value(h.min);
+    w.Key("max").Value(h.max);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  os << "\n";
+}
+
+void MetricsRegistry::WriteCsv(std::ostream& os) const {
+  const Snapshot snap = TakeSnapshot();
+  os << "kind,name,field,value\n";
+  for (const auto& [name, value] : snap.counters) {
+    os << "counter," << CsvEscape(name) << ",value," << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << "gauge," << CsvEscape(name) << ",value,"
+       << StrFormat("%.17g", value) << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string edge =
+          i < h.bounds.size() ? StrFormat("le_%.17g", h.bounds[i]) : "le_inf";
+      os << "histogram," << CsvEscape(h.name) << "," << edge << ","
+         << h.counts[i] << "\n";
+    }
+    os << "histogram," << CsvEscape(h.name) << ",count," << h.count << "\n";
+    os << "histogram," << CsvEscape(h.name) << ",sum,"
+       << StrFormat("%.17g", h.sum) << "\n";
+    os << "histogram," << CsvEscape(h.name) << ",min,"
+       << StrFormat("%.17g", h.min) << "\n";
+    os << "histogram," << CsvEscape(h.name) << ",max,"
+       << StrFormat("%.17g", h.max) << "\n";
+  }
+}
+
+}  // namespace granulock::obs

@@ -1,0 +1,141 @@
+#ifndef GRANULOCK_OBS_REGISTRY_H_
+#define GRANULOCK_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace granulock::obs {
+
+/// A monotonically increasing named count (events executed, transactions
+/// completed, ...). Instruments are owned by a `MetricsRegistry`; callers
+/// hold stable raw pointers so the hot path is one pointer chase, not a
+/// name lookup.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  int64_t value_ = 0;
+};
+
+/// A named point-in-time value (queue high-water mark, events/sec, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  double value_ = 0.0;
+};
+
+/// A fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// finite buckets; one overflow bucket catches everything above the last
+/// bound. Also tracks count/sum/min/max so means are exact even though
+/// bucket placement is coarse.
+class Histogram {
+ public:
+  void Observe(double x);
+
+  /// Upper bounds of the finite buckets, as configured (ascending).
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Observation counts: counts()[i] covers (bounds[i-1], bounds[i]];
+  /// counts().back() is the overflow bucket. Size = bounds().size() + 1.
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A registry of named instruments — the aggregation point of the
+/// observability layer. Engines accept one through their `Options` (see
+/// `obs::Hooks`) and publish self-profiling counts into it; anything else
+/// (benches, examples, tests) may register its own instruments alongside.
+///
+/// Names are unique across instrument kinds; re-requesting a name returns
+/// the existing instrument (a kind mismatch is fatal — it is a programming
+/// error, like an ODR violation). Iteration order is name order, so
+/// exports are deterministic.
+///
+/// Not thread-safe, by design: one registry belongs to one simulation
+/// driver, like the `Simulator` itself.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter/gauge named `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it with the given bucket
+  /// upper bounds (ascending, non-empty) on first use; `bounds` is ignored
+  /// if the histogram already exists.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// A point-in-time copy of every instrument, in name order.
+  struct Snapshot {
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    struct HistogramEntry {
+      std::string name;
+      std::vector<double> bounds;
+      std::vector<int64_t> counts;
+      int64_t count = 0;
+      double sum = 0.0;
+      double min = 0.0;
+      double max = 0.0;
+    };
+    std::vector<HistogramEntry> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Serializes a snapshot as one JSON object:
+  /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+  void WriteJson(std::ostream& os) const;
+
+  /// Serializes as `kind,name,field,value` CSV rows (with header);
+  /// histograms expand to one row per bucket plus count/sum/min/max rows.
+  void WriteCsv(std::ostream& os) const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // std::map keeps name order for deterministic export; unique_ptr keeps
+  // instrument addresses stable across rehash/rebalance.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace granulock::obs
+
+#endif  // GRANULOCK_OBS_REGISTRY_H_

@@ -1,0 +1,161 @@
+#include "obs/span_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "obs/json_writer.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kPendingWait:
+      return "pending";
+    case Phase::kLockWait:
+      return "lock";
+    case Phase::kIoService:
+      return "io";
+    case Phase::kCpuService:
+      return "cpu";
+    case Phase::kSyncWait:
+      return "sync";
+  }
+  return "?";
+}
+
+SpanRecorder::SpanRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  spans_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void SpanRecorder::Record(uint64_t txn, Phase phase, int32_t track,
+                          double start, double end) {
+  GRANULOCK_CHECK_GE(end, start);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    truncated_.insert(txn);
+    return;
+  }
+  spans_.push_back(Span{start, end, txn, phase, track});
+}
+
+void SpanRecorder::TxnComplete(uint64_t txn, double arrival, double completion,
+                               int64_t parallelism) {
+  GRANULOCK_CHECK_GE(parallelism, 1);
+  completed_.emplace(txn, TxnInfo{arrival, completion, parallelism});
+}
+
+void SpanRecorder::WriteChromeTrace(std::ostream& os) const {
+  // Collect the tracks present so thread-name metadata can precede spans.
+  std::map<int32_t, int> tid_of;  // track -> tid (lifecycle first, then nodes)
+  tid_of[kLifecycleTrack] = 0;
+  for (const Span& s : spans_) {
+    if (s.track >= 0) tid_of.emplace(s.track, 0);
+  }
+  int next_tid = 0;
+  for (auto& [track, tid] : tid_of) tid = next_tid++;
+
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  w.BeginObject();
+  w.Key("name").Value("process_name");
+  w.Key("ph").Value("M");
+  w.Key("pid").Value(0);
+  w.Key("args").BeginObject().Key("name").Value("granulock").EndObject();
+  w.EndObject();
+  for (const auto& [track, tid] : tid_of) {
+    w.BeginObject();
+    w.Key("name").Value("thread_name");
+    w.Key("ph").Value("M");
+    w.Key("pid").Value(0);
+    w.Key("tid").Value(tid);
+    w.Key("args").BeginObject();
+    if (track == kLifecycleTrack) {
+      w.Key("name").Value("lifecycle");
+    } else {
+      w.Key("name").Value(StrFormat("node%d", track));
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  // One simulated time unit <-> one microsecond ("ts"/"dur" are in us).
+  for (const Span& s : spans_) {
+    w.BeginObject();
+    w.Key("name").Value(PhaseName(s.phase));
+    w.Key("cat").Value("txn");
+    w.Key("ph").Value("X");
+    w.Key("pid").Value(0);
+    w.Key("tid").Value(tid_of.at(s.track));
+    w.Key("ts").Value(s.start);
+    w.Key("dur").Value(s.duration());
+    w.Key("args").BeginObject().Key("txn").Value(s.txn).EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+}
+
+Result<SpanRecorder::Decomposition> SpanRecorder::Decompose(
+    uint64_t txn) const {
+  const auto it = completed_.find(txn);
+  if (it == completed_.end()) {
+    return Status::NotFound(StrFormat("txn %llu did not complete",
+                                      (unsigned long long)txn));
+  }
+  if (truncated_.count(txn) != 0) {
+    return Status::NotFound(StrFormat("txn %llu has dropped spans",
+                                      (unsigned long long)txn));
+  }
+  Decomposition d;
+  for (const Span& s : spans_) {
+    if (s.txn != txn) continue;
+    d.phase[static_cast<int>(s.phase)] += s.duration();
+  }
+  const double par = static_cast<double>(it->second.parallelism);
+  d.phase[static_cast<int>(Phase::kIoService)] /= par;
+  d.phase[static_cast<int>(Phase::kCpuService)] /= par;
+  d.phase[static_cast<int>(Phase::kSyncWait)] /= par;
+  return d;
+}
+
+Status SpanRecorder::CheckReconciliation(double rel_tol) const {
+  // One pass accumulating per-txn phase sums (Decompose per txn would be
+  // quadratic in the span count).
+  std::unordered_map<uint64_t, Decomposition> sums;
+  for (const Span& s : spans_) {
+    if (completed_.find(s.txn) == completed_.end()) continue;
+    if (truncated_.count(s.txn) != 0) continue;
+    sums[s.txn].phase[static_cast<int>(s.phase)] += s.duration();
+  }
+  for (auto& [txn, d] : sums) {
+    const TxnInfo& info = completed_.at(txn);
+    const double par = static_cast<double>(info.parallelism);
+    d.phase[static_cast<int>(Phase::kIoService)] /= par;
+    d.phase[static_cast<int>(Phase::kCpuService)] /= par;
+    d.phase[static_cast<int>(Phase::kSyncWait)] /= par;
+    const double response = info.completion - info.arrival;
+    const double total = d.Total();
+    if (std::abs(total - response) > rel_tol * std::max(response, 1.0)) {
+      return Status::Internal(StrFormat(
+          "txn %llu: phase sum %.17g != response %.17g (|diff| %.3g)",
+          (unsigned long long)txn, total, response,
+          std::abs(total - response)));
+    }
+  }
+  return Status::OK();
+}
+
+void SpanRecorder::Clear() {
+  spans_.clear();
+  dropped_ = 0;
+  completed_.clear();
+  truncated_.clear();
+}
+
+}  // namespace granulock::obs

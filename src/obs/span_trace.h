@@ -1,0 +1,125 @@
+#ifndef GRANULOCK_OBS_SPAN_TRACE_H_
+#define GRANULOCK_OBS_SPAN_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace granulock::obs {
+
+/// The five phases a transaction's wall-clock time decomposes into.
+/// Every instant between a transaction's arrival and its completion is
+/// covered by exactly one phase (per sub-transaction for the parallel
+/// phases), which is what makes the decomposition reconcile with the
+/// recorded response time.
+enum class Phase : uint8_t {
+  kPendingWait = 0,  ///< waiting in the FIFO pending queue
+  kLockWait = 1,     ///< lock-manager service + blocked-on-a-holder wait
+  kIoService = 2,    ///< sub-transaction I/O stage (incl. node queueing)
+  kCpuService = 3,   ///< sub-transaction CPU stage (incl. node queueing)
+  kSyncWait = 4,     ///< fork-join: done, waiting for sibling sub-txns
+};
+
+inline constexpr int kNumPhases = 5;
+
+/// Short stable name ("pending", "lock", "io", "cpu", "sync").
+const char* PhaseName(Phase phase);
+
+/// One recorded span. `track` identifies the timeline the span belongs
+/// to: node index >= 0 for the per-processor phases (io/cpu/sync),
+/// `kLifecycleTrack` for the transaction-global phases (pending/lock).
+struct Span {
+  double start = 0.0;
+  double end = 0.0;
+  uint64_t txn = 0;
+  Phase phase = Phase::kPendingWait;
+  int32_t track = 0;
+
+  double duration() const { return end - start; }
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+/// Track id for spans that belong to the transaction lifecycle rather
+/// than to a processor.
+inline constexpr int32_t kLifecycleTrack = -1;
+
+/// Records phase spans emitted by the engines (opt-in via `obs::Hooks`)
+/// and exports them as Chrome `trace_event` JSON, loadable in Perfetto or
+/// chrome://tracing, with one track per processor plus a lifecycle track.
+///
+/// Bounded: beyond `capacity` spans recording stops (the earliest spans
+/// are kept; `dropped()` counts the rest), and transactions with any
+/// dropped span are excluded from reconciliation. Recording never affects
+/// simulation behaviour.
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(size_t capacity = 1 << 20);
+
+  /// Appends one span (engine-facing). `end >= start` required.
+  void Record(uint64_t txn, Phase phase, int32_t track, double start,
+              double end);
+
+  /// Marks `txn` complete with its observed bounds and fork-join width
+  /// (`parallelism` = number of concurrent sub-transactions, i.e. spans
+  /// per parallel phase per stage). Enables reconciliation for this
+  /// transaction.
+  void TxnComplete(uint64_t txn, double arrival, double completion,
+                   int64_t parallelism);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  uint64_t dropped() const { return dropped_; }
+  /// Transactions registered through `TxnComplete`.
+  size_t completed_txns() const { return completed_.size(); }
+
+  /// Writes Chrome `trace_event` JSON (object form, `traceEvents` array of
+  /// complete "X" events). One simulated time unit maps to one
+  /// microsecond. Tracks: tid 0 = lifecycle, tid n+1 = node n.
+  void WriteChromeTrace(std::ostream& os) const;
+
+  /// Per-phase totals of one transaction's spans, normalized so the five
+  /// values sum to the transaction's span-covered wall-clock time:
+  /// pending/lock are plain sums, io/cpu/sync are divided by the
+  /// transaction's parallelism.
+  struct Decomposition {
+    double phase[kNumPhases] = {0, 0, 0, 0, 0};
+    double Total() const {
+      double t = 0;
+      for (double p : phase) t += p;
+      return t;
+    }
+  };
+
+  /// Decomposition of one completed transaction; NotFound if the txn did
+  /// not complete or had spans dropped.
+  Result<Decomposition> Decompose(uint64_t txn) const;
+
+  /// Checks that for every fully recorded completed transaction the
+  /// decomposed phase times sum to its response time within
+  /// `rel_tol * max(response, 1)`. Returns OK (also when nothing was
+  /// recorded) or Internal naming the first offending transaction.
+  Status CheckReconciliation(double rel_tol = 1e-9) const;
+
+  /// Forgets everything.
+  void Clear();
+
+ private:
+  struct TxnInfo {
+    double arrival = 0.0;
+    double completion = 0.0;
+    int64_t parallelism = 1;
+  };
+
+  size_t capacity_;
+  std::vector<Span> spans_;
+  uint64_t dropped_ = 0;
+  std::unordered_map<uint64_t, TxnInfo> completed_;
+  std::unordered_set<uint64_t> truncated_;  // txns with >= 1 dropped span
+};
+
+}  // namespace granulock::obs
+
+#endif  // GRANULOCK_OBS_SPAN_TRACE_H_

@@ -1,0 +1,61 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace granulock::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(double interval, size_t capacity)
+    : interval_(interval), capacity_(std::max<size_t>(1, capacity)) {
+  GRANULOCK_CHECK_GT(interval, 0.0) << "sampling interval must be positive";
+}
+
+void TimeSeriesSampler::SetColumns(std::vector<std::string> names) {
+  GRANULOCK_CHECK_EQ(pushed_, 0u) << "SetColumns after Push";
+  columns_ = std::move(names);
+}
+
+void TimeSeriesSampler::Push(double t, std::vector<double> values) {
+  GRANULOCK_CHECK_EQ(values.size(), columns_.size())
+      << "row width does not match declared columns";
+  Row row{t, std::move(values)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(row));
+  } else {
+    ring_[next_] = std::move(row);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++pushed_;
+}
+
+std::vector<TimeSeriesSampler::Row> TimeSeriesSampler::Rows() const {
+  std::vector<Row> out;
+  out.reserve(ring_.size());
+  // `next_` is the oldest element once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TimeSeriesSampler::WriteCsv(std::ostream& os) const {
+  os << "time";
+  for (const std::string& c : columns_) os << "," << CsvEscape(c);
+  os << "\n";
+  for (const Row& row : Rows()) {
+    os << StrFormat("%.17g", row.time);
+    for (double v : row.values) os << "," << StrFormat("%.17g", v);
+    os << "\n";
+  }
+}
+
+void TimeSeriesSampler::Clear() {
+  ring_.clear();
+  next_ = 0;
+  pushed_ = 0;
+}
+
+}  // namespace granulock::obs

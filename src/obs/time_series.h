@@ -1,0 +1,70 @@
+#ifndef GRANULOCK_OBS_TIME_SERIES_H_
+#define GRANULOCK_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace granulock::obs {
+
+/// A periodic sampler of piecewise-constant simulation signals (queue
+/// lengths, per-node utilization, interval throughput). The engine
+/// schedules *observer* events at `interval` simulated-time cadence and
+/// pushes one row per tick; the sampler stores rows in a bounded ring
+/// buffer (oldest rows overwritten once `capacity` is reached, counted in
+/// `overwritten()`) and exports CSV for plotting, which makes warmup and
+/// steady-state visually checkable.
+///
+/// The sampler never drives the simulation: ticks are scheduled through
+/// `Simulator::ScheduleObserverAt`, which keeps them out of the executed
+/// event count, and rows are pure reads of engine state.
+class TimeSeriesSampler {
+ public:
+  /// Samples every `interval` (> 0) simulated time units, retaining the
+  /// most recent `capacity` (>= 1) rows.
+  explicit TimeSeriesSampler(double interval, size_t capacity = 1 << 16);
+
+  /// Engine-facing: declares the column names once, before the first
+  /// `Push`. The first column is always the sample time and is implicit —
+  /// do not include it.
+  void SetColumns(std::vector<std::string> names);
+
+  /// Engine-facing: appends the row sampled at time `t`. `values` must
+  /// match the declared column count.
+  void Push(double t, std::vector<double> values);
+
+  double interval() const { return interval_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Rows currently retained, oldest first.
+  struct Row {
+    double time = 0.0;
+    std::vector<double> values;
+  };
+  std::vector<Row> Rows() const;
+
+  /// Rows pushed in total / rows evicted by the ring bound.
+  uint64_t pushed() const { return pushed_; }
+  uint64_t overwritten() const {
+    return pushed_ > ring_.size() ? pushed_ - ring_.size() : 0;
+  }
+
+  /// Writes `time,<col>,...` CSV (with header), oldest row first.
+  void WriteCsv(std::ostream& os) const;
+
+  /// Drops all rows (columns are kept).
+  void Clear();
+
+ private:
+  double interval_;
+  size_t capacity_;
+  std::vector<std::string> columns_;
+  std::vector<Row> ring_;  // ring buffer once size reaches capacity_
+  size_t next_ = 0;        // insertion index when full
+  uint64_t pushed_ = 0;
+};
+
+}  // namespace granulock::obs
+
+#endif  // GRANULOCK_OBS_TIME_SERIES_H_

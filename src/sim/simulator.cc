@@ -1,20 +1,36 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace granulock::sim {
 
-EventId Simulator::ScheduleAt(SimTime at, Callback callback) {
+EventId Simulator::Schedule(SimTime at, Callback callback, bool observer) {
   GRANULOCK_CHECK_GE(at, now_) << "cannot schedule into the past";
   const EventId id = next_id_++;
-  heap_.push(Event{at, next_seq_++, id});
+  heap_.push(Event{at, next_seq_++, id, observer});
   callbacks_.emplace(id, std::move(callback));
+  max_pending_ = std::max(max_pending_, heap_.size() - cancelled_.size());
   return id;
+}
+
+EventId Simulator::ScheduleAt(SimTime at, Callback callback) {
+  return Schedule(at, std::move(callback), /*observer=*/false);
 }
 
 EventId Simulator::ScheduleAfter(SimTime delay, Callback callback) {
   GRANULOCK_CHECK_GE(delay, 0.0);
   return ScheduleAt(now_ + delay, std::move(callback));
+}
+
+EventId Simulator::ScheduleObserverAt(SimTime at, Callback callback) {
+  return Schedule(at, std::move(callback), /*observer=*/true);
+}
+
+EventId Simulator::ScheduleObserverAfter(SimTime delay, Callback callback) {
+  GRANULOCK_CHECK_GE(delay, 0.0);
+  return ScheduleObserverAt(now_ + delay, std::move(callback));
 }
 
 void Simulator::Cancel(EventId id) {
@@ -38,7 +54,11 @@ bool Simulator::Step() {
     Callback cb = std::move(cb_it->second);
     callbacks_.erase(cb_it);
     now_ = ev.time;
-    ++executed_;
+    if (ev.observer) {
+      ++observer_executed_;
+    } else {
+      ++executed_;
+    }
     cb();
     return true;
   }

@@ -46,6 +46,14 @@ class Simulator {
   /// Schedules `callback` to run `delay` (>= 0) time units from now.
   EventId ScheduleAfter(SimTime delay, Callback callback);
 
+  /// Like `ScheduleAt`/`ScheduleAfter`, but the event is an *observer*: it
+  /// may only read simulation state (metric sampling, progress hooks) and
+  /// is excluded from `ExecutedEvents()`, so enabling observability does
+  /// not change the reported event count. Observer events still execute in
+  /// (time, scheduling order) like any other event.
+  EventId ScheduleObserverAt(SimTime at, Callback callback);
+  EventId ScheduleObserverAfter(SimTime delay, Callback callback);
+
   /// Cancels a pending event. Cancelling an event that already fired (or
   /// was already cancelled) is a no-op.
   void Cancel(EventId id);
@@ -65,14 +73,22 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   size_t PendingEvents() const { return heap_.size() - cancelled_.size(); }
 
-  /// Total number of events executed so far (diagnostics).
+  /// Total number of simulation events executed so far (diagnostics).
+  /// Observer events are counted separately in
+  /// `ExecutedObserverEvents()`.
   uint64_t ExecutedEvents() const { return executed_; }
+  uint64_t ExecutedObserverEvents() const { return observer_executed_; }
+
+  /// High-water mark of the pending-event set (engine self-profiling:
+  /// the event queue is the simulator's main memory consumer).
+  size_t MaxPendingEvents() const { return max_pending_; }
 
  private:
   struct Event {
     SimTime time;
     uint64_t seq;  // tie-break: FIFO among equal timestamps
     EventId id;
+    bool observer;  // excluded from the executed-event count
     // `Callback` lives in callbacks_ keyed by id so the heap stays cheap to
     // copy during sift operations.
   };
@@ -83,10 +99,14 @@ class Simulator {
     }
   };
 
+  EventId Schedule(SimTime at, Callback callback, bool observer);
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
   uint64_t executed_ = 0;
+  uint64_t observer_executed_ = 0;
+  size_t max_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::unordered_set<EventId> cancelled_;

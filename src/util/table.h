@@ -31,6 +31,10 @@ class TablePrinter {
   /// Number of data rows added so far.
   size_t row_count() const { return rows_.size(); }
 
+  /// Read access for exporters (e.g. the bench JSON reports).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Renders an aligned, right-justified ASCII table.
   void Print(std::ostream& os) const;
 

@@ -1,0 +1,323 @@
+// Unit tests for the observability building blocks in src/obs/: the JSON
+// writer/validator, the metrics registry, the phase-span recorder, and
+// the time-series ring sampler.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/registry.h"
+#include "obs/span_trace.h"
+#include "obs/time_series.h"
+
+namespace granulock::obs {
+namespace {
+
+// --------------------------------------------------------------------
+// JsonEscape / JsonWriter / ValidateJson
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello fig02"), "hello fig02");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, WritesNestedStructures) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("name").Value("fig02");
+  w.Key("n").Value(3);
+  w.Key("ratio").Value(0.5);
+  w.Key("ok").Value(true);
+  w.Key("missing").Null();
+  w.Key("points").BeginArray();
+  w.Value(1).Value(2).Value(3);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"fig02\",\"n\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"missing\":null,\"points\":[1,2,3]}");
+  EXPECT_TRUE(ValidateJson(os.str()).ok());
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.Value(0.1234567890123456789);
+  EXPECT_EQ(std::stod(os.str()), 0.1234567890123456789);
+}
+
+TEST(ValidateJsonTest, AcceptsWellFormedValues) {
+  EXPECT_TRUE(ValidateJson("{}").ok());
+  EXPECT_TRUE(ValidateJson("[]").ok());
+  EXPECT_TRUE(ValidateJson(" {\"a\": [1, -2.5e3, \"x\", null, true]} ").ok());
+  EXPECT_TRUE(ValidateJson("\"just a string\"").ok());
+  EXPECT_TRUE(ValidateJson("-0.5").ok());
+}
+
+TEST(ValidateJsonTest, RejectsMalformedValues) {
+  EXPECT_FALSE(ValidateJson("").ok());
+  EXPECT_FALSE(ValidateJson("{").ok());
+  EXPECT_FALSE(ValidateJson("{\"a\":}").ok());
+  EXPECT_FALSE(ValidateJson("[1,]").ok());
+  EXPECT_FALSE(ValidateJson("{} {}").ok());
+  EXPECT_FALSE(ValidateJson("{'a': 1}").ok());
+  EXPECT_FALSE(ValidateJson("[01]").ok());
+  EXPECT_FALSE(ValidateJson("\"unterminated").ok());
+}
+
+// --------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("engine.txn_completed");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5);
+  // Re-requesting the same name returns the same instrument.
+  EXPECT_EQ(registry.GetCounter("engine.txn_completed"), c);
+
+  Gauge* g = registry.GetGauge("sim.event_queue_hwm");
+  g->Set(17.0);
+  EXPECT_EQ(registry.GetGauge("sim.event_queue_hwm"), g);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsObservations) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("rt", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0: (-inf, 1]
+  h->Observe(1.0);    // bucket 0 (bounds are inclusive upper edges)
+  h->Observe(5.0);    // bucket 1: (1, 10]
+  h->Observe(1000.0); // overflow
+  ASSERT_EQ(h->counts().size(), 4u);
+  EXPECT_EQ(h->counts()[0], 2);
+  EXPECT_EQ(h->counts()[1], 1);
+  EXPECT_EQ(h->counts()[2], 0);
+  EXPECT_EQ(h->counts()[3], 1);
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_DOUBLE_EQ(h->sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h->Mean(), 1006.5 / 4.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsInNameOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetCounter("alpha");
+  registry.GetGauge("mid");
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "zebra");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "mid");
+}
+
+TEST(MetricsRegistryTest, JsonExportValidates) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.txn_completed")->Increment(7);
+  registry.GetGauge("engine.events_per_sec")->Set(1.5e6);
+  registry.GetHistogram("engine.response_time", {1.0, 2.0})->Observe(1.5);
+  std::ostringstream os;
+  registry.WriteJson(os);
+  EXPECT_TRUE(ValidateJson(os.str()).ok()) << os.str();
+  EXPECT_NE(os.str().find("\"engine.txn_completed\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"engine.response_time\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CsvExportHasHeaderAndRows) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(3);
+  registry.GetHistogram("h", {1.0})->Observe(0.5);
+  std::ostringstream os;
+  registry.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.find("kind,name,field,value"), 0u) << csv;
+  EXPECT_NE(csv.find("counter,c,value,3"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram,h,"), std::string::npos) << csv;
+}
+
+// --------------------------------------------------------------------
+// SpanRecorder
+
+TEST(SpanRecorderTest, RecordsAndDecomposesOneTxn) {
+  SpanRecorder rec;
+  // A sequential (parallelism 1) transaction: arrive 0, granted at 3,
+  // io [3,5], cpu [5,8], sync [8,8], complete 8.
+  rec.Record(1, Phase::kPendingWait, kLifecycleTrack, 0.0, 2.0);
+  rec.Record(1, Phase::kLockWait, kLifecycleTrack, 2.0, 3.0);
+  rec.Record(1, Phase::kIoService, 0, 3.0, 5.0);
+  rec.Record(1, Phase::kCpuService, 0, 5.0, 8.0);
+  rec.Record(1, Phase::kSyncWait, 0, 8.0, 8.0);
+  rec.TxnComplete(1, 0.0, 8.0, 1);
+
+  const auto d = rec.Decompose(1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->phase[0], 2.0);  // pending
+  EXPECT_DOUBLE_EQ(d->phase[1], 1.0);  // lock
+  EXPECT_DOUBLE_EQ(d->phase[2], 2.0);  // io
+  EXPECT_DOUBLE_EQ(d->phase[3], 3.0);  // cpu
+  EXPECT_DOUBLE_EQ(d->phase[4], 0.0);  // sync
+  EXPECT_DOUBLE_EQ(d->Total(), 8.0);
+  EXPECT_TRUE(rec.CheckReconciliation().ok());
+}
+
+TEST(SpanRecorderTest, ParallelPhasesDivideByParallelism) {
+  SpanRecorder rec;
+  // Two sub-transactions on nodes 0 and 1; each io 2 units, cpu 2 units;
+  // node 1 finishes first and waits 2 units for node 0.
+  rec.Record(7, Phase::kLockWait, kLifecycleTrack, 0.0, 1.0);
+  rec.Record(7, Phase::kIoService, 0, 1.0, 3.0);
+  rec.Record(7, Phase::kCpuService, 0, 3.0, 7.0);
+  rec.Record(7, Phase::kSyncWait, 0, 7.0, 7.0);
+  rec.Record(7, Phase::kIoService, 1, 1.0, 3.0);
+  rec.Record(7, Phase::kCpuService, 1, 3.0, 5.0);
+  rec.Record(7, Phase::kSyncWait, 1, 5.0, 7.0);
+  rec.TxnComplete(7, 0.0, 7.0, 2);
+
+  const auto d = rec.Decompose(7);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->phase[1], 1.0);           // lock, plain sum
+  EXPECT_DOUBLE_EQ(d->phase[2], 4.0 / 2.0);     // io, averaged
+  EXPECT_DOUBLE_EQ(d->phase[3], 6.0 / 2.0);     // cpu, averaged
+  EXPECT_DOUBLE_EQ(d->phase[4], 2.0 / 2.0);     // sync, averaged
+  EXPECT_DOUBLE_EQ(d->Total(), 7.0);
+  EXPECT_TRUE(rec.CheckReconciliation().ok());
+}
+
+TEST(SpanRecorderTest, ReconciliationCatchesGaps) {
+  SpanRecorder rec;
+  rec.Record(1, Phase::kLockWait, kLifecycleTrack, 0.0, 1.0);
+  // Missing span for [1, 4]: decomposition sums to 1, response is 4.
+  rec.TxnComplete(1, 0.0, 4.0, 1);
+  EXPECT_FALSE(rec.CheckReconciliation().ok());
+}
+
+TEST(SpanRecorderTest, UnknownTxnIsNotFound) {
+  SpanRecorder rec;
+  EXPECT_FALSE(rec.Decompose(99).ok());
+}
+
+TEST(SpanRecorderTest, CapacityBoundsRecordingAndExcludesTruncated) {
+  SpanRecorder rec(/*capacity=*/2);
+  rec.Record(1, Phase::kLockWait, kLifecycleTrack, 0.0, 1.0);
+  rec.Record(1, Phase::kIoService, 0, 1.0, 2.0);
+  rec.Record(1, Phase::kCpuService, 0, 2.0, 3.0);  // dropped
+  EXPECT_EQ(rec.spans().size(), 2u);
+  EXPECT_EQ(rec.dropped(), 1u);
+  rec.TxnComplete(1, 0.0, 3.0, 1);
+  // Truncated txns are excluded from decomposition and reconciliation
+  // rather than mis-reported.
+  EXPECT_FALSE(rec.Decompose(1).ok());
+  EXPECT_TRUE(rec.CheckReconciliation().ok());
+}
+
+TEST(SpanRecorderTest, ChromeTraceIsValidJsonWithTracks) {
+  SpanRecorder rec;
+  rec.Record(1, Phase::kPendingWait, kLifecycleTrack, 0.0, 1.0);
+  rec.Record(1, Phase::kLockWait, kLifecycleTrack, 1.0, 2.0);
+  rec.Record(1, Phase::kIoService, 0, 2.0, 4.0);
+  rec.Record(1, Phase::kCpuService, 1, 2.0, 5.0);
+  rec.Record(1, Phase::kSyncWait, 1, 5.0, 6.0);
+  rec.TxnComplete(1, 0.0, 6.0, 2);
+  std::ostringstream os;
+  rec.WriteChromeTrace(os);
+  const std::string trace = os.str();
+  EXPECT_TRUE(ValidateJson(trace).ok()) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  // All five phases appear by name.
+  for (int p = 0; p < kNumPhases; ++p) {
+    EXPECT_NE(trace.find(PhaseName(static_cast<Phase>(p))),
+              std::string::npos)
+        << "missing phase " << p;
+  }
+}
+
+TEST(SpanRecorderTest, ClearForgetsEverything) {
+  SpanRecorder rec;
+  rec.Record(1, Phase::kLockWait, kLifecycleTrack, 0.0, 1.0);
+  rec.TxnComplete(1, 0.0, 1.0, 1);
+  rec.Clear();
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_EQ(rec.completed_txns(), 0u);
+}
+
+// --------------------------------------------------------------------
+// TimeSeriesSampler
+
+TEST(TimeSeriesSamplerTest, StoresRowsInOrder) {
+  TimeSeriesSampler sampler(10.0);
+  sampler.SetColumns({"active", "throughput"});
+  sampler.Push(10.0, {3.0, 0.1});
+  sampler.Push(20.0, {5.0, 0.2});
+  const auto rows = sampler.Rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(rows[1].time, 20.0);
+  EXPECT_EQ(sampler.pushed(), 2u);
+  EXPECT_EQ(sampler.overwritten(), 0u);
+}
+
+TEST(TimeSeriesSamplerTest, RingOverwritesOldestFirst) {
+  TimeSeriesSampler sampler(1.0, /*capacity=*/3);
+  sampler.SetColumns({"x"});
+  for (int i = 1; i <= 5; ++i) {
+    sampler.Push(static_cast<double>(i), {static_cast<double>(i * 10)});
+  }
+  const auto rows = sampler.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  // Rows 1 and 2 were evicted; 3..5 remain, oldest first.
+  EXPECT_DOUBLE_EQ(rows[0].time, 3.0);
+  EXPECT_DOUBLE_EQ(rows[1].time, 4.0);
+  EXPECT_DOUBLE_EQ(rows[2].time, 5.0);
+  EXPECT_EQ(sampler.pushed(), 5u);
+  EXPECT_EQ(sampler.overwritten(), 2u);
+}
+
+TEST(TimeSeriesSamplerTest, CsvHasHeaderAndOrderedRows) {
+  TimeSeriesSampler sampler(5.0);
+  sampler.SetColumns({"active", "cpu0_util"});
+  sampler.Push(5.0, {2.0, 0.75});
+  std::ostringstream os;
+  sampler.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.find("time,active,cpu0_util"), 0u) << csv;
+  EXPECT_NE(csv.find("\n5,2,0.75"), std::string::npos) << csv;
+}
+
+TEST(TimeSeriesSamplerTest, ClearKeepsColumns) {
+  TimeSeriesSampler sampler(1.0);
+  sampler.SetColumns({"x"});
+  sampler.Push(1.0, {1.0});
+  sampler.Clear();
+  EXPECT_TRUE(sampler.Rows().empty());
+  ASSERT_EQ(sampler.columns().size(), 1u);
+  EXPECT_EQ(sampler.columns()[0], "x");
+}
+
+}  // namespace
+}  // namespace granulock::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/random.h"
@@ -239,6 +240,63 @@ TEST(QuantileEstimatorTest, DeterministicForSeedAndOrder) {
     b.Add(rb.NextDouble());
   }
   EXPECT_DOUBLE_EQ(a.Quantile(0.9), b.Quantile(0.9));
+}
+
+TEST(QuantileEstimatorTest, ReservoirReplacesOldObservations) {
+  // Fill a small reservoir with 0s, then stream 100x as many 1000s. If
+  // replacement works, nearly all retained slots must hold the new value
+  // by the end — the median in particular.
+  QuantileEstimator q(32, 17);
+  for (int i = 0; i < 32; ++i) q.Add(0.0);
+  for (int i = 0; i < 3200; ++i) q.Add(1000.0);
+  EXPECT_EQ(q.count(), 3232u);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 1000.0);
+}
+
+TEST(QuantileEstimatorTest, BeyondCapacityStaysWithinObservedRange) {
+  // Past capacity the estimator subsamples, but every retained value is a
+  // real observation, so quantiles stay inside [min, max] and monotone.
+  QuantileEstimator q(16, 23);
+  Rng rng(9);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    q.Add(x);
+  }
+  double prev = q.Quantile(0.0);
+  EXPECT_GE(prev, lo);
+  for (double quant : {0.25, 0.5, 0.75, 1.0}) {
+    const double v = q.Quantile(quant);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(prev, hi);
+}
+
+TEST(TimeWeightedStatTest, ResetWindowMidIntervalKeepsCurrentValue) {
+  // The warmup-discard case: the signal last changed before the reset
+  // point, so the reset must charge the held value from the reset time
+  // on, not from the stale update time.
+  TimeWeightedStat s;
+  s.Start(0.0, 10.0);
+  s.Update(3.0, 4.0);
+  s.ResetWindow(5.0);  // mid-interval: value 4 held since t=3
+  EXPECT_DOUBLE_EQ(s.current(), 4.0);
+  // On [5, 9]: value 4 on [5, 7), 8 on [7, 9) -> average 6.
+  s.Update(7.0, 8.0);
+  EXPECT_DOUBLE_EQ(s.Average(9.0), (4.0 * 2.0 + 8.0 * 2.0) / 4.0);
+}
+
+TEST(TimeWeightedStatTest, ResetWindowAverageAtResetPointIsCurrent) {
+  TimeWeightedStat s;
+  s.Start(0.0, 5.0);
+  s.Update(2.0, 9.0);
+  s.ResetWindow(6.0);
+  // Zero-length window after a discard: the current value, not 0 and not
+  // anything remembered from [0, 6).
+  EXPECT_DOUBLE_EQ(s.Average(6.0), 9.0);
 }
 
 }  // namespace
