@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/json_writer.h"
+#include "sim/invariants.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -23,6 +24,9 @@ void BenchArgs::Register(FlagParser& parser) {
   parser.AddBool("quick", &quick, false, "shrink tmax 10x for a smoke run");
   parser.AddBool("json_out", &json_out, false,
                  "also write BENCH_<id>.json with the full result grid");
+  parser.AddBool("audit", &audit, false,
+                 "run deep invariant audits at every quiescent point "
+                 "(slower; aborts on the first violated invariant)");
   parser.AddString("log_level", &log_level, "info",
                    "minimum log severity: debug|info|warning|error");
 }
@@ -70,6 +74,10 @@ BenchArgs ParseArgsOrDie(int argc, char** argv) {
     std::exit(1);
   }
   SetLogThreshold(level);
+  sim::invariants::SetDeepAudit(args.audit);
+  if (args.audit) {
+    GRANULOCK_LOG(Info) << "--audit: deep invariant audits enabled";
+  }
   return args;
 }
 
@@ -194,8 +202,8 @@ void WriteArgsJson(obs::JsonWriter& w, const BenchArgs& args) {
 
 }  // namespace
 
-Status WriteJsonReport(const std::string& experiment_id,
-                       const FigureData& data, const BenchArgs& args) {
+std::string RenderJsonReport(const std::string& experiment_id,
+                             const FigureData& data, const BenchArgs& args) {
   // Total simulation events across the grid; RunReplicated reports the
   // per-point total over replications, so summing the grid gives the
   // whole bench's event count.
@@ -251,13 +259,18 @@ Status WriteJsonReport(const std::string& experiment_id,
   }
   w.EndArray();
   w.EndObject();
+  return os.str();
+}
 
+Status WriteJsonReport(const std::string& experiment_id,
+                       const FigureData& data, const BenchArgs& args) {
+  const std::string body = RenderJsonReport(experiment_id, data, args);
   const std::string path = StrFormat("BENCH_%s.json", experiment_id.c_str());
   std::ofstream file(path);
   if (!file) {
     return Status::Internal(StrFormat("cannot open %s", path.c_str()));
   }
-  file << os.str() << "\n";
+  file << body << "\n";
   if (!file.good()) {
     return Status::Internal(StrFormat("write to %s failed", path.c_str()));
   }

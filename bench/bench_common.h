@@ -27,6 +27,7 @@ struct BenchArgs {
   bool csv = false;        ///< emit CSV instead of aligned tables
   bool quick = false;      ///< shrink tmax 10x for smoke runs
   bool json_out = false;   ///< also write BENCH_<id>.json (machine-readable)
+  bool audit = false;      ///< run deep invariant audits at quiescent points
   std::string log_level = "info";  ///< debug|info|warning|error
 
   /// Registers the flags on `parser`.
@@ -96,6 +97,13 @@ void PrintMetricTable(const FigureData& data, Metric metric,
 
 /// Prints the per-series throughput-optimal lock count summary.
 void PrintOptimaSummary(const FigureData& data);
+
+/// Renders the JSON report (see `WriteJsonReport`) to a string. With
+/// `data.wall_seconds` pinned, the bytes are a pure function of the
+/// simulated results — the determinism regression test compares them
+/// across same-seed runs.
+std::string RenderJsonReport(const std::string& experiment_id,
+                             const FigureData& data, const BenchArgs& args);
 
 /// Writes `BENCH_<experiment_id>.json` in the working directory: run
 /// parameters, the full (series x ltot) metric grid with confidence

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "sim/invariants.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -387,6 +388,40 @@ void GranularitySimulator::PumpLockManager() {
     UpdateQueueStats();
     BeginLockRequest(txn);
   }
+  if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
+}
+
+void GranularitySimulator::CheckConsistency() const {
+  GRANULOCK_AUDIT_CHECK_GE(outstanding_lock_requests_, 0);
+  GRANULOCK_AUDIT_CHECK_GE(blocked_count_, 0);
+  // Closed system: every live transaction is pending, paying lock cost,
+  // blocked behind an active transaction, or active — nowhere else.
+  GRANULOCK_AUDIT_CHECK_EQ(
+      live_txns_.size(),
+      pending_.size() + static_cast<size_t>(outstanding_lock_requests_) +
+          static_cast<size_t>(blocked_count_) + active_.size())
+      << "live=" << live_txns_.size() << " pending=" << pending_.size()
+      << " in_lock=" << outstanding_lock_requests_
+      << " blocked=" << blocked_count_ << " active=" << active_.size();
+  // The blocked count is exactly the sum of the blockers' lists, and
+  // only active (lock-holding) transactions may block others.
+  size_t blocked_from_lists = 0;
+  for (const Txn* txn : active_) {
+    blocked_from_lists += txn->blocked.size();
+    GRANULOCK_AUDIT_CHECK_GT(txn->subtxns_remaining, 0)
+        << "active txn " << txn->id << " has no sub-transactions left";
+    GRANULOCK_AUDIT_CHECK_LE(txn->subtxns_remaining, txn->params.pu)
+        << "active txn " << txn->id;
+    // Conservative locking: only lock holders block others, so the
+    // waits-for relation has depth one and is trivially acyclic.
+    for (const Txn* waiter : txn->blocked) {
+      GRANULOCK_AUDIT_CHECK(waiter->blocked.empty())
+          << "blocked txn " << waiter->id
+          << " blocks others: waits-for chain under conservative locking";
+    }
+  }
+  GRANULOCK_AUDIT_CHECK_EQ(static_cast<size_t>(blocked_count_),
+                           blocked_from_lists);
 }
 
 void GranularitySimulator::BeginLockRequest(Txn* txn) {
@@ -446,6 +481,9 @@ void GranularitySimulator::StartLockCpuPhase(Txn* txn) {
 
 void GranularitySimulator::FinishLockRequest(Txn* txn) {
   --outstanding_lock_requests_;
+  GRANULOCK_DCHECK_GE(outstanding_lock_requests_, 0)
+      << "lock request for txn " << txn->id
+      << " finished more often than it began";
   std::vector<int64_t> active_locks;
   active_locks.reserve(active_.size());
   for (const Txn* t : active_) active_locks.push_back(t->params.lu);

@@ -105,7 +105,16 @@ class GranularitySimulator {
                                            uint64_t seed);
 
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   struct Txn;
+
+  /// Closed-system conservation audit (runs at quiescent points when
+  /// `sim::invariants::DeepAuditEnabled()`): every live transaction is in
+  /// exactly one of pending / lock-processing / blocked / active, the
+  /// blocked count matches the blockers' lists, and each active
+  /// transaction has sub-transactions outstanding.
+  void CheckConsistency() const;
 
   // --- lifecycle stages (see class comment) ---
   void InjectInitialTransactions();

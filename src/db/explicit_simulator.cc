@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "sim/invariants.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -390,6 +391,44 @@ void ExplicitSimulator::PumpLockManager() {
     pending_.pop_front();
     UpdateQueueStats();
     BeginLockRequest(txn);
+  }
+  if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
+}
+
+void ExplicitSimulator::CheckConsistency() const {
+  GRANULOCK_AUDIT_CHECK_GE(outstanding_lock_requests_, 0);
+  GRANULOCK_AUDIT_CHECK_GE(blocked_count_, 0);
+  GRANULOCK_AUDIT_CHECK_EQ(
+      live_txns_.size(),
+      pending_.size() + static_cast<size_t>(outstanding_lock_requests_) +
+          static_cast<size_t>(blocked_count_) + active_.size())
+      << "live=" << live_txns_.size() << " pending=" << pending_.size()
+      << " in_lock=" << outstanding_lock_requests_
+      << " blocked=" << blocked_count_ << " active=" << active_.size();
+  size_t blocked_from_lists = 0;
+  for (const auto& [id, txn] : active_) {
+    GRANULOCK_AUDIT_CHECK_EQ(id, txn->id);
+    blocked_from_lists += txn->blocked.size();
+    GRANULOCK_AUDIT_CHECK_GT(txn->subtxns_remaining, 0)
+        << "active txn " << txn->id << " has no sub-transactions left";
+    for (const Txn* waiter : txn->blocked) {
+      GRANULOCK_AUDIT_CHECK(waiter->blocked.empty())
+          << "blocked txn " << waiter->id
+          << " blocks others: waits-for chain under conservative locking";
+    }
+  }
+  GRANULOCK_AUDIT_CHECK_EQ(static_cast<size_t>(blocked_count_),
+                           blocked_from_lists);
+  // Only active transactions hold locks, and the table itself is sound.
+  if (flat_table_ != nullptr) {
+    GRANULOCK_AUDIT_CHECK_EQ(
+        static_cast<size_t>(flat_table_->ActiveTransactions()),
+        active_.size());
+    flat_table_->CheckConsistency();
+  }
+  if (hier_table_ != nullptr) {
+    GRANULOCK_AUDIT_CHECK_EQ(hier_table_->Empty(), active_.empty());
+    hier_table_->CheckConsistency();
   }
 }
 

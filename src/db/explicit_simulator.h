@@ -96,7 +96,17 @@ class ExplicitSimulator {
       uint64_t seed);
 
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   struct Txn;
+
+  /// Deep audit (runs at quiescent points when
+  /// `sim::invariants::DeepAuditEnabled()`): closed-system conservation,
+  /// blocked-list accounting, depth-one waits-for (conservative locking
+  /// cannot chain waiters), and the active lock table's own
+  /// `CheckConsistency` — every active transaction holds locks, nobody
+  /// else does.
+  void CheckConsistency() const;
 
   void InjectInitialTransactions();
   void PumpLockManager();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "db/granule_selector.h"
+#include "sim/invariants.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -434,6 +435,38 @@ void IncrementalSimulator::OnLockCostPaid(Txn* txn) {
   if (!waits_for_.FindCycleFrom(txn->id).empty()) {
     AbortAndRestart(txn);
   }
+  if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
+}
+
+void IncrementalSimulator::CheckConsistency() const {
+  GRANULOCK_AUDIT_CHECK_GE(running_count_, 0);
+  GRANULOCK_AUDIT_CHECK_GE(waiting_count_, 0);
+  GRANULOCK_AUDIT_CHECK_GE(in_backoff_, 0);
+  // Closed system: every live transaction is running, queued on a lock,
+  // or sleeping out a deadlock backoff.
+  GRANULOCK_AUDIT_CHECK_EQ(
+      live_txns_.size(),
+      static_cast<size_t>(running_count_ + waiting_count_ + in_backoff_))
+      << "live=" << live_txns_.size() << " running=" << running_count_
+      << " waiting=" << waiting_count_ << " backoff=" << in_backoff_;
+  GRANULOCK_AUDIT_CHECK_EQ(txn_by_id_.size(), live_txns_.size());
+  GRANULOCK_AUDIT_CHECK_EQ(waiting_count_, table_->WaitingCount());
+  table_->CheckConsistency();
+  // Acyclicity: every cycle is detected and broken (victim abort) at the
+  // instant its closing edge would appear, so between events the
+  // waits-for graph rebuilt from the table has no cycle.
+  lockmgr::WaitsForGraph graph;
+  const auto waiting = table_->WaitingRequests();
+  for (const auto& [waiter, granule] : waiting) {
+    for (lockmgr::TxnId holder : table_->Holders(granule)) {
+      graph.AddWait(waiter, holder);
+    }
+  }
+  for (const auto& [waiter, granule] : waiting) {
+    GRANULOCK_AUDIT_CHECK(graph.FindCycleFrom(waiter).empty())
+        << "undetected deadlock cycle through txn " << waiter
+        << " waiting on granule " << granule;
+  }
 }
 
 void IncrementalSimulator::AbortAndRestart(Txn* txn) {
@@ -445,6 +478,7 @@ void IncrementalSimulator::AbortAndRestart(Txn* txn) {
                            sim::TraceEventType::kAborted, txn->restarts);
   }
   --waiting_count_;
+  ++in_backoff_;
   const std::vector<lockmgr::TxnId> granted = table_->Abort(txn->id);
   UpdateQueueStats();
   HandleGrants(granted);
@@ -453,10 +487,12 @@ void IncrementalSimulator::AbortAndRestart(Txn* txn) {
   // immediately would re-form the same cycle under heavy contention and
   // livelock the system.
   sim_.ScheduleAfter(rng_.Exponential(options_.restart_delay), [this, txn] {
+    --in_backoff_;
     ++running_count_;
     txn->next_lock = 0;
     UpdateQueueStats();
     RequestNextLock(txn);
+    if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
   });
 }
 
@@ -581,9 +617,11 @@ void IncrementalSimulator::Complete(Txn* txn) {
     Txn* fresh = CreateTransaction(sim_.Now());
     DestroyTransaction(txn);
     StartTransaction(fresh);
+    if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
     return;
   }
   DestroyTransaction(txn);
+  if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
 }
 
 }  // namespace granulock::db

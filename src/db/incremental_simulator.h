@@ -88,7 +88,17 @@ class IncrementalSimulator {
       uint64_t seed);
 
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   struct Txn;
+
+  /// Deep audit (runs at quiescent points when
+  /// `sim::invariants::DeepAuditEnabled()`): every live transaction is
+  /// running, waiting, or backing off after an abort; the wait count
+  /// matches the lock table; the table's own invariants hold; and the
+  /// waits-for graph rebuilt from the table is acyclic (every cycle is
+  /// broken by a victim abort the moment its closing edge appears).
+  void CheckConsistency() const;
 
   void StartTransaction(Txn* txn);
   void RequestNextLock(Txn* txn);
@@ -126,6 +136,9 @@ class IncrementalSimulator {
   std::vector<std::unique_ptr<Txn>> live_txns_;
   int64_t waiting_count_ = 0;
   int64_t running_count_ = 0;
+  /// Deadlock victims sleeping out their restart backoff (they hold no
+  /// locks and sit in no queue — only this counter accounts for them).
+  int64_t in_backoff_ = 0;
 
   int64_t totcom_ = 0;
   int64_t lock_requests_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "db/granule_selector.h"
+#include "sim/invariants.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -227,6 +228,37 @@ void TransferSimulator::PumpLockManager() {
       continue;
     }
     BeginLockRequest(txn);
+  }
+  if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
+}
+
+void TransferSimulator::CheckConsistency() const {
+  GRANULOCK_AUDIT_CHECK_GE(outstanding_lock_requests_, 0);
+  GRANULOCK_AUDIT_CHECK_GE(blocked_count_, 0);
+  GRANULOCK_AUDIT_CHECK_EQ(
+      live_txns_.size(),
+      pending_.size() + static_cast<size_t>(outstanding_lock_requests_) +
+          static_cast<size_t>(blocked_count_) + active_.size())
+      << "live=" << live_txns_.size() << " pending=" << pending_.size()
+      << " in_lock=" << outstanding_lock_requests_
+      << " blocked=" << blocked_count_ << " active=" << active_.size();
+  size_t blocked_from_lists = 0;
+  for (const auto& [id, txn] : active_) {
+    GRANULOCK_AUDIT_CHECK_EQ(id, txn->id);
+    blocked_from_lists += txn->blocked.size();
+    for (const Txn* waiter : txn->blocked) {
+      GRANULOCK_AUDIT_CHECK(waiter->blocked.empty())
+          << "blocked txn " << waiter->id
+          << " blocks others: waits-for chain under conservative locking";
+    }
+  }
+  GRANULOCK_AUDIT_CHECK_EQ(static_cast<size_t>(blocked_count_),
+                           blocked_from_lists);
+  if (options_.concurrency_control ==
+      ConcurrencyControl::kConservativeLocking) {
+    GRANULOCK_AUDIT_CHECK_EQ(
+        static_cast<size_t>(table_->ActiveTransactions()), active_.size());
+    table_->CheckConsistency();
   }
 }
 

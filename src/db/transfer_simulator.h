@@ -97,7 +97,16 @@ class TransferSimulator {
                                 uint64_t seed);
 
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   struct Txn;
+
+  /// Deep audit (runs at quiescent points when
+  /// `sim::invariants::DeepAuditEnabled()`): closed-system conservation
+  /// over pending / lock-processing / blocked / active, blocked-list
+  /// accounting, and — under conservative locking — the lock table's own
+  /// invariants with exactly the active transactions holding locks.
+  void CheckConsistency() const;
 
   void PumpLockManager();
   void BeginLockRequest(Txn* txn);

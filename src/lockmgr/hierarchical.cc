@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "sim/invariants.h"
 #include "util/logging.h"
 
 namespace granulock::lockmgr {
@@ -147,6 +148,66 @@ void HierarchicalLockManager::ReleaseAll(TxnId txn) {
     if (list.empty()) holders_.erase(hit);
   }
   held_by_txn_.erase(it);
+}
+
+void HierarchicalLockManager::CheckConsistency() const {
+  // Forward: every key a transaction is indexed under names it as a
+  // holder exactly once, and descendants imply intention locks on every
+  // ancestor (Gray's multiple-granularity discipline).
+  size_t holds_from_txns = 0;
+  for (const auto& [txn, keys] : held_by_txn_) {
+    GRANULOCK_AUDIT_CHECK(!keys.empty())
+        << "txn " << txn << " is indexed but holds nothing";
+    holds_from_txns += keys.size();
+    for (const Key key : keys) {
+      auto hit = holders_.find(key);
+      if (hit == holders_.end()) {
+        GRANULOCK_AUDIT_CHECK(false)
+            << "txn " << txn << " claims a lock with no holder entry";
+        continue;
+      }
+      const size_t entries = static_cast<size_t>(
+          std::count_if(hit->second.begin(), hit->second.end(),
+                        [txn = txn](const auto& h) { return h.first == txn; }));
+      GRANULOCK_AUDIT_CHECK_EQ(entries, 1u)
+          << "txn " << txn << " appears " << entries
+          << " times among the holders of one object";
+    }
+    for (const Key key : keys) {
+      const ObjectId object = ObjectOf(key);
+      const LockMode mode = HeldMode(txn, object);
+      const LockMode intention = RequiredIntention(mode);
+      if (intention == LockMode::kNL) continue;
+      if (object.level == ObjectId::Level::kGranule) {
+        const ObjectId file = ObjectId::File(FileOfGranule(object.index));
+        GRANULOCK_AUDIT_CHECK(Covers(HeldMode(txn, file), intention))
+            << "txn " << txn << " holds granule " << object.index
+            << " without the required intention lock on file "
+            << file.index;
+      }
+      if (object.level != ObjectId::Level::kRoot) {
+        GRANULOCK_AUDIT_CHECK(Covers(HeldMode(txn, ObjectId::Root()),
+                                     intention))
+            << "txn " << txn
+            << " holds a descendant without the required intention lock "
+               "on the root";
+      }
+    }
+  }
+  // Reverse: every holder entry is indexed and no state is empty or kNL.
+  size_t holds_from_objects = 0;
+  for (const auto& [key, holders] : holders_) {
+    GRANULOCK_AUDIT_CHECK(!holders.empty())
+        << "an object has an empty holder list";
+    holds_from_objects += holders.size();
+    for (const auto& [holder, mode] : holders) {
+      GRANULOCK_AUDIT_CHECK(mode != LockMode::kNL)
+          << "holder " << holder << " is recorded with mode kNL";
+      GRANULOCK_AUDIT_CHECK(held_by_txn_.find(holder) != held_by_txn_.end())
+          << "holder " << holder << " is missing from the per-txn index";
+    }
+  }
+  GRANULOCK_AUDIT_CHECK_EQ(holds_from_txns, holds_from_objects);
 }
 
 LockMode HierarchicalLockManager::HeldMode(TxnId txn,

@@ -98,7 +98,16 @@ class HierarchicalLockManager {
 
   const Options& options() const { return options_; }
 
+  /// Hierarchy audit: holder map and per-txn index mirror each other, no
+  /// holder entry is kNL or empty, and the multiple-granularity
+  /// discipline holds — whoever locks a granule (file) also holds the
+  /// required intention mode, or stronger, on its file and the root.
+  /// O(locks held); violations report through `invariants::Fail`.
+  void CheckConsistency() const;
+
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   using Key = uint64_t;
   static Key KeyOf(const ObjectId& object);
   static ObjectId ObjectOf(Key key);

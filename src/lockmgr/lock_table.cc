@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/invariants.h"
 #include "util/logging.h"
 
 namespace granulock::lockmgr {
@@ -83,6 +84,61 @@ LockMode LockTable::HeldMode(TxnId txn, int64_t granule) const {
 
 int64_t LockTable::LockedGranules() const {
   return static_cast<int64_t>(granules_.size());
+}
+
+void LockTable::CheckConsistency() const {
+  // Forward direction: every granule a transaction claims to hold names
+  // it as a holder exactly once.
+  size_t holds_from_txns = 0;
+  for (const auto& [txn, granules] : held_by_txn_) {
+    GRANULOCK_AUDIT_CHECK(!granules.empty())
+        << "txn " << txn << " is indexed but holds nothing";
+    holds_from_txns += granules.size();
+    for (const int64_t granule : granules) {
+      GRANULOCK_AUDIT_CHECK(granule >= 0 && granule < num_granules_)
+          << "txn " << txn << " holds out-of-range granule " << granule;
+      auto git = granules_.find(granule);
+      if (git == granules_.end()) {
+        GRANULOCK_AUDIT_CHECK(false)
+            << "txn " << txn << " claims granule " << granule
+            << " but the granule has no holder entry";
+        continue;
+      }
+      const auto& holders = git->second.holders;
+      const size_t entries = static_cast<size_t>(
+          std::count_if(holders.begin(), holders.end(),
+                        [txn = txn](const auto& h) { return h.first == txn; }));
+      GRANULOCK_AUDIT_CHECK_EQ(entries, 1u)
+          << "txn " << txn << " appears " << entries
+          << " times among holders of granule " << granule;
+    }
+  }
+  // Reverse direction: every holder entry is indexed, no state is empty,
+  // and X excludes everything else.
+  size_t holds_from_granules = 0;
+  for (const auto& [granule, state] : granules_) {
+    GRANULOCK_AUDIT_CHECK(!state.holders.empty())
+        << "granule " << granule << " has an empty holder list";
+    holds_from_granules += state.holders.size();
+    bool has_exclusive = false;
+    for (const auto& [holder, mode] : state.holders) {
+      GRANULOCK_AUDIT_CHECK(mode != LockMode::kNL)
+          << "granule " << granule << " holds a kNL entry for txn "
+          << holder;
+      if (!Compatible(mode, mode)) has_exclusive = true;
+      auto hit = held_by_txn_.find(holder);
+      GRANULOCK_AUDIT_CHECK(hit != held_by_txn_.end())
+          << "holder " << holder << " of granule " << granule
+          << " is missing from the per-txn index";
+    }
+    if (has_exclusive) {
+      GRANULOCK_AUDIT_CHECK_EQ(state.holders.size(), 1u)
+          << "granule " << granule
+          << " has an exclusive holder sharing with others";
+    }
+  }
+  // The two directions count the same set of (txn, granule) holds.
+  GRANULOCK_AUDIT_CHECK_EQ(holds_from_txns, holds_from_granules);
 }
 
 }  // namespace granulock::lockmgr

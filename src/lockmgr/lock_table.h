@@ -66,7 +66,17 @@ class LockTable {
 
   int64_t num_granules() const { return num_granules_; }
 
+  /// Reference-count consistency audit: the holder map and the per-txn
+  /// index mirror each other exactly (every held granule names the txn as
+  /// a holder exactly once and vice versa), no granule state is empty, no
+  /// granule is out of range, and S/X mutual exclusion holds (an X holder
+  /// is alone). O(locks held); violations report through
+  /// `invariants::Fail`.
+  void CheckConsistency() const;
+
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   struct GranuleState {
     // Holders of this granule with their modes. With conservative S/X
     // locking the list is either one X holder or any number of S holders.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/invariants.h"
 #include "util/logging.h"
 
 namespace granulock::lockmgr {
@@ -139,6 +140,88 @@ std::vector<TxnId> WaitQueueLockTable::Holders(int64_t granule) const {
     out.push_back(holder);
   }
   return out;
+}
+
+void WaitQueueLockTable::CheckConsistency() const {
+  // Holder maps mirror each other (as in LockTable).
+  size_t holds_from_txns = 0;
+  for (const auto& [txn, granules] : held_by_txn_) {
+    GRANULOCK_AUDIT_CHECK(!granules.empty())
+        << "txn " << txn << " is indexed but holds nothing";
+    holds_from_txns += granules.size();
+    for (const int64_t granule : granules) {
+      GRANULOCK_AUDIT_CHECK(granule >= 0 && granule < num_granules_)
+          << "txn " << txn << " holds out-of-range granule " << granule;
+      auto git = granules_.find(granule);
+      if (git == granules_.end()) {
+        GRANULOCK_AUDIT_CHECK(false)
+            << "txn " << txn << " claims granule " << granule
+            << " but the granule has no state";
+        continue;
+      }
+      const auto& holders = git->second.holders;
+      const size_t entries = static_cast<size_t>(
+          std::count_if(holders.begin(), holders.end(),
+                        [txn = txn](const auto& h) { return h.first == txn; }));
+      GRANULOCK_AUDIT_CHECK_EQ(entries, 1u)
+          << "txn " << txn << " appears " << entries
+          << " times among holders of granule " << granule;
+    }
+  }
+  // Queue conservation plus the no-missed-grant property.
+  size_t holds_from_granules = 0;
+  size_t queued_from_granules = 0;
+  for (const auto& [granule, state] : granules_) {
+    GRANULOCK_AUDIT_CHECK(!state.holders.empty() || !state.queue.empty())
+        << "granule " << granule << " has an empty state";
+    holds_from_granules += state.holders.size();
+    queued_from_granules += state.queue.size();
+    for (const auto& [holder, mode] : state.holders) {
+      GRANULOCK_AUDIT_CHECK(mode != LockMode::kNL)
+          << "granule " << granule << " holds a kNL entry for txn "
+          << holder;
+      GRANULOCK_AUDIT_CHECK(held_by_txn_.find(holder) != held_by_txn_.end())
+          << "holder " << holder << " of granule " << granule
+          << " is missing from the per-txn index";
+    }
+    for (const Waiter& waiter : state.queue) {
+      auto qit = queued_on_.find(waiter.txn);
+      GRANULOCK_AUDIT_CHECK(qit != queued_on_.end() &&
+                            qit->second == granule)
+          << "txn " << waiter.txn << " queues on granule " << granule
+          << " but queued_on_ disagrees";
+    }
+    if (!state.queue.empty()) {
+      const Waiter& head = state.queue.front();
+      GRANULOCK_AUDIT_CHECK(
+          !CompatibleWithHolders(state, head.txn, head.mode))
+          << "granule " << granule << " queue head txn " << head.txn
+          << " is compatible with all holders: a grant was missed";
+    }
+  }
+  GRANULOCK_AUDIT_CHECK_EQ(holds_from_txns, holds_from_granules);
+  GRANULOCK_AUDIT_CHECK_EQ(static_cast<size_t>(waiting_count_),
+                           queued_from_granules);
+  GRANULOCK_AUDIT_CHECK_EQ(queued_on_.size(), queued_from_granules);
+  // Each queued transaction appears exactly once in the queue it points
+  // at (the per-granule walk above checked membership; this rules out
+  // duplicates within one queue).
+  for (const auto& [txn, granule] : queued_on_) {
+    auto git = granules_.find(granule);
+    if (git == granules_.end()) {
+      GRANULOCK_AUDIT_CHECK(false)
+          << "txn " << txn << " queues on granule " << granule
+          << " which has no state";
+      continue;
+    }
+    const auto& queue = git->second.queue;
+    const size_t entries = static_cast<size_t>(
+        std::count_if(queue.begin(), queue.end(),
+                      [txn = txn](const Waiter& w) { return w.txn == txn; }));
+    GRANULOCK_AUDIT_CHECK_EQ(entries, 1u)
+        << "txn " << txn << " appears " << entries
+        << " times in the queue of granule " << granule;
+  }
 }
 
 LockMode WaitQueueLockTable::HeldMode(TxnId txn, int64_t granule) const {

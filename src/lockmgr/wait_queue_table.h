@@ -64,7 +64,18 @@ class WaitQueueLockTable {
 
   int64_t num_granules() const { return num_granules_; }
 
+  /// FCFS queue conservation audit: `waiting_count_` == `queued_on_`
+  /// size == sum of per-granule queue lengths, every queued txn sits
+  /// exactly once in exactly the queue `queued_on_` says, holder maps
+  /// mirror each other, no state is empty, and every non-empty queue's
+  /// head is actually blocked (incompatible with a current holder) —
+  /// otherwise a grant was missed. O(locks + waiters); violations report
+  /// through `invariants::Fail`.
+  void CheckConsistency() const;
+
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   struct Waiter {
     TxnId txn;
     LockMode mode;

@@ -1,0 +1,48 @@
+#include "sim/invariants.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace granulock::sim::invariants {
+
+namespace {
+
+// Deep-audit switch. Atomic so that a future multi-threaded replication
+// driver can flip it safely; simulations read it with relaxed ordering.
+std::atomic<bool> g_deep_audit{false};
+
+// Active failure capture (tests only; single-threaded).
+ScopedFailureCapture* g_capture = nullptr;
+
+}  // namespace
+
+void SetDeepAudit(bool enabled) {
+  g_deep_audit.store(enabled, std::memory_order_relaxed);
+}
+
+bool DeepAuditEnabled() {
+  return g_deep_audit.load(std::memory_order_relaxed);
+}
+
+void Fail(const char* file, int line, const std::string& message) {
+  if (g_capture != nullptr) {
+    ++g_capture->count_;
+    g_capture->last_message_ = message;
+    GRANULOCK_LOG(Warning) << "[captured] " << message << " (" << file << ":"
+                           << line << ")";
+    return;
+  }
+  ::granulock::internal::LogMessage(LogLevel::kFatal, file, line).stream()
+      << message;
+}
+
+ScopedFailureCapture::ScopedFailureCapture() {
+  GRANULOCK_CHECK(g_capture == nullptr)
+      << "nested ScopedFailureCapture is not supported";
+  g_capture = this;
+}
+
+ScopedFailureCapture::~ScopedFailureCapture() { g_capture = nullptr; }
+
+}  // namespace granulock::sim::invariants

@@ -1,0 +1,153 @@
+#ifndef GRANULOCK_SIM_INVARIANTS_H_
+#define GRANULOCK_SIM_INVARIANTS_H_
+
+#include <sstream>
+#include <string>
+
+/// Invariant-audit layer for the discrete-event simulators.
+///
+/// The paper's curves are only as trustworthy as the simulator's internal
+/// bookkeeping, so the protocol invariants the model relies on — event-time
+/// monotonicity, closed-system transaction conservation, lock-table
+/// reference-count consistency, FCFS queue conservation, fork-join sibling
+/// accounting, and waits-for acyclicity under conservative locking — are
+/// checked explicitly rather than eyeballed. Three tiers:
+///
+///  1. `GRANULOCK_DCHECK*` — cheap O(1) assertions on hot paths. Compiled
+///     to true no-ops unless the build defines `GRANULOCK_AUDIT_ENABLED`
+///     (Debug and sanitizer builds do; Release does not, so Release bench
+///     throughput is unaffected).
+///  2. `CheckConsistency()` methods on the audited structures (lock
+///     tables, wait queues, servers, simulator) — full-structure scans
+///     that are always compiled; callers decide when to pay for them.
+///  3. Deep audits in the engines — `CheckConsistency` sweeps plus
+///     cross-structure conservation checks, gated at runtime by
+///     `SetDeepAudit(true)` (the benches' `--audit` flag).
+///
+/// Every violated check funnels through `invariants::Fail`, which aborts
+/// via the fatal logger by default; tests install a `ScopedFailureCapture`
+/// to prove that deliberately corrupted state trips the right check
+/// without killing the test binary.
+
+namespace granulock::sim::invariants {
+
+/// True when `GRANULOCK_DCHECK*` compile to real checks in this build.
+#ifdef GRANULOCK_AUDIT_ENABLED
+inline constexpr bool kAuditBuild = true;
+#else
+inline constexpr bool kAuditBuild = false;
+#endif
+
+/// Enables/disables the engines' deep (O(n) full-scan) audits. Off by
+/// default; the bench binaries' `--audit` flag turns it on. The flag is a
+/// process-wide setting read between simulation events; simulations
+/// themselves are single-threaded.
+void SetDeepAudit(bool enabled);
+bool DeepAuditEnabled();
+
+/// Reports an invariant violation. Aborts through the fatal logger unless
+/// a `ScopedFailureCapture` is active, in which case the message is
+/// recorded and execution continues (so a test can assert the check
+/// fired). Audited code must therefore tolerate continuing past a
+/// violation only in the trivial sense of not crashing immediately.
+void Fail(const char* file, int line, const std::string& message);
+
+/// RAII capture of invariant failures for tests. While one is alive,
+/// `Fail` records instead of aborting. Not thread-safe (installs a global
+/// handler); tests are single-threaded. Nesting is not supported.
+class ScopedFailureCapture {
+ public:
+  ScopedFailureCapture();
+  ~ScopedFailureCapture();
+
+  ScopedFailureCapture(const ScopedFailureCapture&) = delete;
+  ScopedFailureCapture& operator=(const ScopedFailureCapture&) = delete;
+
+  /// Number of violations recorded since construction.
+  int count() const { return count_; }
+
+  /// The most recent violation message ("" if none).
+  const std::string& last_message() const { return last_message_; }
+
+  /// Forgets recorded failures (count back to 0).
+  void Reset() {
+    count_ = 0;
+    last_message_.clear();
+  }
+
+ private:
+  friend void Fail(const char* file, int line, const std::string& message);
+
+  int count_ = 0;
+  std::string last_message_;
+};
+
+namespace internal {
+
+/// Stream-style builder for one violation message; hands the assembled
+/// text to `Fail` on destruction.
+class FailureStream {
+ public:
+  FailureStream(const char* file, int line) : file_(file), line_(line) {}
+  ~FailureStream() { Fail(file_, line_, stream_.str()); }
+
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Sink for the `cond ? (void)0 : Voidify() & stream` trick.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace granulock::sim::invariants
+
+/// Always-compiled invariant check; used inside the `CheckConsistency`
+/// audit methods and the runtime-gated deep audits. Context may be
+/// streamed in: `GRANULOCK_AUDIT_CHECK(a == b) << "a=" << a;`
+#define GRANULOCK_AUDIT_CHECK(condition)                              \
+  (condition)                                                         \
+      ? (void)0                                                       \
+      : ::granulock::sim::invariants::internal::Voidify() &           \
+            ::granulock::sim::invariants::internal::FailureStream(    \
+                __FILE__, __LINE__)                                   \
+                    .stream()                                         \
+                << "Invariant violated: " #condition " "
+
+#define GRANULOCK_AUDIT_CHECK_EQ(a, b) GRANULOCK_AUDIT_CHECK((a) == (b))
+#define GRANULOCK_AUDIT_CHECK_NE(a, b) GRANULOCK_AUDIT_CHECK((a) != (b))
+#define GRANULOCK_AUDIT_CHECK_LT(a, b) GRANULOCK_AUDIT_CHECK((a) < (b))
+#define GRANULOCK_AUDIT_CHECK_LE(a, b) GRANULOCK_AUDIT_CHECK((a) <= (b))
+#define GRANULOCK_AUDIT_CHECK_GT(a, b) GRANULOCK_AUDIT_CHECK((a) > (b))
+#define GRANULOCK_AUDIT_CHECK_GE(a, b) GRANULOCK_AUDIT_CHECK((a) >= (b))
+
+/// Hot-path invariant check: a real check in audit builds
+/// (GRANULOCK_AUDIT_ENABLED — Debug and sanitizer configurations), a
+/// no-op that evaluates nothing in Release. The condition stays
+/// syntactically checked and its operands count as used either way.
+#ifdef GRANULOCK_AUDIT_ENABLED
+#define GRANULOCK_DCHECK(condition) GRANULOCK_AUDIT_CHECK(condition)
+#else
+#define GRANULOCK_DCHECK(condition)  \
+  while (false && (condition))       \
+  ::granulock::sim::invariants::internal::FailureStream(__FILE__, \
+                                                        __LINE__) \
+      .stream()
+#endif
+
+#define GRANULOCK_DCHECK_EQ(a, b) GRANULOCK_DCHECK((a) == (b))
+#define GRANULOCK_DCHECK_NE(a, b) GRANULOCK_DCHECK((a) != (b))
+#define GRANULOCK_DCHECK_LT(a, b) GRANULOCK_DCHECK((a) < (b))
+#define GRANULOCK_DCHECK_LE(a, b) GRANULOCK_DCHECK((a) <= (b))
+#define GRANULOCK_DCHECK_GT(a, b) GRANULOCK_DCHECK((a) > (b))
+#define GRANULOCK_DCHECK_GE(a, b) GRANULOCK_DCHECK((a) >= (b))
+
+#endif  // GRANULOCK_SIM_INVARIANTS_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/invariants.h"
 #include "util/logging.h"
 
 namespace granulock::sim {
@@ -14,6 +15,7 @@ PriorityServer::PriorityServer(Simulator* sim, std::string name)
 void PriorityServer::Submit(ServiceClass cls, SimTime service,
                             Completion on_complete) {
   GRANULOCK_CHECK_GE(service, 0.0) << "negative service demand on " << name_;
+  ++accepted_[ClassIndex(cls)];
   queues_[ClassIndex(cls)].push_back(
       Job{cls, service, std::move(on_complete)});
   if (current_.has_value()) {
@@ -65,6 +67,10 @@ void PriorityServer::FinishCurrent() {
   const int c = ClassIndex(current_->cls);
   busy_time_[c] += sim_->Now() - service_start_;
   ++completed_[c];
+  ++finished_[c];
+  GRANULOCK_DCHECK_LE(finished_[c], accepted_[c])
+      << "server " << name_ << " finished more class-" << c
+      << " jobs than were submitted";
   NotifyTransition(/*entering=*/false, current_->cls);
   Completion done = std::move(current_->on_complete);
   current_.reset();
@@ -121,6 +127,34 @@ void PriorityServer::ResetStats() {
 
 size_t PriorityServer::QueueLength(ServiceClass cls) const {
   return queues_[ClassIndex(cls)].size();
+}
+
+void PriorityServer::CheckConsistency() const {
+  for (int c = 0; c < kNumServiceClasses; ++c) {
+    // Conservation: accepted == finished + queued + in-service, per class.
+    const uint64_t in_service =
+        current_.has_value() && ClassIndex(current_->cls) == c ? 1 : 0;
+    GRANULOCK_AUDIT_CHECK_EQ(accepted_[c],
+                             finished_[c] + queues_[c].size() + in_service)
+        << "server " << name_ << " class " << c << ": accepted="
+        << accepted_[c] << " finished=" << finished_[c] << " queued="
+        << queues_[c].size() << " in_service=" << in_service;
+    GRANULOCK_AUDIT_CHECK_GE(busy_time_[c], 0.0)
+        << "server " << name_ << " class " << c;
+    // The windowed completion counter can never exceed the lifetime one.
+    GRANULOCK_AUDIT_CHECK_LE(completed_[c], finished_[c])
+        << "server " << name_ << " class " << c;
+    for (const Job& job : queues_[c]) {
+      GRANULOCK_AUDIT_CHECK_GE(job.remaining, 0.0)
+          << "server " << name_ << " queued job in class " << c;
+    }
+  }
+  if (current_.has_value()) {
+    GRANULOCK_AUDIT_CHECK_GE(current_->remaining, 0.0)
+        << "server " << name_ << " in-service job";
+    GRANULOCK_AUDIT_CHECK_LE(service_start_, sim_->Now())
+        << "server " << name_ << " service started in the future";
+  }
 }
 
 }  // namespace granulock::sim

@@ -83,7 +83,17 @@ class PriorityServer {
   /// before the first `Submit`.
   void SetTransitionObserver(TransitionObserver observer);
 
+  /// FCFS queue conservation audit: every job ever submitted is finished,
+  /// queued, or in service (per class); the in-service job has
+  /// non-negative remaining demand; accounting never goes negative.
+  /// Unlike `CompletedJobs`, the conservation counters survive
+  /// `ResetStats`, so the law holds across warmup resets. Violations
+  /// report through `invariants::Fail`.
+  void CheckConsistency() const;
+
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   struct Job {
     ServiceClass cls;
     SimTime remaining;
@@ -108,6 +118,9 @@ class PriorityServer {
   TransitionObserver observer_;
   double busy_time_[kNumServiceClasses] = {0.0, 0.0};
   uint64_t completed_[kNumServiceClasses] = {0, 0};
+  // Lifetime conservation counters (never reset; see CheckConsistency).
+  uint64_t accepted_[kNumServiceClasses] = {0, 0};
+  uint64_t finished_[kNumServiceClasses] = {0, 0};
 };
 
 }  // namespace granulock::sim

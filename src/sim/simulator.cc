@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/invariants.h"
 #include "util/logging.h"
 
 namespace granulock::sim {
@@ -53,6 +54,12 @@ bool Simulator::Step() {
     GRANULOCK_CHECK(cb_it != callbacks_.end());
     Callback cb = std::move(cb_it->second);
     callbacks_.erase(cb_it);
+    // Event-time monotonicity: the clock never runs backwards. The heap
+    // pops in (time, seq) order and scheduling into the past is rejected,
+    // so a violation here means the pending-event bookkeeping is corrupt.
+    GRANULOCK_DCHECK_GE(ev.time, now_)
+        << "event " << ev.id << " fires at " << ev.time
+        << " but the clock is at " << now_;
     now_ = ev.time;
     if (ev.observer) {
       ++observer_executed_;
@@ -84,6 +91,25 @@ void Simulator::RunUntil(SimTime deadline) {
 void Simulator::RunUntilEmpty() {
   while (Step()) {
   }
+}
+
+void Simulator::CheckConsistency() const {
+  // Every heap entry is either live (has a callback) or lazily cancelled.
+  GRANULOCK_AUDIT_CHECK_EQ(heap_.size(), callbacks_.size() + cancelled_.size())
+      << "heap=" << heap_.size() << " callbacks=" << callbacks_.size()
+      << " cancelled=" << cancelled_.size();
+  for (const EventId id : cancelled_) {
+    GRANULOCK_AUDIT_CHECK(callbacks_.find(id) == callbacks_.end())
+        << "event " << id << " is both cancelled and live";
+  }
+  // The heap min is the next event to fire; anything earlier than the
+  // clock would have fired already (or time would run backwards).
+  if (!heap_.empty()) {
+    GRANULOCK_AUDIT_CHECK_GE(heap_.top().time, now_)
+        << "next event at " << heap_.top().time << " is before now="
+        << now_;
+  }
+  GRANULOCK_AUDIT_CHECK_GE(max_pending_, PendingEvents());
 }
 
 }  // namespace granulock::sim

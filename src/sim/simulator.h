@@ -83,7 +83,16 @@ class Simulator {
   /// the event queue is the simulator's main memory consumer).
   size_t MaxPendingEvents() const { return max_pending_; }
 
+  /// Full audit of the engine's internal bookkeeping: every live event id
+  /// has exactly one callback, every cancelled id is still in the heap,
+  /// no pending event lies in the past, and the pending count is
+  /// `heap - cancelled`. O(pending events); violations report through
+  /// `invariants::Fail`.
+  void CheckConsistency() const;
+
  private:
+  friend struct AuditTestPeer;  // invariants_test corrupts state through it
+
   struct Event {
     SimTime time;
     uint64_t seq;  // tie-break: FIFO among equal timestamps

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the project's
+# own sources using the compile-commands database that CMake exports.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+#   BUILD_DIR   directory containing compile_commands.json
+#               (default: build). Configure with any options; the database
+#               is exported unconditionally (CMAKE_EXPORT_COMPILE_COMMANDS).
+#
+# Exit status: 0 when clean, 1 when clang-tidy reported findings, 2 when
+# the environment is unusable (no clang-tidy binary, no database). CI
+# treats 1 as a failed check; local runs on machines without clang-tidy
+# degrade to a skip (exit 0) so the script can sit in pre-push hooks.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build}"
+case "${build_dir}" in
+  /*) ;;
+  *) build_dir="${repo_root}/${build_dir}" ;;
+esac
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+extra_args=("$@")
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  if [[ "${CI:-}" == "true" ]]; then
+    echo "run_clang_tidy: no clang-tidy binary found and CI=true" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy: clang-tidy not installed; skipping (set CLANG_TIDY" \
+       "or install clang-tidy to enable the check)" >&2
+  exit 0
+fi
+
+db="${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "run_clang_tidy: ${db} not found; configure first, e.g." >&2
+  echo "  cmake -S . -B ${build_dir}" >&2
+  exit 2
+fi
+
+# Project sources only: skip generated files and anything outside the four
+# source roots. Tests are included — a test with UB is still a bug.
+mapfile -t files < <(cd "${repo_root}" &&
+  find src bench tests examples -name '*.cc' | sort)
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "run_clang_tidy: no sources found under ${repo_root}" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: ${tidy_bin} over ${#files[@]} files (database: ${db})"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+status_file="$(mktemp)"
+trap 'rm -f "${status_file}"' EXIT
+
+run_one() {
+  local file="$1"
+  if ! "${tidy_bin}" -p "${build_dir}" --quiet "${extra_args[@]}" \
+        "${repo_root}/${file}" 2>/dev/null; then
+    echo "${file}" >> "${status_file}"
+  fi
+}
+
+# Simple parallel driver: at most ${jobs} clang-tidy processes at a time.
+active=0
+for file in "${files[@]}"; do
+  run_one "${file}" &
+  active=$((active + 1))
+  if [[ "${active}" -ge "${jobs}" ]]; then
+    wait -n
+    active=$((active - 1))
+  fi
+done
+wait
+
+if [[ -s "${status_file}" ]]; then
+  echo
+  echo "run_clang_tidy: findings in $(sort -u "${status_file}" | wc -l) files:" >&2
+  sort -u "${status_file}" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"
