@@ -20,6 +20,10 @@ void BenchArgs::Register(FlagParser& parser) {
   parser.AddDouble("tmax", &tmax, 10000.0, "simulated time units per run");
   parser.AddDouble("warmup", &warmup, 0.0,
                    "time units discarded before measuring");
+  parser.AddInt64("threads", &threads, 1,
+                  "worker threads for (sweep point x replication) fan-out; "
+                  "0 = hardware concurrency. Results are bit-identical for "
+                  "any thread count");
   parser.AddBool("csv", &csv, false, "emit CSV instead of aligned tables");
   parser.AddBool("quick", &quick, false, "shrink tmax 10x for a smoke run");
   parser.AddBool("json_out", &json_out, false,
@@ -74,6 +78,12 @@ BenchArgs ParseArgsOrDie(int argc, char** argv) {
     std::exit(1);
   }
   SetLogThreshold(level);
+  const Result<int> resolved = core::ResolveThreadCount(args.threads);
+  if (!resolved.ok()) {
+    std::cerr << resolved.status() << "\n" << parser.UsageString(argv[0]);
+    std::exit(1);
+  }
+  args.resolved_threads = *resolved;
   sim::invariants::SetDeepAudit(args.audit);
   if (args.audit) {
     GRANULOCK_LOG(Info) << "--audit: deep invariant audits enabled";
@@ -87,8 +97,8 @@ void PrintBanner(const std::string& experiment_id,
   std::printf("=== %s ===\n", experiment_id.c_str());
   std::printf("%s\n", description.c_str());
   std::printf("base config: %s\n", cfg.ToString().c_str());
-  std::printf("seed=%lld reps=%lld\n\n", (long long)args.seed,
-              (long long)args.reps);
+  std::printf("seed=%lld reps=%lld threads=%d\n\n", (long long)args.seed,
+              (long long)args.reps, args.resolved_threads);
 }
 
 const char* MetricName(Metric metric) {
@@ -139,6 +149,7 @@ FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
                      std::vector<int64_t> lock_counts) {
   GRANULOCK_CHECK(!series.empty());
   const auto wall_start = std::chrono::steady_clock::now();
+  core::ParallelRunner runner(args.resolved_threads);
   FigureData data;
   data.series = series;
   data.lock_counts = lock_counts.empty()
@@ -151,7 +162,7 @@ FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
     auto sweep = core::SweepLockCounts(
         cfg, series[s].spec, data.lock_counts,
         static_cast<uint64_t>(args.seed), static_cast<int>(args.reps),
-        series[s].options);
+        series[s].options, &runner);
     GRANULOCK_CHECK(sweep.ok())
         << "series '" << series[s].label << "': " << sweep.status();
     for (auto& point : *sweep) {

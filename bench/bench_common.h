@@ -24,11 +24,16 @@ struct BenchArgs {
   int64_t reps = 1;        ///< replications per sweep point
   double tmax = 10000.0;   ///< simulated time units per run
   double warmup = 0.0;     ///< paper convention: measure from t = 0
+  int64_t threads = 1;     ///< worker threads (0 = hardware concurrency)
   bool csv = false;        ///< emit CSV instead of aligned tables
   bool quick = false;      ///< shrink tmax 10x for smoke runs
   bool json_out = false;   ///< also write BENCH_<id>.json (machine-readable)
   bool audit = false;      ///< run deep invariant audits at quiescent points
   std::string log_level = "info";  ///< debug|info|warning|error
+
+  /// `threads` resolved through `core::ResolveThreadCount` by
+  /// `ParseArgsOrDie` (so 0 becomes the detected hardware concurrency).
+  int resolved_threads = 1;
 
   /// Registers the flags on `parser`.
   void Register(FlagParser& parser);

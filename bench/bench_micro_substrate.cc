@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/experiment.h"
 #include "core/granularity_simulator.h"
+#include "core/parallel_runner.h"
 #include "db/granule_selector.h"
 #include "lockmgr/hierarchical.h"
 #include "lockmgr/lock_table.h"
@@ -33,6 +35,30 @@ void BM_EventScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_EventCancelChurn(benchmark::State& state) {
+  // Schedule/cancel churn with a small live set: the generation-stamped
+  // slab makes Cancel O(1) and compaction keeps the heap near the live
+  // count. This is the PriorityServer preemption pattern at full tilt.
+  const int64_t batch = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> pending;
+    double t = 1.0;
+    for (int64_t i = 0; i < batch; ++i) {
+      pending.push_back(sim.ScheduleAt(t, [] {}));
+      t += 0.001;
+      if (pending.size() > 8) {
+        sim.Cancel(pending.front());
+        pending.erase(pending.begin());
+      }
+    }
+    sim.RunUntilEmpty();
+    benchmark::DoNotOptimize(sim.HeapSize());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventCancelChurn)->Arg(10000);
 
 void BM_PriorityServerThroughput(benchmark::State& state) {
   const int64_t jobs = state.range(0);
@@ -134,6 +160,27 @@ void BM_FullSimulationShort(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSimulationShort)->Arg(1)->Arg(100)->Arg(5000);
+
+void BM_RunReplicatedParallel(benchmark::State& state) {
+  // End-to-end replication fan-out through ParallelRunner. Thread count is
+  // the benchmark argument; 1 uses the serial inline path. On a
+  // single-core host all counts measure the same work plus pool overhead;
+  // with N cores the speedup approaches min(N, replications).
+  const int threads = static_cast<int>(state.range(0));
+  model::SystemConfig cfg = model::SystemConfig::Table1Defaults();
+  cfg.tmax = 500.0;
+  const workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+  core::ParallelRunner runner(threads);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto result = core::RunReplicated(cfg, spec, seed++, /*replications=*/8,
+                                      {}, &runner);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_RunReplicatedParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfGenerator zipf(5000, 0.99);

@@ -1,6 +1,8 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "sim/stats.h"
 #include "util/logging.h"
@@ -8,103 +10,83 @@
 
 namespace granulock::core {
 
-Result<ReplicatedMetrics> RunReplicated(const model::SystemConfig& cfg,
-                                        const workload::WorkloadSpec& spec,
-                                        uint64_t base_seed, int replications,
-                                        GranularitySimulator::Options options) {
-  if (replications < 1) {
-    return Status::InvalidArgument("replications must be >= 1");
-  }
+namespace {
+
+/// Derives the per-replication seeds exactly as the historical serial loop
+/// did: stream `r` forked from one seeder over `base_seed`. Computing them
+/// up front is what lets replications run on any worker in any order while
+/// staying bit-identical to serial execution.
+std::vector<uint64_t> DeriveReplicationSeeds(uint64_t base_seed,
+                                             int replications) {
   Rng seeder(base_seed);
+  std::vector<uint64_t> seeds;
+  seeds.reserve(static_cast<size_t>(replications));
+  for (int r = 0; r < replications; ++r) {
+    seeds.push_back(seeder.Fork(static_cast<uint64_t>(r)).NextUint64());
+  }
+  return seeds;
+}
+
+/// Merges per-replication results in replication order: field sums via
+/// `SimulationMetrics::Accumulate`, then per-field means and the Student-t
+/// confidence half-widths on the two headline outputs. The first failed
+/// replication (by index) aborts the merge, so error reporting is
+/// deterministic regardless of worker scheduling.
+Result<ReplicatedMetrics> MergeReplications(
+    std::vector<std::optional<Result<SimulationMetrics>>>& results) {
   ReplicatedMetrics out;
-  out.replications = replications;
+  out.replications = static_cast<int>(results.size());
   sim::RunningStat throughput_stat;
   sim::RunningStat response_stat;
-  SimulationMetrics& m = out.mean;
-  for (int r = 0; r < replications; ++r) {
-    const uint64_t seed =
-        seeder.Fork(static_cast<uint64_t>(r)).NextUint64();
-    Result<SimulationMetrics> one =
-        GranularitySimulator::RunOnce(cfg, spec, seed, options);
-    if (!one.ok()) return one.status();
-    const SimulationMetrics& s = *one;
-    m.totcpus += s.totcpus;
-    m.totios += s.totios;
-    m.lockcpus += s.lockcpus;
-    m.lockios += s.lockios;
-    m.totcpus_sum += s.totcpus_sum;
-    m.totios_sum += s.totios_sum;
-    m.lockcpus_sum += s.lockcpus_sum;
-    m.lockios_sum += s.lockios_sum;
-    m.usefulcpus += s.usefulcpus;
-    m.usefulios += s.usefulios;
-    m.totcom += s.totcom;
-    m.throughput += s.throughput;
-    m.response_time += s.response_time;
-    m.measured_time += s.measured_time;
-    m.response_time_stddev += s.response_time_stddev;
-    m.response_p50 += s.response_p50;
-    m.response_p95 += s.response_p95;
-    m.response_p99 += s.response_p99;
-    m.lock_requests += s.lock_requests;
-    m.lock_denials += s.lock_denials;
-    m.denial_rate += s.denial_rate;
-    m.avg_active += s.avg_active;
-    m.avg_blocked += s.avg_blocked;
-    m.avg_pending += s.avg_pending;
-    m.cpu_utilization += s.cpu_utilization;
-    m.io_utilization += s.io_utilization;
-    m.deadlock_aborts += s.deadlock_aborts;
-    m.events_executed += s.events_executed;
-    m.phase_pending_wait += s.phase_pending_wait;
-    m.phase_lock_wait += s.phase_lock_wait;
-    m.phase_io_service += s.phase_io_service;
-    m.phase_cpu_service += s.phase_cpu_service;
-    m.phase_sync_wait += s.phase_sync_wait;
+  for (auto& slot : results) {
+    GRANULOCK_CHECK(slot.has_value());
+    if (!slot->ok()) return slot->status();
+    const SimulationMetrics& s = **slot;
+    out.mean.Accumulate(s);
     throughput_stat.Add(s.throughput);
     response_stat.Add(s.response_time);
   }
-  const double n = static_cast<double>(replications);
-  m.totcpus /= n;
-  m.totios /= n;
-  m.lockcpus /= n;
-  m.lockios /= n;
-  m.totcpus_sum /= n;
-  m.totios_sum /= n;
-  m.lockcpus_sum /= n;
-  m.lockios_sum /= n;
-  m.usefulcpus /= n;
-  m.usefulios /= n;
-  m.totcom = static_cast<int64_t>(static_cast<double>(m.totcom) / n);
-  m.throughput /= n;
-  m.response_time /= n;
-  m.measured_time /= n;
-  m.response_time_stddev /= n;
-  m.response_p50 /= n;
-  m.response_p95 /= n;
-  m.response_p99 /= n;
-  m.lock_requests =
-      static_cast<int64_t>(static_cast<double>(m.lock_requests) / n);
-  m.lock_denials =
-      static_cast<int64_t>(static_cast<double>(m.lock_denials) / n);
-  m.denial_rate /= n;
-  m.avg_active /= n;
-  m.avg_blocked /= n;
-  m.avg_pending /= n;
-  m.cpu_utilization /= n;
-  m.io_utilization /= n;
-  m.deadlock_aborts =
-      static_cast<int64_t>(static_cast<double>(m.deadlock_aborts) / n);
-  m.phase_pending_wait /= n;
-  m.phase_lock_wait /= n;
-  m.phase_io_service /= n;
-  m.phase_cpu_service /= n;
-  m.phase_sync_wait /= n;
+  out.mean.FinalizeMeans(static_cast<int64_t>(results.size()));
   out.throughput_hw95 = sim::ConfidenceHalfWidth(
       throughput_stat.count(), throughput_stat.StdDev(), 0.95);
   out.response_hw95 = sim::ConfidenceHalfWidth(
       response_stat.count(), response_stat.StdDev(), 0.95);
   return out;
+}
+
+/// True when the attached sinks force the serial path: the trace recorder
+/// and obs sinks are unsynchronized single-run inspection tools, and the
+/// serial path preserves their historical interleaving.
+bool RequiresSerialExecution(const GranularitySimulator::Options& options) {
+  return options.trace != nullptr || options.obs.any();
+}
+
+}  // namespace
+
+Result<ReplicatedMetrics> RunReplicated(const model::SystemConfig& cfg,
+                                        const workload::WorkloadSpec& spec,
+                                        uint64_t base_seed, int replications,
+                                        GranularitySimulator::Options options,
+                                        ParallelRunner* runner) {
+  if (replications < 1) {
+    return Status::InvalidArgument("replications must be >= 1");
+  }
+  const std::vector<uint64_t> seeds =
+      DeriveReplicationSeeds(base_seed, replications);
+  std::vector<std::optional<Result<SimulationMetrics>>> results(
+      static_cast<size_t>(replications));
+  if (runner != nullptr && runner->threads() > 1 &&
+      !RequiresSerialExecution(options)) {
+    runner->ParallelFor(results.size(), [&](size_t r) {
+      results[r] = GranularitySimulator::RunOnce(cfg, spec, seeds[r], options);
+    });
+  } else {
+    for (size_t r = 0; r < results.size(); ++r) {
+      results[r] = GranularitySimulator::RunOnce(cfg, spec, seeds[r], options);
+      if (!(*results[r]).ok()) return (*results[r]).status();
+    }
+  }
+  return MergeReplications(results);
 }
 
 std::vector<int64_t> StandardLockSweep(int64_t dbsize) {
@@ -123,16 +105,47 @@ std::vector<int64_t> StandardLockSweep(int64_t dbsize) {
 Result<std::vector<SweepPoint>> SweepLockCounts(
     const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
     const std::vector<int64_t>& lock_counts, uint64_t base_seed,
-    int replications, GranularitySimulator::Options options) {
+    int replications, GranularitySimulator::Options options,
+    ParallelRunner* runner) {
+  const size_t points = lock_counts.size();
   std::vector<SweepPoint> out;
-  out.reserve(lock_counts.size());
-  for (int64_t ltot : lock_counts) {
-    model::SystemConfig point_cfg = cfg;
-    point_cfg.ltot = ltot;
-    Result<ReplicatedMetrics> metrics =
-        RunReplicated(point_cfg, spec, base_seed, replications, options);
+  out.reserve(points);
+  if (runner == nullptr || runner->threads() <= 1 ||
+      RequiresSerialExecution(options) || replications < 1) {
+    for (int64_t ltot : lock_counts) {
+      model::SystemConfig point_cfg = cfg;
+      point_cfg.ltot = ltot;
+      Result<ReplicatedMetrics> metrics =
+          RunReplicated(point_cfg, spec, base_seed, replications, options);
+      if (!metrics.ok()) return metrics.status();
+      out.push_back(SweepPoint{ltot, std::move(metrics).value()});
+    }
+    return out;
+  }
+
+  // Parallel path: flatten the whole (point × replication) grid into one
+  // task batch so the pool stays saturated across point boundaries. Every
+  // point uses the same replication seeds (each point's serial run re-seeds
+  // from `base_seed`), and per-point merges happen in index order after the
+  // join — bit-identical to the serial nest above for any thread count.
+  const size_t reps = static_cast<size_t>(replications);
+  const std::vector<uint64_t> seeds =
+      DeriveReplicationSeeds(base_seed, replications);
+  std::vector<model::SystemConfig> point_cfgs(points, cfg);
+  for (size_t p = 0; p < points; ++p) point_cfgs[p].ltot = lock_counts[p];
+  std::vector<std::vector<std::optional<Result<SimulationMetrics>>>> results(
+      points);
+  for (auto& row : results) row.resize(reps);
+  runner->ParallelFor(points * reps, [&](size_t i) {
+    const size_t p = i / reps;
+    const size_t r = i % reps;
+    results[p][r] =
+        GranularitySimulator::RunOnce(point_cfgs[p], spec, seeds[r], options);
+  });
+  for (size_t p = 0; p < points; ++p) {
+    Result<ReplicatedMetrics> metrics = MergeReplications(results[p]);
     if (!metrics.ok()) return metrics.status();
-    out.push_back(SweepPoint{ltot, std::move(metrics).value()});
+    out.push_back(SweepPoint{lock_counts[p], std::move(metrics).value()});
   }
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include "core/granularity_simulator.h"
 #include "core/metrics.h"
+#include "core/parallel_runner.h"
 #include "model/config.h"
 #include "util/status.h"
 #include "workload/workload.h"
@@ -26,10 +27,20 @@ struct ReplicatedMetrics {
 
 /// Runs `replications` independent simulations of (`cfg`, `spec`) and
 /// aggregates. Replication `r` uses stream `r` forked from `base_seed`.
+///
+/// When `runner` is non-null (and has more than one thread), replications
+/// fan out across its workers; seeds are derived up front exactly as in
+/// the serial path and metrics are merged in replication order after the
+/// join, so the result — including the confidence half-widths — is
+/// bit-identical to a serial run. Replications with unsynchronized
+/// observability sinks attached (`options.trace`, `options.obs`) always
+/// run serially: those sinks are single-run inspection tools and are not
+/// safe to share across workers.
 Result<ReplicatedMetrics> RunReplicated(
     const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
     uint64_t base_seed, int replications,
-    GranularitySimulator::Options options = GranularitySimulator::Options{});
+    GranularitySimulator::Options options = GranularitySimulator::Options{},
+    ParallelRunner* runner = nullptr);
 
 /// The lock-count grid every figure in the paper sweeps (log-spaced from a
 /// single lock to one lock per entity), clipped to `dbsize`. Always
@@ -43,11 +54,15 @@ struct SweepPoint {
 };
 
 /// Sweeps `ltot` over `lock_counts` for fixed (`cfg`, `spec`), running
-/// `replications` replications at each point.
+/// `replications` replications at each point. With a multi-thread `runner`
+/// the whole (sweep point × replication) grid fans out as one task batch
+/// and is merged deterministically per point (see `RunReplicated`).
 Result<std::vector<SweepPoint>> SweepLockCounts(
     const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
     const std::vector<int64_t>& lock_counts, uint64_t base_seed,
-    int replications, GranularitySimulator::Options options = GranularitySimulator::Options{});
+    int replications,
+    GranularitySimulator::Options options = GranularitySimulator::Options{},
+    ParallelRunner* runner = nullptr);
 
 /// Returns the sweep point with the highest mean throughput; the sweep
 /// must be non-empty.

@@ -20,6 +20,10 @@ struct GranularitySimulator::Txn {
   workload::TransactionParams params;
   double arrival_time = 0.0;  // first entry into the pending queue
   int64_t subtxns_remaining = 0;
+  // Nodes still owed their share of the current lock-processing phase
+  // (I/O, then CPU). Lives in the transaction so the fan-in completions
+  // capture only {this, txn} — no per-phase allocation.
+  int64_t lock_fanin_remaining = 0;
   std::vector<Txn*> blocked;
 
   // Phase accounting (always on). The five per-txn phase values sum to
@@ -37,6 +41,26 @@ struct GranularitySimulator::Txn {
   // (node, cpu-done) per sub-transaction; filled only when a SpanRecorder
   // is attached, to emit the sync spans at completion.
   std::vector<std::pair<int32_t, double>> sub_cpu_done;
+
+  /// Returns the transaction to its freshly-constructed state while keeping
+  /// the vectors' capacity — pooled reuse must behave exactly like a new
+  /// `Txn` minus the allocations.
+  void Reset() {
+    id = 0;
+    arrival_time = 0.0;
+    subtxns_remaining = 0;
+    lock_fanin_remaining = 0;
+    blocked.clear();
+    pending_since = 0.0;
+    lock_since = 0.0;
+    grant_time = 0.0;
+    pending_wait = 0.0;
+    lock_wait = 0.0;
+    io_span_sum = 0.0;
+    cpu_span_sum = 0.0;
+    cpu_done_sum = 0.0;
+    sub_cpu_done.clear();
+  }
 };
 
 GranularitySimulator::GranularitySimulator(model::SystemConfig cfg,
@@ -92,6 +116,10 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
                     [this] { AdaptAdmissionCap(); });
   }
 
+  const size_t ntrans = static_cast<size_t>(cfg_.ntrans);
+  active_.reserve(ntrans);
+  live_txns_.reserve(ntrans + 1);
+  txn_pool_.reserve(ntrans + 1);
   cpu_.reserve(static_cast<size_t>(cfg_.npros));
   io_.reserve(static_cast<size_t>(cfg_.npros));
   for (int64_t n = 0; n < cfg_.npros; ++n) {
@@ -305,7 +333,13 @@ void GranularitySimulator::InjectInitialTransactions() {
 
 GranularitySimulator::Txn* GranularitySimulator::CreateTransaction(
     double arrival_time) {
-  auto owned = std::make_unique<Txn>();
+  std::unique_ptr<Txn> owned;
+  if (!txn_pool_.empty()) {
+    owned = std::move(txn_pool_.back());
+    txn_pool_.pop_back();
+  } else {
+    owned = std::make_unique<Txn>();
+  }
   Txn* txn = owned.get();
   txn->id = next_txn_id_++;
   txn->params = workload::GenerateTransaction(cfg_, spec_, rng_);
@@ -324,7 +358,11 @@ void GranularitySimulator::DestroyTransaction(Txn* txn) {
       live_txns_.begin(), live_txns_.end(),
       [txn](const std::unique_ptr<Txn>& p) { return p.get() == txn; });
   GRANULOCK_CHECK(it != live_txns_.end());
-  // Swap-erase: order of ownership storage is irrelevant.
+  // Swap-erase: order of ownership storage is irrelevant. The transaction
+  // object is recycled through the pool (a closed system churns through
+  // one short-lived Txn per completion otherwise).
+  (*it)->Reset();
+  txn_pool_.push_back(std::move(*it));
   *it = std::move(live_txns_.back());
   live_txns_.pop_back();
 }
@@ -454,11 +492,14 @@ void GranularitySimulator::StartLockIoPhase(Txn* txn) {
     StartLockCpuPhase(txn);
     return;
   }
-  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  // The fan-in counter lives in the transaction: the I/O and CPU lock
+  // phases never overlap for one transaction, so the field is free for
+  // reuse and the completion capture stays allocation-free.
+  txn->lock_fanin_remaining = cfg_.npros;
   for (int64_t n = 0; n < cfg_.npros; ++n) {
     io_[static_cast<size_t>(n)]->Submit(
-        ServiceClass::kLock, per_node, [this, txn, remaining] {
-          if (--*remaining == 0) StartLockCpuPhase(txn);
+        ServiceClass::kLock, per_node, [this, txn] {
+          if (--txn->lock_fanin_remaining == 0) StartLockCpuPhase(txn);
         });
   }
 }
@@ -470,11 +511,11 @@ void GranularitySimulator::StartLockCpuPhase(Txn* txn) {
     FinishLockRequest(txn);
     return;
   }
-  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  txn->lock_fanin_remaining = cfg_.npros;
   for (int64_t n = 0; n < cfg_.npros; ++n) {
     cpu_[static_cast<size_t>(n)]->Submit(
-        ServiceClass::kLock, per_node, [this, txn, remaining] {
-          if (--*remaining == 0) FinishLockRequest(txn);
+        ServiceClass::kLock, per_node, [this, txn] {
+          if (--txn->lock_fanin_remaining == 0) FinishLockRequest(txn);
         });
   }
 }
@@ -484,10 +525,10 @@ void GranularitySimulator::FinishLockRequest(Txn* txn) {
   GRANULOCK_DCHECK_GE(outstanding_lock_requests_, 0)
       << "lock request for txn " << txn->id
       << " finished more often than it began";
-  std::vector<int64_t> active_locks;
-  active_locks.reserve(active_.size());
-  for (const Txn* t : active_) active_locks.push_back(t->params.lu);
-  const int blocker = conflict_.DrawBlocker(active_locks, rng_);
+  active_locks_scratch_.clear();
+  active_locks_scratch_.reserve(active_.size());
+  for (const Txn* t : active_) active_locks_scratch_.push_back(t->params.lu);
+  const int blocker = conflict_.DrawBlocker(active_locks_scratch_, rng_);
   if (blocker >= 0) {
     ++lock_denials_;
     if (ctr_lock_denials_ != nullptr) ctr_lock_denials_->Increment();

@@ -159,6 +159,8 @@ class GranularitySimulator {
   std::deque<Txn*> pending_;
   std::vector<Txn*> active_;  // holding locks, running sub-transactions
   std::vector<std::unique_ptr<Txn>> live_txns_;
+  std::vector<std::unique_ptr<Txn>> txn_pool_;  // recycled Txn objects
+  std::vector<int64_t> active_locks_scratch_;   // FinishLockRequest reuse
   int64_t blocked_count_ = 0;
   int outstanding_lock_requests_ = 0;
 

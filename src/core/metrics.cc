@@ -6,6 +6,44 @@
 
 namespace granulock::core {
 
+namespace {
+
+// Every SimulationMetrics member is an 8-byte scalar, so the struct size
+// is exactly 8 bytes per field. If this assert fires you added a field to
+// SimulationMetrics without adding it to GRANULOCK_METRICS_FIELDS — which
+// would silently exclude it from replication aggregation.
+constexpr size_t kMetricsFieldCount =
+#define GRANULOCK_COUNT_FIELD(name, kind) +1
+    GRANULOCK_METRICS_FIELDS(GRANULOCK_COUNT_FIELD);
+#undef GRANULOCK_COUNT_FIELD
+static_assert(sizeof(SimulationMetrics) == kMetricsFieldCount * 8,
+              "SimulationMetrics has a field missing from "
+              "GRANULOCK_METRICS_FIELDS (see metrics.h)");
+
+inline void FinalizeField(double& v, double n, metrics_kind::kMeanDouble) {
+  v /= n;
+}
+inline void FinalizeField(int64_t& v, double n, metrics_kind::kMeanInt64) {
+  v = static_cast<int64_t>(static_cast<double>(v) / n);
+}
+inline void FinalizeField(uint64_t&, double, metrics_kind::kSumUint64) {}
+
+}  // namespace
+
+void SimulationMetrics::Accumulate(const SimulationMetrics& other) {
+#define GRANULOCK_ACCUMULATE_FIELD(name, kind) name += other.name;
+  GRANULOCK_METRICS_FIELDS(GRANULOCK_ACCUMULATE_FIELD)
+#undef GRANULOCK_ACCUMULATE_FIELD
+}
+
+void SimulationMetrics::FinalizeMeans(int64_t replications) {
+  const double n = static_cast<double>(replications);
+#define GRANULOCK_FINALIZE_FIELD(name, kind) \
+  FinalizeField(name, n, metrics_kind::kind{});
+  GRANULOCK_METRICS_FIELDS(GRANULOCK_FINALIZE_FIELD)
+#undef GRANULOCK_FINALIZE_FIELD
+}
+
 std::string SimulationMetrics::ToString() const {
   std::string out;
   out += StrFormat("throughput        %.6g txn/unit (totcom=%lld over %g)\n",

@@ -6,6 +6,63 @@
 
 namespace granulock::core {
 
+/// The complete list of `SimulationMetrics` fields with their aggregation
+/// kind, in declaration order. Every consumer that must cover *all* fields
+/// (replication averaging, the coverage test) expands this list instead of
+/// hand-writing the fields, so a new metric cannot silently miss
+/// aggregation: a `static_assert` in metrics.cc ties the list's length to
+/// `sizeof(SimulationMetrics)` and fails to compile when a field is added
+/// to the struct but not here.
+///
+/// Kinds:
+///  * kMeanDouble — accumulated with +=, divided by the replication count.
+///  * kMeanInt64  — accumulated with +=, mean truncated back to int64.
+///  * kSumUint64  — accumulated with +=, reported as the total over
+///                  replications (events_executed: the JSON report derives
+///                  whole-bench events/sec from it).
+#define GRANULOCK_METRICS_FIELDS(X)     \
+  X(totcpus, kMeanDouble)               \
+  X(totios, kMeanDouble)                \
+  X(lockcpus, kMeanDouble)              \
+  X(lockios, kMeanDouble)               \
+  X(usefulcpus, kMeanDouble)            \
+  X(usefulios, kMeanDouble)             \
+  X(totcom, kMeanInt64)                 \
+  X(throughput, kMeanDouble)            \
+  X(response_time, kMeanDouble)         \
+  X(totcpus_sum, kMeanDouble)           \
+  X(totios_sum, kMeanDouble)            \
+  X(lockcpus_sum, kMeanDouble)          \
+  X(lockios_sum, kMeanDouble)           \
+  X(measured_time, kMeanDouble)         \
+  X(response_time_stddev, kMeanDouble)  \
+  X(response_p50, kMeanDouble)          \
+  X(response_p95, kMeanDouble)          \
+  X(response_p99, kMeanDouble)          \
+  X(lock_requests, kMeanInt64)          \
+  X(lock_denials, kMeanInt64)           \
+  X(denial_rate, kMeanDouble)           \
+  X(avg_active, kMeanDouble)            \
+  X(avg_blocked, kMeanDouble)           \
+  X(avg_pending, kMeanDouble)           \
+  X(cpu_utilization, kMeanDouble)       \
+  X(io_utilization, kMeanDouble)        \
+  X(deadlock_aborts, kMeanInt64)        \
+  X(events_executed, kSumUint64)        \
+  X(phase_pending_wait, kMeanDouble)    \
+  X(phase_lock_wait, kMeanDouble)       \
+  X(phase_io_service, kMeanDouble)      \
+  X(phase_cpu_service, kMeanDouble)     \
+  X(phase_sync_wait, kMeanDouble)
+
+/// Aggregation-kind tags for the field list above; selected by overload in
+/// the accumulate/finalize helpers.
+namespace metrics_kind {
+struct kMeanDouble {};
+struct kMeanInt64 {};
+struct kSumUint64 {};
+}  // namespace metrics_kind
+
 /// Everything one simulation run reports. The first block carries the
 /// paper's output parameters under their original names (§2); the second
 /// block adds diagnostics this implementation also records.
@@ -110,6 +167,17 @@ struct SimulationMetrics {
   /// Fork-join synchronization: a finished sub-transaction waiting for
   /// its siblings.
   double phase_sync_wait = 0.0;
+
+  /// Adds every field of `other` into this struct, driven by the
+  /// `GRANULOCK_METRICS_FIELDS` list — the first half of replication
+  /// aggregation. Call once per replication, then `FinalizeMeans`.
+  void Accumulate(const SimulationMetrics& other);
+
+  /// Converts accumulated sums into per-replication means (`replications`
+  /// >= 1). Mean fields are divided by the count (int64 means truncate,
+  /// matching the historical serial aggregation exactly); sum fields
+  /// (events_executed) are left as totals.
+  void FinalizeMeans(int64_t replications);
 
   /// Multi-line human-readable report.
   std::string ToString() const;

@@ -1,0 +1,93 @@
+#include "core/parallel_runner.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::core {
+
+Result<int> ResolveThreadCount(int64_t requested) {
+  if (requested < 0) {
+    return Status::InvalidArgument(
+        StrFormat("threads must be >= 0 (0 = hardware concurrency), got %lld",
+                  (long long)requested));
+  }
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return static_cast<int>(requested);
+}
+
+ParallelRunner::ParallelRunner(int threads) : threads_(threads) {
+  GRANULOCK_CHECK_GE(threads, 1);
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelRunner::EnsureWorkersStarted() {
+  if (!workers_.empty()) return;
+  workers_.reserve(static_cast<size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ParallelRunner::ParallelFor(size_t n,
+                                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    // Inline serial path: identical to the historical single-threaded
+    // execution, and keeps `--threads=1` free of any pool machinery.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  GRANULOCK_CHECK(fn_ == nullptr) << "ParallelFor is not reentrant";
+  EnsureWorkersStarted();
+  fn_ = &fn;
+  n_ = n;
+  next_.store(0, std::memory_order_relaxed);
+  workers_done_ = 0;
+  ++epoch_;
+  work_cv_.notify_all();
+  // Wait for every worker to finish the batch (not merely for the last
+  // task to be claimed) so `fn` stays alive while any worker may touch it.
+  done_cv_.wait(lock, [this] { return workers_done_ == threads_; });
+  fn_ = nullptr;
+}
+
+void ParallelRunner::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+      n = n_;
+    }
+    for (;;) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace granulock::core

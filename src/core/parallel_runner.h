@@ -1,0 +1,74 @@
+#ifndef GRANULOCK_CORE_PARALLEL_RUNNER_H_
+#define GRANULOCK_CORE_PARALLEL_RUNNER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace granulock::core {
+
+/// Resolves a user-requested worker-thread count (the benches' `--threads`
+/// flag): 0 means "use the hardware" (`std::thread::hardware_concurrency`,
+/// at least 1), a positive value is taken verbatim, and a negative value is
+/// an InvalidArgument error.
+Result<int> ResolveThreadCount(int64_t requested);
+
+/// A fixed-size worker pool for embarrassingly parallel simulation work —
+/// the (sweep point × replication) grid every figure in the paper runs.
+///
+/// Each task is an independent simulation with its own `Simulator`/`Rng`,
+/// so workers share nothing; the pool only hands out indices. Determinism
+/// is the caller's contract: task *inputs* (seeds, configs) are computed
+/// before the fan-out and *outputs* are merged in index order after the
+/// join, so results are bit-identical for any thread count, including 1.
+///
+/// With `threads == 1` (or a single task) `ParallelFor` runs inline on the
+/// calling thread and no worker threads are ever created — that path is
+/// byte-for-byte the historical serial execution.
+class ParallelRunner {
+ public:
+  /// Creates a runner with `threads` >= 1 workers. Workers start lazily on
+  /// the first multi-task `ParallelFor`.
+  explicit ParallelRunner(int threads);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs `fn(i)` for every i in [0, n), blocking until all calls return.
+  /// Calls may execute on any worker in any order; `fn` must be safe to
+  /// call concurrently for distinct indices and must not throw. Reentrant
+  /// calls (from inside `fn`) are not supported.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void EnsureWorkersStarted();
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  // Batch hand-off state, guarded by mu_. `epoch_` increments per batch;
+  // workers pull task indices from the lock-free `next_` counter.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t n_ = 0;
+  std::atomic<size_t> next_{0};
+  uint64_t epoch_ = 0;
+  int workers_done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace granulock::core
+
+#endif  // GRANULOCK_CORE_PARALLEL_RUNNER_H_

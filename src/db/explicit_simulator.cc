@@ -24,6 +24,9 @@ struct ExplicitSimulator::Txn {
   workload::TransactionParams params;
   double arrival_time = 0.0;
   int64_t subtxns_remaining = 0;
+  // Fan-in for the current lock-processing phase (I/O, then CPU); the two
+  // phases never overlap, so one field serves both without allocating.
+  int64_t lock_fanin_remaining = 0;
   std::vector<Txn*> blocked;
 
   /// Granules this transaction locks (kFlat, or kHierarchical fine path).
@@ -459,11 +462,11 @@ void ExplicitSimulator::StartLockIoPhase(Txn* txn) {
     StartLockCpuPhase(txn);
     return;
   }
-  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  txn->lock_fanin_remaining = cfg_.npros;
   for (int64_t n = 0; n < cfg_.npros; ++n) {
     io_[static_cast<size_t>(n)]->Submit(
-        ServiceClass::kLock, per_node, [this, txn, remaining] {
-          if (--*remaining == 0) StartLockCpuPhase(txn);
+        ServiceClass::kLock, per_node, [this, txn] {
+          if (--txn->lock_fanin_remaining == 0) StartLockCpuPhase(txn);
         });
   }
 }
@@ -475,11 +478,11 @@ void ExplicitSimulator::StartLockCpuPhase(Txn* txn) {
     FinishLockRequest(txn);
     return;
   }
-  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  txn->lock_fanin_remaining = cfg_.npros;
   for (int64_t n = 0; n < cfg_.npros; ++n) {
     cpu_[static_cast<size_t>(n)]->Submit(
-        ServiceClass::kLock, per_node, [this, txn, remaining] {
-          if (--*remaining == 0) FinishLockRequest(txn);
+        ServiceClass::kLock, per_node, [this, txn] {
+          if (--txn->lock_fanin_remaining == 0) FinishLockRequest(txn);
         });
   }
 }

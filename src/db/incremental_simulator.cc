@@ -26,6 +26,9 @@ struct IncrementalSimulator::Txn {
   std::vector<int64_t> granules;  // acquisition order (shuffled)
   size_t next_lock = 0;
   int64_t substages_remaining = 0;
+  // Fan-in for the current lock-cost phase (I/O, then CPU); the phases
+  // never overlap for one transaction, so one field serves both.
+  int64_t lock_fanin_remaining = 0;
   int64_t restarts = 0;
 
   // Phase accounting (always on). There is no pending queue, so
@@ -378,26 +381,26 @@ void IncrementalSimulator::PayLockCost(Txn* txn, std::function<void()> then) {
       then();
       return;
     }
-    auto remaining = std::make_shared<int64_t>(cfg_.npros);
+    txn->lock_fanin_remaining = cfg_.npros;
     auto shared_then = std::make_shared<std::function<void()>>(std::move(then));
     for (int64_t n = 0; n < cfg_.npros; ++n) {
       cpu_[static_cast<size_t>(n)]->Submit(
-          ServiceClass::kLock, cpu_share, [remaining, shared_then] {
-            if (--*remaining == 0) (*shared_then)();
+          ServiceClass::kLock, cpu_share, [txn, shared_then] {
+            if (--txn->lock_fanin_remaining == 0) (*shared_then)();
           });
     }
-    (void)txn;
   };
   if (io_share <= 0.0) {
     after_io();
     return;
   }
-  auto remaining = std::make_shared<int64_t>(cfg_.npros);
-  auto shared_after = std::make_shared<std::function<void()>>(std::move(after_io));
+  txn->lock_fanin_remaining = cfg_.npros;
+  auto shared_after =
+      std::make_shared<std::function<void()>>(std::move(after_io));
   for (int64_t n = 0; n < cfg_.npros; ++n) {
     io_[static_cast<size_t>(n)]->Submit(
-        ServiceClass::kLock, io_share, [remaining, shared_after] {
-          if (--*remaining == 0) (*shared_after)();
+        ServiceClass::kLock, io_share, [txn, shared_after] {
+          if (--txn->lock_fanin_remaining == 0) (*shared_after)();
         });
   }
 }

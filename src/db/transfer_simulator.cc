@@ -26,6 +26,9 @@ struct TransferSimulator::Txn {
   int64_t read_from = 0;
   int64_t read_to = 0;
   int64_t phase_remaining = 0;
+  // Fan-in for the current lock-cost phase (I/O, then CPU); the phases
+  // never overlap for one transaction, so one field serves both.
+  int64_t lock_fanin_remaining = 0;
   std::vector<Txn*> blocked;
 };
 
@@ -278,11 +281,11 @@ void TransferSimulator::BeginLockRequest(Txn* txn) {
       FinishLockRequest(txn);
       return;
     }
-    auto remaining = std::make_shared<int64_t>(cfg_.npros);
+    txn->lock_fanin_remaining = cfg_.npros;
     for (int64_t n = 0; n < cfg_.npros; ++n) {
       cpu_[static_cast<size_t>(n)]->Submit(
-          ServiceClass::kLock, cpu_share, [this, txn, remaining] {
-            if (--*remaining == 0) FinishLockRequest(txn);
+          ServiceClass::kLock, cpu_share, [this, txn] {
+            if (--txn->lock_fanin_remaining == 0) FinishLockRequest(txn);
           });
     }
     (void)npros;
@@ -291,13 +294,13 @@ void TransferSimulator::BeginLockRequest(Txn* txn) {
     cpu_phase();
     return;
   }
-  auto remaining = std::make_shared<int64_t>(cfg_.npros);
+  txn->lock_fanin_remaining = cfg_.npros;
   auto shared_cpu_phase =
       std::make_shared<std::function<void()>>(std::move(cpu_phase));
   for (int64_t n = 0; n < cfg_.npros; ++n) {
     io_[static_cast<size_t>(n)]->Submit(
-        ServiceClass::kLock, io_share, [remaining, shared_cpu_phase] {
-          if (--*remaining == 0) (*shared_cpu_phase)();
+        ServiceClass::kLock, io_share, [txn, shared_cpu_phase] {
+          if (--txn->lock_fanin_remaining == 0) (*shared_cpu_phase)();
         });
   }
 }

@@ -1,0 +1,117 @@
+#ifndef GRANULOCK_SIM_INLINE_CALLBACK_H_
+#define GRANULOCK_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace granulock::sim {
+
+/// A move-only `void()` callable with small-buffer storage, built for the
+/// event engine's hot path.
+///
+/// `std::function` heap-allocates for any capture list beyond two words,
+/// which made every scheduled event cost a malloc/free pair. The engines'
+/// event callbacks capture at most ~40 bytes (`this`, a transaction
+/// pointer, a node index, a couple of doubles), so a 48-byte inline buffer
+/// stores every callback in this codebase with zero allocations; larger
+/// callables transparently fall back to the heap rather than failing to
+/// compile, keeping the type a drop-in `Simulator::Callback`.
+///
+/// Dispatch is two raw function pointers (invoke and move-or-destroy)
+/// instead of a vtable, so moving an event slot during heap sifts or slab
+/// growth is a couple of pointer copies plus the callable's own move.
+class InlineCallback {
+ public:
+  /// Inline capacity. Callables up to this size (and alignof <=
+  /// max_align_t) are stored in place; bigger ones go to the heap.
+  static constexpr size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(runtime/explicit): drop-in for function
+    using Decayed = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Decayed&>,
+                  "InlineCallback requires a void() callable");
+    if constexpr (sizeof(Decayed) <= kInlineSize &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(static_cast<Decayed*>(p)))(); };
+      move_destroy_ = [](void* dst, void* src) {
+        Decayed* s = std::launder(static_cast<Decayed*>(src));
+        if (dst != nullptr) ::new (dst) Decayed(std::move(*s));
+        s->~Decayed();
+      };
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Decayed*(new Decayed(std::forward<F>(f)));
+      invoke_ = [](void* p) {
+        (**std::launder(static_cast<Decayed**>(p)))();
+      };
+      move_destroy_ = [](void* dst, void* src) {
+        Decayed** s = std::launder(static_cast<Decayed**>(src));
+        if (dst != nullptr) {
+          ::new (dst) Decayed*(*s);  // ownership transfers with the pointer
+        } else {
+          delete *s;
+        }
+      };
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  /// True when a callable is stored.
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Invokes the stored callable. Undefined when empty.
+  void operator()() { invoke_(storage_); }
+
+  /// Destroys the stored callable (if any), leaving the object empty.
+  void Reset() {
+    if (move_destroy_ != nullptr) {
+      move_destroy_(nullptr, storage_);
+      invoke_ = nullptr;
+      move_destroy_ = nullptr;
+    }
+  }
+
+ private:
+  void MoveFrom(InlineCallback& other) noexcept {
+    if (other.move_destroy_ != nullptr) {
+      other.move_destroy_(storage_, other.storage_);
+      invoke_ = other.invoke_;
+      move_destroy_ = other.move_destroy_;
+      other.invoke_ = nullptr;
+      other.move_destroy_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  void (*invoke_)(void*) = nullptr;
+  /// With a non-null `dst`: move-construct the callable into `dst` and
+  /// destroy the source. With null `dst`: destroy only.
+  void (*move_destroy_)(void* dst, void* src) = nullptr;
+};
+
+}  // namespace granulock::sim
+
+#endif  // GRANULOCK_SIM_INLINE_CALLBACK_H_

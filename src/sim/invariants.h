@@ -40,8 +40,9 @@ inline constexpr bool kAuditBuild = false;
 
 /// Enables/disables the engines' deep (O(n) full-scan) audits. Off by
 /// default; the bench binaries' `--audit` flag turns it on. The flag is a
-/// process-wide setting read between simulation events; simulations
-/// themselves are single-threaded.
+/// process-wide atomic: it is set once before runs begin and read
+/// concurrently by `ParallelRunner` workers (each simulation itself stays
+/// single-threaded and audits only its own state).
 void SetDeepAudit(bool enabled);
 bool DeepAuditEnabled();
 

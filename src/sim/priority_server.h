@@ -35,7 +35,9 @@ inline constexpr int kNumServiceClasses = 2;
 /// the paper's `totcpus/lockcpus/totios/lockios` outputs aggregate.
 class PriorityServer {
  public:
-  using Completion = std::function<void()>;
+  /// Completion callbacks use the same small-buffer storage as simulator
+  /// events: submitting a job never heap-allocates for the callback.
+  using Completion = InlineCallback;
 
   /// Observer invoked at every busy-state change: `delta_any` is +1/-1
   /// when the server becomes busy/idle, `delta_lock` likewise for

@@ -7,13 +7,35 @@
 
 namespace granulock::sim {
 
+namespace {
+
+constexpr uint64_t MakeEventId(uint32_t slot, uint32_t generation) {
+  return (static_cast<uint64_t>(generation) << 32) | slot;
+}
+
+}  // namespace
+
 EventId Simulator::Schedule(SimTime at, Callback callback, bool observer) {
   GRANULOCK_CHECK_GE(at, now_) << "cannot schedule into the past";
-  const EventId id = next_id_++;
-  heap_.push(Event{at, next_seq_++, id, observer});
-  callbacks_.emplace(id, std::move(callback));
-  max_pending_ = std::max(max_pending_, heap_.size() - cancelled_.size());
-  return id;
+  uint32_t index;
+  if (free_slots_.empty()) {
+    GRANULOCK_CHECK_LT(slots_.size(), (size_t{1} << 32))
+        << "event slab exhausted";
+    index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  EventSlot& slot = slots_[index];
+  slot.callback = std::move(callback);
+  slot.live = true;
+  slot.observer = observer;
+  heap_.push_back(HeapEntry{at, next_seq_++, index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+  ++live_count_;
+  max_pending_ = std::max(max_pending_, live_count_);
+  return MakeEventId(index, slot.generation);
 }
 
 EventId Simulator::ScheduleAt(SimTime at, Callback callback) {
@@ -34,34 +56,70 @@ EventId Simulator::ScheduleObserverAfter(SimTime delay, Callback callback) {
   return ScheduleObserverAt(now_ + delay, std::move(callback));
 }
 
+void Simulator::ReleaseSlot(uint32_t index) {
+  EventSlot& slot = slots_[index];
+  slot.callback.Reset();
+  slot.live = false;
+  if (++slot.generation == 0) slot.generation = 1;  // ids stay non-zero
+  free_slots_.push_back(index);
+  --live_count_;
+}
+
 void Simulator::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already fired or cancelled
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const uint32_t index = static_cast<uint32_t>(id & 0xffffffffu);
+  const uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (index >= slots_.size()) return;  // never scheduled
+  const EventSlot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation) {
+    return;  // already fired or cancelled (possibly reused since)
+  }
+  ReleaseSlot(index);
+  // The heap entry referencing the old generation is now stale; it is
+  // skipped when popped, or swept out by compaction below.
+  ++stale_count_;
+  MaybeCompactHeap();
+}
+
+void Simulator::MaybeCompactHeap() {
+  if (stale_count_ >= kCompactMinStale && stale_count_ > live_count_) {
+    CompactHeap();
+  }
+}
+
+void Simulator::CompactHeap() {
+  auto keep_end = std::remove_if(
+      heap_.begin(), heap_.end(),
+      [this](const HeapEntry& entry) { return IsStale(entry); });
+  heap_.erase(keep_end, heap_.end());
+  // (time, seq) is a total order — seq is unique — so rebuilding the heap
+  // cannot reorder eventual pops; determinism is unaffected.
+  std::make_heap(heap_.begin(), heap_.end(), EntryLater{});
+  stale_count_ = 0;
 }
 
 bool Simulator::Step() {
   while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    auto cancelled_it = cancelled_.find(ev.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
+    std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+    const HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    if (IsStale(entry)) {
+      --stale_count_;
       continue;
     }
-    auto cb_it = callbacks_.find(ev.id);
-    GRANULOCK_CHECK(cb_it != callbacks_.end());
-    Callback cb = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
+    EventSlot& slot = slots_[entry.slot];
+    // Move the callback out before invoking: the callback may schedule new
+    // events that reuse this very slot.
+    Callback cb = std::move(slot.callback);
+    const bool observer = slot.observer;
+    ReleaseSlot(entry.slot);
     // Event-time monotonicity: the clock never runs backwards. The heap
     // pops in (time, seq) order and scheduling into the past is rejected,
     // so a violation here means the pending-event bookkeeping is corrupt.
-    GRANULOCK_DCHECK_GE(ev.time, now_)
-        << "event " << ev.id << " fires at " << ev.time
-        << " but the clock is at " << now_;
-    now_ = ev.time;
-    if (ev.observer) {
+    GRANULOCK_DCHECK_GE(entry.time, now_)
+        << "event " << MakeEventId(entry.slot, entry.generation)
+        << " fires at " << entry.time << " but the clock is at " << now_;
+    now_ = entry.time;
+    if (observer) {
       ++observer_executed_;
     } else {
       ++executed_;
@@ -75,14 +133,14 @@ bool Simulator::Step() {
 void Simulator::RunUntil(SimTime deadline) {
   GRANULOCK_CHECK_GE(deadline, now_);
   while (!heap_.empty()) {
-    // Skip stale cancelled entries at the top without advancing time.
-    Event ev = heap_.top();
-    if (cancelled_.count(ev.id) > 0) {
-      heap_.pop();
-      cancelled_.erase(ev.id);
+    // Skip stale entries at the top without advancing time.
+    if (IsStale(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+      heap_.pop_back();
+      --stale_count_;
       continue;
     }
-    if (ev.time > deadline) break;
+    if (heap_.front().time > deadline) break;
     Step();
   }
   now_ = deadline;
@@ -94,21 +152,51 @@ void Simulator::RunUntilEmpty() {
 }
 
 void Simulator::CheckConsistency() const {
-  // Every heap entry is either live (has a callback) or lazily cancelled.
-  GRANULOCK_AUDIT_CHECK_EQ(heap_.size(), callbacks_.size() + cancelled_.size())
-      << "heap=" << heap_.size() << " callbacks=" << callbacks_.size()
-      << " cancelled=" << cancelled_.size();
-  for (const EventId id : cancelled_) {
-    GRANULOCK_AUDIT_CHECK(callbacks_.find(id) == callbacks_.end())
-        << "event " << id << " is both cancelled and live";
+  // Every heap entry is either live or lazily deleted, and the stale
+  // counter matches the actual number of stale entries.
+  size_t live_entries = 0;
+  size_t stale_entries = 0;
+  std::vector<uint8_t> seen(slots_.size(), 0);
+  for (const HeapEntry& entry : heap_) {
+    GRANULOCK_AUDIT_CHECK_LT(entry.slot, slots_.size())
+        << "heap entry references slot " << entry.slot << " beyond slab";
+    if (IsStale(entry)) {
+      ++stale_entries;
+      continue;
+    }
+    ++live_entries;
+    GRANULOCK_AUDIT_CHECK(!seen[entry.slot])
+        << "slot " << entry.slot << " has two live heap entries";
+    seen[entry.slot] = 1;
+    // The heap min is the next event to fire; anything earlier than the
+    // clock would have fired already (or time would run backwards).
+    GRANULOCK_AUDIT_CHECK_GE(entry.time, now_)
+        << "pending event at " << entry.time << " is before now=" << now_;
   }
-  // The heap min is the next event to fire; anything earlier than the
-  // clock would have fired already (or time would run backwards).
-  if (!heap_.empty()) {
-    GRANULOCK_AUDIT_CHECK_GE(heap_.top().time, now_)
-        << "next event at " << heap_.top().time << " is before now="
-        << now_;
+  GRANULOCK_AUDIT_CHECK_EQ(stale_entries, stale_count_)
+      << "stale heap entries=" << stale_entries << " but counter says "
+      << stale_count_;
+  GRANULOCK_AUDIT_CHECK_EQ(live_entries, live_count_)
+      << "live heap entries=" << live_entries << " but counter says "
+      << live_count_;
+  GRANULOCK_AUDIT_CHECK_EQ(heap_.size(), live_count_ + stale_count_)
+      << "heap=" << heap_.size() << " live=" << live_count_
+      << " stale=" << stale_count_;
+  // Every slot is live (with a callback and a heap entry) or recycled.
+  size_t live_slots = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) {
+      ++live_slots;
+      GRANULOCK_AUDIT_CHECK(static_cast<bool>(slots_[i].callback))
+          << "live slot " << i << " has no callback";
+      GRANULOCK_AUDIT_CHECK(seen[i])
+          << "live slot " << i << " has no heap entry";
+    }
   }
+  GRANULOCK_AUDIT_CHECK_EQ(live_slots, live_count_);
+  GRANULOCK_AUDIT_CHECK_EQ(slots_.size(), live_count_ + free_slots_.size())
+      << "slots=" << slots_.size() << " live=" << live_count_
+      << " free=" << free_slots_.size();
   GRANULOCK_AUDIT_CHECK_GE(max_pending_, PendingEvents());
 }
 

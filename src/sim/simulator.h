@@ -2,11 +2,9 @@
 #define GRANULOCK_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/inline_callback.h"
 
 namespace granulock::sim {
 
@@ -16,6 +14,9 @@ namespace granulock::sim {
 using SimTime = double;
 
 /// Identifier for a scheduled event, usable to cancel it before it fires.
+/// Encodes (generation << 32 | slot index) into the event slab; 0 is never
+/// a valid id (generations start at 1), so a zero-initialized id is safely
+/// cancellable as a no-op.
 using EventId = uint64_t;
 
 /// A sequential discrete-event simulation engine.
@@ -25,12 +26,24 @@ using EventId = uint64_t;
 /// run fully deterministic for a fixed seed. Events are arbitrary
 /// callbacks; higher-level abstractions (servers, queues) are built on top.
 ///
+/// Hot-path design (this is the innermost loop of every experiment):
+///  * Callbacks live in `InlineCallback` small-buffer storage inside a
+///    slab of event slots — no per-event heap allocation.
+///  * Slots are recycled through a free list; each reuse bumps a
+///    generation stamp, so a stale `EventId` (already fired or cancelled)
+///    can never touch a later event that happens to reuse its slot.
+///  * `Cancel` is O(1): it destroys the callback and invalidates the
+///    slot's generation; the heap entry is deleted lazily when popped.
+///    When the stale fraction of the heap grows past a threshold the heap
+///    is compacted in one O(n) pass, so cancel-heavy workloads cannot
+///    accumulate unbounded stale entries.
+///
 /// Not thread-safe: a `Simulator` and everything scheduled on it must be
 /// driven from one thread. (Running *replications* in parallel is safe —
-/// use one Simulator per replication.)
+/// use one Simulator per replication; see `core::ParallelRunner`.)
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -54,8 +67,9 @@ class Simulator {
   EventId ScheduleObserverAt(SimTime at, Callback callback);
   EventId ScheduleObserverAfter(SimTime delay, Callback callback);
 
-  /// Cancels a pending event. Cancelling an event that already fired (or
-  /// was already cancelled) is a no-op.
+  /// Cancels a pending event in O(1). Cancelling an event that already
+  /// fired (or was already cancelled) is a no-op: the id's generation no
+  /// longer matches its slot, even if the slot has been reused.
   void Cancel(EventId id);
 
   /// Runs the earliest pending event, advancing the clock to its timestamp.
@@ -71,7 +85,13 @@ class Simulator {
   void RunUntilEmpty();
 
   /// Number of pending (non-cancelled) events.
-  size_t PendingEvents() const { return heap_.size() - cancelled_.size(); }
+  size_t PendingEvents() const { return live_count_; }
+
+  /// Size of the internal event heap, including lazily-deleted (cancelled)
+  /// entries awaiting compaction — the engine's actual memory footprint.
+  /// Diagnostics and the cancel-churn memory regression test; bounded by
+  /// `PendingEvents()` plus the compaction threshold.
+  size_t HeapSize() const { return heap_.size(); }
 
   /// Total number of simulation events executed so far (diagnostics).
   /// Observer events are counted separately in
@@ -83,42 +103,69 @@ class Simulator {
   /// the event queue is the simulator's main memory consumer).
   size_t MaxPendingEvents() const { return max_pending_; }
 
-  /// Full audit of the engine's internal bookkeeping: every live event id
-  /// has exactly one callback, every cancelled id is still in the heap,
-  /// no pending event lies in the past, and the pending count is
-  /// `heap - cancelled`. O(pending events); violations report through
+  /// Full audit of the engine's internal bookkeeping: every live slot has
+  /// a callback and exactly one matching heap entry, stale heap entries
+  /// are counted exactly, slots are either live or on the free list, no
+  /// pending event lies in the past, and the pending count is
+  /// `heap - stale`. O(pending events); violations report through
   /// `invariants::Fail`.
   void CheckConsistency() const;
 
  private:
   friend struct AuditTestPeer;  // invariants_test corrupts state through it
 
-  struct Event {
+  /// One slab slot. `generation` advances every time the slot's event
+  /// finishes (fires or is cancelled), invalidating outstanding ids and
+  /// heap entries that still reference the old generation.
+  struct EventSlot {
+    Callback callback;
+    uint32_t generation = 1;
+    bool live = false;      // holds an un-fired, un-cancelled event
+    bool observer = false;  // excluded from the executed-event count
+  };
+
+  /// One pending-heap entry; 24 bytes, cheap to sift. An entry is stale
+  /// (lazily deleted) when its generation no longer matches its slot.
+  struct HeapEntry {
     SimTime time;
     uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    bool observer;  // excluded from the executed-event count
-    // `Callback` lives in callbacks_ keyed by id so the heap stays cheap to
-    // copy during sift operations.
+    uint32_t slot;
+    uint32_t generation;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
+  struct EntryLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
+  /// Compact when the heap carries both more stale entries than live ones
+  /// and enough of them to amortize the O(n) rebuild.
+  static constexpr size_t kCompactMinStale = 64;
+
   EventId Schedule(SimTime at, Callback callback, bool observer);
+  bool IsStale(const HeapEntry& entry) const {
+    const EventSlot& slot = slots_[entry.slot];
+    return !slot.live || slot.generation != entry.generation;
+  }
+  /// Marks the slot's event finished: destroys the callback, bumps the
+  /// generation (skipping 0 on wrap so ids stay non-zero), and recycles
+  /// the slot.
+  void ReleaseSlot(uint32_t index);
+  /// Rebuilds the heap without its stale entries (O(n)).
+  void CompactHeap();
+  void MaybeCompactHeap();
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   uint64_t executed_ = 0;
   uint64_t observer_executed_ = 0;
   size_t max_pending_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  size_t live_count_ = 0;
+  size_t stale_count_ = 0;  // stale (cancelled) entries still in the heap
+  std::vector<HeapEntry> heap_;  // std::push_heap/pop_heap with EntryLater
+  std::vector<EventSlot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace granulock::sim

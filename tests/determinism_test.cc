@@ -12,55 +12,40 @@
 //     field) is pinned.
 
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "bench/bench_common.h"
+#include "core/experiment.h"
 #include "core/granularity_simulator.h"
 #include "core/metrics.h"
+#include "core/parallel_runner.h"
 #include "model/config.h"
+#include "sim/invariants.h"
 #include "workload/workload.h"
 
 namespace granulock {
 namespace {
 
-// Exact-equality comparison of every SimulationMetrics field. EXPECT_EQ on
-// doubles is deliberate: determinism means bit-identical, not merely close.
+// Exact-equality comparison of every SimulationMetrics field, generated
+// from the canonical field list so a newly added metric is compared
+// automatically. EXPECT_EQ on doubles is deliberate: determinism means
+// bit-identical, not merely close.
 void ExpectBitIdentical(const core::SimulationMetrics& a,
                         const core::SimulationMetrics& b) {
-  EXPECT_EQ(a.totcpus, b.totcpus);
-  EXPECT_EQ(a.totios, b.totios);
-  EXPECT_EQ(a.lockcpus, b.lockcpus);
-  EXPECT_EQ(a.lockios, b.lockios);
-  EXPECT_EQ(a.usefulcpus, b.usefulcpus);
-  EXPECT_EQ(a.usefulios, b.usefulios);
-  EXPECT_EQ(a.totcom, b.totcom);
-  EXPECT_EQ(a.throughput, b.throughput);
-  EXPECT_EQ(a.response_time, b.response_time);
-  EXPECT_EQ(a.totcpus_sum, b.totcpus_sum);
-  EXPECT_EQ(a.totios_sum, b.totios_sum);
-  EXPECT_EQ(a.lockcpus_sum, b.lockcpus_sum);
-  EXPECT_EQ(a.lockios_sum, b.lockios_sum);
-  EXPECT_EQ(a.measured_time, b.measured_time);
-  EXPECT_EQ(a.response_time_stddev, b.response_time_stddev);
-  EXPECT_EQ(a.response_p50, b.response_p50);
-  EXPECT_EQ(a.response_p95, b.response_p95);
-  EXPECT_EQ(a.response_p99, b.response_p99);
-  EXPECT_EQ(a.lock_requests, b.lock_requests);
-  EXPECT_EQ(a.lock_denials, b.lock_denials);
-  EXPECT_EQ(a.denial_rate, b.denial_rate);
-  EXPECT_EQ(a.avg_active, b.avg_active);
-  EXPECT_EQ(a.avg_blocked, b.avg_blocked);
-  EXPECT_EQ(a.avg_pending, b.avg_pending);
-  EXPECT_EQ(a.cpu_utilization, b.cpu_utilization);
-  EXPECT_EQ(a.io_utilization, b.io_utilization);
-  EXPECT_EQ(a.deadlock_aborts, b.deadlock_aborts);
-  EXPECT_EQ(a.events_executed, b.events_executed);
-  EXPECT_EQ(a.phase_pending_wait, b.phase_pending_wait);
-  EXPECT_EQ(a.phase_lock_wait, b.phase_lock_wait);
-  EXPECT_EQ(a.phase_io_service, b.phase_io_service);
-  EXPECT_EQ(a.phase_cpu_service, b.phase_cpu_service);
-  EXPECT_EQ(a.phase_sync_wait, b.phase_sync_wait);
+#define GRANULOCK_EXPECT_FIELD_EQ(name, kind) \
+  EXPECT_EQ(a.name, b.name) << "field: " #name;
+  GRANULOCK_METRICS_FIELDS(GRANULOCK_EXPECT_FIELD_EQ)
+#undef GRANULOCK_EXPECT_FIELD_EQ
+}
+
+void ExpectBitIdentical(const core::ReplicatedMetrics& a,
+                        const core::ReplicatedMetrics& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  ExpectBitIdentical(a.mean, b.mean);
+  EXPECT_EQ(a.throughput_hw95, b.throughput_hw95);
+  EXPECT_EQ(a.response_hw95, b.response_hw95);
 }
 
 // The Figure 2 base point (Table 1 parameters), shortened so the test runs
@@ -118,6 +103,105 @@ TEST(DeterminismTest, JsonReportBytesAreReproducible) {
   const std::string report_b = bench::RenderJsonReport("fig02", second, args);
   EXPECT_FALSE(report_a.empty());
   EXPECT_EQ(report_a, report_b);  // byte-identical
+}
+
+// --- parallel execution determinism ---
+//
+// `ParallelRunner` must be invisible in the results: the same seed run
+// serially, with 2 threads, or with 8 threads (more workers than this
+// container has cores — exercises oversubscription) yields bit-identical
+// `ReplicatedMetrics` and byte-identical JSON reports. This is the
+// contract that lets `--threads` default to hardware concurrency without
+// any bench output changing.
+
+TEST(ParallelDeterminismTest, ReplicatedMetricsMatchSerialAtAnyThreadCount) {
+  const model::SystemConfig cfg = Figure2Config();
+  const workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+  constexpr int kReps = 5;
+
+  const auto serial = core::RunReplicated(cfg, spec, 42, kReps);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GT(serial->mean.totcom, 0);
+
+  for (int threads : {2, 8}) {
+    core::ParallelRunner runner(threads);
+    const auto parallel =
+        core::RunReplicated(cfg, spec, 42, kReps, {}, &runner);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    ExpectBitIdentical(*serial, *parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, SweepMatchesSerialAtAnyThreadCount) {
+  const model::SystemConfig cfg = Figure2Config();
+  const workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+  const std::vector<int64_t> lock_counts = {1, 20, 100};
+
+  const auto serial =
+      core::SweepLockCounts(cfg, spec, lock_counts, 42, /*replications=*/3);
+  ASSERT_TRUE(serial.ok());
+
+  for (int threads : {2, 8}) {
+    core::ParallelRunner runner(threads);
+    const auto parallel = core::SweepLockCounts(cfg, spec, lock_counts, 42,
+                                                /*replications=*/3, {},
+                                                &runner);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    ASSERT_EQ(parallel->size(), serial->size());
+    for (size_t p = 0; p < serial->size(); ++p) {
+      EXPECT_EQ((*parallel)[p].ltot, (*serial)[p].ltot);
+      ExpectBitIdentical((*serial)[p].metrics, (*parallel)[p].metrics);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, JsonReportBytesMatchSerial) {
+  bench::BenchArgs args;
+  args.seed = 42;
+  args.reps = 3;
+  args.tmax = 500.0;
+
+  const model::SystemConfig cfg = Figure2Config();
+  std::vector<bench::Series> series;
+  series.push_back({"npros=10", cfg, workload::WorkloadSpec::Base(cfg), {}});
+
+  std::string serial_report;
+  for (int threads : {1, 2, 8}) {
+    args.threads = threads;
+    args.resolved_threads = threads;
+    bench::FigureData data = bench::RunFigure(series, args, {1, 20, 100});
+    data.wall_seconds = 0.0;  // the only wall-clock-derived report field
+    const std::string report = bench::RenderJsonReport("fig02", data, args);
+    ASSERT_FALSE(report.empty());
+    if (threads == 1) {
+      serial_report = report;
+    } else {
+      EXPECT_EQ(report, serial_report) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, DeepAuditRunsInParallelAndMatchesSerial) {
+  // --audit must work per-worker: the audit gate is process-global and
+  // read-only during runs, and every worker's simulator audits its own
+  // state. Results stay bit-identical with audits on.
+  const model::SystemConfig cfg = Figure2Config();
+  const workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+
+  const auto plain = core::RunReplicated(cfg, spec, 42, 4);
+  ASSERT_TRUE(plain.ok());
+
+  sim::invariants::SetDeepAudit(true);
+  const auto serial_audited = core::RunReplicated(cfg, spec, 42, 4);
+  core::ParallelRunner runner(4);
+  const auto parallel_audited =
+      core::RunReplicated(cfg, spec, 42, 4, {}, &runner);
+  sim::invariants::SetDeepAudit(false);
+
+  ASSERT_TRUE(serial_audited.ok());
+  ASSERT_TRUE(parallel_audited.ok());
+  ExpectBitIdentical(*plain, *serial_audited);   // audits never change results
+  ExpectBitIdentical(*plain, *parallel_audited);
 }
 
 }  // namespace

@@ -112,6 +112,46 @@ TEST(StandardLockSweepTest, NoDuplicatesWhenDbsizeOnGrid) {
   EXPECT_TRUE(std::adjacent_find(sweep.begin(), sweep.end()) == sweep.end());
 }
 
+TEST(MetricsAccumulateTest, EveryFieldParticipatesInAccumulation) {
+  // Stamp every metric with a distinct nonzero value through the canonical
+  // field list, then check each one accumulated. A field added to
+  // `SimulationMetrics` but left out of `GRANULOCK_METRICS_FIELDS` fails
+  // the sizeof static_assert in metrics.cc at compile time; a field whose
+  // accumulation is mishandled fails here.
+  SimulationMetrics a{};
+  SimulationMetrics b{};
+  double v = 1.0;
+#define GRANULOCK_STAMP_FIELD(name, kind)            \
+  a.name = static_cast<decltype(a.name)>(v);         \
+  b.name = static_cast<decltype(b.name)>(100.0 + v); \
+  v += 1.0;
+  GRANULOCK_METRICS_FIELDS(GRANULOCK_STAMP_FIELD)
+#undef GRANULOCK_STAMP_FIELD
+
+  SimulationMetrics sum{};
+  sum.Accumulate(a);
+  sum.Accumulate(b);
+  v = 1.0;
+#define GRANULOCK_CHECK_FIELD(name, kind)                               \
+  EXPECT_EQ(sum.name, static_cast<decltype(a.name)>(v) +                \
+                          static_cast<decltype(a.name)>(100.0 + v))     \
+      << "field not accumulated: " #name;                               \
+  v += 1.0;
+  GRANULOCK_METRICS_FIELDS(GRANULOCK_CHECK_FIELD)
+#undef GRANULOCK_CHECK_FIELD
+}
+
+TEST(MetricsAccumulateTest, FinalizeMeansDividesMeansButKeepsSums) {
+  SimulationMetrics m{};
+  m.throughput = 10.0;       // kMeanDouble: divided by n
+  m.totcom = 9;              // kMeanInt64: divided by n, truncated
+  m.events_executed = 1000;  // kSumUint64: replication total, untouched
+  m.FinalizeMeans(4);
+  EXPECT_DOUBLE_EQ(m.throughput, 2.5);
+  EXPECT_EQ(m.totcom, 2);  // int64 means truncate (historical behavior)
+  EXPECT_EQ(m.events_executed, 1000u);
+}
+
 TEST(BestThroughputPointTest, FirstOfEqualMaximaWins) {
   std::vector<SweepPoint> sweep(2);
   sweep[0].ltot = 10;

@@ -33,7 +33,7 @@ namespace granulock::sim {
 // Friend of Simulator and PriorityServer: exposes private state so the
 // corruption tests below can break invariants on purpose.
 struct AuditTestPeer {
-  static auto& Cancelled(Simulator& s) { return s.cancelled_; }
+  static auto& StaleCount(Simulator& s) { return s.stale_count_; }
   static auto& Now(Simulator& s) { return s.now_; }
   static auto& MaxPending(Simulator& s) { return s.max_pending_; }
   static auto& Accepted(PriorityServer& s) { return s.accepted_; }
@@ -174,12 +174,12 @@ TEST(SimulatorAuditTest, CleanEngineStatePasses) {
   EXPECT_EQ(capture.count(), 0);
 }
 
-TEST(SimulatorAuditTest, FiresOnPhantomCancelledEvent) {
+TEST(SimulatorAuditTest, FiresOnPhantomStaleEntry) {
   sim::Simulator s;
   s.ScheduleAt(1.0, [] {});
-  // A cancelled id that was never scheduled: the heap/callbacks/cancelled
-  // size identity breaks.
-  sim::AuditTestPeer::Cancelled(s).insert(999999);
+  // A stale-entry count with no matching lazily-deleted heap entry: the
+  // heap = live + stale size identity breaks.
+  ++sim::AuditTestPeer::StaleCount(s);
 
   ScopedFailureCapture capture;
   s.CheckConsistency();

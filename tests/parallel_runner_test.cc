@@ -1,0 +1,87 @@
+#include "core/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace granulock::core {
+namespace {
+
+TEST(ResolveThreadCountTest, PositiveCountsPassThrough) {
+  for (int64_t n : {1, 2, 8, 64}) {
+    const auto resolved = ResolveThreadCount(n);
+    ASSERT_TRUE(resolved.ok()) << n;
+    EXPECT_EQ(*resolved, static_cast<int>(n));
+  }
+}
+
+TEST(ResolveThreadCountTest, ZeroMeansHardwareConcurrency) {
+  const auto resolved = ResolveThreadCount(0);
+  ASSERT_TRUE(resolved.ok());
+  // hardware_concurrency() may report 0 on exotic platforms; the resolver
+  // guarantees at least one worker either way.
+  EXPECT_GE(*resolved, 1);
+}
+
+TEST(ResolveThreadCountTest, NegativeIsInvalidArgument) {
+  for (int64_t n : {-1, -8}) {
+    const auto resolved = ResolveThreadCount(n);
+    EXPECT_EQ(resolved.status().code(), StatusCode::kInvalidArgument) << n;
+  }
+}
+
+TEST(ParallelRunnerTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ParallelRunner runner(threads);
+    EXPECT_EQ(runner.threads(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    runner.ParallelFor(hits.size(),
+                       [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, EmptyBatchIsNoOp) {
+  ParallelRunner runner(4);
+  runner.ParallelFor(0, [](size_t) { FAIL() << "no index to run"; });
+}
+
+TEST(ParallelRunnerTest, SingleTaskRunsInline) {
+  ParallelRunner runner(4);
+  int runs = 0;
+  runner.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ParallelRunnerTest, ReusableAcrossBatches) {
+  // One pool serves many ParallelFor calls (a sweep issues one per figure
+  // series); state from a finished batch must not leak into the next.
+  ParallelRunner runner(3);
+  for (int batch = 0; batch < 20; ++batch) {
+    std::atomic<int> sum{0};
+    runner.ParallelFor(batch + 1,
+                       [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    EXPECT_EQ(sum.load(), batch * (batch + 1) / 2);
+  }
+}
+
+TEST(ParallelRunnerTest, WorkersObserveResultsWrittenByBatch) {
+  // ParallelFor is a barrier: every write made by a worker is visible to
+  // the caller after it returns (the merge step depends on this).
+  ParallelRunner runner(4);
+  std::vector<int> out(100, 0);
+  runner.ParallelFor(out.size(),
+                     [&](size_t i) { out[i] = static_cast<int>(i) * 3; });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+}  // namespace
+}  // namespace granulock::core

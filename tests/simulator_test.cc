@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace granulock::sim {
@@ -122,6 +125,119 @@ TEST(SimulatorTest, PendingEventsExcludesCancelled) {
   EXPECT_EQ(sim.PendingEvents(), 2u);
   sim.Cancel(a);
   EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, StaleIdCannotCancelSlotReuser) {
+  // A fired/cancelled event's id must never affect a later event that
+  // happens to recycle its slot: the generation stamp mismatch makes the
+  // stale id a no-op.
+  Simulator sim;
+  bool a_fired = false;
+  bool b_fired = false;
+  EventId a = sim.ScheduleAt(1.0, [&] { a_fired = true; });
+  sim.Cancel(a);
+  // The slab recycles slot 0 for B.
+  EventId b = sim.ScheduleAt(2.0, [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  sim.Cancel(a);  // stale id: must not cancel B
+  sim.RunUntilEmpty();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(SimulatorTest, StaleIdAfterFireCannotCancelSlotReuser) {
+  Simulator sim;
+  EventId a = sim.ScheduleAt(1.0, [] {});
+  sim.RunUntilEmpty();
+  bool b_fired = false;
+  EventId b = sim.ScheduleAt(2.0, [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  sim.Cancel(a);  // A already fired; its slot now belongs to B
+  sim.RunUntilEmpty();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(SimulatorTest, CancelZeroIdIsNoOp) {
+  // Generations start at 1, so a zero-initialized EventId is never valid
+  // and engines can use 0 as a "nothing scheduled" sentinel.
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(1.0, [&] { fired = true; });
+  sim.Cancel(0);
+  sim.RunUntilEmpty();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelChurnKeepsHeapBounded) {
+  // Regression test for cancel-heavy workloads (high-contention runs
+  // cancel timeouts constantly): lazily-deleted entries must be compacted,
+  // not accumulated. Keep ~8 live events while scheduling and cancelling
+  // 100k; the heap must stay near the live count, not grow toward 100k.
+  Simulator sim;
+  constexpr int kLive = 8;
+  std::vector<EventId> pending;
+  double t = 1.0;
+  size_t max_heap = 0;
+  for (int i = 0; i < 100000; ++i) {
+    pending.push_back(sim.ScheduleAt(t, [] {}));
+    t += 0.001;
+    if (pending.size() > kLive) {
+      sim.Cancel(pending.front());
+      pending.erase(pending.begin());
+    }
+    max_heap = std::max(max_heap, sim.HeapSize());
+  }
+  // Compaction triggers once stale > max(64, live), so the footprint is
+  // bounded by roughly live + 2 * threshold regardless of churn volume.
+  EXPECT_LE(max_heap, 256u);
+  EXPECT_EQ(sim.PendingEvents(), static_cast<size_t>(kLive));
+  sim.RunUntilEmpty();
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, ChurnPreservesOrderAndDelivery) {
+  // Interleaved schedule/cancel churn (crossing compaction boundaries)
+  // must not reorder or drop surviving events.
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<EventId> cancels;
+  for (int i = 0; i < 2000; ++i) {
+    double at = static_cast<double>(i);
+    if (i % 3 == 0) {
+      sim.ScheduleAt(at, [&fired, i] { fired.push_back(i); });
+    } else {
+      cancels.push_back(sim.ScheduleAt(at, [&fired, i] {
+        fired.push_back(-i);  // must never run
+      }));
+    }
+  }
+  for (EventId id : cancels) sim.Cancel(id);
+  sim.RunUntilEmpty();
+  ASSERT_FALSE(fired.empty());
+  int prev = -1;
+  for (int v : fired) {
+    EXPECT_GT(v, prev);  // positive (survivor) and strictly increasing
+    prev = v;
+  }
+  EXPECT_EQ(fired.size(), 667u);
+}
+
+TEST(SimulatorTest, LargeCaptureCallbackFallsBackToHeap) {
+  // Callables bigger than the inline buffer must still work (heap path).
+  Simulator sim;
+  struct Big {
+    double payload[16];
+    std::shared_ptr<int> counter;
+  };
+  auto counter = std::make_shared<int>(0);
+  Big big{{1.0}, counter};
+  static_assert(sizeof(Big) > InlineCallback::kInlineSize);
+  sim.ScheduleAt(1.0, [big] { ++*big.counter; });
+  EventId id = sim.ScheduleAt(2.0, [big] { ++*big.counter; });
+  sim.Cancel(id);  // heap-path destruction must release the capture
+  sim.RunUntilEmpty();
+  EXPECT_EQ(*counter, 1);
+  EXPECT_EQ(counter.use_count(), 2);  // local `big` + `counter` itself
 }
 
 TEST(SimulatorTest, ZeroDelayEventFiresAtSameTime) {

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports for throughput/metric drift.
+
+Usage:
+    tools/compare_bench.py BASELINE.json CURRENT.json [--tolerance 0.10]
+
+Matches the two reports' (series label, ltot) point grids and compares the
+simulated metrics point by point. Wall-clock-derived fields (wall_seconds,
+events_per_sec) are ignored: they measure the machine, not the simulation.
+
+Exit status:
+    0  reports match within tolerance
+    1  drift beyond tolerance (or structural mismatch: missing series/points)
+    2  usage / unreadable input
+
+Because the simulators are deterministic for a fixed seed, identical code
+must reproduce the baseline *exactly*; the tolerance only absorbs deliberate
+baseline-refresh gaps. CI runs this against a checked-in baseline so an
+accidental behaviour change in the engines (a reordered event, a skipped
+replication, a broken merge) fails the build rather than silently shifting
+every curve.
+"""
+
+import argparse
+import json
+import sys
+
+# Simulated metrics compared per point. Deliberately the full set the
+# reports carry: any of them drifting means engine behaviour changed.
+POINT_METRICS = [
+    "throughput",
+    "throughput_hw95",
+    "response_time",
+    "response_hw95",
+    "usefulcpus",
+    "usefulios",
+    "lockcpus",
+    "lockios",
+    "denial_rate",
+    "deadlock_aborts",
+    "events_executed",
+    "phase_pending_wait",
+    "phase_lock_wait",
+    "phase_io_service",
+    "phase_cpu_service",
+    "phase_sync_wait",
+]
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def index_points(report):
+    """Maps (series label, ltot) -> point dict."""
+    points = {}
+    for series in report.get("series", []):
+        label = series.get("label", "")
+        for point in series.get("points", []):
+            points[(label, point.get("ltot"))] = point
+    return points
+
+
+def relative_drift(baseline, current):
+    if baseline == current:
+        return 0.0
+    scale = max(abs(baseline), abs(current))
+    if scale == 0.0:
+        return 0.0
+    return abs(current - baseline) / scale
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in baseline report")
+    parser.add_argument("current", help="freshly generated report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="max allowed relative drift per metric (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+
+    base_points = index_points(baseline)
+    cur_points = index_points(current)
+    if not base_points:
+        print(f"error: {args.baseline} contains no series points",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for key, base_point in sorted(base_points.items()):
+        label, ltot = key
+        cur_point = cur_points.get(key)
+        if cur_point is None:
+            failures.append(f"[{label} ltot={ltot}] missing from current")
+            continue
+        for metric in POINT_METRICS:
+            if metric not in base_point:
+                continue  # older baseline without this metric
+            if metric not in cur_point:
+                failures.append(f"[{label} ltot={ltot}] {metric}: "
+                                "missing from current")
+                continue
+            drift = relative_drift(float(base_point[metric]),
+                                   float(cur_point[metric]))
+            if drift > args.tolerance:
+                failures.append(
+                    f"[{label} ltot={ltot}] {metric}: "
+                    f"baseline={base_point[metric]} "
+                    f"current={cur_point[metric]} "
+                    f"drift={drift:.1%} > {args.tolerance:.0%}")
+
+    extra = sorted(set(cur_points) - set(base_points))
+    for label, ltot in extra:
+        print(f"note: current has extra point [{label} ltot={ltot}] "
+              "(not in baseline; ignored)")
+
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) drifted beyond "
+              f"{args.tolerance:.0%} vs {args.baseline}:")
+        for line in failures:
+            print(f"  {line}")
+        print("If the change is intentional, refresh the baseline: "
+              "rerun the bench with the flags recorded in its 'params' "
+              "and copy the new report over the baseline file.")
+        return 1
+
+    print(f"OK: {len(base_points)} points x {len(POINT_METRICS)} metrics "
+          f"within {args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
