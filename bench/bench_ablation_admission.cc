@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
     series.push_back(
         {"adaptive", base, workload::WorkloadSpec::Base(base), options});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data =
+      bench::RunFigure("ablation_admission", series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
   bench::PrintOptimaSummary(data);

@@ -34,40 +34,54 @@ int main(int argc, char** argv) {
 
   const std::vector<int64_t> lock_counts =
       core::StandardLockSweep(base.dbsize);
+  // Checkpoint/containment wrapper: series 0 = probabilistic, 1 = explicit.
+  model::SystemConfig fp_cfg = base;
+  args.Apply(&fp_cfg);
+  bench::CellRunner cells("ablation_conflict_model", args,
+                          fp_cfg.ToString() + ";base_workload;explicit_table");
+  const uint64_t seed = static_cast<uint64_t>(args.seed);
   TablePrinter table({"locks", "probabilistic", "explicit", "prob denial",
                       "expl denial"});
   int64_t best_prob = 1, best_expl = 1;
   double best_prob_tp = -1.0, best_expl_tp = -1.0;
-  for (int64_t ltot : lock_counts) {
+  for (size_t p = 0; p < lock_counts.size(); ++p) {
+    const int64_t ltot = lock_counts[p];
     model::SystemConfig cfg = base;
     cfg.ltot = ltot;
     args.Apply(&cfg);
     const workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
 
-    auto prob = core::GranularitySimulator::RunOnce(
-        cfg, spec, static_cast<uint64_t>(args.seed));
-    auto expl = db::ExplicitSimulator::RunOnce(
-        cfg, spec, static_cast<uint64_t>(args.seed));
-    if (!prob.ok() || !expl.ok()) {
-      std::fprintf(stderr, "simulation failed: %s / %s\n",
-                   prob.status().ToString().c_str(),
-                   expl.status().ToString().c_str());
-      return 1;
-    }
-    if (prob->throughput > best_prob_tp) {
+    auto prob = cells.Run(0, static_cast<int>(p), ltot, seed,
+                          [&](const fault::CellWatchdog* wd) {
+                            core::GranularitySimulator::Options opt;
+                            opt.watchdog = wd;
+                            return core::GranularitySimulator::RunOnce(
+                                cfg, spec, seed, opt);
+                          });
+    auto expl = cells.Run(1, static_cast<int>(p), ltot, seed,
+                          [&](const fault::CellWatchdog*) {
+                            return db::ExplicitSimulator::RunOnce(cfg, spec,
+                                                                  seed);
+                          });
+    if (prob.ok() && prob->throughput > best_prob_tp) {
       best_prob_tp = prob->throughput;
       best_prob = ltot;
     }
-    if (expl->throughput > best_expl_tp) {
+    if (expl.ok() && expl->throughput > best_expl_tp) {
       best_expl_tp = expl->throughput;
       best_expl = ltot;
     }
     table.AddRow({StrFormat("%lld", (long long)ltot),
-                  StrFormat("%.5g", prob->throughput),
-                  StrFormat("%.5g", expl->throughput),
-                  StrFormat("%.3f", prob->denial_rate),
-                  StrFormat("%.3f", expl->denial_rate)});
+                  prob.ok() ? StrFormat("%.5g", prob->throughput)
+                            : std::string("-"),
+                  expl.ok() ? StrFormat("%.5g", expl->throughput)
+                            : std::string("-"),
+                  prob.ok() ? StrFormat("%.3f", prob->denial_rate)
+                            : std::string("-"),
+                  expl.ok() ? StrFormat("%.3f", expl->denial_rate)
+                            : std::string("-")});
   }
+  cells.Finish();
   if (args.csv) {
     table.PrintCsv(std::cout);
   } else {

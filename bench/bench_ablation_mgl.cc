@@ -51,41 +51,56 @@ int main(int argc, char** argv) {
   db::ExplicitSimulator::Options gamma = mgl;
   gamma.escalation_threshold = 20;
 
-  TablePrinter table({"locks", "flat tp", "MGL tp", "MGL+files tp",
-                      "flat lock ovh", "MGL lock ovh", "MGL+files ovh"});
-  for (int64_t ltot : core::StandardLockSweep(base.dbsize)) {
-    model::SystemConfig cfg = base;
-    cfg.ltot = ltot;
-    args.Apply(&cfg);
-    db::ExplicitSimulator::Options gamma_point = gamma;
-    gamma_point.num_files = std::min<int64_t>(50, ltot);
-    auto rf = db::ExplicitSimulator::RunOnce(
-        cfg, spec, static_cast<uint64_t>(args.seed), flat);
-    auto rm = db::ExplicitSimulator::RunOnce(
-        cfg, spec, static_cast<uint64_t>(args.seed), mgl);
-    auto rg = db::ExplicitSimulator::RunOnce(
-        cfg, spec, static_cast<uint64_t>(args.seed), gamma_point);
-    if (!rf.ok() || !rm.ok() || !rg.ok()) {
-      std::fprintf(stderr, "simulation failed: %s / %s / %s\n",
-                   rf.status().ToString().c_str(),
-                   rm.status().ToString().c_str(),
-                   rg.status().ToString().c_str());
-      return 1;
+  // Checkpoint/containment wrapper: each (strategy, ltot) simulation is
+  // one cell. The base config is part of the fingerprint; the per-point
+  // ltot/num_files tweaks are functions of the grid.
+  {
+    model::SystemConfig fp_cfg = base;
+    args.Apply(&fp_cfg);
+    bench::CellRunner cells(
+        "ablation_mgl", args,
+        fp_cfg.ToString() + ";" + spec.Describe() +
+            ";mgl_threshold=250;escalation=20;files=50");
+
+    TablePrinter table({"locks", "flat tp", "MGL tp", "MGL+files tp",
+                        "flat lock ovh", "MGL lock ovh", "MGL+files ovh"});
+    const std::vector<int64_t> sweep = core::StandardLockSweep(base.dbsize);
+    for (size_t p = 0; p < sweep.size(); ++p) {
+      const int64_t ltot = sweep[p];
+      model::SystemConfig cfg = base;
+      cfg.ltot = ltot;
+      args.Apply(&cfg);
+      db::ExplicitSimulator::Options gamma_point = gamma;
+      gamma_point.num_files = std::min<int64_t>(50, ltot);
+      const uint64_t seed = static_cast<uint64_t>(args.seed);
+      auto run = [&](int series, const db::ExplicitSimulator::Options& opt) {
+        return cells.Run(series, static_cast<int>(p), ltot, seed,
+                         [&](const fault::CellWatchdog*) {
+                           return db::ExplicitSimulator::RunOnce(cfg, spec,
+                                                                 seed, opt);
+                         });
+      };
+      auto rf = run(0, flat);
+      auto rm = run(1, mgl);
+      auto rg = run(2, gamma_point);
+      auto tp = [](const Result<core::SimulationMetrics>& r) {
+        return r.ok() ? StrFormat("%.5g", r->throughput) : std::string("-");
+      };
+      auto ovh = [](const Result<core::SimulationMetrics>& r) {
+        return r.ok() ? StrFormat("%.5g", r->lockios + r->lockcpus)
+                      : std::string("-");
+      };
+      table.AddRow({StrFormat("%lld", (long long)ltot), tp(rf), tp(rm),
+                    tp(rg), ovh(rf), ovh(rm), ovh(rg)});
     }
-    table.AddRow({StrFormat("%lld", (long long)ltot),
-                  StrFormat("%.5g", rf->throughput),
-                  StrFormat("%.5g", rm->throughput),
-                  StrFormat("%.5g", rg->throughput),
-                  StrFormat("%.5g", rf->lockios + rf->lockcpus),
-                  StrFormat("%.5g", rm->lockios + rm->lockcpus),
-                  StrFormat("%.5g", rg->lockios + rg->lockcpus)});
+    cells.Finish();
+    if (args.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+    bench::MaybeWriteTableJsonReport("ablation_mgl", {{"throughput", &table}},
+                                     args);
   }
-  if (args.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  bench::MaybeWriteTableJsonReport("ablation_mgl", {{"throughput", &table}},
-                                   args);
   return 0;
 }

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
                         base, workload::WorkloadSpec::Base(base), options});
     }
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data =
+      bench::RunFigure("ablation_release_policy", series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
   bench::MaybeWriteJsonReport("ablation_release_policy", data, args);

@@ -1,14 +1,16 @@
 #include "bench/bench_common.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "core/fault.h"
 #include "obs/json_writer.h"
 #include "sim/invariants.h"
+#include "util/fileio.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -33,6 +35,28 @@ void BenchArgs::Register(FlagParser& parser) {
                  "(slower; aborts on the first violated invariant)");
   parser.AddString("log_level", &log_level, "info",
                    "minimum log severity: debug|info|warning|error");
+  parser.AddBool("checkpoint", &checkpoint, false,
+                 "journal each completed (point x replication) cell to "
+                 "BENCH_<id>.ckpt.jsonl as the run goes");
+  parser.AddBool("resume", &resume, false,
+                 "reuse cells journaled by an earlier interrupted run "
+                 "(implies --checkpoint); results are byte-identical to an "
+                 "uninterrupted run");
+  parser.AddString("checkpoint_path", &checkpoint_path, "",
+                   "override the checkpoint journal path");
+  parser.AddInt64("max_cell_retries", &max_cell_retries, 0,
+                  "re-run a failed cell up to this many extra times with "
+                  "the same derived seed");
+  parser.AddBool("allow_partial", &allow_partial, false,
+                 "keep running past failed cells; the report carries a "
+                 "structured failure summary instead of aborting");
+  parser.AddDouble("cell_timeout_s", &cell_timeout_s, 0.0,
+                   "wall-clock budget per cell attempt, enforced at "
+                   "deterministic simulated-time boundaries; 0 = none");
+  parser.AddString("fault_inject", &fault_inject, "",
+                   "arm a deterministic fault: <point>@<hit>[xN][:key=<u64>] "
+                   "with points cell_throw, cell_timeout, cell_audit_fail, "
+                   "write_short_write, signal_mid_sweep");
 }
 
 void BenchArgs::Apply(model::SystemConfig* cfg) const {
@@ -40,7 +64,23 @@ void BenchArgs::Apply(model::SystemConfig* cfg) const {
   cfg->warmup = quick ? warmup / 10.0 : warmup;
 }
 
+std::string BenchArgs::JournalPath(const std::string& experiment_id) const {
+  if (!checkpoint_path.empty()) return checkpoint_path;
+  return StrFormat("BENCH_%s.ckpt.jsonl", experiment_id.c_str());
+}
+
 namespace {
+
+// Set from the signal handlers; read by cells at watchdog polls and by the
+// figure driver between cells. Async-signal-safe: the handler only stores
+// to lock-free atomics.
+std::atomic<bool> g_interrupt{false};
+std::atomic<int> g_signal{0};
+
+void OnTerminationSignal(int sig) {
+  g_interrupt.store(true, std::memory_order_relaxed);
+  g_signal.store(sig, std::memory_order_relaxed);
+}
 
 bool ParseLogLevel(const std::string& name, LogLevel* out) {
   if (name == "debug") {
@@ -88,7 +128,30 @@ BenchArgs ParseArgsOrDie(int argc, char** argv) {
   if (args.audit) {
     GRANULOCK_LOG(Info) << "--audit: deep invariant audits enabled";
   }
+  if (args.resume) args.checkpoint = true;
+  if (!args.fault_inject.empty()) {
+    const Status armed =
+        fault::Injector::Global().ArmFromFlag(args.fault_inject);
+    if (!armed.ok()) {
+      std::cerr << armed << "\n" << parser.UsageString(argv[0]);
+      std::exit(1);
+    }
+    GRANULOCK_LOG(Warning) << "--fault_inject=" << args.fault_inject
+                           << ": deterministic fault armed";
+  }
+  std::signal(SIGINT, OnTerminationSignal);
+  std::signal(SIGTERM, OnTerminationSignal);
   return args;
+}
+
+const std::atomic<bool>* InterruptFlag() { return &g_interrupt; }
+
+bool Interrupted() {
+  return g_interrupt.load(std::memory_order_relaxed);
+}
+
+int InterruptExitCode() {
+  return 128 + g_signal.load(std::memory_order_relaxed);
 }
 
 void PrintBanner(const std::string& experiment_id,
@@ -145,7 +208,94 @@ double MetricValue(Metric metric, const core::SimulationMetrics& m) {
   return 0.0;
 }
 
-FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
+uint64_t FigureFingerprint(const std::string& experiment_id,
+                           const BenchArgs& args,
+                           const std::vector<int64_t>& lock_counts,
+                           const std::vector<Series>& series) {
+  std::string canonical = experiment_id;
+  canonical += StrFormat("|seed=%lld|reps=%lld|tmax=%.17g|warmup=%.17g|q=%d",
+                         (long long)args.seed, (long long)args.reps, args.tmax,
+                         args.warmup, args.quick ? 1 : 0);
+  canonical += "|grid=";
+  for (int64_t ltot : lock_counts) {
+    canonical += StrFormat("%lld,", (long long)ltot);
+  }
+  for (const Series& s : series) {
+    model::SystemConfig cfg = s.cfg;
+    args.Apply(&cfg);
+    canonical += "|series=" + s.label + ";" + cfg.ToString() + ";" +
+                 s.spec.Describe();
+  }
+  return core::FingerprintString(canonical);
+}
+
+std::unique_ptr<core::CheckpointJournal> OpenJournalOrDie(
+    const std::string& experiment_id, const BenchArgs& args,
+    uint64_t fingerprint) {
+  if (!args.checkpoint_enabled()) return nullptr;
+  auto journal = core::CheckpointJournal::Open(
+      args.JournalPath(experiment_id), fingerprint, args.resume);
+  if (!journal.ok()) {
+    std::cerr << "cannot open checkpoint journal: " << journal.status()
+              << "\n";
+    std::exit(1);
+  }
+  if ((*journal)->loaded_cells() > 0) {
+    GRANULOCK_LOG(Info) << "--resume: replaying " << (*journal)->loaded_cells()
+                        << " journaled cells from " << (*journal)->path();
+  }
+  return std::move(journal).value();
+}
+
+core::CellPolicy MakeCellPolicy(const BenchArgs& args,
+                                core::CheckpointJournal* journal, int series,
+                                core::RunReport* report) {
+  core::CellPolicy policy;
+  policy.journal = journal;
+  policy.series = series;
+  policy.max_cell_retries = static_cast<int>(args.max_cell_retries);
+  policy.allow_partial = args.allow_partial;
+  policy.cell_timeout_s = args.cell_timeout_s;
+  policy.interrupt = InterruptFlag();
+  policy.report = report;
+  return policy;
+}
+
+namespace {
+
+/// Flushes the partial grid of an interrupted run to
+/// BENCH_<id>.partial.json (atomically — a signal landing mid-write must
+/// not leave a torn report) and exits with the conventional signal code.
+[[noreturn]] void ExitInterrupted(const std::string& experiment_id,
+                                  const FigureData& data,
+                                  const BenchArgs& args,
+                                  const core::CheckpointJournal* journal) {
+  const std::string path =
+      StrFormat("BENCH_%s.partial.json", experiment_id.c_str());
+  const Status written =
+      WriteFileAtomic(path, RenderJsonReport(experiment_id, data, args) + "\n");
+  if (written.ok()) {
+    std::fprintf(stderr, "interrupted: partial results in %s\n", path.c_str());
+  } else {
+    GRANULOCK_LOG(Error) << "partial report: " << written;
+  }
+  if (journal != nullptr) {
+    std::fprintf(stderr,
+                 "completed cells are journaled in %s; rerun with --resume "
+                 "to finish\n",
+                 journal->path().c_str());
+  } else {
+    std::fprintf(stderr,
+                 "hint: run with --checkpoint to make interrupted runs "
+                 "resumable\n");
+  }
+  std::exit(InterruptExitCode());
+}
+
+}  // namespace
+
+FigureData RunFigure(const std::string& experiment_id,
+                     const std::vector<Series>& series, const BenchArgs& args,
                      std::vector<int64_t> lock_counts) {
   GRANULOCK_CHECK(!series.empty());
   const auto wall_start = std::chrono::steady_clock::now();
@@ -155,24 +305,58 @@ FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
   data.lock_counts = lock_counts.empty()
                          ? core::StandardLockSweep(series[0].cfg.dbsize)
                          : std::move(lock_counts);
-  data.values.resize(series.size());
+  data.values.assign(series.size(),
+                     std::vector<core::ReplicatedMetrics>(
+                         data.lock_counts.size(), core::ReplicatedMetrics{}));
+  const uint64_t fingerprint =
+      FigureFingerprint(experiment_id, args, data.lock_counts, series);
+  std::unique_ptr<core::CheckpointJournal> journal =
+      OpenJournalOrDie(experiment_id, args, fingerprint);
   for (size_t s = 0; s < series.size(); ++s) {
+    if (Interrupted()) break;  // remaining series stay missing
     model::SystemConfig cfg = series[s].cfg;
     args.Apply(&cfg);
+    const core::CellPolicy policy = MakeCellPolicy(
+        args, journal.get(), static_cast<int>(s), &data.report);
     auto sweep = core::SweepLockCounts(
         cfg, series[s].spec, data.lock_counts,
         static_cast<uint64_t>(args.seed), static_cast<int>(args.reps),
-        series[s].options, &runner);
-    GRANULOCK_CHECK(sweep.ok())
-        << "series '" << series[s].label << "': " << sweep.status();
-    for (auto& point : *sweep) {
-      data.values[s].push_back(std::move(point.metrics));
+        series[s].options, &runner, policy);
+    if (!sweep.ok()) {
+      if (journal != nullptr) {
+        // The completed prefix is durable; no need to take the whole
+        // process down with an abort.
+        std::fprintf(stderr, "series '%s': %s\n", series[s].label.c_str(),
+                     sweep.status().ToString().c_str());
+        std::fprintf(stderr,
+                     "completed cells are journaled in %s; rerun with "
+                     "--resume to retry only the failed cells\n",
+                     journal->path().c_str());
+        std::exit(1);
+      }
+      GRANULOCK_CHECK(sweep.ok())
+          << "series '" << series[s].label << "': " << sweep.status();
+    }
+    // Map the (possibly partial) sweep back onto the rectangular grid;
+    // omitted points keep replications == 0.
+    size_t j = 0;
+    for (size_t l = 0; l < data.lock_counts.size(); ++l) {
+      if (j < sweep->size() && (*sweep)[j].ltot == data.lock_counts[l]) {
+        data.values[s][l] = std::move((*sweep)[j].metrics);
+        ++j;
+      }
     }
   }
   data.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  data.registry = std::make_shared<obs::MetricsRegistry>();
+  core::PublishCellStats(data.report, data.registry.get());
+  if (data.report.interrupted || Interrupted()) {
+    ExitInterrupted(experiment_id, data, args, journal.get());
+  }
+  PrintFailureSummary(data);
   return data;
 }
 
@@ -186,8 +370,12 @@ void PrintMetricTable(const FigureData& data, Metric metric,
     std::vector<std::string> row;
     row.push_back(StrFormat("%lld", (long long)data.lock_counts[l]));
     for (size_t s = 0; s < data.series.size(); ++s) {
-      row.push_back(
-          StrFormat("%.5g", MetricValue(metric, data.values[s][l].mean)));
+      if (data.values[s][l].replications == 0) {
+        row.push_back("-");  // cell missing (failed or not reached)
+      } else {
+        row.push_back(
+            StrFormat("%.5g", MetricValue(metric, data.values[s][l].mean)));
+      }
     }
     table.AddRow(std::move(row));
   }
@@ -244,6 +432,7 @@ std::string RenderJsonReport(const std::string& experiment_id,
     w.Key("points").BeginArray();
     for (size_t l = 0; l < data.lock_counts.size(); ++l) {
       const core::ReplicatedMetrics& rep = data.values[s][l];
+      if (rep.replications == 0) continue;  // missing cell
       const core::SimulationMetrics& m = rep.mean;
       w.BeginObject();
       w.Key("ltot").Value(data.lock_counts[l]);
@@ -269,6 +458,22 @@ std::string RenderJsonReport(const std::string& experiment_id,
     w.EndObject();
   }
   w.EndArray();
+  // Always present (and empty on a clean run) so a resumed run renders the
+  // same bytes as an uninterrupted one.
+  w.Key("failures").BeginArray();
+  for (const core::CellFailure& f : data.report.failures) {
+    w.BeginObject();
+    w.Key("series").Value(
+        data.series[static_cast<size_t>(f.series)].label);
+    w.Key("ltot").Value(f.ltot);
+    w.Key("rep").Value(static_cast<int64_t>(f.rep));
+    w.Key("attempts").Value(static_cast<int64_t>(f.attempts));
+    w.Key("timed_out").Value(f.timed_out);
+    w.Key("status").Value(StatusCodeToString(f.status.code()));
+    w.Key("message").Value(f.status.message());
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return os.str();
 }
@@ -277,14 +482,7 @@ Status WriteJsonReport(const std::string& experiment_id,
                        const FigureData& data, const BenchArgs& args) {
   const std::string body = RenderJsonReport(experiment_id, data, args);
   const std::string path = StrFormat("BENCH_%s.json", experiment_id.c_str());
-  std::ofstream file(path);
-  if (!file) {
-    return Status::Internal(StrFormat("cannot open %s", path.c_str()));
-  }
-  file << body << "\n";
-  if (!file.good()) {
-    return Status::Internal(StrFormat("write to %s failed", path.c_str()));
-  }
+  GRANULOCK_RETURN_NOT_OK(WriteFileAtomic(path, body + "\n"));
   std::printf("wrote %s\n", path.c_str());
   return Status::OK();
 }
@@ -327,29 +525,143 @@ void MaybeWriteTableJsonReport(
   w.EndObject();
 
   const std::string path = StrFormat("BENCH_%s.json", experiment_id.c_str());
-  std::ofstream file(path);
-  if (!file) {
-    GRANULOCK_LOG(Error) << "JSON report: cannot open " << path;
+  const Status written = WriteFileAtomic(path, os.str() + "\n");
+  if (!written.ok()) {
+    GRANULOCK_LOG(Error) << "JSON report: " << written;
     return;
   }
-  file << os.str() << "\n";
   std::printf("wrote %s\n", path.c_str());
 }
 
 void PrintOptimaSummary(const FigureData& data) {
   std::printf("throughput-optimal lock count per series:\n");
   for (size_t s = 0; s < data.series.size(); ++s) {
-    size_t best = 0;
-    for (size_t l = 1; l < data.lock_counts.size(); ++l) {
-      if (data.values[s][l].mean.throughput >
-          data.values[s][best].mean.throughput) {
+    size_t best = data.lock_counts.size();  // sentinel: no surviving point
+    for (size_t l = 0; l < data.lock_counts.size(); ++l) {
+      if (data.values[s][l].replications == 0) continue;
+      if (best == data.lock_counts.size() ||
+          data.values[s][l].mean.throughput >
+              data.values[s][best].mean.throughput) {
         best = l;
       }
+    }
+    if (best == data.lock_counts.size()) {
+      std::printf("  %-28s (no surviving points)\n",
+                  data.series[s].label.c_str());
+      continue;
     }
     std::printf("  %-28s ltot* = %-6lld (throughput %.5g)\n",
                 data.series[s].label.c_str(),
                 (long long)data.lock_counts[best],
                 data.values[s][best].mean.throughput);
+  }
+  std::printf("\n");
+}
+
+CellRunner::CellRunner(std::string experiment_id, const BenchArgs& args,
+                       const std::string& canonical_inputs)
+    : experiment_id_(std::move(experiment_id)), args_(args) {
+  const std::string canonical =
+      experiment_id_ +
+      StrFormat("|seed=%lld|reps=%lld|tmax=%.17g|warmup=%.17g|q=%d|",
+                (long long)args.seed, (long long)args.reps, args.tmax,
+                args.warmup, args.quick ? 1 : 0) +
+      canonical_inputs;
+  journal_ = OpenJournalOrDie(experiment_id_, args,
+                              core::FingerprintString(canonical));
+}
+
+Result<core::SimulationMetrics> CellRunner::Run(int series, int point,
+                                                int64_t ltot, uint64_t seed,
+                                                const core::CellBody& body) {
+  core::CellPolicy policy =
+      MakeCellPolicy(args_, journal_.get(), series, /*report=*/nullptr);
+  const core::CellOutcome outcome =
+      core::RunCell(policy, core::CellKey{series, point, 0}, seed, body);
+  // Serial loop: account inline (RunCell leaves accounting to the caller).
+  if (outcome.from_checkpoint) {
+    ++report_.cells_from_checkpoint;
+    ++report_.cells_completed;
+    return *outcome.result;
+  }
+  if (outcome.attempts > 1) report_.cell_retries += outcome.attempts - 1;
+  if (outcome.result.ok()) {
+    ++report_.cells_completed;
+    return *outcome.result;
+  }
+  if (outcome.result.status().code() == StatusCode::kCancelled) {
+    report_.interrupted = true;
+    if (journal_ != nullptr) {
+      std::fprintf(stderr,
+                   "interrupted: completed cells are journaled in %s; rerun "
+                   "with --resume to finish\n",
+                   journal_->path().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "interrupted (hint: --checkpoint makes this resumable)\n");
+    }
+    std::exit(InterruptExitCode());
+  }
+  if (outcome.timed_out) ++report_.cells_timed_out;
+  report_.failures.push_back(core::CellFailure{series, point, ltot, 0,
+                                               outcome.attempts,
+                                               outcome.timed_out,
+                                               outcome.result.status()});
+  if (!args_.allow_partial) {
+    std::fprintf(stderr, "cell (series=%d, ltot=%lld) failed: %s\n", series,
+                 (long long)ltot, outcome.result.status().ToString().c_str());
+    if (journal_ != nullptr) {
+      std::fprintf(stderr,
+                   "completed cells are journaled in %s; rerun with --resume "
+                   "to retry only the failed cell\n",
+                   journal_->path().c_str());
+    }
+    std::exit(1);
+  }
+  return outcome.result.status();
+}
+
+void CellRunner::Finish() {
+  if (Interrupted()) {
+    if (journal_ != nullptr) {
+      std::fprintf(stderr,
+                   "interrupted: completed cells are journaled in %s; rerun "
+                   "with --resume to finish\n",
+                   journal_->path().c_str());
+    }
+    std::exit(InterruptExitCode());
+  }
+  if (report_.failures.empty() && report_.cell_retries == 0) return;
+  std::printf("cell failure summary: %lld failed, %lld retries, %lld timed "
+              "out, %lld completed\n",
+              (long long)report_.failures.size(),
+              (long long)report_.cell_retries,
+              (long long)report_.cells_timed_out,
+              (long long)report_.cells_completed);
+  for (const core::CellFailure& f : report_.failures) {
+    std::printf("  series=%d ltot=%lld: %s (%d attempt%s%s)\n", f.series,
+                (long long)f.ltot, f.status.ToString().c_str(), f.attempts,
+                f.attempts == 1 ? "" : "s",
+                f.timed_out ? ", timed out" : "");
+  }
+  std::printf("\n");
+}
+
+void PrintFailureSummary(const FigureData& data) {
+  const core::RunReport& report = data.report;
+  if (report.failures.empty() && report.cell_retries == 0) return;
+  std::printf("cell failure summary: %lld failed, %lld retries, %lld timed "
+              "out, %lld completed\n",
+              (long long)report.failures.size(),
+              (long long)report.cell_retries,
+              (long long)report.cells_timed_out,
+              (long long)report.cells_completed);
+  for (const core::CellFailure& f : report.failures) {
+    std::printf("  series '%s' ltot=%lld rep=%d: %s (%d attempt%s%s)\n",
+                data.series[static_cast<size_t>(f.series)].label.c_str(),
+                (long long)f.ltot, f.rep, f.status.ToString().c_str(),
+                f.attempts, f.attempts == 1 ? "" : "s",
+                f.timed_out ? ", timed out" : "");
   }
   std::printf("\n");
 }

@@ -1,14 +1,18 @@
 #ifndef GRANULOCK_BENCH_BENCH_COMMON_H_
 #define GRANULOCK_BENCH_BENCH_COMMON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "model/config.h"
+#include "obs/registry.h"
 #include "util/flags.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -31,6 +35,15 @@ struct BenchArgs {
   bool audit = false;      ///< run deep invariant audits at quiescent points
   std::string log_level = "info";  ///< debug|info|warning|error
 
+  // Crash-safety / fault-containment knobs (see docs/ROBUSTNESS.md).
+  bool checkpoint = false;  ///< journal completed cells as the run goes
+  bool resume = false;      ///< reuse journaled cells (implies --checkpoint)
+  std::string checkpoint_path;  ///< journal path; "" = BENCH_<id>.ckpt.jsonl
+  int64_t max_cell_retries = 0; ///< same-seed re-runs of a failed cell
+  bool allow_partial = false;   ///< keep going past failed cells
+  double cell_timeout_s = 0.0;  ///< per-cell wall deadline; 0 = none
+  std::string fault_inject;     ///< injection spec, e.g. cell_throw@3
+
   /// `threads` resolved through `core::ResolveThreadCount` by
   /// `ParseArgsOrDie` (so 0 becomes the detected hardware concurrency).
   int resolved_threads = 1;
@@ -40,12 +53,31 @@ struct BenchArgs {
 
   /// Applies tmax/warmup (and the quick-mode shrink) onto `cfg`.
   void Apply(model::SystemConfig* cfg) const;
+
+  /// True when a checkpoint journal should be open for this run.
+  bool checkpoint_enabled() const { return checkpoint || resume; }
+
+  /// The journal path for `experiment_id` (honoring --checkpoint_path).
+  std::string JournalPath(const std::string& experiment_id) const;
 };
 
 /// Parses argv with the standard bench flags; exits the process on --help
-/// or a flag error. Applies `--log_level` to the global log threshold.
-/// Returns the parsed arguments.
+/// or a flag error. Applies `--log_level` to the global log threshold,
+/// arms the fault injector from `--fault_inject`, and installs
+/// SIGINT/SIGTERM handlers that request a cooperative stop (see
+/// `InterruptFlag`). Returns the parsed arguments.
 BenchArgs ParseArgsOrDie(int argc, char** argv);
+
+/// The process-wide interrupt flag set by the SIGINT/SIGTERM handlers
+/// installed in `ParseArgsOrDie`. Wire it into `core::CellPolicy` so cells
+/// stop at their next watchdog poll / cell boundary.
+const std::atomic<bool>* InterruptFlag();
+
+/// True once SIGINT/SIGTERM was received.
+bool Interrupted();
+
+/// Conventional exit code for the received signal (128 + signo).
+int InterruptExitCode();
 
 /// Prints the standard experiment banner (figure id, what the paper shows,
 /// and the base configuration).
@@ -82,16 +114,53 @@ struct FigureData {
   std::vector<int64_t> lock_counts;
   std::vector<Series> series;
   /// values[s][l] = replicated metrics for series s at lock_counts[l].
+  /// A cell with `replications == 0` is *missing* (it failed under
+  /// --allow_partial, or the run was interrupted before reaching it);
+  /// tables print "-" for it and the JSON report omits it.
   std::vector<std::vector<core::ReplicatedMetrics>> values;
   /// Wall-clock seconds `RunFigure` spent executing the whole grid
   /// (engine self-profiling; feeds the JSON report's events/sec).
   double wall_seconds = 0.0;
+  /// Cell-level robustness accounting (failures, retries, checkpoint
+  /// reuse, interruption).
+  core::RunReport report;
+  /// Registry carrying the `cells/...` counters for this run (see
+  /// `core::PublishCellStats`). Never null after `RunFigure`.
+  std::shared_ptr<obs::MetricsRegistry> registry;
 };
 
+/// Canonical fingerprint of a figure run: experiment id, seed/reps/tmax/
+/// warmup/quick, the lock grid, and each series' label + post-Apply
+/// configuration + workload. Guards checkpoint journals against resuming
+/// mismatched inputs.
+uint64_t FigureFingerprint(const std::string& experiment_id,
+                           const BenchArgs& args,
+                           const std::vector<int64_t>& lock_counts,
+                           const std::vector<Series>& series);
+
+/// Opens the checkpoint journal for this run per `--checkpoint/--resume`,
+/// or returns null when checkpointing is off. Exits with an actionable
+/// message on open failure (corrupt journal, fingerprint mismatch).
+std::unique_ptr<core::CheckpointJournal> OpenJournalOrDie(
+    const std::string& experiment_id, const BenchArgs& args,
+    uint64_t fingerprint);
+
+/// Builds the cell policy for one series of a run from the standard flags,
+/// wiring in the process interrupt flag.
+core::CellPolicy MakeCellPolicy(const BenchArgs& args,
+                                core::CheckpointJournal* journal, int series,
+                                core::RunReport* report);
+
 /// Runs every series over the standard lock sweep (or `lock_counts` when
-/// non-empty). Aborts the process on simulation errors (these are
-/// configuration bugs in the bench itself).
-FigureData RunFigure(const std::vector<Series>& series, const BenchArgs& args,
+/// non-empty) under the robustness flags: cells are journaled/replayed
+/// with --checkpoint/--resume, retried per --max_cell_retries, timed out
+/// per --cell_timeout_s, and contained per --allow_partial. Without a
+/// journal, a cell failure aborts the process (a configuration bug in the
+/// bench itself); with one, it exits gracefully with a --resume hint. On
+/// SIGINT/SIGTERM the partial grid is flushed to BENCH_<id>.partial.json
+/// and the process exits 128+signo.
+FigureData RunFigure(const std::string& experiment_id,
+                     const std::vector<Series>& series, const BenchArgs& args,
                      std::vector<int64_t> lock_counts = {});
 
 /// Prints one table (rows = lock counts, columns = series) for `metric`,
@@ -102,6 +171,52 @@ void PrintMetricTable(const FigureData& data, Metric metric,
 
 /// Prints the per-series throughput-optimal lock count summary.
 void PrintOptimaSummary(const FigureData& data);
+
+/// Prints the structured cell-failure roll-up (one line per failed cell,
+/// plus retry/timeout totals). No-op when nothing failed.
+void PrintFailureSummary(const FigureData& data);
+
+/// Checkpoint/retry/containment wrapper for benches with hand-rolled
+/// sweep loops (the db-layer ablations), mirroring what `RunFigure` does
+/// for grid benches. Each simulator call becomes one cell keyed
+/// (series, point, rep=0).
+///
+/// Usage:
+///   bench::CellRunner cells("ablation_mgl", args, canonical_inputs);
+///   for (point loop) {
+///     auto r = cells.Run(series, point, ltot, seed, body);
+///     // r failed => render a gap (only reachable under --allow_partial)
+///   }
+///   cells.Finish();
+class CellRunner {
+ public:
+  /// `canonical_inputs` must describe everything beyond the standard args
+  /// that determines the results (configs, workloads, engine options); it
+  /// extends the journal fingerprint.
+  CellRunner(std::string experiment_id, const BenchArgs& args,
+             const std::string& canonical_inputs);
+
+  /// Runs one cell under the standard robustness flags. On interrupt, or
+  /// on a failure without --allow_partial, exits the process (with a
+  /// --resume hint when journaling); under --allow_partial a failure is
+  /// recorded and returned so the bench can render a gap.
+  Result<core::SimulationMetrics> Run(int series, int point, int64_t ltot,
+                                      uint64_t seed,
+                                      const core::CellBody& body);
+
+  /// Call once after the sweep loop: exits if an interrupt arrived after
+  /// the last cell, then prints the failure/retry summary.
+  void Finish();
+
+  const core::RunReport& report() const { return report_; }
+  core::CheckpointJournal* journal() { return journal_.get(); }
+
+ private:
+  const std::string experiment_id_;
+  const BenchArgs& args_;
+  std::unique_ptr<core::CheckpointJournal> journal_;
+  core::RunReport report_;
+};
 
 /// Renders the JSON report (see `WriteJsonReport`) to a string. With
 /// `data.wall_seconds` pinned, the bytes are a pure function of the

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                       workload::WorkloadSpec::Base(cfg),
                       {}});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig03", series, args);
   bench::PrintMetricTable(data, bench::Metric::kUsefulIo, args);
   bench::PrintMetricTable(data, bench::Metric::kUsefulCpu, args);
   bench::MaybeWriteJsonReport("fig03", data, args);

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                       workload::WorkloadSpec::Base(cfg),
                       {}});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig04", series, args);
   bench::PrintMetricTable(data, bench::Metric::kLockOverheadTotal, args);
   bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
   bench::MaybeWriteJsonReport("fig04", data, args);

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                       workload::WorkloadSpec::Base(cfg),
                       {}});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig05", series, args);
   bench::PrintMetricTable(data, bench::Metric::kLockOverheadTotal, args);
   bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
   bench::MaybeWriteJsonReport("fig05", data, args);

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                       cfg, workload::WorkloadSpec::Base(cfg),
                       {}});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig06", series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintMetricTable(data, bench::Metric::kResponseTime, args);
   bench::PrintOptimaSummary(data);

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                       workload::WorkloadSpec::Base(cfg),
                       {}});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig07", series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
   bench::MaybeWriteJsonReport("fig07", data, args);

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     series.push_back(
         {StrFormat("npros=%lld", (long long)npros), cfg, spec, {}});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig08", series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
   bench::MaybeWriteJsonReport("fig08", data, args);

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
                         {}});
     }
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig10", series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
   bench::MaybeWriteJsonReport("fig10", data, args);

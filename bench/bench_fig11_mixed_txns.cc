@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     series.push_back(
         {model::PlacementToString(placement), base, spec, {}});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig11", series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintOptimaSummary(data);
 

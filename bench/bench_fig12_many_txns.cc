@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     series.push_back(
         {model::PlacementToString(placement), base, spec, {}});
   }
-  const bench::FigureData data = bench::RunFigure(series, args);
+  const bench::FigureData data = bench::RunFigure("fig12", series, args);
   bench::PrintMetricTable(data, bench::Metric::kThroughput, args);
   bench::PrintMetricTable(data, bench::Metric::kDenialRate, args);
   bench::PrintOptimaSummary(data);

@@ -11,11 +11,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-
-#include <fstream>
+#include <sstream>
 
 #include "core/granularity_simulator.h"
 #include "sim/trace.h"
+#include "util/fileio.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -63,12 +63,13 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", result->ToString().c_str());
   if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::cerr << "cannot open " << trace_path << " for writing\n";
+    std::ostringstream out;
+    trace.WriteCsv(out);
+    const Status ws = WriteFileAtomic(trace_path, out.str());
+    if (!ws.ok()) {
+      std::cerr << "cannot write " << trace_path << ": " << ws << "\n";
       return 1;
     }
-    trace.WriteCsv(out);
     std::printf("trace             %zu events -> %s\n",
                 trace.events().size(), trace_path.c_str());
   }

@@ -21,13 +21,14 @@
 // tests/observability_test.cc).
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/granularity_simulator.h"
 #include "obs/registry.h"
 #include "obs/span_trace.h"
 #include "obs/time_series.h"
+#include "util/fileio.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -116,18 +117,26 @@ int main(int argc, char** argv) {
       {"time series (one row per sample tick)", out_prefix + "_series.csv"},
       {"metrics registry snapshot", out_prefix + "_metrics.json"},
   };
-  {
-    std::ofstream os(outputs[0].path);
-    spans.WriteChromeTrace(os);
-  }
-  {
-    std::ofstream os(outputs[1].path);
-    sampler.WriteCsv(os);
-  }
-  {
-    std::ofstream os(outputs[2].path);
-    registry.WriteJson(os);
-  }
+  const auto write_atomic = [](const std::string& path,
+                               const auto& render) -> bool {
+    std::ostringstream os;
+    render(os);
+    const Status ws = WriteFileAtomic(path, os.str());
+    if (!ws.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                   ws.ToString().c_str());
+      return false;
+    }
+    return true;
+  };
+  bool all_written =
+      write_atomic(outputs[0].path,
+                   [&](std::ostream& os) { spans.WriteChromeTrace(os); });
+  all_written &= write_atomic(outputs[1].path,
+                              [&](std::ostream& os) { sampler.WriteCsv(os); });
+  all_written &= write_atomic(
+      outputs[2].path, [&](std::ostream& os) { registry.WriteJson(os); });
+  if (!all_written) return 1;
   for (const Output& out : outputs) {
     std::printf("wrote %-45s %s\n", out.what, out.path.c_str());
   }

@@ -1,0 +1,403 @@
+#include "core/checkpoint.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "obs/json_writer.h"
+#include "util/fileio.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::core {
+
+namespace {
+
+constexpr int kJournalVersion = 1;
+
+/// Number of SimulationMetrics fields, from the X-macro list.
+#define GRANULOCK_CKPT_COUNT(name, kind) +1
+constexpr int kNumMetricFields = 0 GRANULOCK_METRICS_FIELDS(GRANULOCK_CKPT_COUNT);
+#undef GRANULOCK_CKPT_COUNT
+
+bool ParseMetricValue(std::string_view token, double* out) {
+  if (token == "null") {  // JsonWriter emits null for non-finite doubles
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  return ParseDouble(token, out);
+}
+
+bool ParseMetricValue(std::string_view token, int64_t* out) {
+  return ParseInt64(token, out);
+}
+
+bool ParseMetricValue(std::string_view token, uint64_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  std::string buf(token);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+/// Assigns one named metrics field from its serialized token. Returns
+/// false for an unknown name or an unparsable value.
+bool SetMetricsField(SimulationMetrics* m, std::string_view name,
+                     std::string_view token) {
+#define GRANULOCK_CKPT_SET(fname, kind) \
+  if (name == #fname) return ParseMetricValue(token, &m->fname);
+  GRANULOCK_METRICS_FIELDS(GRANULOCK_CKPT_SET)
+#undef GRANULOCK_CKPT_SET
+  return false;
+}
+
+/// A cursor over one journal line. The grammar is the exact output of
+/// `EncodeRecord`/`EncodeHeader` (flat JSON, no escapes in keys, no
+/// nested containers beyond the fixed shape), so the parser stays tiny
+/// while still rejecting anything malformed.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view s) : s_(s) {}
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  /// Parses a double-quoted string without escape sequences (the only
+  /// kind the journal emits).
+  bool ParseString(std::string_view* out) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    const size_t start = pos_ + 1;
+    size_t end = start;
+    while (end < s_.size() && s_[end] != '"') {
+      if (s_[end] == '\\') return false;
+      ++end;
+    }
+    if (end >= s_.size()) return false;
+    *out = s_.substr(start, end - start);
+    pos_ = end + 1;
+    return true;
+  }
+
+  /// Extracts one JSON number token (or the literal `null`).
+  bool ParseValueToken(std::string_view* out) {
+    SkipWs();
+    const size_t start = pos_;
+    if (StartsWith(s_.substr(pos_), "null")) {
+      pos_ += 4;
+      *out = s_.substr(start, 4);
+      return true;
+    }
+    size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) != 0 ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == start) return false;
+    *out = s_.substr(start, end - start);
+    pos_ = end;
+    return true;
+  }
+
+  bool ParseInt(int* out) {
+    std::string_view token;
+    int64_t v = 0;
+    if (!ParseValueToken(&token) || !ParseInt64(token, &v)) return false;
+    *out = static_cast<int>(v);
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+std::string EncodeHeader(uint64_t fingerprint) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("granulock_checkpoint").Value(static_cast<int64_t>(kJournalVersion));
+  w.Key("fingerprint").Value(FingerprintToHex(fingerprint));
+  w.EndObject();
+  return os.str();
+}
+
+Status DecodeHeader(const std::string& line, uint64_t* fingerprint) {
+  LineParser p(line);
+  std::string_view key, token, fp_hex;
+  int64_t version = 0;
+  if (!p.Consume('{') || !p.ParseString(&key) ||
+      key != "granulock_checkpoint" || !p.Consume(':') ||
+      !p.ParseValueToken(&token) || !ParseInt64(token, &version) ||
+      !p.Consume(',') || !p.ParseString(&key) || key != "fingerprint" ||
+      !p.Consume(':') || !p.ParseString(&fp_hex) || !p.Consume('}') ||
+      !p.AtEnd()) {
+    return Status::InvalidArgument("malformed checkpoint journal header");
+  }
+  if (version != kJournalVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported checkpoint journal version %lld (expected %d)",
+                  (long long)version, kJournalVersion));
+  }
+  std::string hex(fp_hex);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long fp = std::strtoull(hex.c_str(), &end, 16);
+  if (errno != 0 || end != hex.c_str() + hex.size() || hex.empty()) {
+    return Status::InvalidArgument("malformed fingerprint in journal header");
+  }
+  *fingerprint = static_cast<uint64_t>(fp);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t FingerprintString(const std::string& canonical) {
+  // FNV-1a, 64-bit.
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string FingerprintToHex(uint64_t fingerprint) {
+  return StrFormat("%016llx", (unsigned long long)fingerprint);
+}
+
+std::string CheckpointJournal::EncodeRecord(const CellKey& key,
+                                            const SimulationMetrics& metrics) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("cell").BeginArray();
+  w.Value(key.series).Value(key.point).Value(key.rep);
+  w.EndArray();
+  w.Key("m").BeginObject();
+#define GRANULOCK_CKPT_WRITE(fname, kind) w.Key(#fname).Value(metrics.fname);
+  GRANULOCK_METRICS_FIELDS(GRANULOCK_CKPT_WRITE)
+#undef GRANULOCK_CKPT_WRITE
+  w.EndObject();
+  w.EndObject();
+  return os.str();
+}
+
+Status CheckpointJournal::DecodeRecord(const std::string& line, CellKey* key,
+                                       SimulationMetrics* metrics) {
+  LineParser p(line);
+  std::string_view name;
+  if (!p.Consume('{') || !p.ParseString(&name) || name != "cell" ||
+      !p.Consume(':') || !p.Consume('[') || !p.ParseInt(&key->series) ||
+      !p.Consume(',') || !p.ParseInt(&key->point) || !p.Consume(',') ||
+      !p.ParseInt(&key->rep) || !p.Consume(']') || !p.Consume(',') ||
+      !p.ParseString(&name) || name != "m" || !p.Consume(':') ||
+      !p.Consume('{')) {
+    return Status::InvalidArgument("malformed checkpoint record");
+  }
+  int fields = 0;
+  for (;;) {
+    std::string_view field, token;
+    if (!p.ParseString(&field) || !p.Consume(':') ||
+        !p.ParseValueToken(&token)) {
+      return Status::InvalidArgument("malformed checkpoint record field");
+    }
+    if (!SetMetricsField(metrics, field, token)) {
+      return Status::InvalidArgument("unknown or unparsable metrics field '" +
+                                     std::string(field) + "'");
+    }
+    ++fields;
+    if (p.Consume(',')) continue;
+    break;
+  }
+  if (!p.Consume('}') || !p.Consume('}') || !p.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage in checkpoint record");
+  }
+  if (fields != kNumMetricFields) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint record carries %d metrics fields, expected %d "
+        "(journal written by an incompatible version?)",
+        fields, kNumMetricFields));
+  }
+  return Status::OK();
+}
+
+CheckpointJournal::CheckpointJournal(std::string path, uint64_t fingerprint)
+    : path_(std::move(path)), fingerprint_(fingerprint) {}
+
+CheckpointJournal::~CheckpointJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<CheckpointJournal>> CheckpointJournal::Open(
+    const std::string& path, uint64_t fingerprint, bool resume) {
+  std::unique_ptr<CheckpointJournal> journal(
+      new CheckpointJournal(path, fingerprint));
+  if (resume) {
+    GRANULOCK_RETURN_NOT_OK(journal->LoadExisting());
+  } else {
+    GRANULOCK_RETURN_NOT_OK(journal->OpenForAppend(/*truncate=*/true));
+  }
+  return journal;
+}
+
+Status CheckpointJournal::LoadExisting() {
+  std::string contents;
+  const Status read = ReadFileToString(path_, &contents);
+  if (read.code() == StatusCode::kNotFound) {
+    // Nothing to resume from: start a fresh journal.
+    return OpenForAppend(/*truncate=*/true);
+  }
+  GRANULOCK_RETURN_NOT_OK(read);
+  if (contents.empty()) {
+    return OpenForAppend(/*truncate=*/true);
+  }
+
+  const std::vector<std::string> lines = StrSplit(contents, '\n');
+  const bool ends_with_newline = contents.back() == '\n';
+  // StrSplit keeps the empty field after a trailing '\n'.
+  const size_t line_count = ends_with_newline ? lines.size() - 1 : lines.size();
+  if (line_count == 0) {
+    return OpenForAppend(/*truncate=*/true);
+  }
+
+  uint64_t file_fingerprint = 0;
+  GRANULOCK_RETURN_NOT_OK(DecodeHeader(lines[0], &file_fingerprint));
+  if (file_fingerprint != fingerprint_) {
+    return Status::FailedPrecondition(StrFormat(
+        "checkpoint journal %s was written for fingerprint %s but this run "
+        "has %s — the configuration, seed, replication count, or grid "
+        "changed; delete the journal (or drop --resume) to start over",
+        path_.c_str(), FingerprintToHex(file_fingerprint).c_str(),
+        FingerprintToHex(fingerprint_).c_str()));
+  }
+
+  bool dropped_tail = false;
+  for (size_t i = 1; i < line_count; ++i) {
+    CellKey key;
+    SimulationMetrics metrics;
+    const Status decoded = DecodeRecord(lines[i], &key, &metrics);
+    if (!decoded.ok()) {
+      const bool is_last = i + 1 == line_count;
+      if (is_last && !ends_with_newline) {
+        // The record that was mid-write when the previous process died.
+        GRANULOCK_LOG(Warning)
+            << "checkpoint journal " << path_
+            << ": dropping truncated trailing record (crash mid-append)";
+        dropped_tail = true;
+        break;
+      }
+      return Status::InvalidArgument(
+          StrFormat("checkpoint journal %s: corrupt record on line %zu: %s",
+                    path_.c_str(), i + 1, decoded.message().c_str()));
+    }
+    const auto [it, inserted] = cells_.emplace(
+        std::make_tuple(key.series, key.point, key.rep), metrics);
+    if (!inserted) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint journal %s: duplicate cell (%d,%d,%d) on line %zu",
+          path_.c_str(), key.series, key.point, key.rep, i + 1));
+    }
+  }
+  loaded_cells_ = static_cast<int64_t>(cells_.size());
+
+  if (dropped_tail) {
+    // Rewrite the journal without the torn tail so appends extend a clean
+    // file; the atomic writer guarantees this repair itself cannot tear.
+    std::string clean = EncodeHeader(fingerprint_) + "\n";
+    for (const auto& [cell, metrics] : cells_) {
+      const CellKey key{std::get<0>(cell), std::get<1>(cell),
+                        std::get<2>(cell)};
+      clean += EncodeRecord(key, metrics) + "\n";
+    }
+    GRANULOCK_RETURN_NOT_OK(WriteFileAtomic(path_, clean));
+  }
+  return OpenForAppend(/*truncate=*/false);
+}
+
+Status CheckpointJournal::OpenForAppend(bool truncate) {
+  file_ = std::fopen(path_.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    return Status::Internal(
+        StrFormat("cannot open checkpoint journal %s", path_.c_str()));
+  }
+  if (truncate) {
+    const std::string header = EncodeHeader(fingerprint_) + "\n";
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+        std::fflush(file_) != 0) {
+      return Status::Internal(
+          StrFormat("cannot write journal header to %s", path_.c_str()));
+    }
+#ifndef _WIN32
+    ::fsync(fileno(file_));
+#endif
+  }
+  return Status::OK();
+}
+
+bool CheckpointJournal::Lookup(const CellKey& key,
+                               SimulationMetrics* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cells_.find(std::make_tuple(key.series, key.point, key.rep));
+  if (it == cells_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+Status CheckpointJournal::Append(const CellKey& key,
+                                 const SimulationMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = cells_.emplace(
+      std::make_tuple(key.series, key.point, key.rep), metrics);
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("cell (%d,%d,%d) journaled twice", key.series, key.point,
+                  key.rep));
+  }
+  const std::string line = EncodeRecord(key, metrics) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    return Status::Internal(
+        StrFormat("append to checkpoint journal %s failed", path_.c_str()));
+  }
+#ifndef _WIN32
+  ::fsync(fileno(file_));
+#endif
+  return Status::OK();
+}
+
+size_t CheckpointJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+}  // namespace granulock::core

@@ -1,0 +1,112 @@
+#ifndef GRANULOCK_CORE_CHECKPOINT_H_
+#define GRANULOCK_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "core/metrics.h"
+#include "util/status.h"
+
+namespace granulock::core {
+
+/// Identifies one (series, sweep-point, replication) cell of an
+/// experiment grid — the unit of checkpointing, retry, and fault
+/// containment.
+struct CellKey {
+  int series = 0;
+  int point = 0;
+  int rep = 0;
+
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+
+/// FNV-1a over a canonical description of a run's inputs (experiment id,
+/// seed, replication count, grid, per-series configuration). Two runs with
+/// the same fingerprint produce bit-identical cell metrics, so journaled
+/// cells are safe to reuse across processes.
+uint64_t FingerprintString(const std::string& canonical);
+
+/// Renders a fingerprint as fixed-width lowercase hex.
+std::string FingerprintToHex(uint64_t fingerprint);
+
+/// An append-only JSONL checkpoint journal of completed cells.
+///
+/// Line 1 is a header carrying a format version and the run fingerprint;
+/// every further line records one completed cell's full
+/// `SimulationMetrics` (doubles serialized with round-trip precision, so a
+/// resumed run merges to *bit-identical* aggregate metrics and
+/// byte-identical JSON reports versus an uninterrupted run).
+///
+/// Crash safety: each `Append` is flushed and fsync'ed before returning,
+/// and `Open(resume=true)` tolerates exactly one trailing partial line
+/// (the record that was being written when the process died) — it is
+/// discarded with a warning. A malformed line anywhere *else* means real
+/// corruption and fails the open. A fingerprint mismatch fails the open:
+/// resuming a journal written for different inputs would silently splice
+/// wrong results into the grid.
+///
+/// Thread-safe: cells complete on ParallelRunner workers; appends are
+/// serialized internally.
+class CheckpointJournal {
+ public:
+  /// Opens `path` for the run identified by `fingerprint`.
+  /// With `resume` false, any existing journal is discarded and a fresh
+  /// header is written. With `resume` true, existing complete records are
+  /// loaded (a missing file starts an empty journal) and subsequent
+  /// appends extend the file.
+  static Result<std::unique_ptr<CheckpointJournal>> Open(
+      const std::string& path, uint64_t fingerprint, bool resume);
+
+  ~CheckpointJournal();
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// True (filling `*out`) when `key` was already journaled.
+  bool Lookup(const CellKey& key, SimulationMetrics* out) const;
+
+  /// Appends one completed cell and makes it durable (fflush + fsync).
+  /// Appending a key that is already present is an error (a cell ran
+  /// twice — the skip logic is broken).
+  Status Append(const CellKey& key, const SimulationMetrics& metrics);
+
+  /// Cells loaded from disk at `Open` (resume runs).
+  int64_t loaded_cells() const { return loaded_cells_; }
+
+  /// Cells currently known (loaded + appended).
+  size_t size() const;
+
+  const std::string& path() const { return path_; }
+
+  /// Serializes one record line (exposed for tests: the resume test
+  /// byte-compares journals).
+  static std::string EncodeRecord(const CellKey& key,
+                                  const SimulationMetrics& metrics);
+
+  /// Parses one record line. Used by `Open`; exposed for tests.
+  static Status DecodeRecord(const std::string& line, CellKey* key,
+                             SimulationMetrics* metrics);
+
+ private:
+  CheckpointJournal(std::string path, uint64_t fingerprint);
+
+  Status LoadExisting();
+  Status OpenForAppend(bool truncate);
+
+  const std::string path_;
+  const uint64_t fingerprint_;
+  int64_t loaded_cells_ = 0;
+
+  mutable std::mutex mu_;
+  std::map<std::tuple<int, int, int>, SimulationMetrics> cells_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace granulock::core
+
+#endif  // GRANULOCK_CORE_CHECKPOINT_H_

@@ -1,17 +1,104 @@
 #ifndef GRANULOCK_CORE_EXPERIMENT_H_
 #define GRANULOCK_CORE_EXPERIMENT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "core/checkpoint.h"
+#include "core/fault.h"
 #include "core/granularity_simulator.h"
 #include "core/metrics.h"
 #include "core/parallel_runner.h"
 #include "model/config.h"
+#include "obs/registry.h"
 #include "util/status.h"
 #include "workload/workload.h"
 
 namespace granulock::core {
+
+/// One cell that did not produce metrics: where it was in the grid, what
+/// went wrong, and how hard we tried.
+struct CellFailure {
+  int series = 0;
+  int point = 0;
+  int64_t ltot = 0;
+  int rep = 0;
+  int attempts = 1;
+  bool timed_out = false;
+  Status status;
+};
+
+/// What running one cell produced. `result` is the cell's metrics or the
+/// status of its *last* attempt; `attempts` counts executions (0 when the
+/// cell was satisfied from the checkpoint journal).
+struct CellOutcome {
+  Result<SimulationMetrics> result = Status::Internal("cell did not run");
+  int attempts = 0;
+  bool ran = false;
+  bool from_checkpoint = false;
+  bool timed_out = false;
+};
+
+/// Roll-up of cell-level robustness accounting for one sweep/replication
+/// run. Filled deterministically (grid index order) after workers join, so
+/// its contents never depend on scheduling.
+struct RunReport {
+  std::vector<CellFailure> failures;
+  int64_t cells_completed = 0;
+  int64_t cells_from_checkpoint = 0;
+  int64_t cell_retries = 0;
+  int64_t cells_timed_out = 0;
+  /// True when SIGINT/SIGTERM (or an injected signal) stopped the run;
+  /// completed cells are still returned and journaled.
+  bool interrupted = false;
+};
+
+/// How cells are contained, retried, checkpointed, and cancelled. The
+/// default policy reproduces the historical behavior exactly: no journal,
+/// no retries, fail-fast, no deadline, no interrupt.
+struct CellPolicy {
+  /// When set, completed cells are journaled and already-journaled cells
+  /// are skipped (their metrics replayed bit-identically). Not owned.
+  CheckpointJournal* journal = nullptr;
+  /// Grid coordinates of this run within the experiment (`series` for
+  /// sweeps; `point` additionally for direct RunReplicated callers).
+  int series = 0;
+  int point = 0;
+  /// Failed cells are re-executed with the same derived seed up to this
+  /// many extra times before counting as failed.
+  int max_cell_retries = 0;
+  /// When true, a failed cell is recorded in `report->failures` and the
+  /// run continues; when false (default) the first failure aborts the run.
+  bool allow_partial = false;
+  /// Wall-clock budget per cell attempt; <= 0 disables the watchdog.
+  double cell_timeout_s = 0.0;
+  /// Run-level interrupt flag (set from SIGINT/SIGTERM handlers). Checked
+  /// between cells and at watchdog polls. Not owned.
+  const std::atomic<bool>* interrupt = nullptr;
+  /// Where accounting lands. Not owned; may be null.
+  RunReport* report = nullptr;
+};
+
+/// The body of one cell: runs one simulation attempt, cooperating with the
+/// watchdog when non-null (engines poll it from an observer event chain).
+using CellBody =
+    std::function<Result<SimulationMetrics>(const fault::CellWatchdog*)>;
+
+/// Runs one cell under `policy`: checkpoint lookup, fault-injection
+/// evaluation, watchdog arming, exception containment (std::exception,
+/// audit failures via `sim::invariants::ScopedFailureThrow`, watchdog
+/// timeouts, interrupts), and same-seed retry. Successful results are
+/// appended to the journal before returning. Thread-safe; does NOT touch
+/// `policy.report` (the caller accounts post-join, in grid order).
+CellOutcome RunCell(const CellPolicy& policy, const CellKey& key,
+                    uint64_t seed, const CellBody& body);
+
+/// Publishes a run's cell accounting into `registry` as counters under the
+/// `cells/` prefix. Call after workers have joined (the registry is not
+/// thread-safe).
+void PublishCellStats(const RunReport& report, obs::MetricsRegistry* registry);
 
 /// Metrics averaged over independent replications (different PRNG streams
 /// derived from one base seed), with 95% Student-t confidence half-widths
@@ -36,11 +123,18 @@ struct ReplicatedMetrics {
 /// observability sinks attached (`options.trace`, `options.obs`) always
 /// run serially: those sinks are single-run inspection tools and are not
 /// safe to share across workers.
+///
+/// Each replication is one *cell* under `policy` (see `CellPolicy`): it
+/// can be replayed from a checkpoint journal, retried on failure, timed
+/// out, and — under `policy.allow_partial` — dropped from the aggregate
+/// (the mean then averages the surviving replications and
+/// `ReplicatedMetrics::replications` reports the survivor count). With no
+/// surviving replication the first failure's status is returned.
 Result<ReplicatedMetrics> RunReplicated(
     const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
     uint64_t base_seed, int replications,
     GranularitySimulator::Options options = GranularitySimulator::Options{},
-    ParallelRunner* runner = nullptr);
+    ParallelRunner* runner = nullptr, const CellPolicy& policy = CellPolicy{});
 
 /// The lock-count grid every figure in the paper sweeps (log-spaced from a
 /// single lock to one lock per entity), clipped to `dbsize`. Always
@@ -57,12 +151,21 @@ struct SweepPoint {
 /// `replications` replications at each point. With a multi-thread `runner`
 /// the whole (sweep point × replication) grid fans out as one task batch
 /// and is merged deterministically per point (see `RunReplicated`).
+///
+/// Every (point, replication) is one cell under `policy`. Fail-fast
+/// (default): the lowest-index failing cell's status is returned,
+/// regardless of worker scheduling. Under `policy.allow_partial` failed
+/// cells are recorded in `policy.report` and the sweep continues; a point
+/// whose replications all failed is omitted from the returned vector.
+/// An interrupt (SIGINT/SIGTERM via `policy.interrupt`) always behaves
+/// partially: the points completed so far are returned and
+/// `policy.report->interrupted` is set.
 Result<std::vector<SweepPoint>> SweepLockCounts(
     const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
     const std::vector<int64_t>& lock_counts, uint64_t base_seed,
     int replications,
     GranularitySimulator::Options options = GranularitySimulator::Options{},
-    ParallelRunner* runner = nullptr);
+    ParallelRunner* runner = nullptr, const CellPolicy& policy = CellPolicy{});
 
 /// Returns the sweep point with the highest mean throughput; the sweep
 /// must be non-empty.

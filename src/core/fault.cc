@@ -1,0 +1,180 @@
+#include "core/fault.h"
+
+#include "util/fileio.h"
+#include "util/strings.h"
+
+namespace granulock::fault {
+
+const char* InjectionPointName(InjectionPoint point) {
+  switch (point) {
+    case InjectionPoint::kCellThrow:
+      return "cell_throw";
+    case InjectionPoint::kCellTimeout:
+      return "cell_timeout";
+    case InjectionPoint::kCellAuditFail:
+      return "cell_audit_fail";
+    case InjectionPoint::kWriteShortWrite:
+      return "write_short_write";
+    case InjectionPoint::kSignalMidSweep:
+      return "signal_mid_sweep";
+  }
+  return "?";
+}
+
+Injector& Injector::Global() {
+  static Injector* instance = new Injector();
+  return *instance;
+}
+
+void Injector::Arm(InjectionPoint point, ArmSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[static_cast<int>(point)];
+  state.armed = true;
+  state.spec = spec;
+  state.hits = 0;
+  state.fires = 0;
+  armed_any_.store(true, std::memory_order_relaxed);
+}
+
+void Injector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PointState& state : points_) state = PointState{};
+  armed_any_.store(false, std::memory_order_relaxed);
+}
+
+bool Injector::ShouldFire(InjectionPoint point, uint64_t key) {
+  if (!armed()) return false;  // inert fast path
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[static_cast<int>(point)];
+  if (!state.armed) return false;
+  if (state.spec.key != kAnyKey && state.spec.key != key) return false;
+  const uint64_t hit = state.hits++;
+  if (hit < state.spec.fire_at_hit) return false;
+  if (state.spec.max_fires > 0 &&
+      state.fires >= static_cast<uint64_t>(state.spec.max_fires)) {
+    return false;
+  }
+  ++state.fires;
+  return true;
+}
+
+uint64_t Injector::hits(InjectionPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_[static_cast<int>(point)].hits;
+}
+
+uint64_t Injector::fires(InjectionPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_[static_cast<int>(point)].fires;
+}
+
+Status Injector::ArmFromFlag(const std::string& spec) {
+  // <point>@<hit>[xN][:key=<u64>]
+  const size_t at = spec.find('@');
+  if (at == std::string::npos) {
+    return Status::InvalidArgument(
+        "fault spec must look like <point>@<hit> (e.g. cell_throw@3), got '" +
+        spec + "'");
+  }
+  const std::string point_name = spec.substr(0, at);
+  InjectionPoint point{};
+  bool found = false;
+  for (int p = 0; p < kNumInjectionPoints; ++p) {
+    if (point_name == InjectionPointName(static_cast<InjectionPoint>(p))) {
+      point = static_cast<InjectionPoint>(p);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::string known;
+    for (int p = 0; p < kNumInjectionPoints; ++p) {
+      if (p > 0) known += ", ";
+      known += InjectionPointName(static_cast<InjectionPoint>(p));
+    }
+    return Status::InvalidArgument("unknown injection point '" + point_name +
+                                   "' (known: " + known + ")");
+  }
+
+  std::string rest = spec.substr(at + 1);
+  ArmSpec arm;
+  const size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    const std::string key_part = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+    if (!StartsWith(key_part, "key=")) {
+      return Status::InvalidArgument("expected key=<u64> after ':' in '" +
+                                     spec + "'");
+    }
+    int64_t key = 0;
+    if (!ParseInt64(key_part.substr(4), &key) || key < 0) {
+      return Status::InvalidArgument("bad key in fault spec '" + spec + "'");
+    }
+    arm.key = static_cast<uint64_t>(key);
+  }
+  const size_t x = rest.find('x');
+  if (x != std::string::npos) {
+    int64_t fires = 0;
+    if (!ParseInt64(rest.substr(x + 1), &fires) || fires < 0) {
+      return Status::InvalidArgument("bad fire count in fault spec '" + spec +
+                                     "'");
+    }
+    arm.max_fires = fires;  // 0 = unlimited
+    rest = rest.substr(0, x);
+  }
+  int64_t hit = 0;
+  if (!ParseInt64(rest, &hit) || hit < 0) {
+    return Status::InvalidArgument("bad hit ordinal in fault spec '" + spec +
+                                   "'");
+  }
+  arm.fire_at_hit = static_cast<uint64_t>(hit);
+  Arm(point, arm);
+
+  if (point == InjectionPoint::kWriteShortWrite) {
+    // Wire the util-layer atomic writer to this injector: when the point
+    // fires, the write is truncated to half its payload.
+    SetShortWriteHook([](const std::string& path) -> int64_t {
+      // Key the evaluation by the path length; hit-ordinal arming is the
+      // useful addressing mode for writes.
+      if (Injector::Global().ShouldFire(InjectionPoint::kWriteShortWrite,
+                                        path.size())) {
+        return 1;  // one byte lands, then the "crash"
+      }
+      return -1;
+    });
+  }
+  return Status::OK();
+}
+
+void Injector::DisarmShortWriteHook() { SetShortWriteHook(nullptr); }
+
+CellWatchdog::CellWatchdog(double timeout_s,
+                           const std::atomic<bool>* interrupt, uint64_t key)
+    : timeout_s_(timeout_s), interrupt_(interrupt), key_(key) {
+  if (timeout_s_ > 0.0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(timeout_s_));
+  }
+}
+
+bool CellWatchdog::active() const {
+  return timeout_s_ > 0.0 || interrupt_ != nullptr ||
+         Injector::Global().armed();
+}
+
+void CellWatchdog::Poll() const {
+  if (interrupt_ != nullptr &&
+      interrupt_->load(std::memory_order_relaxed)) {
+    throw CellInterrupted("interrupted (SIGINT/SIGTERM)");
+  }
+  if (Injector::Global().ShouldFire(InjectionPoint::kCellTimeout, key_)) {
+    throw CellTimeout("injected cell timeout (kCellTimeout)");
+  }
+  if (timeout_s_ > 0.0 && std::chrono::steady_clock::now() >= deadline_) {
+    throw CellTimeout(
+        StrFormat("cell exceeded --cell_timeout_s=%g", timeout_s_));
+  }
+}
+
+}  // namespace granulock::fault

@@ -1,0 +1,164 @@
+#ifndef GRANULOCK_CORE_FAULT_H_
+#define GRANULOCK_CORE_FAULT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/status.h"
+
+/// Deterministic fault-injection harness for the experiment runner, in the
+/// spirit of the paper's own methodology: you only trust a system's
+/// behavior under stress you can reproduce exactly. Injection points are
+/// compiled in always but completely inert unless armed (one relaxed
+/// atomic load on the fast path), so production bench runs pay nothing.
+///
+/// Each evaluation of a point carries a *key* — the cell's derived PRNG
+/// seed for the cell-level points — so faults are seed-addressable: arming
+/// `{point, key}` hits the same logical cell regardless of worker
+/// scheduling, thread count, or sweep order. Alternatively a point can be
+/// armed by hit ordinal (fire on the Nth evaluation), which is
+/// deterministic for serial runs and for per-cell points keyed off the
+/// deterministic cell grid.
+namespace granulock::fault {
+
+/// The catalog of injection points (see docs/ROBUSTNESS.md).
+enum class InjectionPoint {
+  kCellThrow = 0,      ///< throw std::runtime_error inside a cell body
+  kCellTimeout = 1,    ///< force the cell watchdog to expire at its next poll
+  kCellAuditFail = 2,  ///< route an invariants::Fail through a cell
+  kWriteShortWrite = 3,///< truncate an atomic file write mid-stream
+  kSignalMidSweep = 4, ///< raise SIGTERM after a cell completes
+};
+
+inline constexpr int kNumInjectionPoints = 5;
+
+/// Stable spec name ("cell_throw", "cell_timeout", "cell_audit_fail",
+/// "write_short_write", "signal_mid_sweep").
+const char* InjectionPointName(InjectionPoint point);
+
+/// Key wildcard: the armed fault matches any evaluation key.
+inline constexpr uint64_t kAnyKey = ~uint64_t{0};
+
+/// How an armed point fires.
+struct ArmSpec {
+  /// 0-based evaluation ordinal (per point, counted only over evaluations
+  /// whose key matches) at which the fault starts firing.
+  uint64_t fire_at_hit = 0;
+  /// How many matching evaluations fire after `fire_at_hit` (<= 0 means
+  /// every one from `fire_at_hit` on).
+  int64_t max_fires = 1;
+  /// Only evaluations with this key fire; `kAnyKey` matches all.
+  uint64_t key = kAnyKey;
+};
+
+/// The process-wide injector. Thread-safe: cells evaluate points from
+/// ParallelRunner workers. Tests arm/disarm around runs; the benches arm
+/// from `--fault_inject`.
+class Injector {
+ public:
+  static Injector& Global();
+
+  /// Arms `point` with `spec` (resets the point's hit counter).
+  void Arm(InjectionPoint point, ArmSpec spec);
+
+  /// Disarms every point and resets all counters. Does not clear the
+  /// util fileio short-write hook installed by `ArmFromFlag` — call
+  /// `DisarmShortWriteHook` for that (tests).
+  void DisarmAll();
+
+  /// True when any point is armed (one relaxed load; the inert fast path).
+  bool armed() const {
+    return armed_any_.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluates `point` with `key`: increments the matching-hit counter and
+  /// returns true when the armed spec says this evaluation faults.
+  /// Always false when nothing is armed.
+  bool ShouldFire(InjectionPoint point, uint64_t key);
+
+  /// Diagnostics for tests: matching evaluations / actual fires so far.
+  uint64_t hits(InjectionPoint point) const;
+  uint64_t fires(InjectionPoint point) const;
+
+  /// Parses a `--fault_inject` spec and arms accordingly. Grammar:
+  ///   <point>@<hit>[xN][:key=<u64>]
+  /// e.g. "cell_throw@3", "cell_timeout@0x2", "cell_throw@1:key=7".
+  /// Arming kWriteShortWrite also installs the util fileio short-write
+  /// hook so the atomic writer consults this injector.
+  Status ArmFromFlag(const std::string& spec);
+
+  /// Removes the fileio short-write hook (test teardown).
+  static void DisarmShortWriteHook();
+
+ private:
+  Injector() = default;
+
+  struct PointState {
+    bool armed = false;
+    ArmSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  PointState points_[kNumInjectionPoints];
+  std::atomic<bool> armed_any_{false};
+};
+
+/// Thrown by `CellWatchdog::Poll` when the cell's wall-clock deadline
+/// expires (or kCellTimeout fires). Converted to a DeadlineExceeded
+/// `CellOutcome` by the contained runner.
+class CellTimeout : public std::runtime_error {
+ public:
+  explicit CellTimeout(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Thrown by `CellWatchdog::Poll` when the run-level interrupt flag
+/// (SIGINT/SIGTERM) is set. Converted to a Cancelled `CellOutcome`; never
+/// retried.
+class CellInterrupted : public std::runtime_error {
+ public:
+  explicit CellInterrupted(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Per-cell cooperative deadline watchdog. The engine schedules a
+/// repeating *observer* event (excluded from the executed-event count, so
+/// arming a watchdog never changes simulated results) that calls `Poll()`;
+/// cancellation therefore happens at deterministic simulated-time
+/// boundaries, via ordinary stack unwinding out of the event loop.
+class CellWatchdog {
+ public:
+  /// `timeout_s` <= 0 disables the wall-clock deadline; `interrupt` may be
+  /// null; `key` addresses kCellTimeout injection (the cell's seed).
+  CellWatchdog(double timeout_s, const std::atomic<bool>* interrupt,
+               uint64_t key);
+
+  /// True when polling can ever fire: a deadline is set, an interrupt flag
+  /// is attached, or kCellTimeout is armed. Engines skip scheduling the
+  /// observer chain entirely when false.
+  bool active() const;
+
+  /// Throws CellTimeout / CellInterrupted when the cell must stop;
+  /// otherwise returns. Safe to call from any point of the cell body.
+  void Poll() const;
+
+  /// Simulated-time spacing of watchdog observer polls.
+  double poll_interval() const { return poll_interval_; }
+
+ private:
+  double timeout_s_;
+  const std::atomic<bool>* interrupt_;
+  uint64_t key_;
+  double poll_interval_ = 50.0;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace granulock::fault
+
+#endif  // GRANULOCK_CORE_FAULT_H_

@@ -148,6 +148,9 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
   }
 
   InjectInitialTransactions();
+  if (options_.watchdog != nullptr && options_.watchdog->active()) {
+    ScheduleWatchdogPoll();
+  }
   sim_.RunUntil(cfg_.tmax);
 
   SimulationMetrics m;
@@ -235,6 +238,13 @@ void GranularitySimulator::SetUpObservability() {
       sim_.ScheduleObserverAt(iv, [this] { SampleTick(); });
     }
   }
+}
+
+void GranularitySimulator::ScheduleWatchdogPoll() {
+  sim_.ScheduleObserverAfter(options_.watchdog->poll_interval(), [this] {
+    options_.watchdog->Poll();  // throws to cancel the cell
+    ScheduleWatchdogPoll();
+  });
 }
 
 void GranularitySimulator::SampleTick() {

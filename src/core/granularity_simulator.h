@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/metrics.h"
 #include "model/config.h"
 #include "model/conflict.h"
@@ -79,6 +80,12 @@ class GranularitySimulator {
     /// Attaching any of them never changes simulated results: the same
     /// seed yields bit-identical `SimulationMetrics` either way.
     obs::Hooks obs;
+    /// Optional per-cell watchdog (not owned; must outlive the run). The
+    /// engine polls it from a repeating *observer* event — excluded from
+    /// the executed-event count, so arming a watchdog never changes
+    /// simulated results — and the poll throws to cancel the run at a
+    /// deterministic simulated-time boundary. Null disables polling.
+    const fault::CellWatchdog* watchdog = nullptr;
   };
 
   /// Builds a simulator for (`cfg`, `spec`); `seed` fully determines the
@@ -137,6 +144,9 @@ class GranularitySimulator {
   void SetUpObservability();
   /// One periodic sampler row (runs as an observer event).
   void SampleTick();
+  /// Self-rescheduling watchdog poll chain (observer events; see
+  /// Options::watchdog).
+  void ScheduleWatchdogPoll();
   /// Post-run self-profiling gauges (event counts, queue HWM, events/sec).
   void PublishRunProfile(double wall_seconds);
   /// Adaptive admission: periodically retune the MPL cap from the denial

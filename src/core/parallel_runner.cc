@@ -1,5 +1,7 @@
 #include "core/parallel_runner.h"
 
+#include <stdexcept>
+
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -39,28 +41,57 @@ void ParallelRunner::EnsureWorkersStarted() {
   }
 }
 
+void ParallelRunner::RunTask(const std::function<void(size_t)>& fn,
+                             size_t i) {
+  try {
+    fn(i);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!batch_failed_) {
+      batch_failed_ = true;
+      batch_error_ = e.what();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!batch_failed_) {
+      batch_failed_ = true;
+      batch_error_ = "non-std exception";
+    }
+  }
+}
+
 void ParallelRunner::ParallelFor(size_t n,
                                  const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    batch_failed_ = false;
+    batch_error_.clear();
+  }
   if (threads_ == 1 || n == 1) {
     // Inline serial path: identical to the historical single-threaded
     // execution, and keeps `--threads=1` free of any pool machinery.
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    for (size_t i = 0; i < n; ++i) RunTask(fn, i);
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    GRANULOCK_CHECK(fn_ == nullptr) << "ParallelFor is not reentrant";
+    EnsureWorkersStarted();
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    ++epoch_;
+    work_cv_.notify_all();
+    // Wait for every worker to finish the batch (not merely for the last
+    // task to be claimed) so `fn` stays alive while any worker may touch
+    // it.
+    done_cv_.wait(lock, [this] { return workers_done_ == threads_; });
+    fn_ = nullptr;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  GRANULOCK_CHECK(fn_ == nullptr) << "ParallelFor is not reentrant";
-  EnsureWorkersStarted();
-  fn_ = &fn;
-  n_ = n;
-  next_.store(0, std::memory_order_relaxed);
-  workers_done_ = 0;
-  ++epoch_;
-  work_cv_.notify_all();
-  // Wait for every worker to finish the batch (not merely for the last
-  // task to be claimed) so `fn` stays alive while any worker may touch it.
-  done_cv_.wait(lock, [this] { return workers_done_ == threads_; });
-  fn_ = nullptr;
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (batch_failed_) {
+    throw std::runtime_error("task failed in ParallelFor: " + batch_error_);
+  }
 }
 
 void ParallelRunner::WorkerLoop() {
@@ -80,7 +111,7 @@ void ParallelRunner::WorkerLoop() {
     for (;;) {
       const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
-      (*fn)(i);
+      RunTask(*fn, i);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,13 +46,21 @@ class ParallelRunner {
 
   /// Runs `fn(i)` for every i in [0, n), blocking until all calls return.
   /// Calls may execute on any worker in any order; `fn` must be safe to
-  /// call concurrently for distinct indices and must not throw. Reentrant
-  /// calls (from inside `fn`) are not supported.
+  /// call concurrently for distinct indices and should not throw: the
+  /// cell-containment layer (`core::RunCell`) catches failures and turns
+  /// them into data. As defense in depth, an exception that does escape
+  /// `fn` on a worker is captured (first one wins), the batch still drains
+  /// to completion, and the exception is rethrown as a std::runtime_error
+  /// on the calling thread after the join — never std::terminate.
+  /// Reentrant calls (from inside `fn`) are not supported.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
   void EnsureWorkersStarted();
+  /// Wraps one `fn(i)` call, capturing the first escaped exception into
+  /// `batch_error_`.
+  void RunTask(const std::function<void(size_t)>& fn, size_t i);
 
   const int threads_;
   std::vector<std::thread> workers_;
@@ -67,6 +76,12 @@ class ParallelRunner {
   uint64_t epoch_ = 0;
   int workers_done_ = 0;
   bool stop_ = false;
+
+  // First exception that escaped `fn` in the current batch (guarded by
+  // error_mu_, which is never held together with mu_).
+  std::mutex error_mu_;
+  bool batch_failed_ = false;
+  std::string batch_error_;
 };
 
 }  // namespace granulock::core

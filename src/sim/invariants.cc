@@ -15,6 +15,11 @@ std::atomic<bool> g_deep_audit{false};
 // Active failure capture (tests only; single-threaded).
 ScopedFailureCapture* g_capture = nullptr;
 
+// Depth of active ScopedFailureThrow guards on this thread. Thread-local
+// because cells run on ParallelRunner workers, each containing only its
+// own failures.
+thread_local int t_throw_depth = 0;
+
 }  // namespace
 
 void SetDeepAudit(bool enabled) {
@@ -26,6 +31,9 @@ bool DeepAuditEnabled() {
 }
 
 void Fail(const char* file, int line, const std::string& message) {
+  if (t_throw_depth > 0) {
+    throw AuditFailure(message);
+  }
   if (g_capture != nullptr) {
     ++g_capture->count_;
     g_capture->last_message_ = message;
@@ -44,5 +52,9 @@ ScopedFailureCapture::ScopedFailureCapture() {
 }
 
 ScopedFailureCapture::~ScopedFailureCapture() { g_capture = nullptr; }
+
+ScopedFailureThrow::ScopedFailureThrow() { ++t_throw_depth; }
+
+ScopedFailureThrow::~ScopedFailureThrow() { --t_throw_depth; }
 
 }  // namespace granulock::sim::invariants

@@ -2,6 +2,7 @@
 #define GRANULOCK_SIM_INVARIANTS_H_
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 /// Invariant-audit layer for the discrete-event simulators.
@@ -46,12 +47,36 @@ inline constexpr bool kAuditBuild = false;
 void SetDeepAudit(bool enabled);
 bool DeepAuditEnabled();
 
-/// Reports an invariant violation. Aborts through the fatal logger unless
-/// a `ScopedFailureCapture` is active, in which case the message is
-/// recorded and execution continues (so a test can assert the check
-/// fired). Audited code must therefore tolerate continuing past a
-/// violation only in the trivial sense of not crashing immediately.
+/// Reports an invariant violation. Handlers are consulted in order:
+///  1. a thread-local `ScopedFailureThrow` (the cell-containment funnel)
+///     makes `Fail` throw `AuditFailure` so the violation surfaces as a
+///     per-cell failure instead of killing a whole multi-hour sweep;
+///  2. a `ScopedFailureCapture` (tests) records the message and continues;
+///  3. otherwise the fatal logger aborts the process.
 void Fail(const char* file, int line, const std::string& message);
+
+/// The exception `Fail` throws while a `ScopedFailureThrow` is active on
+/// the failing thread. `what()` carries the full violation message.
+class AuditFailure : public std::runtime_error {
+ public:
+  explicit AuditFailure(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// RAII: while alive on a thread, invariant violations on that thread
+/// throw `AuditFailure` instead of aborting. Installed around each cell by
+/// the fault-contained experiment runner (`core::RunCell`) so a deep-audit
+/// failure inside one cell degrades to a `CellOutcome` under
+/// `--allow_partial` rather than an `abort()`. Thread-local, so parallel
+/// workers contain their own cells independently; nesting is allowed.
+class ScopedFailureThrow {
+ public:
+  ScopedFailureThrow();
+  ~ScopedFailureThrow();
+
+  ScopedFailureThrow(const ScopedFailureThrow&) = delete;
+  ScopedFailureThrow& operator=(const ScopedFailureThrow&) = delete;
+};
 
 /// RAII capture of invariant failures for tests. While one is alive,
 /// `Fail` records instead of aborting. Not thread-safe (installs a global

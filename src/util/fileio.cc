@@ -1,0 +1,107 @@
+#include "util/fileio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/strings.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace granulock {
+
+namespace {
+
+ShortWriteHook g_short_write_hook;
+
+/// fsyncs the directory containing `path` so the rename itself is durable.
+/// Best-effort: some filesystems refuse O_RDONLY directory fsync.
+void SyncParentDirectory(const std::string& path) {
+#ifndef _WIN32
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+void SetShortWriteHook(ShortWriteHook hook) {
+  g_short_write_hook = std::move(hook);
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal(StrFormat("cannot open %s: %s", tmp.c_str(),
+                                      std::strerror(errno)));
+  }
+
+  size_t to_write = contents.size();
+  bool injected_fault = false;
+  if (g_short_write_hook) {
+    const int64_t cap = g_short_write_hook(path);
+    if (cap >= 0 && static_cast<size_t>(cap) < to_write) {
+      to_write = static_cast<size_t>(cap);
+      injected_fault = true;
+    }
+  }
+
+  const size_t written =
+      to_write == 0 ? 0 : std::fwrite(contents.data(), 1, to_write, f);
+  const bool write_ok = written == contents.size() && !injected_fault;
+  bool flush_ok = std::fflush(f) == 0;
+#ifndef _WIN32
+  if (flush_ok && write_ok) flush_ok = ::fsync(fileno(f)) == 0;
+#endif
+  std::fclose(f);
+
+  if (!write_ok || !flush_ok) {
+    // Simulated or real mid-write failure: drop the temp file and leave the
+    // destination untouched (previous contents, or absent).
+    std::remove(tmp.c_str());
+    return Status::Internal(
+        StrFormat("short write to %s (%zu of %zu bytes)", tmp.c_str(),
+                  written, contents.size()));
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal(StrFormat("rename %s -> %s failed: %s",
+                                      tmp.c_str(), path.c_str(),
+                                      std::strerror(errno)));
+  }
+  SyncParentDirectory(path);
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal(StrFormat("read from %s failed", path.c_str()));
+  }
+  *out = os.str();
+  return Status::OK();
+}
+
+}  // namespace granulock

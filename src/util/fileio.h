@@ -1,0 +1,38 @@
+#ifndef GRANULOCK_UTIL_FILEIO_H_
+#define GRANULOCK_UTIL_FILEIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace granulock {
+
+/// Crash-safe whole-file write: the contents land in `<path>.tmp`, are
+/// flushed and fsync'ed, and only then renamed over `path` (followed by an
+/// fsync of the containing directory). Readers therefore never observe a
+/// torn or partially written file — on any failure (including a crash or
+/// an injected short write) the destination either keeps its previous
+/// contents or does not exist.
+///
+/// All report/CSV/trace writers in the repository route through this
+/// function so no code path can leave a truncated artifact behind.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Reads a whole file into `out`. Returns NotFound when the file does not
+/// exist, Internal on read errors.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Fault-injection hook for `WriteFileAtomic` (armed by
+/// `fault::Injector` for the kWriteShortWrite point; inert when unset).
+/// Called once per write with the destination path; a non-negative return
+/// value caps how many bytes are actually written to the temp file before
+/// the write fails (simulating a crash mid-write), -1 means no fault.
+using ShortWriteHook = std::function<int64_t(const std::string& path)>;
+void SetShortWriteHook(ShortWriteHook hook);
+
+}  // namespace granulock
+
+#endif  // GRANULOCK_UTIL_FILEIO_H_

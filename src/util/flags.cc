@@ -2,33 +2,43 @@
 
 #include <iostream>
 
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace granulock {
 
+void FlagParser::Register(const std::string& name, FlagInfo info) {
+  // Registering one name twice is a programming error in the binary (two
+  // flags would silently share one spelling, and the later registration
+  // used to win); fail loudly instead of accepting it.
+  GRANULOCK_CHECK(flags_.find(name) == flags_.end())
+      << "duplicate flag registration: --" << name;
+  flags_[name] = std::move(info);
+}
+
 void FlagParser::AddInt64(const std::string& name, int64_t* value,
                           int64_t def, const std::string& help) {
   *value = def;
-  flags_[name] = {Type::kInt64, value, StrFormat("%lld", (long long)def),
-                  help};
+  Register(name, {Type::kInt64, value, StrFormat("%lld", (long long)def),
+                  help});
 }
 
 void FlagParser::AddDouble(const std::string& name, double* value, double def,
                            const std::string& help) {
   *value = def;
-  flags_[name] = {Type::kDouble, value, StrFormat("%g", def), help};
+  Register(name, {Type::kDouble, value, StrFormat("%g", def), help});
 }
 
 void FlagParser::AddBool(const std::string& name, bool* value, bool def,
                          const std::string& help) {
   *value = def;
-  flags_[name] = {Type::kBool, value, def ? "true" : "false", help};
+  Register(name, {Type::kBool, value, def ? "true" : "false", help});
 }
 
 void FlagParser::AddString(const std::string& name, std::string* value,
                            const std::string& def, const std::string& help) {
   *value = def;
-  flags_[name] = {Type::kString, value, def, help};
+  Register(name, {Type::kString, value, def, help});
 }
 
 Status FlagParser::SetFlag(const std::string& name, const std::string& value) {
@@ -99,8 +109,15 @@ Status FlagParser::Parse(int argc, char** argv) {
       name = std::string(arg);
       auto it = flags_.find(name);
       const bool is_bool = it != flags_.end() && it->second.type == Type::kBool;
-      if (!is_bool && i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
-        value = argv[++i];
+      if (!is_bool && it != flags_.end()) {
+        if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+          value = argv[++i];
+        } else {
+          return Status::InvalidArgument(
+              "flag --" + name +
+              " expects a value (--" + name + "=VALUE or --" + name +
+              " VALUE)");
+        }
       }
     }
     GRANULOCK_RETURN_NOT_OK(SetFlag(name, value));

@@ -22,7 +22,8 @@ class FlagParser {
 
   /// Registers a flag of the given type with a default and a help string.
   /// The pointee receives the default immediately and the parsed value when
-  /// `Parse` runs. Pointers must outlive the parser.
+  /// `Parse` runs. Pointers must outlive the parser. Registering the same
+  /// name twice is a programming error and aborts.
   void AddInt64(const std::string& name, int64_t* value, int64_t def,
                 const std::string& help);
   void AddDouble(const std::string& name, double* value, double def,
@@ -52,6 +53,7 @@ class FlagParser {
     std::string help;
   };
 
+  void Register(const std::string& name, FlagInfo info);
   Status SetFlag(const std::string& name, const std::string& value);
 
   std::map<std::string, FlagInfo> flags_;

@@ -18,6 +18,8 @@ enum class StatusCode {
   kAlreadyExists,     ///< An entity that must be unique already exists.
   kOutOfRange,        ///< An index or time value is outside a valid range.
   kInternal,          ///< An invariant of the library itself was violated.
+  kCancelled,         ///< The operation was interrupted (SIGINT/SIGTERM).
+  kDeadlineExceeded,  ///< A watchdog deadline expired before completion.
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
@@ -56,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -91,8 +91,10 @@ TEST(DeterminismTest, JsonReportBytesAreReproducible) {
   std::vector<bench::Series> series;
   series.push_back({"npros=10", cfg, workload::WorkloadSpec::Base(cfg), {}});
 
-  bench::FigureData first = bench::RunFigure(series, args, {1, 20, 100});
-  bench::FigureData second = bench::RunFigure(series, args, {1, 20, 100});
+  bench::FigureData first =
+      bench::RunFigure("fig02", series, args, {1, 20, 100});
+  bench::FigureData second =
+      bench::RunFigure("fig02", series, args, {1, 20, 100});
 
   // wall_seconds is engine self-profiling (wall clock), the one field that
   // legitimately differs between identical runs; pin it before comparing.
@@ -169,7 +171,8 @@ TEST(ParallelDeterminismTest, JsonReportBytesMatchSerial) {
   for (int threads : {1, 2, 8}) {
     args.threads = threads;
     args.resolved_threads = threads;
-    bench::FigureData data = bench::RunFigure(series, args, {1, 20, 100});
+    bench::FigureData data =
+        bench::RunFigure("fig02", series, args, {1, 20, 100});
     data.wall_seconds = 0.0;  // the only wall-clock-derived report field
     const std::string report = bench::RenderJsonReport("fig02", data, args);
     ASSERT_FALSE(report.empty());

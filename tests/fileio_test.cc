@@ -1,0 +1,131 @@
+#include "util/fileio.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/fault.h"
+#include "util/status.h"
+
+namespace granulock {
+namespace {
+
+/// Unique-enough scratch path under the test's working directory; removed
+/// on destruction together with the atomic writer's temp file.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_("fileio_test_" + name) {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  ~ScratchFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+TEST(FileIoTest, WriteThenReadRoundTrips) {
+  ScratchFile scratch("roundtrip");
+  const std::string contents = "line one\nline two\n\0binary\x7f ok";
+  ASSERT_TRUE(WriteFileAtomic(scratch.path(), contents).ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(scratch.path(), &back).ok());
+  EXPECT_EQ(back, contents);
+  // The temp file must not survive a successful write.
+  EXPECT_FALSE(FileExists(scratch.path() + ".tmp"));
+}
+
+TEST(FileIoTest, OverwriteReplacesContents) {
+  ScratchFile scratch("overwrite");
+  ASSERT_TRUE(WriteFileAtomic(scratch.path(), "old contents").ok());
+  ASSERT_TRUE(WriteFileAtomic(scratch.path(), "new").ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(scratch.path(), &back).ok());
+  EXPECT_EQ(back, "new");
+}
+
+TEST(FileIoTest, EmptyContentsAreAllowed) {
+  ScratchFile scratch("empty");
+  ASSERT_TRUE(WriteFileAtomic(scratch.path(), "").ok());
+  std::string back = "sentinel";
+  ASSERT_TRUE(ReadFileToString(scratch.path(), &back).ok());
+  EXPECT_EQ(back, "");
+}
+
+TEST(FileIoTest, ReadMissingFileIsNotFound) {
+  std::string out;
+  EXPECT_EQ(ReadFileToString("fileio_test_no_such_file", &out).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FileIoTest, WriteToMissingDirectoryFails) {
+  const Status st =
+      WriteFileAtomic("fileio_test_no_such_dir/report.json", "x");
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(FileIoTest, ShortWriteLeavesMissingDestinationAbsent) {
+  ScratchFile scratch("short_fresh");
+  SetShortWriteHook([](const std::string&) -> int64_t { return 3; });
+  const Status st = WriteFileAtomic(scratch.path(), "0123456789");
+  SetShortWriteHook(nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("short write"), std::string::npos);
+  // Neither the destination nor the temp file exists after the failure.
+  EXPECT_FALSE(FileExists(scratch.path()));
+  EXPECT_FALSE(FileExists(scratch.path() + ".tmp"));
+}
+
+TEST(FileIoTest, ShortWritePreservesPreviousContents) {
+  ScratchFile scratch("short_existing");
+  ASSERT_TRUE(WriteFileAtomic(scratch.path(), "previous contents").ok());
+  SetShortWriteHook([](const std::string&) -> int64_t { return 0; });
+  EXPECT_FALSE(WriteFileAtomic(scratch.path(), "replacement").ok());
+  SetShortWriteHook(nullptr);
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(scratch.path(), &back).ok());
+  EXPECT_EQ(back, "previous contents");
+  EXPECT_FALSE(FileExists(scratch.path() + ".tmp"));
+}
+
+TEST(FileIoTest, HookCapAboveSizeDoesNotFault) {
+  ScratchFile scratch("cap_above");
+  SetShortWriteHook([](const std::string&) -> int64_t { return 1 << 20; });
+  EXPECT_TRUE(WriteFileAtomic(scratch.path(), "tiny").ok());
+  SetShortWriteHook(nullptr);
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(scratch.path(), &back).ok());
+  EXPECT_EQ(back, "tiny");
+}
+
+TEST(FileIoTest, InjectorArmsShortWritePoint) {
+  ScratchFile scratch("injector");
+  fault::Injector& injector = fault::Injector::Global();
+  ASSERT_TRUE(injector.ArmFromFlag("write_short_write@0").ok());
+  const Status st = WriteFileAtomic(scratch.path(), "0123456789");
+  injector.DisarmAll();
+  fault::Injector::DisarmShortWriteHook();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_FALSE(FileExists(scratch.path()));
+  // One armed fire only: the next write goes through untouched.
+  ASSERT_TRUE(WriteFileAtomic(scratch.path(), "after disarm").ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(scratch.path(), &back).ok());
+  EXPECT_EQ(back, "after disarm");
+}
+
+}  // namespace
+}  // namespace granulock

@@ -123,5 +123,60 @@ TEST(FlagParserTest, StringFlagWithSpaces) {
   EXPECT_EQ(s, "two words");
 }
 
+TEST(FlagParserTest, MissingValueAtEndOfArgvIsActionableError) {
+  FlagParser parser;
+  int64_t n = 0;
+  parser.AddInt64("n", &n, 1, "");
+  ArgvBuilder args({"--n"});
+  const Status st = parser.Parse(args.argc(), args.argv());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The message must show both accepted spellings, not just say "error".
+  EXPECT_NE(st.ToString().find("--n=VALUE"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("--n VALUE"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(FlagParserTest, MissingValueBeforeAnotherFlagIsError) {
+  FlagParser parser;
+  int64_t n = 0;
+  bool v = false;
+  parser.AddInt64("n", &n, 1, "");
+  parser.AddBool("verbose", &v, false, "");
+  ArgvBuilder args({"--n", "--verbose"});
+  EXPECT_EQ(parser.Parse(args.argc(), args.argv()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, BadDoubleAndBoolNameTheFlagAndValue) {
+  FlagParser parser;
+  double d = 0.0;
+  bool b = false;
+  parser.AddDouble("d", &d, 0.0, "");
+  parser.AddBool("b", &b, false, "");
+  {
+    ArgvBuilder args({"--d=not_a_number"});
+    const Status st = parser.Parse(args.argc(), args.argv());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.ToString().find("--d"), std::string::npos);
+    EXPECT_NE(st.ToString().find("not_a_number"), std::string::npos);
+  }
+  {
+    ArgvBuilder args({"--b=maybe"});
+    const Status st = parser.Parse(args.argc(), args.argv());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.ToString().find("true/false"), std::string::npos);
+  }
+}
+
+TEST(FlagParserDeathTest, DuplicateRegistrationIsFatal) {
+  FlagParser parser;
+  int64_t a = 0;
+  int64_t b = 0;
+  parser.AddInt64("n", &a, 1, "");
+  EXPECT_DEATH(parser.AddInt64("n", &b, 2, ""),
+               "duplicate flag registration: --n");
+}
+
 }  // namespace
 }  // namespace granulock

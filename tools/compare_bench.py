@@ -3,13 +3,14 @@
 
 Usage:
     tools/compare_bench.py BASELINE.json CURRENT.json [--tolerance 0.10]
+    tools/compare_bench.py BASELINE.json CURRENT.json --update-baseline
 
 Matches the two reports' (series label, ltot) point grids and compares the
 simulated metrics point by point. Wall-clock-derived fields (wall_seconds,
 events_per_sec) are ignored: they measure the machine, not the simulation.
 
 Exit status:
-    0  reports match within tolerance
+    0  reports match within tolerance (or baseline updated)
     1  drift beyond tolerance (or structural mismatch: missing series/points)
     2  usage / unreadable input
 
@@ -18,11 +19,15 @@ must reproduce the baseline *exactly*; the tolerance only absorbs deliberate
 baseline-refresh gaps. CI runs this against a checked-in baseline so an
 accidental behaviour change in the engines (a reordered event, a skipped
 replication, a broken merge) fails the build rather than silently shifting
-every curve.
+every curve. When a change is intentional, `--update-baseline` copies the
+current report over the baseline in one step.
 """
 
 import argparse
 import json
+import math
+import os
+import shutil
 import sys
 
 # Simulated metrics compared per point. Deliberately the full set the
@@ -47,12 +52,22 @@ POINT_METRICS = [
 ]
 
 
-def load_report(path):
+def load_report(path, role, hint=None):
+    """Loads one report; exits 2 with an actionable message on failure."""
+    if not os.path.exists(path):
+        print(f"error: {role} report {path} does not exist", file=sys.stderr)
+        if hint:
+            print(hint, file=sys.stderr)
+        sys.exit(2)
     try:
         with open(path, "r", encoding="utf-8") as f:
             return json.load(f)
     except (OSError, json.JSONDecodeError) as err:
-        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        print(f"error: cannot read {role} report {path}: {err}",
+              file=sys.stderr)
+        if role == "baseline":
+            print("The baseline may be stale or hand-edited; regenerate it "
+                  "with --update-baseline.", file=sys.stderr)
         sys.exit(2)
 
 
@@ -64,6 +79,21 @@ def index_points(report):
         for point in series.get("points", []):
             points[(label, point.get("ltot"))] = point
     return points
+
+
+def numeric_or_none(value):
+    """None for JSON null / NaN / non-numeric values, else a float.
+
+    The C++ JSON writer serializes NaN metrics as null, and a hand-edited
+    baseline can hold anything; neither should produce a traceback.
+    """
+    if value is None or isinstance(value, bool):
+        return None
+    try:
+        f = float(value)
+    except (TypeError, ValueError):
+        return None
+    return None if math.isnan(f) else f
 
 
 def relative_drift(baseline, current):
@@ -85,16 +115,35 @@ def main():
         default=0.10,
         help="max allowed relative drift per metric (default 0.10)",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy CURRENT over BASELINE (after validating it) and exit 0",
+    )
     args = parser.parse_args()
 
-    baseline = load_report(args.baseline)
-    current = load_report(args.current)
+    current = load_report(args.current, "current")
+
+    if args.update_baseline:
+        if not index_points(current):
+            print(f"error: refusing to install {args.current} as baseline: "
+                  "it contains no series points", file=sys.stderr)
+            return 2
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
+
+    baseline = load_report(
+        args.baseline, "baseline",
+        hint=(f"If this is a new bench, create the baseline with:\n"
+              f"  tools/compare_bench.py {args.baseline} {args.current} "
+              f"--update-baseline"))
 
     base_points = index_points(baseline)
     cur_points = index_points(current)
     if not base_points:
-        print(f"error: {args.baseline} contains no series points",
-              file=sys.stderr)
+        print(f"error: {args.baseline} contains no series points; "
+              "regenerate it with --update-baseline", file=sys.stderr)
         return 2
 
     failures = []
@@ -111,8 +160,18 @@ def main():
                 failures.append(f"[{label} ltot={ltot}] {metric}: "
                                 "missing from current")
                 continue
-            drift = relative_drift(float(base_point[metric]),
-                                   float(cur_point[metric]))
+            base_v = numeric_or_none(base_point[metric])
+            cur_v = numeric_or_none(cur_point[metric])
+            if base_v is None and cur_v is None:
+                continue  # NaN/null on both sides: equal by convention
+            if base_v is None or cur_v is None:
+                failures.append(
+                    f"[{label} ltot={ltot}] {metric}: "
+                    f"baseline={base_point[metric]!r} "
+                    f"current={cur_point[metric]!r} "
+                    "(NaN/non-numeric on one side only)")
+                continue
+            drift = relative_drift(base_v, cur_v)
             if drift > args.tolerance:
                 failures.append(
                     f"[{label} ltot={ltot}] {metric}: "
@@ -130,9 +189,9 @@ def main():
               f"{args.tolerance:.0%} vs {args.baseline}:")
         for line in failures:
             print(f"  {line}")
-        print("If the change is intentional, refresh the baseline: "
-              "rerun the bench with the flags recorded in its 'params' "
-              "and copy the new report over the baseline file.")
+        print("If the change is intentional, refresh the baseline:\n"
+              f"  tools/compare_bench.py {args.baseline} {args.current} "
+              "--update-baseline")
         return 1
 
     print(f"OK: {len(base_points)} points x {len(POINT_METRICS)} metrics "
