@@ -1,6 +1,5 @@
 #include "bench/bench_common.h"
 
-#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +12,7 @@
 #include "util/fileio.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/wall_clock.h"
 
 namespace granulock::bench {
 
@@ -298,7 +298,7 @@ FigureData RunFigure(const std::string& experiment_id,
                      const std::vector<Series>& series, const BenchArgs& args,
                      std::vector<int64_t> lock_counts) {
   GRANULOCK_CHECK(!series.empty());
-  const auto wall_start = std::chrono::steady_clock::now();
+  const WallTimer wall_timer;
   core::ParallelRunner runner(args.resolved_threads);
   FigureData data;
   data.series = series;
@@ -347,10 +347,7 @@ FigureData RunFigure(const std::string& experiment_id,
       }
     }
   }
-  data.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  data.wall_seconds = wall_timer.Seconds();
   data.registry = std::make_shared<obs::MetricsRegistry>();
   core::PublishCellStats(data.report, data.registry.get());
   if (data.report.interrupted || Interrupted()) {

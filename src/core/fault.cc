@@ -2,6 +2,7 @@
 
 #include "util/fileio.h"
 #include "util/strings.h"
+#include "util/wall_clock.h"
 
 namespace granulock::fault {
 
@@ -152,9 +153,7 @@ CellWatchdog::CellWatchdog(double timeout_s,
                            const std::atomic<bool>* interrupt, uint64_t key)
     : timeout_s_(timeout_s), interrupt_(interrupt), key_(key) {
   if (timeout_s_ > 0.0) {
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(timeout_s_));
+    deadline_s_ = MonotonicSeconds() + timeout_s_;
   }
 }
 
@@ -171,7 +170,7 @@ void CellWatchdog::Poll() const {
   if (Injector::Global().ShouldFire(InjectionPoint::kCellTimeout, key_)) {
     throw CellTimeout("injected cell timeout (kCellTimeout)");
   }
-  if (timeout_s_ > 0.0 && std::chrono::steady_clock::now() >= deadline_) {
+  if (timeout_s_ > 0.0 && MonotonicSeconds() >= deadline_s_) {
     throw CellTimeout(
         StrFormat("cell exceeded --cell_timeout_s=%g", timeout_s_));
   }

@@ -2,7 +2,6 @@
 #define GRANULOCK_CORE_FAULT_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <stdexcept>
@@ -156,7 +155,7 @@ class CellWatchdog {
   const std::atomic<bool>* interrupt_;
   uint64_t key_;
   double poll_interval_ = 50.0;
-  std::chrono::steady_clock::time_point deadline_;
+  double deadline_s_ = 0.0;  ///< MonotonicSeconds() deadline; 0 = no deadline.
 };
 
 }  // namespace granulock::fault

@@ -1,13 +1,13 @@
 #include "core/granularity_simulator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "sim/invariants.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/wall_clock.h"
 
 namespace granulock::core {
 
@@ -97,7 +97,7 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
     return Status::FailedPrecondition("Run() may only be called once");
   }
   ran_ = true;
-  const auto wall_start = std::chrono::steady_clock::now();
+  const WallTimer wall_timer;
   GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
   GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
   if (options_.max_active < 0) {
@@ -199,10 +199,7 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
   m.phase_cpu_service = phase_cpu_.Mean();
   m.phase_sync_wait = phase_sync_.Mean();
 
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  const double wall_seconds = wall_timer.Seconds();
   PublishRunProfile(wall_seconds);
   return m;
 }

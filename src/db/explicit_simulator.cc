@@ -1,12 +1,12 @@
 #include "db/explicit_simulator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "sim/invariants.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/wall_clock.h"
 
 namespace granulock::db {
 
@@ -83,7 +83,7 @@ Result<core::SimulationMetrics> ExplicitSimulator::Run() {
     return Status::FailedPrecondition("Run() may only be called once");
   }
   ran_ = true;
-  const auto wall_start = std::chrono::steady_clock::now();
+  const WallTimer wall_timer;
   GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
   GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
   if (options_.read_fraction < 0.0 || options_.read_fraction > 1.0) {
@@ -192,10 +192,7 @@ Result<core::SimulationMetrics> ExplicitSimulator::Run() {
   m.phase_cpu_service = phase_cpu_.Mean();
   m.phase_sync_wait = phase_sync_.Mean();
 
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  const double wall_seconds = wall_timer.Seconds();
   PublishRunProfile(wall_seconds);
   return m;
 }

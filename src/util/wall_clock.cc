@@ -1,0 +1,16 @@
+#include "util/wall_clock.h"
+
+#include <chrono>
+
+namespace granulock {
+
+double MonotonicSeconds() {
+  // The one sanctioned clock read outside tests; see the header for why
+  // every other call site must route through here.
+  // granulock-lint: allow(granulock-determinism-time)
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace granulock

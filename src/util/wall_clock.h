@@ -1,0 +1,49 @@
+#ifndef GRANULOCK_UTIL_WALL_CLOCK_H_
+#define GRANULOCK_UTIL_WALL_CLOCK_H_
+
+namespace granulock {
+
+/// The sanctioned wall-clock path.
+///
+/// Simulated results must be a pure function of configuration and seed, so
+/// reading the host clock anywhere in `src/sim`, `src/core`, `src/db`, or
+/// the benches is forbidden by the `granulock-determinism-time` lint rule
+/// (tools/lint): one stray `std::chrono::*_clock::now()` or C `time()`
+/// call that leaks into metrics or event ordering silently breaks the
+/// bit-identical-replay guarantee that `determinism_test` and the resume
+/// byte-identity tests rely on. Code that legitimately needs wall time —
+/// run profiling (`engine.wall_seconds`), watchdog deadlines, progress
+/// reporting — routes through these helpers instead, which keeps every
+/// clock read greppable and auditable in one place.
+///
+/// `MonotonicSeconds` reads a monotonic clock, so differences are immune
+/// to NTP slews and wall-time jumps; the absolute value has no meaning —
+/// only use differences (or `WallTimer`, which packages the subtraction).
+
+/// Seconds from an arbitrary fixed origin on a monotonic clock.
+double MonotonicSeconds();
+
+/// Measures elapsed wall time from construction (or the last `Reset`).
+///
+/// ```
+///   WallTimer timer;
+///   ...;
+///   metrics.wall_seconds = timer.Seconds();
+/// ```
+class WallTimer {
+ public:
+  WallTimer() : start_s_(MonotonicSeconds()) {}
+
+  /// Seconds elapsed since construction or the last `Reset()`.
+  double Seconds() const { return MonotonicSeconds() - start_s_; }
+
+  /// Restarts the measurement from now.
+  void Reset() { start_s_ = MonotonicSeconds(); }
+
+ private:
+  double start_s_;
+};
+
+}  // namespace granulock
+
+#endif  // GRANULOCK_UTIL_WALL_CLOCK_H_

@@ -1,0 +1,10 @@
+// Fixture: baseline mechanism. The clock read below is a real
+// granulock-determinism-time violation that the committed baseline.json
+// grandfathers; the run must exit 0 and report it as baselined.
+#include <ctime>
+
+namespace granulock::core {
+
+long GrandfatheredStamp() { return time(nullptr); }
+
+}  // namespace granulock::core

@@ -1,0 +1,47 @@
+// Fixture: a clean file exercising the idioms the rules must accept —
+// sorted iteration over an unordered container, checked Status results,
+// const accessors inside audit macros, literal flag registration.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#define GRANULOCK_DCHECK(condition) \
+  while (false && (condition)) static_cast<void>(0)
+
+namespace granulock::sim {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Persist(const std::string& path);
+
+class Ledger {
+ public:
+  int64_t balance() const { return balance_; }
+
+ private:
+  int64_t balance_ = 0;
+};
+
+double SortedSum(const std::unordered_map<uint64_t, double>& latencies,
+                 const std::vector<uint64_t>& insertion_order) {
+  // Point lookups on an unordered map are fine; only *iterating* one in
+  // the deterministic core is flagged. Iterate an ordered container (or
+  // a recorded insertion order) instead.
+  double total = 0.0;
+  for (const uint64_t id : insertion_order) {
+    total += latencies.at(id);
+  }
+  return total;
+}
+
+bool CheckedPersist(const Ledger& ledger) {
+  GRANULOCK_DCHECK(ledger.balance() >= 0);
+  const Status status = Persist("table.json");
+  return status.ok();
+}
+
+}  // namespace granulock::sim

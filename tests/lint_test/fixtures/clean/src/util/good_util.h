@@ -1,0 +1,9 @@
+#ifndef GRANULOCK_UTIL_GOOD_UTIL_H_
+#define GRANULOCK_UTIL_GOOD_UTIL_H_
+// Fixture: a clean header with the path-derived include guard.
+
+namespace granulock::util {
+inline int Identity(int x) { return x; }
+}  // namespace granulock::util
+
+#endif  // GRANULOCK_UTIL_GOOD_UTIL_H_

@@ -1,0 +1,27 @@
+// Fixture: granulock-audit-side-effect must fire on a mutation inside a
+// GRANULOCK_DCHECK* argument (the argument vanishes in Release builds)
+// and on a call to a method the index only knows as non-const.
+#include <cstdint>
+
+#define GRANULOCK_DCHECK(condition) \
+  while (false && (condition)) static_cast<void>(0)
+#define GRANULOCK_DCHECK_GE(a, b) GRANULOCK_DCHECK((a) >= (b))
+
+namespace granulock::sim {
+
+class Ledger {
+ public:
+  int64_t Drain() { return balance_ = 0; }  // non-const
+  int64_t balance() const { return balance_; }
+
+ private:
+  int64_t balance_ = 0;
+};
+
+void CheckTheWrongWay(Ledger& ledger, int64_t pending) {
+  GRANULOCK_DCHECK_GE(pending++, 0);       // finding: increment
+  GRANULOCK_DCHECK(ledger.Drain() == 0);   // finding: non-const call
+  GRANULOCK_DCHECK_GE(ledger.balance(), 0);  // const accessor: no finding
+}
+
+}  // namespace granulock::sim

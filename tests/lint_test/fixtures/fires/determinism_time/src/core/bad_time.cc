@@ -1,0 +1,35 @@
+// Fixture: granulock-determinism-time must fire on host-clock and entropy
+// reads outside src/util: *_clock::now(), libc time()/rand(), and a
+// std::random_device declaration.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace granulock::core {
+
+double WallSecondsTheWrongWay() {
+  const auto t0 = std::chrono::steady_clock::now();  // finding
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long StampTheWrongWay() {
+  return time(nullptr);  // finding
+}
+
+int JitterTheWrongWay() {
+  std::random_device entropy;  // finding: type mention
+  return static_cast<int>(entropy() % 7u) + rand() % 3;  // finding: rand
+}
+
+class Clock {
+ public:
+  double time() const { return now_; }  // member named time: no finding
+
+ private:
+  double now_ = 0.0;
+};
+
+double SimulatedTimeIsFine(const Clock& clock) { return clock.time(); }
+
+}  // namespace granulock::core

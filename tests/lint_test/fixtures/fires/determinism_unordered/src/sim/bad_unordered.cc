@@ -1,0 +1,26 @@
+// Fixture: granulock-determinism-unordered-iter must fire on a range-for
+// over an unordered container (and on iterator loops), in src/sim scope.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace granulock::sim {
+
+double SumLatencies(const std::unordered_map<uint64_t, double>& latencies) {
+  double total = 0.0;
+  for (const auto& entry : latencies) {  // finding: range-for
+    total += entry.second;
+  }
+  return total;
+}
+
+std::vector<uint64_t> CollectIds(const std::unordered_set<uint64_t>& ids) {
+  std::vector<uint64_t> out;
+  for (auto it = ids.begin(); it != ids.end(); ++it) {  // finding: iterator
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace granulock::sim

@@ -1,0 +1,29 @@
+// Fixture: granulock-fault-point-placement must fire on a ShouldFire
+// evaluation outside the sanctioned watchdog/runner files. Arming calls
+// stay quiet anywhere.
+#include <string>
+
+namespace fault {
+
+class Injector {
+ public:
+  static Injector& Global();
+  bool ShouldFire(const std::string& point);
+  void Arm(const std::string& point, int after_hits);
+};
+
+}  // namespace fault
+
+namespace granulock::db {
+
+void CommitTheWrongWay() {
+  if (fault::Injector::Global().ShouldFire("db.commit")) {  // finding
+    return;
+  }
+}
+
+void ArmingIsFine() {
+  fault::Injector::Global().Arm("db.commit", 3);  // no finding
+}
+
+}  // namespace granulock::db

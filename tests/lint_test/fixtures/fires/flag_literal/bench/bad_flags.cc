@@ -1,0 +1,23 @@
+// Fixture: granulock-flag-literal must fire on a computed flag name and
+// on a literal that is not lowercase snake_case; a conforming literal
+// registration stays quiet.
+#include <cstdint>
+#include <string>
+
+namespace granulock {
+
+class FlagParser {
+ public:
+  void AddInt64(const char* name, int64_t* out, int64_t def,
+                const char* help);
+};
+
+void RegisterTheWrongWay(FlagParser& parser, const std::string& prefix,
+                         int64_t* txns) {
+  const std::string computed = prefix + "_txns";
+  parser.AddInt64(computed.c_str(), txns, 100, "txn count");  // finding
+  parser.AddInt64("NumTxns", txns, 100, "txn count");         // finding
+  parser.AddInt64("num_txns", txns, 100, "txn count");        // no finding
+}
+
+}  // namespace granulock

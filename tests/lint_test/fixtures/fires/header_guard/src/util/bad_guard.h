@@ -1,0 +1,10 @@
+#ifndef GRANULOCK_UTIL_WRONG_NAME_H_
+#define GRANULOCK_UTIL_WRONG_NAME_H_
+// Fixture: granulock-header-guard must fire — the guard does not match
+// the path-derived name GRANULOCK_UTIL_BAD_GUARD_H_.
+
+namespace granulock::util {
+inline int Answer() { return 42; }
+}  // namespace granulock::util
+
+#endif  // GRANULOCK_UTIL_WRONG_NAME_H_

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: granulock-header-guard must fire — #pragma once instead of a
+// path-derived include guard.
+
+namespace granulock::util {
+inline int Question() { return 6 * 9; }
+}  // namespace granulock::util

@@ -1,0 +1,32 @@
+// Fixture: granulock-status-unchecked must fire on a discarded call to a
+// Status-returning function, and stay silent on every accepted
+// discipline: check, propagate, explicit void, use-as-argument.
+#include <string>
+
+namespace granulock::core {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Persist(const std::string& path);
+Status Reload(const std::string& path);
+void Consume(Status status);
+
+Status DropTheResult() {
+  Persist("table.json");  // finding: result discarded
+  return Reload("table.json");
+}
+
+void EveryDisciplineIsQuiet() {
+  if (!Persist("a").ok()) {
+    return;
+  }
+  const Status kept = Reload("a");
+  static_cast<void>(kept);
+  (void)Persist("b");  // explicitly voided: no finding
+  Consume(Reload("b"));
+}
+
+}  // namespace granulock::core

@@ -1,0 +1,8 @@
+// Fixture: granulock-lint-usage must fire on a suppression naming a rule
+// id the linter does not know (typos must not silently suppress nothing).
+namespace granulock::core {
+
+// granulock-lint: allow(granulock-no-such-rule)
+inline int Answer() { return 42; }
+
+}  // namespace granulock::core

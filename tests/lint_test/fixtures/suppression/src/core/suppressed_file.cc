@@ -1,0 +1,16 @@
+// Fixture: file-level suppression. Both clock reads in this file are
+// silenced by a single allow-file() comment.
+// granulock-lint: allow-file(granulock-determinism-time)
+#include <chrono>
+#include <ctime>
+
+namespace granulock::core {
+
+double FirstRead() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long SecondRead() { return time(nullptr); }
+
+}  // namespace granulock::core

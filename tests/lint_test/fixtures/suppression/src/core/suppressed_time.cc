@@ -1,0 +1,14 @@
+// Fixture: line-level suppression. The clock read below is a real
+// granulock-determinism-time violation, but the allow() comment on the
+// preceding line must silence it (and count it as suppressed).
+#include <chrono>
+
+namespace granulock::core {
+
+double JustifiedWallRead() {
+  // granulock-lint: allow(granulock-determinism-time)
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+}  // namespace granulock::core

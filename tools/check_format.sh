@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Formatting check: diffs the tree against clang-format (.clang-format at
+# the repo root). This script NEVER rewrites files — it prints the diff a
+# rewrite would produce and fails, so CI cannot silently reformat code.
+#
+# Usage:
+#   tools/check_format.sh [FILE...]    (default: all project sources)
+#
+# Exit status: 0 when clean, 1 when any file is mis-formatted, 2 when the
+# environment is unusable. CI treats 1 as a failed check; local runs on
+# machines without clang-format degrade to a skip (exit 0), mirroring
+# tools/run_clang_tidy.sh.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+format_bin="${CLANG_FORMAT:-}"
+if [[ -z "${format_bin}" ]]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      format_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${format_bin}" ]]; then
+  if [[ "${CI:-}" == "true" ]]; then
+    echo "check_format: no clang-format binary found and CI=true" >&2
+    exit 2
+  fi
+  echo "check_format: clang-format not installed; skipping (set" \
+       "CLANG_FORMAT or install clang-format to enable the check)" >&2
+  exit 0
+fi
+
+if [[ "$#" -gt 0 ]]; then
+  files=("$@")
+else
+  # The lint fixture corpus is frozen test input: its byte content is
+  # load-bearing (line numbers appear in test assertions), so it is
+  # exempt from formatting.
+  mapfile -t files < <(cd "${repo_root}" &&
+    find src bench tests examples -name '*.cc' -o -name '*.h' \
+      2>/dev/null | grep -v '/fixtures/' | sort)
+fi
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "check_format: no sources found under ${repo_root}" >&2
+  exit 2
+fi
+
+echo "check_format: ${format_bin} --dry-run over ${#files[@]} files"
+
+bad=0
+for file in "${files[@]}"; do
+  if ! diff -u --label "${file}" --label "${file} (formatted)" \
+        "${repo_root}/${file}" \
+        <("${format_bin}" --style=file "${repo_root}/${file}") ; then
+    bad=$((bad + 1))
+  fi
+done
+
+if [[ "${bad}" -gt 0 ]]; then
+  echo
+  echo "check_format: ${bad} file(s) differ; apply with:" >&2
+  echo "  ${format_bin} -i <file>" >&2
+  exit 1
+fi
+echo "check_format: clean"

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Self-contained-header check: every project header must compile on its
+# own (it includes what it uses) and must tolerate double inclusion (its
+# include guard works). Each header is wrapped in a tiny TU that includes
+# it twice and compiled with -fsyntax-only.
+#
+# Usage:
+#   tools/check_headers.sh [HEADER...]     (default: all project headers)
+#
+# Exit status: 0 when every header is self-contained, 1 when any is not,
+# 2 when the environment is unusable (no C++ compiler). CI treats 1 as a
+# failed check; local runs without a compiler degrade to a skip (exit 0).
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cxx_bin="${CXX:-}"
+if [[ -z "${cxx_bin}" ]]; then
+  for candidate in g++ c++ clang++; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      cxx_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${cxx_bin}" ]]; then
+  if [[ "${CI:-}" == "true" ]]; then
+    echo "check_headers: no C++ compiler found and CI=true" >&2
+    exit 2
+  fi
+  echo "check_headers: no C++ compiler; skipping" >&2
+  exit 0
+fi
+
+if [[ "$#" -gt 0 ]]; then
+  headers=("$@")
+else
+  # Project headers under the source roots; the lint fixture corpus is
+  # deliberately rule-breaking input, not project code.
+  mapfile -t headers < <(cd "${repo_root}" &&
+    find src bench tests examples -name '*.h' -not -path '*/fixtures/*' \
+      2>/dev/null | sort)
+fi
+if [[ "${#headers[@]}" -eq 0 ]]; then
+  echo "check_headers: no headers found under ${repo_root}" >&2
+  exit 2
+fi
+
+echo "check_headers: ${cxx_bin} -fsyntax-only over ${#headers[@]} headers"
+
+tmp_dir="$(mktemp -d)"
+status_file="${tmp_dir}/failures"
+touch "${status_file}"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+check_one() {
+  local header="$1"
+  local tu="${tmp_dir}/${header//\//_}.cc"
+  printf '#include "%s"\n#include "%s"\n' "${header}" "${header}" > "${tu}"
+  if ! "${cxx_bin}" -std=c++20 -fsyntax-only \
+        -I "${repo_root}/src" -I "${repo_root}" "${tu}"; then
+    echo "${header}" >> "${status_file}"
+  fi
+}
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+active=0
+for header in "${headers[@]}"; do
+  check_one "${header}" &
+  active=$((active + 1))
+  if [[ "${active}" -ge "${jobs}" ]]; then
+    wait -n
+    active=$((active - 1))
+  fi
+done
+wait
+
+if [[ -s "${status_file}" ]]; then
+  echo
+  echo "check_headers: not self-contained:" >&2
+  sort -u "${status_file}" >&2
+  exit 1
+fi
+echo "check_headers: clean"

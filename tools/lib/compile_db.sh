@@ -1,0 +1,53 @@
+# Shared compile-commands discovery for the static-analysis drivers
+# (run_clang_tidy.sh, run_lint.sh). Source this file, then call:
+#
+#   find_compile_db REPO_ROOT [BUILD_DIR]
+#
+# Echoes the directory containing compile_commands.json and returns 0, or
+# prints a configure hint to stderr and returns 1. Discovery order: the
+# explicit BUILD_DIR argument, then REPO_ROOT/build, then the
+# most-recently-modified REPO_ROOT/build-* sibling — the same order
+# tools/lint/granulock_lint/compile_db.py uses, so the shell wrappers and
+# the Python linter always agree on which database a bare invocation
+# picks up.
+
+find_compile_db() {
+  local repo_root="$1"
+  local build_dir="${2:-}"
+
+  if [[ -n "${build_dir}" ]]; then
+    case "${build_dir}" in
+      /*) ;;
+      *) build_dir="${repo_root}/${build_dir}" ;;
+    esac
+    if [[ -f "${build_dir}/compile_commands.json" ]]; then
+      echo "${build_dir}"
+      return 0
+    fi
+    echo "compile_db: ${build_dir}/compile_commands.json not found;" \
+         "configure first, e.g. cmake -S . -B ${build_dir}" >&2
+    return 1
+  fi
+
+  if [[ -f "${repo_root}/build/compile_commands.json" ]]; then
+    echo "${repo_root}/build"
+    return 0
+  fi
+
+  local newest=""
+  local d
+  for d in "${repo_root}"/build-*/; do
+    [[ -f "${d}compile_commands.json" ]] || continue
+    if [[ -z "${newest}" || "${d}" -nt "${newest}" ]]; then
+      newest="${d}"
+    fi
+  done
+  if [[ -n "${newest}" ]]; then
+    echo "${newest%/}"
+    return 0
+  fi
+
+  echo "compile_db: no compile_commands.json under ${repo_root}/build" \
+       "or ${repo_root}/build-*; configure first: cmake -S . -B build" >&2
+  return 1
+}

@@ -1,0 +1,64 @@
+"""Baseline file: grandfathered findings.
+
+A baseline lets the linter gate a codebase that is not yet clean: known
+findings listed in the baseline are reported as "baselined" and do not
+fail the run; anything new does.  This repository merges the linter at
+**zero findings with an empty baseline** — the file exists so future
+rule tightening has an adoption path, and so the fixture tests can prove
+the mechanism works.
+
+Entries match on (rule, path, normalized line text), not line numbers,
+so unrelated edits above a grandfathered finding do not resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .rules import Finding
+
+
+@dataclass
+class Baseline:
+    entries: Set[Tuple[str, str, str]]  # (rule, path, normalized_line)
+
+    @staticmethod
+    def empty() -> "Baseline":
+        return Baseline(entries=set())
+
+
+def _normalize(line_text: str) -> str:
+    return " ".join(line_text.split())
+
+
+def entry_for(finding: Finding, file_lines: List[str]) -> Tuple[str, str, str]:
+    text = ""
+    if 1 <= finding.line <= len(file_lines):
+        text = _normalize(file_lines[finding.line - 1])
+    return (finding.rule, finding.path, text)
+
+
+def load(path: str) -> Baseline:
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    entries = set()
+    for e in data.get("findings", []):
+        entries.add((e["rule"], e["path"], _normalize(e.get("line_text", ""))))
+    return Baseline(entries=entries)
+
+
+def save(path: str, findings: List[Finding],
+         lines_by_path: Dict[str, List[str]]) -> None:
+    records = []
+    for f in sorted(findings, key=Finding.sort_key):
+        rule, fpath, text = entry_for(f, lines_by_path.get(f.path, []))
+        records.append({"rule": rule, "path": fpath, "line_text": text})
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump({"comment":
+                   "granulock-lint baseline: grandfathered findings. "
+                   "Keep this empty; fix findings instead of baselining "
+                   "them whenever possible.",
+                   "findings": records}, out, indent=2)
+        out.write("\n")

@@ -1,0 +1,103 @@
+"""compile_commands.json discovery and file-set selection.
+
+The linter is driven by the same database CMake exports for clang-tidy
+(`CMAKE_EXPORT_COMPILE_COMMANDS` is unconditionally on), so the linted
+translation units are exactly the built ones.  Headers do not appear in
+the database; the project's headers under the source roots are added to
+the lint set explicitly, since inline code in headers is just as capable
+of breaking the rules.
+
+Discovery order mirrors tools/lib/compile_db.sh (the shell helper shared
+with run_clang_tidy.sh): an explicit ``-p`` wins, then ``build/``, then
+any ``build-*/`` sibling, newest configure first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+SOURCE_ROOTS = ("src", "bench", "tests", "examples")
+
+# Directory names whose subtrees hold deliberately rule-breaking inputs
+# (the linter's own fixture corpus), never real project code.
+_FIXTURE_DIRS = {"fixtures"}
+
+
+def find_database(repo_root: str,
+                  build_dir: Optional[str] = None) -> Optional[str]:
+    candidates: List[str] = []
+    if build_dir:
+        candidates.append(os.path.join(build_dir, "compile_commands.json"))
+    else:
+        candidates.append(
+            os.path.join(repo_root, "build", "compile_commands.json"))
+        try:
+            siblings = sorted(
+                (e for e in os.listdir(repo_root)
+                 if e.startswith("build-")
+                 and os.path.isdir(os.path.join(repo_root, e))),
+                key=lambda e: os.path.getmtime(os.path.join(repo_root, e)),
+                reverse=True)
+        except OSError:
+            siblings = []
+        candidates.extend(
+            os.path.join(repo_root, e, "compile_commands.json")
+            for e in siblings)
+    for c in candidates:
+        if os.path.isfile(c):
+            return c
+    return None
+
+
+def _rel_to_repo(path: str, repo_root: str) -> Optional[str]:
+    abspath = os.path.realpath(path)
+    root = os.path.realpath(repo_root) + os.sep
+    if not abspath.startswith(root):
+        return None
+    return abspath[len(root):].replace(os.sep, "/")
+
+
+def files_from_database(db_path: str, repo_root: str) -> List[str]:
+    """Repo-relative paths of the database's translation units that live
+    under the project source roots."""
+    with open(db_path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    out = []
+    for entry in entries:
+        rel = _rel_to_repo(entry.get("file", ""), repo_root)
+        if rel is None:
+            continue
+        parts = rel.split("/")
+        if parts[0] in SOURCE_ROOTS and \
+                not any(p in _FIXTURE_DIRS for p in parts[1:-1]):
+            out.append(rel)
+    return sorted(set(out))
+
+
+def project_headers(repo_root: str) -> List[str]:
+    out = []
+    for root in SOURCE_ROOTS:
+        top = os.path.join(repo_root, root)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames
+                           if not d.startswith(".")
+                           and d not in _FIXTURE_DIRS]
+            for name in filenames:
+                if name.endswith(".h"):
+                    rel = _rel_to_repo(os.path.join(dirpath, name), repo_root)
+                    if rel is not None:
+                        out.append(rel)
+    return sorted(set(out))
+
+
+def lint_set(repo_root: str,
+             build_dir: Optional[str] = None) -> Tuple[Optional[str], List[str]]:
+    """(database_path_or_None, repo-relative lint file list)."""
+    db = find_database(repo_root, build_dir)
+    files: List[str] = []
+    if db is not None:
+        files.extend(files_from_database(db, repo_root))
+    files.extend(project_headers(repo_root))
+    return db, sorted(set(files))

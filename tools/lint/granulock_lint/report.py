@@ -1,0 +1,54 @@
+"""Text and JSON reporters.
+
+Text output is clang-diagnostic-shaped (``file:line:col: warning: ...
+[rule-id]``) so editors and CI annotators parse it for free.  JSON output
+carries the same findings plus run metadata and is stable-sorted, so two
+runs over the same tree produce byte-identical reports — the same
+property the bench reports guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional
+
+from .rules import Finding
+
+
+def render_text(findings: List[Finding], baselined: List[Finding],
+                suppressed_count: int, files_scanned: int,
+                out=None) -> None:
+    out = out or sys.stdout
+    for f in sorted(findings, key=Finding.sort_key):
+        out.write(f"{f.path}:{f.line}:{f.col}: warning: {f.message} "
+                  f"[{f.rule}]\n")
+    for f in sorted(baselined, key=Finding.sort_key):
+        out.write(f"{f.path}:{f.line}:{f.col}: note: baselined: "
+                  f"{f.message} [{f.rule}]\n")
+    out.write(
+        f"granulock-lint: {files_scanned} files, {len(findings)} "
+        f"finding{'s' if len(findings) != 1 else ''}, "
+        f"{len(baselined)} baselined, {suppressed_count} suppressed\n")
+
+
+def render_json(findings: List[Finding], baselined: List[Finding],
+                suppressed_count: int, files_scanned: int,
+                meta: Optional[Dict] = None) -> str:
+    doc = {
+        "tool": "granulock-lint",
+        "meta": meta or {},
+        "files_scanned": files_scanned,
+        "suppressed": suppressed_count,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line, "col": f.col,
+             "message": f.message}
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+        "baselined": [
+            {"rule": f.rule, "path": f.path, "line": f.line, "col": f.col,
+             "message": f.message}
+            for f in sorted(baselined, key=Finding.sort_key)
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,77 @@
+"""Audit-macro purity.
+
+``GRANULOCK_DCHECK*`` compiles to a true no-op unless the build defines
+``GRANULOCK_AUDIT_ENABLED`` (Debug and sanitizer builds).  An argument —
+or a streamed context expression after the macro — with a side effect
+therefore executes in Debug but not in Release, which is exactly the
+kind of heisenbug the audit layer exists to prevent.  The rule scans the
+whole statement (macro arguments plus any ``<< ...`` tail) for:
+
+  * assignment-flavoured operators and ``++``/``--``;
+  * member calls to methods the project index knows only as non-const.
+
+``GRANULOCK_AUDIT_CHECK*`` is always compiled, so it is exempt; keeping
+side effects out of it too is good style but not a correctness issue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cpp_model import MUTATING_OPS, FileModel, statement_end
+from . import Finding, Rule, RuleContext, register
+
+_DCHECK_PREFIX = "GRANULOCK_DCHECK"
+
+
+@register
+class AuditSideEffectRule(Rule):
+    id = "granulock-audit-side-effect"
+    rationale = (
+        "GRANULOCK_DCHECK* arguments vanish in Release builds "
+        "(GRANULOCK_AUDIT_ENABLED off), so a side effect inside one "
+        "makes Debug and Release runs diverge"
+    )
+    paths = ["src/*", "src/*/*", "bench/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        tokens = model.lexed.tokens
+        for call in model.calls:
+            if not call.name.startswith(_DCHECK_PREFIX):
+                continue
+            if rel_path.endswith("invariants.h"):
+                continue  # the macro definitions themselves
+            end = statement_end(tokens, call.open_index)
+            i = call.open_index + 1
+            while i < end:
+                tok = tokens[i]
+                if tok.kind == "punct" and tok.text in MUTATING_OPS:
+                    # `=` directly inside a lambda-capture `[=]` is a
+                    # capture default, not an assignment.
+                    if tok.text == "=" and i > 0 and \
+                            tokens[i - 1].text == "[":
+                        i += 1
+                        continue
+                    yield self.finding(
+                        rel_path, tok.line, tok.col,
+                        f"'{tok.text}' inside {call.name}: the argument "
+                        f"is not evaluated in Release builds, so this "
+                        f"side effect makes build modes diverge; hoist it "
+                        f"out of the check")
+                    break
+                i += 1
+            # Non-const member calls among the arguments / streamed tail.
+            for inner in model.calls:
+                if inner.name_index <= call.open_index or \
+                        inner.name_index >= end:
+                    continue
+                if not inner.is_member_call:
+                    continue
+                if ctx.index.is_known_nonconst_method(inner.name):
+                    yield self.finding(
+                        rel_path, inner.line, inner.col,
+                        f"call to non-const method '{inner.name}()' "
+                        f"inside {call.name}: it runs in audit builds "
+                        f"only; call it before the check and assert on "
+                        f"the result")

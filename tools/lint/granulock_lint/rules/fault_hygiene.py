@@ -1,0 +1,58 @@
+"""Fault-point hygiene.
+
+``fault::Injector`` points are deterministic only because they are
+evaluated at a small set of sanctioned places: the contained cell runner
+(``core::RunCell``), the cooperative watchdog poll (driven by *observer*
+events that are excluded from executed-event counts), and the atomic
+file writer's short-write hook.  An ``Injector::ShouldFire`` evaluated
+from inside an event callback that affects simulated state would make
+arming a fault perturb the simulation itself — exactly what the
+fault_injection_test "watchdog-no-perturb" proofs forbid.  The rule
+pins evaluation to the sanctioned files; arming/diagnostic calls
+(``Arm``, ``ArmFromFlag``, ``DisarmAll``, ``hits``, ``fires``) are free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cpp_model import FileModel, preceded_by_type_ident
+from . import Finding, Rule, RuleContext, register
+
+# Files allowed to *evaluate* injection points.
+_EVALUATION_ALLOWLIST = {
+    "src/core/fault.cc",     # CellWatchdog::Poll / active()
+    "src/core/fault.h",
+    "src/core/experiment.cc",  # the contained cell runner
+    "src/util/fileio.cc",    # short-write hook installed by ArmFromFlag
+}
+
+_EVALUATION_CALLS = {"ShouldFire"}
+
+
+@register
+class FaultPointPlacementRule(Rule):
+    id = "granulock-fault-point-placement"
+    rationale = (
+        "fault points may only be evaluated behind the cooperative "
+        "watchdog / contained-runner paths; evaluating one inside an "
+        "event callback would let arming a fault change simulated "
+        "results"
+    )
+    paths = ["src/*", "src/*/*", "bench/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        if rel_path in _EVALUATION_ALLOWLIST:
+            return
+        tokens = model.lexed.tokens
+        for call in model.calls:
+            if call.name in _EVALUATION_CALLS:
+                if preceded_by_type_ident(tokens, call):
+                    continue  # `bool ShouldFire(...)` declaration
+                yield self.finding(
+                    rel_path, call.line, call.col,
+                    f"'{call.qualified()}()' evaluates a fault-injection "
+                    f"point outside the sanctioned watchdog/runner paths "
+                    f"({', '.join(sorted(_EVALUATION_ALLOWLIST))}); route "
+                    f"the fault through CellWatchdog::Poll or core::RunCell")

@@ -1,0 +1,58 @@
+"""Flag-registration hygiene.
+
+``FlagParser::Add{Int64,Double,Bool,String}`` is the repo's whole flag
+surface.  Registration aborts at runtime on duplicates, but only on the
+code path that actually runs — a computed name (``Add...(prefix + "x")``)
+defeats both that check's usefulness and static grepability (sweep
+scripts and docs cross-reference flags by name).  The rule requires the
+name argument at every registration call site to be a string literal
+(adjacent-literal concatenation is fine), lowercase snake_case, and
+accompanied by a literal help string.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..cpp_model import FileModel
+from . import Finding, Rule, RuleContext, register
+
+_REGISTRATION_CALLS = {"AddInt64", "AddDouble", "AddBool", "AddString"}
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+@register
+class FlagLiteralRule(Rule):
+    id = "granulock-flag-literal"
+    rationale = (
+        "flag names must be grep-able string literals in snake_case so "
+        "the flag namespace is statically auditable (duplicate "
+        "registration is only caught at runtime on the path that runs)"
+    )
+    paths = ["src/*", "src/*/*", "bench/*", "examples/*", "tests/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        tokens = model.lexed.tokens
+        for call in model.calls:
+            if call.name not in _REGISTRATION_CALLS:
+                continue
+            if not call.is_member_call:
+                continue  # e.g. an unrelated free function of the same name
+            first = tokens[call.open_index + 1] \
+                if call.open_index + 1 < len(tokens) else None
+            if first is None or call.open_index + 1 >= call.close_index:
+                continue
+            if first.kind != "string":
+                yield self.finding(
+                    rel_path, first.line, first.col,
+                    f"{call.name}: the flag name must be a string "
+                    f"literal, not a computed expression")
+                continue
+            name = first.text[first.text.index('"') + 1:-1]
+            if not _NAME_RE.match(name):
+                yield self.finding(
+                    rel_path, first.line, first.col,
+                    f"{call.name}: flag name \"{name}\" must be "
+                    f"lowercase snake_case ([a-z][a-z0-9_]*)")

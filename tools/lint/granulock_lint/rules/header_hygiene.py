@@ -1,0 +1,69 @@
+"""Header-guard hygiene.
+
+The prevailing style is classic include guards named after the path
+(``src/util/status.h`` → ``GRANULOCK_UTIL_STATUS_H_``), never
+``#pragma once``.  The rule checks every linted header for: a guard as
+the first directive, a matching ``#define``, the path-derived name, and
+the absence of ``#pragma once``.  Keeping the name mechanical means a
+moved header gets a fresh guard instead of silently shadowing its old
+location.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cpp_model import FileModel
+from . import Finding, Rule, RuleContext, register
+
+
+def expected_guard(rel_path: str) -> str:
+    path = rel_path
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    mangled = "".join(c.upper() if c.isalnum() else "_" for c in path)
+    return f"GRANULOCK_{mangled}_"
+
+
+@register
+class HeaderGuardRule(Rule):
+    id = "granulock-header-guard"
+    rationale = (
+        "headers use path-derived include guards "
+        "(GRANULOCK_<PATH>_H_), not #pragma once, so guards stay unique "
+        "and greppable"
+    )
+    paths = ["src/*.h", "src/*/*.h", "bench/*.h", "tests/*.h",
+             "examples/*.h"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        directives = model.lexed.directives
+        for d in directives:
+            if d.name == "pragma" and d.body.split() and \
+                    d.body.split()[0] == "once":
+                yield self.finding(
+                    rel_path, d.line, 1,
+                    "#pragma once: this codebase uses path-derived "
+                    "include guards (see docs/STATIC_ANALYSIS.md)")
+                return
+        want = expected_guard(rel_path)
+        if not directives or directives[0].name != "ifndef":
+            yield self.finding(
+                rel_path, 1, 1,
+                f"missing include guard: the first directive must be "
+                f"#ifndef {want}")
+            return
+        got = directives[0].body.split()[0] if directives[0].body else ""
+        if got != want:
+            yield self.finding(
+                rel_path, directives[0].line, 1,
+                f"include guard is {got or '<empty>'}; the path-derived "
+                f"name is {want}")
+            return
+        if len(directives) < 2 or directives[1].name != "define" or \
+                (directives[1].body.split() or [""])[0] != want:
+            yield self.finding(
+                rel_path, directives[0].line, 1,
+                f"#ifndef {want} must be immediately followed by "
+                f"#define {want}")

@@ -1,0 +1,49 @@
+"""Status discipline.
+
+The library reports failures by returning ``Status`` / ``Result<T>``
+(no exceptions across public APIs), which only works if no caller drops
+a return on the floor.  The rule flags calls to functions the project
+index knows to return Status-like types when the call is a full
+expression statement (result discarded).  Accepted disciplines:
+
+  * use the value: assign, compare, branch, return, pass as argument;
+  * propagate: ``GRANULOCK_RETURN_NOT_OK(expr)``;
+  * explicitly void: ``(void)expr;`` with a comment explaining why.
+
+Name-ambiguous functions (same name declared with a non-Status return
+anywhere in the project) are skipped entirely — missed findings beat
+false gates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cpp_model import FileModel, statement_discards_call
+from . import Finding, Rule, RuleContext, register
+
+
+@register
+class UncheckedStatusRule(Rule):
+    id = "granulock-status-unchecked"
+    rationale = (
+        "a discarded Status/Result silently swallows the only failure "
+        "signal the library emits; check it, propagate it with "
+        "GRANULOCK_RETURN_NOT_OK, or cast to (void) with a reason"
+    )
+    paths = ["src/*", "src/*/*", "bench/*", "examples/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        tokens = model.lexed.tokens
+        for call in model.calls:
+            if not ctx.index.returns_status(call.name):
+                continue
+            if not statement_discards_call(tokens, call):
+                continue
+            yield self.finding(
+                rel_path, call.line, call.col,
+                f"result of '{call.qualified()}()' is discarded but the "
+                f"function returns Status/Result; check it, wrap it in "
+                f"GRANULOCK_RETURN_NOT_OK, or write "
+                f"'(void){call.name}(...);' with a justifying comment")

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Executable entry point for granulock-lint.
+
+Usage (from anywhere in the checkout):
+    tools/lint/run_lint.py                  # lint the compile database
+    tools/lint/run_lint.py -p build-asan    # explicit database dir
+    tools/lint/run_lint.py src/sim/trace.cc # explicit files
+    tools/lint/run_lint.py --list-rules
+
+See docs/STATIC_ANALYSIS.md for the rule catalogue and suppression
+syntax; tools/run_lint.sh wraps this with the CI strict / local
+graceful-skip policy shared with run_clang_tidy.sh.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from granulock_lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

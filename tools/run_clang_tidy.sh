@@ -16,13 +16,15 @@
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-build}"
-case "${build_dir}" in
-  /*) ;;
-  *) build_dir="${repo_root}/${build_dir}" ;;
-esac
+# shellcheck source=tools/lib/compile_db.sh
+source "${repo_root}/tools/lib/compile_db.sh"
+build_dir_arg="${1:-}"
 shift || true
-if [[ "${1:-}" == "--" ]]; then shift; fi
+if [[ "${build_dir_arg}" == "--" ]]; then
+  build_dir_arg=""
+elif [[ "${1:-}" == "--" ]]; then
+  shift
+fi
 extra_args=("$@")
 
 tidy_bin="${CLANG_TIDY:-}"
@@ -45,12 +47,10 @@ if [[ -z "${tidy_bin}" ]]; then
   exit 0
 fi
 
-db="${build_dir}/compile_commands.json"
-if [[ ! -f "${db}" ]]; then
-  echo "run_clang_tidy: ${db} not found; configure first, e.g." >&2
-  echo "  cmake -S . -B ${build_dir}" >&2
+if ! build_dir="$(find_compile_db "${repo_root}" "${build_dir_arg}")"; then
   exit 2
 fi
+db="${build_dir}/compile_commands.json"
 
 # Project sources only: skip generated files and anything outside the four
 # source roots. Tests are included — a test with UB is still a bug.

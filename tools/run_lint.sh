@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs granulock-lint (tools/lint/) over the project using the
+# compile-commands database that CMake exports.
+#
+# Usage:
+#   tools/run_lint.sh [BUILD_DIR] [-- extra granulock-lint args]
+#
+#   BUILD_DIR   directory containing compile_commands.json
+#               (default: build, then newest build-*).
+#
+# Exit status mirrors tools/run_clang_tidy.sh: 0 clean, 1 findings, 2 the
+# environment is unusable (no python3, no database). CI treats 1 as a
+# failed check; local runs without python3 degrade to a skip (exit 0) so
+# the script can sit in pre-push hooks.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+# shellcheck source=tools/lib/compile_db.sh
+source "${repo_root}/tools/lib/compile_db.sh"
+
+build_dir_arg="${1:-}"
+shift || true
+if [[ "${build_dir_arg}" == "--" ]]; then
+  build_dir_arg=""
+elif [[ "${1:-}" == "--" ]]; then
+  shift
+fi
+extra_args=("$@")
+
+python_bin="${PYTHON:-}"
+if [[ -z "${python_bin}" ]]; then
+  for candidate in python3 python; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      python_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${python_bin}" ]]; then
+  if [[ "${CI:-}" == "true" ]]; then
+    echo "run_lint: no python3 found and CI=true" >&2
+    exit 2
+  fi
+  echo "run_lint: python3 not installed; skipping (install python3 to" \
+       "enable the check)" >&2
+  exit 0
+fi
+
+if ! build_dir="$(find_compile_db "${repo_root}" "${build_dir_arg}")"; then
+  exit 2
+fi
+
+exec "${python_bin}" "${repo_root}/tools/lint/run_lint.py" \
+  --build-dir "${build_dir}" "${extra_args[@]}"
