@@ -11,6 +11,7 @@
 #include "sim/invariants.h"
 #include "util/fileio.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/strings.h"
 #include "util/wall_clock.h"
 
@@ -30,6 +31,13 @@ void BenchArgs::Register(FlagParser& parser) {
   parser.AddBool("quick", &quick, false, "shrink tmax 10x for a smoke run");
   parser.AddBool("json_out", &json_out, false,
                  "also write BENCH_<id>.json with the full result grid");
+  parser.AddBool("profile_contention", &profile_contention, false,
+                 "re-run each surviving sweep cell with the contention "
+                 "profiler attached: per-granule wait attribution, "
+                 "mode-conflict matrix, blocking-chain depths, waits-for "
+                 "snapshots (BENCH_<id>.waitsfor.dot), the contention time "
+                 "series (BENCH_<id>.contention.csv), and the thrashing "
+                 "boundary; adds a 'contention' section to --json_out");
   parser.AddBool("audit", &audit, false,
                  "run deep invariant audits at every quiescent point "
                  "(slower; aborts on the first violated invariant)");
@@ -292,6 +300,88 @@ namespace {
   std::exit(InterruptExitCode());
 }
 
+/// The post-sweep contention pass (--profile_contention): re-runs every
+/// surviving (series, ltot) cell once, serially, with a fresh
+/// `ContentionProfiler` attached and the same rep-0 seed the sweep used —
+/// the profiled run IS replication 0, bit for bit. Fills
+/// `data->contention`, writes BENCH_<id>.waitsfor.dot with the densest
+/// waits-for snapshot across the grid and BENCH_<id>.contention.csv with
+/// the hottest cell's time series.
+void ProfileContention(const std::string& experiment_id, FigureData* data,
+                       const BenchArgs& args) {
+  // Replicates core::DeriveReplicationSeeds for replication 0.
+  const uint64_t seed =
+      Rng(static_cast<uint64_t>(args.seed)).Fork(0).NextUint64();
+  data->contention.assign(data->series.size(), SeriesContention{});
+  std::string best_dot;
+  std::string best_csv;
+  int64_t best_waits = -1;
+  for (size_t s = 0; s < data->series.size(); ++s) {
+    SeriesContention& out = data->contention[s];
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (size_t l = 0; l < data->lock_counts.size(); ++l) {
+      if (data->values[s][l].replications == 0) continue;
+      xs.push_back(static_cast<double>(data->lock_counts[l]));
+      ys.push_back(data->values[s][l].mean.throughput);
+    }
+    out.boundary = obs::DetectThrashingBoundary(xs, ys);
+    model::SystemConfig cfg = data->series[s].cfg;
+    args.Apply(&cfg);
+    for (size_t l = 0; l < data->lock_counts.size(); ++l) {
+      if (data->values[s][l].replications == 0) continue;
+      model::SystemConfig cell_cfg = cfg;
+      cell_cfg.ltot = data->lock_counts[l];
+      obs::ContentionProfiler profiler;
+      core::GranularitySimulator::Options options = data->series[s].options;
+      options.obs.contention = &profiler;
+      const auto metrics = core::GranularitySimulator::RunOnce(
+          cell_cfg, data->series[s].spec, seed, options);
+      if (!metrics.ok()) {
+        GRANULOCK_LOG(Warning)
+            << "contention profile for series '" << data->series[s].label
+            << "' ltot=" << cell_cfg.ltot << ": " << metrics.status();
+        continue;
+      }
+      ContentionPoint point;
+      point.ltot = data->lock_counts[l];
+      point.waits = profiler.total_waits();
+      std::ostringstream json;
+      profiler.WriteJson(json);
+      point.profile_json = json.str();
+      if (point.waits > best_waits) {
+        best_waits = point.waits;
+        std::ostringstream dot;
+        profiler.WriteDot(dot);
+        best_dot = dot.str();
+        std::ostringstream csv;
+        profiler.series().WriteCsv(csv);
+        best_csv = csv.str();
+      }
+      out.points.push_back(std::move(point));
+    }
+  }
+  if (best_waits < 0) best_dot = "digraph waits_for {\n}\n";
+  const std::string dot_path =
+      StrFormat("BENCH_%s.waitsfor.dot", experiment_id.c_str());
+  const Status dot_written = WriteFileAtomic(dot_path, best_dot);
+  if (dot_written.ok()) {
+    std::printf("wrote %s\n", dot_path.c_str());
+  } else {
+    GRANULOCK_LOG(Error) << "waits-for snapshot: " << dot_written;
+  }
+  if (!best_csv.empty()) {
+    const std::string csv_path =
+        StrFormat("BENCH_%s.contention.csv", experiment_id.c_str());
+    const Status csv_written = WriteFileAtomic(csv_path, best_csv);
+    if (csv_written.ok()) {
+      std::printf("wrote %s\n", csv_path.c_str());
+    } else {
+      GRANULOCK_LOG(Error) << "contention series: " << csv_written;
+    }
+  }
+}
+
 }  // namespace
 
 FigureData RunFigure(const std::string& experiment_id,
@@ -353,6 +443,9 @@ FigureData RunFigure(const std::string& experiment_id,
   if (data.report.interrupted || Interrupted()) {
     ExitInterrupted(experiment_id, data, args, journal.get());
   }
+  if (args.profile_contention) {
+    ProfileContention(experiment_id, &data, args);
+  }
   PrintFailureSummary(data);
   return data;
 }
@@ -380,6 +473,34 @@ void PrintMetricTable(const FigureData& data, Metric metric,
     table.PrintCsv(std::cout);
   } else {
     table.Print(std::cout);
+  }
+  std::printf("\n");
+
+  // The response-time table gets a tail-latency companion: the mean hides
+  // exactly the convoy effects the paper's thrashing region produces.
+  if (metric != Metric::kResponseTime) return;
+  std::printf("--- response percentiles (p50/p95/p99) ---\n");
+  std::vector<std::string> pct_header{"locks"};
+  for (const Series& s : data.series) pct_header.push_back(s.label);
+  TablePrinter pct_table(std::move(pct_header));
+  for (size_t l = 0; l < data.lock_counts.size(); ++l) {
+    std::vector<std::string> row;
+    row.push_back(StrFormat("%lld", (long long)data.lock_counts[l]));
+    for (size_t s = 0; s < data.series.size(); ++s) {
+      const core::ReplicatedMetrics& rep = data.values[s][l];
+      if (rep.replications == 0) {
+        row.push_back("-");
+      } else {
+        row.push_back(StrFormat("%.4g/%.4g/%.4g", rep.mean.response_p50,
+                                rep.mean.response_p95, rep.mean.response_p99));
+      }
+    }
+    pct_table.AddRow(std::move(row));
+  }
+  if (args.csv) {
+    pct_table.PrintCsv(std::cout);
+  } else {
+    pct_table.Print(std::cout);
   }
   std::printf("\n");
 }
@@ -455,6 +576,33 @@ std::string RenderJsonReport(const std::string& experiment_id,
     w.EndObject();
   }
   w.EndArray();
+  // Only present under --profile_contention, so reports without it keep
+  // their historical bytes.
+  if (!data.contention.empty()) {
+    w.Key("contention").BeginArray();
+    for (size_t s = 0; s < data.contention.size(); ++s) {
+      const SeriesContention& sc = data.contention[s];
+      w.BeginObject();
+      w.Key("label").Value(data.series[s].label);
+      w.Key("points").BeginArray();
+      for (const ContentionPoint& point : sc.points) {
+        w.BeginObject();
+        w.Key("ltot").Value(point.ltot);
+        w.Key("profile").Raw(point.profile_json);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("thrashing_boundary").BeginObject();
+      w.Key("found").Value(sc.boundary.found);
+      w.Key("boundary_ltot").Value(sc.boundary.boundary_x);
+      w.Key("peak_ltot").Value(sc.boundary.peak_x);
+      w.Key("peak_throughput").Value(sc.boundary.peak_y);
+      w.Key("collapse_fraction").Value(sc.boundary.collapse_fraction);
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   // Always present (and empty on a clean run) so a resumed run renders the
   // same bytes as an uninterrupted one.
   w.Key("failures").BeginArray();

@@ -12,6 +12,7 @@
 #include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "model/config.h"
+#include "obs/contention.h"
 #include "obs/registry.h"
 #include "util/flags.h"
 #include "util/status.h"
@@ -32,6 +33,12 @@ struct BenchArgs {
   bool csv = false;        ///< emit CSV instead of aligned tables
   bool quick = false;      ///< shrink tmax 10x for smoke runs
   bool json_out = false;   ///< also write BENCH_<id>.json (machine-readable)
+  /// Re-run each surviving sweep cell once (serially, rep-0 seed) with a
+  /// `obs::ContentionProfiler` attached: adds a `contention` section to the
+  /// JSON report, writes BENCH_<id>.waitsfor.dot (the densest waits-for
+  /// snapshot) and BENCH_<id>.contention.csv (the hottest cell's
+  /// blocked-fraction/occupancy series). Never changes the sweep results.
+  bool profile_contention = false;
   bool audit = false;      ///< run deep invariant audits at quiescent points
   std::string log_level = "info";  ///< debug|info|warning|error
 
@@ -109,6 +116,23 @@ enum class Metric {
 const char* MetricName(Metric metric);
 double MetricValue(Metric metric, const core::SimulationMetrics& m);
 
+/// One profiled sweep cell: the rendered `ContentionProfiler` JSON plus
+/// the totals the driver needs to pick the hottest cell.
+struct ContentionPoint {
+  int64_t ltot = 0;
+  int64_t waits = 0;
+  /// `ContentionProfiler::WriteJson` output, spliced verbatim into the
+  /// report via `JsonWriter::Raw`.
+  std::string profile_json;
+};
+
+/// Per-series contention profile: one point per surviving sweep cell plus
+/// the thrashing boundary detected from the series' throughput curve.
+struct SeriesContention {
+  std::vector<ContentionPoint> points;
+  obs::ThrashingBoundary boundary;
+};
+
 /// The result grid of a figure: per (series, ltot) replicated metrics.
 struct FigureData {
   std::vector<int64_t> lock_counts;
@@ -127,6 +151,8 @@ struct FigureData {
   /// Registry carrying the `cells/...` counters for this run (see
   /// `core::PublishCellStats`). Never null after `RunFigure`.
   std::shared_ptr<obs::MetricsRegistry> registry;
+  /// Per-series contention profiles; empty unless --profile_contention.
+  std::vector<SeriesContention> contention;
 };
 
 /// Canonical fingerprint of a figure run: experiment id, seed/reps/tmax/

@@ -70,6 +70,7 @@ GranularitySimulator::GranularitySimulator(model::SystemConfig cfg,
       spec_(std::move(spec)),
       options_(options),
       rng_(seed),
+      contention_rng_(seed ^ 0x5deece66d1ce4e5dull),
       conflict_(std::max<int64_t>(1, cfg_.ltot)) {}
 
 GranularitySimulator::GranularitySimulator(model::SystemConfig cfg,
@@ -235,6 +236,14 @@ void GranularitySimulator::SetUpObservability() {
       sim_.ScheduleObserverAt(iv, [this] { SampleTick(); });
     }
   }
+  if (options_.obs.contention != nullptr) {
+    auto* prof = options_.obs.contention;
+    prof->BeginRun(cfg_.ltot, /*imputed=*/true);
+    const double iv = prof->options().sample_interval;
+    if (iv > 0.0 && iv <= cfg_.tmax) {
+      sim_.ScheduleObserverAt(iv, [this] { ContentionTick(); });
+    }
+  }
 }
 
 void GranularitySimulator::ScheduleWatchdogPoll() {
@@ -281,6 +290,34 @@ void GranularitySimulator::SampleTick() {
   const double iv = sampler->interval();
   if (now + iv <= cfg_.tmax) {
     sim_.ScheduleObserverAfter(iv, [this] { SampleTick(); });
+  }
+}
+
+void GranularitySimulator::ContentionTick() {
+  auto* prof = options_.obs.contention;
+  const double now = sim_.Now();
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (const Txn* holder : active_) {
+    for (const Txn* waiter : holder->blocked) {
+      edges.emplace_back(waiter->id, holder->id);
+    }
+  }
+  const double ntrans = static_cast<double>(cfg_.ntrans);
+  const double blocked_fraction =
+      ntrans > 0.0 ? static_cast<double>(blocked_count_) / ntrans : 0.0;
+  // The probabilistic engine has no lock table; occupancy is estimated
+  // from the locks the active transactions nominally hold.
+  int64_t locks_held = 0;
+  for (const Txn* t : active_) locks_held += t->params.lu;
+  const double occupancy =
+      cfg_.ltot > 0
+          ? std::min(1.0, static_cast<double>(locks_held) /
+                              static_cast<double>(cfg_.ltot))
+          : 0.0;
+  prof->OnSample(now, blocked_fraction, occupancy, std::move(edges));
+  const double iv = prof->options().sample_interval;
+  if (now + iv <= cfg_.tmax) {
+    sim_.ScheduleObserverAfter(iv, [this] { ContentionTick(); });
   }
 }
 
@@ -547,6 +584,16 @@ void GranularitySimulator::FinishLockRequest(Txn* txn) {
     }
     blocking->blocked.push_back(txn);
     ++blocked_count_;
+    if (options_.obs.contention != nullptr) {
+      // Granule attribution is imputed (the Ries–Stonebraker model names
+      // no granule): drawn uniformly from a profiler-private stream.
+      // Conservative X-only locking: depth is always 1.
+      const int64_t granule =
+          cfg_.ltot > 1 ? contention_rng_.UniformInt(0, cfg_.ltot - 1) : 0;
+      options_.obs.contention->OnBlock(txn->id, granule, lockmgr::LockMode::kX,
+                                       lockmgr::LockMode::kX,
+                                       /*chain_depth=*/1, sim_.Now());
+    }
     UpdateQueueStats();
   } else {
     if (options_.trace != nullptr) {
@@ -570,6 +617,11 @@ void GranularitySimulator::Grant(Txn* txn) {
                                obs::kLifecycleTrack, txn->lock_since, now);
   }
   if (ctr_lock_grants_ != nullptr) ctr_lock_grants_->Increment();
+  if (options_.obs.contention != nullptr) {
+    // Aggregate only: the imputed engine cannot attribute grants to real
+    // granules, so per-granule grant counts stay 0 here.
+    options_.obs.contention->OnGrantTotal(txn->params.lu);
+  }
   UpdateQueueStats();
   for (int32_t node : txn->params.nodes) {
     StartSubTransaction(txn, node);
@@ -657,6 +709,9 @@ void GranularitySimulator::Complete(Txn* txn) {
       options_.obs.spans->Record(released->id, obs::Phase::kLockWait,
                                  obs::kLifecycleTrack, released->lock_since,
                                  now);
+    }
+    if (options_.obs.contention != nullptr) {
+      options_.obs.contention->OnUnblock(released->id, now);
     }
     EnqueuePending(released, options_.requeue_blocked_at_tail);
   }

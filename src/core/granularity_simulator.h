@@ -144,6 +144,9 @@ class GranularitySimulator {
   void SetUpObservability();
   /// One periodic sampler row (runs as an observer event).
   void SampleTick();
+  /// One periodic contention-profiler sample (observer event; only
+  /// scheduled when options_.obs.contention is set).
+  void ContentionTick();
   /// Self-rescheduling watchdog poll chain (observer events; see
   /// Options::watchdog).
   void ScheduleWatchdogPoll();
@@ -158,6 +161,10 @@ class GranularitySimulator {
   workload::WorkloadSpec spec_;
   Options options_;
   Rng rng_;
+  /// Profiler-private stream for imputed granule attribution (the
+  /// probabilistic conflict model has no real lock table). Never draws
+  /// from `rng_`, so profiling cannot perturb the simulation.
+  Rng contention_rng_;
   model::ConflictModel conflict_;
 
   sim::Simulator sim_;

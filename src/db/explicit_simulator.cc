@@ -228,6 +228,39 @@ void ExplicitSimulator::SetUpObservability() {
       sim_.ScheduleObserverAt(iv, [this] { SampleTick(); });
     }
   }
+  if (auto* prof = options_.obs.contention) {
+    prof->BeginRun(cfg_.ltot, /*imputed=*/false);
+    const double iv = prof->options().sample_interval;
+    if (iv > 0.0 && iv <= cfg_.tmax) {
+      sim_.ScheduleObserverAt(iv, [this] { ContentionTick(); });
+    }
+  }
+}
+
+void ExplicitSimulator::ContentionTick() {
+  auto* prof = options_.obs.contention;
+  const double now = sim_.Now();
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (const auto& [id, holder] : active_) {
+    for (const Txn* waiter : holder->blocked) {
+      edges.emplace_back(waiter->id, id);
+    }
+  }
+  const double ntrans = static_cast<double>(cfg_.ntrans);
+  const double blocked_fraction =
+      ntrans > 0.0 ? static_cast<double>(blocked_count_) / ntrans : 0.0;
+  const int64_t locked = flat_table_ != nullptr
+                             ? flat_table_->LockedGranules()
+                             : hier_table_->LockedGranules();
+  const double occupancy =
+      cfg_.ltot > 0 ? std::min(1.0, static_cast<double>(locked) /
+                                        static_cast<double>(cfg_.ltot))
+                    : 0.0;
+  prof->OnSample(now, blocked_fraction, occupancy, std::move(edges));
+  const double iv = prof->options().sample_interval;
+  if (now + iv <= cfg_.tmax) {
+    sim_.ScheduleObserverAfter(iv, [this] { ContentionTick(); });
+  }
 }
 
 void ExplicitSimulator::SampleTick() {
@@ -484,7 +517,25 @@ void ExplicitSimulator::StartLockCpuPhase(Txn* txn) {
   }
 }
 
-std::optional<lockmgr::TxnId> ExplicitSimulator::TryAcquire(Txn* txn) {
+namespace {
+
+/// Maps a hierarchy object to the profiler's contention key space.
+int64_t ContentionKeyOf(const ObjectId& object) {
+  switch (object.level) {
+    case ObjectId::Level::kGranule:
+      return object.index;
+    case ObjectId::Level::kFile:
+      return obs::FileObjectKey(object.index);
+    case ObjectId::Level::kRoot:
+      return obs::kRootObjectKey;
+  }
+  return obs::kRootObjectKey;
+}
+
+}  // namespace
+
+std::optional<lockmgr::TxnId> ExplicitSimulator::TryAcquire(
+    Txn* txn, DenialInfo* denial) {
   switch (options_.strategy) {
     case LockingStrategy::kFlat: {
       std::vector<LockRequest> requests;
@@ -492,7 +543,14 @@ std::optional<lockmgr::TxnId> ExplicitSimulator::TryAcquire(Txn* txn) {
       for (int64_t g : txn->granules) {
         requests.push_back(LockRequest{g, txn->mode});
       }
-      return flat_table_->TryAcquireAll(txn->id, requests);
+      lockmgr::ConflictInfo conflict;
+      const auto blocker = flat_table_->TryAcquireAll(
+          txn->id, requests, denial != nullptr ? &conflict : nullptr);
+      if (blocker.has_value() && denial != nullptr) {
+        *denial = DenialInfo{conflict.granule, conflict.requested,
+                             conflict.held};
+      }
+      return blocker;
     }
     case LockingStrategy::kHierarchical: {
       std::vector<HierRequest> requests;
@@ -504,7 +562,14 @@ std::optional<lockmgr::TxnId> ExplicitSimulator::TryAcquire(Txn* txn) {
           requests.push_back(HierRequest{ObjectId::Granule(g), txn->mode});
         }
       }
-      return hier_table_->TryAcquireAll(txn->id, requests);
+      lockmgr::HierConflictInfo conflict;
+      const auto blocker = hier_table_->TryAcquireAll(
+          txn->id, requests, denial != nullptr ? &conflict : nullptr);
+      if (blocker.has_value() && denial != nullptr) {
+        *denial = DenialInfo{ContentionKeyOf(conflict.object),
+                             conflict.requested, conflict.held};
+      }
+      return blocker;
     }
   }
   GRANULOCK_LOG(Fatal) << "unknown locking strategy";
@@ -524,7 +589,10 @@ void ExplicitSimulator::ReleaseLocks(Txn* txn) {
 
 void ExplicitSimulator::FinishLockRequest(Txn* txn) {
   --outstanding_lock_requests_;
-  const std::optional<lockmgr::TxnId> blocker = TryAcquire(txn);
+  DenialInfo denial;
+  auto* prof = options_.obs.contention;
+  const std::optional<lockmgr::TxnId> blocker =
+      TryAcquire(txn, prof != nullptr ? &denial : nullptr);
   if (blocker.has_value()) {
     ++lock_denials_;
     if (ctr_lock_denials_ != nullptr) ctr_lock_denials_->Increment();
@@ -538,6 +606,11 @@ void ExplicitSimulator::FinishLockRequest(Txn* txn) {
         << "blocker " << *blocker << " is not active";
     it->second->blocked.push_back(txn);
     ++blocked_count_;
+    if (prof != nullptr) {
+      // Conservative locking cannot chain waiters, so the depth is 1.
+      prof->OnBlock(txn->id, denial.key, denial.requested, denial.held,
+                    /*chain_depth=*/1, sim_.Now());
+    }
     UpdateQueueStats();
   } else {
     if (options_.trace != nullptr) {
@@ -561,6 +634,24 @@ void ExplicitSimulator::Grant(Txn* txn) {
                                obs::kLifecycleTrack, txn->lock_since, now);
   }
   if (ctr_lock_grants_ != nullptr) ctr_lock_grants_->Increment();
+  if (auto* prof = options_.obs.contention) {
+    if (options_.strategy == LockingStrategy::kHierarchical) {
+      if (txn->coarse) {
+        prof->OnGrant(obs::kRootObjectKey);
+      } else {
+        std::vector<HierRequest> requests;
+        requests.reserve(txn->granules.size());
+        for (int64_t g : txn->granules) {
+          requests.push_back(HierRequest{ObjectId::Granule(g), txn->mode});
+        }
+        for (const HierRequest& req : hier_table_->EffectiveLockSet(requests)) {
+          prof->OnGrant(ContentionKeyOf(req.object));
+        }
+      }
+    } else {
+      for (int64_t g : txn->granules) prof->OnGrant(g);
+    }
+  }
   UpdateQueueStats();
   for (int32_t node : txn->params.nodes) {
     StartSubTransaction(txn, node);
@@ -644,6 +735,9 @@ void ExplicitSimulator::Complete(Txn* txn) {
   blocked_count_ -= static_cast<int64_t>(txn->blocked.size());
   for (Txn* released : txn->blocked) {
     released->lock_wait += now - released->lock_since;
+    if (auto* prof = options_.obs.contention) {
+      prof->OnUnblock(released->id, now);
+    }
     if (options_.obs.spans != nullptr) {
       options_.obs.spans->Record(released->id, obs::Phase::kLockWait,
                                  obs::kLifecycleTrack, released->lock_since,

@@ -126,11 +126,24 @@ class ExplicitSimulator {
   void BeginMeasurement();
   void SetUpObservability();
   void SampleTick();
+  /// One periodic contention-profiler sample (observer event; only
+  /// scheduled when options_.obs.contention is set).
+  void ContentionTick();
   void PublishRunProfile(double wall_seconds);
 
+  /// Contention attribution for a refused acquisition, in the profiler's
+  /// key space (granule g -> g, file f -> FileObjectKey(f), root ->
+  /// kRootObjectKey).
+  struct DenialInfo {
+    int64_t key = 0;
+    lockmgr::LockMode requested = lockmgr::LockMode::kX;
+    lockmgr::LockMode held = lockmgr::LockMode::kX;
+  };
+
   /// Attempts the acquisition against whichever lock manager is active;
-  /// returns the blocking transaction id or nullopt.
-  std::optional<lockmgr::TxnId> TryAcquire(Txn* txn);
+  /// returns the blocking transaction id or nullopt. When refused and
+  /// `denial` is non-null, it is filled with the colliding object/modes.
+  std::optional<lockmgr::TxnId> TryAcquire(Txn* txn, DenialInfo* denial);
   void ReleaseLocks(Txn* txn);
 
   model::SystemConfig cfg_;

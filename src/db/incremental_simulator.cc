@@ -210,6 +210,37 @@ void IncrementalSimulator::SetUpObservability() {
       sim_.ScheduleObserverAt(iv, [this] { SampleTick(); });
     }
   }
+  if (auto* prof = options_.obs.contention) {
+    prof->BeginRun(cfg_.ltot, /*imputed=*/false);
+    const double iv = prof->options().sample_interval;
+    if (iv > 0.0 && iv <= cfg_.tmax) {
+      sim_.ScheduleObserverAt(iv, [this] { ContentionTick(); });
+    }
+  }
+}
+
+void IncrementalSimulator::ContentionTick() {
+  auto* prof = options_.obs.contention;
+  const double now = sim_.Now();
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (const auto& [waiter, granule] : table_->WaitingRequests()) {
+    for (lockmgr::TxnId holder : table_->Holders(granule)) {
+      if (holder != waiter) edges.emplace_back(waiter, holder);
+    }
+  }
+  const double ntrans = static_cast<double>(cfg_.ntrans);
+  const double blocked_fraction =
+      ntrans > 0.0 ? static_cast<double>(waiting_count_) / ntrans : 0.0;
+  const double occupancy =
+      cfg_.ltot > 0
+          ? std::min(1.0, static_cast<double>(table_->LockedGranules()) /
+                              static_cast<double>(cfg_.ltot))
+          : 0.0;
+  prof->OnSample(now, blocked_fraction, occupancy, std::move(edges));
+  const double iv = prof->options().sample_interval;
+  if (now + iv <= cfg_.tmax) {
+    sim_.ScheduleObserverAfter(iv, [this] { ContentionTick(); });
+  }
 }
 
 void IncrementalSimulator::SampleTick() {
@@ -411,6 +442,7 @@ void IncrementalSimulator::OnLockCostPaid(Txn* txn) {
       options_.trace->Record(sim_.Now(), txn->id,
                              sim::TraceEventType::kLockGranted, granule);
     }
+    if (auto* prof = options_.obs.contention) prof->OnGrant(granule);
     DoStageWork(txn);
     return;
   }
@@ -434,6 +466,19 @@ void IncrementalSimulator::OnLockCostPaid(Txn* txn) {
   }
   if (!waits_for_.FindCycleFrom(txn->id).empty()) {
     AbortAndRestart(txn);
+  } else if (auto* prof = options_.obs.contention) {
+    // A genuine wait (not a victim abort): attribute it to the granule,
+    // with the strongest mode held by the other holders (Supremum is
+    // order-insensitive, so the unordered holder scan is safe) and the
+    // length of the waits-for chain rooted at this transaction.
+    LockMode held = LockMode::kNL;
+    for (lockmgr::TxnId holder : table_->Holders(granule)) {
+      if (holder != txn->id) {
+        held = Supremum(held, table_->HeldMode(holder, granule));
+      }
+    }
+    prof->OnBlock(txn->id, granule, txn->mode, held,
+                  waits_for_.ChainDepthFrom(txn->id), sim_.Now());
   }
   if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
 }
@@ -479,6 +524,11 @@ void IncrementalSimulator::AbortAndRestart(Txn* txn) {
   }
   --waiting_count_;
   ++in_backoff_;
+  if (auto* prof = options_.obs.contention) {
+    // Close any open wait (no-op for the usual instant-abort victim, whose
+    // wait was never recorded as a genuine block).
+    prof->OnUnblock(txn->id, sim_.Now());
+  }
   const std::vector<lockmgr::TxnId> granted = table_->Abort(txn->id);
   UpdateQueueStats();
   HandleGrants(granted);
@@ -504,6 +554,10 @@ void IncrementalSimulator::HandleGrants(
     Txn* waiter = it->second;
     --waiting_count_;
     ++running_count_;
+    if (auto* prof = options_.obs.contention) {
+      prof->OnUnblock(waiter->id, sim_.Now());
+      prof->OnGrant(waiter->granules[waiter->next_lock]);
+    }
     UpdateQueueStats();
     DoStageWork(waiter);
   }

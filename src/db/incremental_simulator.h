@@ -117,6 +117,9 @@ class IncrementalSimulator {
   void BeginMeasurement();
   void SetUpObservability();
   void SampleTick();
+  /// One periodic contention-profiler sample (observer event; only
+  /// scheduled when options_.obs.contention is set).
+  void ContentionTick();
   void PublishRunProfile(double wall_seconds);
 
   model::SystemConfig cfg_;

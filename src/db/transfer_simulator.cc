@@ -1,6 +1,7 @@
 #include "db/transfer_simulator.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "db/granule_selector.h"
 #include "sim/invariants.h"
@@ -95,6 +96,14 @@ Result<TransferSimulator::Report> TransferSimulator::Run() {
         [this](double now, int delta_any, int delta_lock) {
           io_union_.Transition(now, delta_any, delta_lock);
         });
+  }
+
+  if (auto* prof = options_.contention) {
+    prof->BeginRun(cfg_.ltot, /*imputed=*/false);
+    const double iv = prof->options().sample_interval;
+    if (iv > 0.0 && iv <= cfg_.tmax) {
+      sim_.ScheduleObserverAt(iv, [this] { ContentionTick(); });
+    }
   }
 
   active_stat_.Start(0.0, 0.0);
@@ -307,23 +316,60 @@ void TransferSimulator::BeginLockRequest(Txn* txn) {
 
 void TransferSimulator::FinishLockRequest(Txn* txn) {
   --outstanding_lock_requests_;
-  std::vector<LockRequest> requests{
-      {GranuleOfAccount(txn->from), LockMode::kX},
-      {GranuleOfAccount(txn->to), LockMode::kX}};
-  const auto blocker = table_->TryAcquireAll(txn->id, requests);
+  const int64_t granule_a = GranuleOfAccount(txn->from);
+  const int64_t granule_b = GranuleOfAccount(txn->to);
+  std::vector<LockRequest> requests{{granule_a, LockMode::kX},
+                                    {granule_b, LockMode::kX}};
+  auto* prof = options_.contention;
+  lockmgr::ConflictInfo conflict;
+  const auto blocker = table_->TryAcquireAll(
+      txn->id, requests, prof != nullptr ? &conflict : nullptr);
   if (blocker.has_value()) {
     ++lock_denials_;
     auto it = active_.find(*blocker);
     GRANULOCK_CHECK(it != active_.end());
     it->second->blocked.push_back(txn);
     ++blocked_count_;
+    if (prof != nullptr) {
+      // Conservative locking cannot chain waiters, so the depth is 1.
+      prof->OnBlock(txn->id, conflict.granule, conflict.requested,
+                    conflict.held, /*chain_depth=*/1, sim_.Now());
+    }
     UpdateQueueStats();
   } else {
+    if (prof != nullptr) {
+      prof->OnGrant(granule_a);
+      if (granule_b != granule_a) prof->OnGrant(granule_b);
+    }
     active_.emplace(txn->id, txn);
     UpdateQueueStats();
     StartReads(txn);
   }
   PumpLockManager();
+}
+
+void TransferSimulator::ContentionTick() {
+  auto* prof = options_.contention;
+  const double now = sim_.Now();
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (const auto& [id, holder] : active_) {
+    for (const Txn* waiter : holder->blocked) {
+      edges.emplace_back(waiter->id, id);
+    }
+  }
+  const double ntrans = static_cast<double>(cfg_.ntrans);
+  const double blocked_fraction =
+      ntrans > 0.0 ? static_cast<double>(blocked_count_) / ntrans : 0.0;
+  const double occupancy =
+      cfg_.ltot > 0
+          ? std::min(1.0, static_cast<double>(table_->LockedGranules()) /
+                              static_cast<double>(cfg_.ltot))
+          : 0.0;
+  prof->OnSample(now, blocked_fraction, occupancy, std::move(edges));
+  const double iv = prof->options().sample_interval;
+  if (now + iv <= cfg_.tmax) {
+    sim_.ScheduleObserverAfter(iv, [this] { ContentionTick(); });
+  }
 }
 
 void TransferSimulator::StartReads(Txn* txn) {
@@ -384,6 +430,9 @@ void TransferSimulator::Complete(Txn* txn) {
 
   blocked_count_ -= static_cast<int64_t>(txn->blocked.size());
   for (Txn* released : txn->blocked) {
+    if (auto* prof = options_.contention) {
+      prof->OnUnblock(released->id, sim_.Now());
+    }
     pending_.push_back(released);
   }
   txn->blocked.clear();

@@ -10,6 +10,7 @@
 #include "core/metrics.h"
 #include "lockmgr/lock_table.h"
 #include "model/config.h"
+#include "obs/contention.h"
 #include "sim/busy_union.h"
 #include "sim/priority_server.h"
 #include "sim/simulator.h"
@@ -59,6 +60,10 @@ class TransferSimulator {
     /// Zipf skew for account selection (0 = uniform, up to ~0.99 for the
     /// YCSB-style hot-key distribution). Composes with `hot_fraction`.
     double zipf_theta = 0.0;
+    /// Optional contention profiler (not owned; must outlive the run).
+    /// Attaching it never changes simulated results. Only meaningful
+    /// under kConservativeLocking (kNoLocking never blocks).
+    obs::ContentionProfiler* contention = nullptr;
   };
 
   /// The run outcome: timing metrics plus the data-integrity verdict.
@@ -120,6 +125,9 @@ class TransferSimulator {
   void DestroyTransaction(Txn* txn);
   void UpdateQueueStats();
   void BeginMeasurement();
+  /// One periodic contention-profiler sample (observer event; only
+  /// scheduled when options_.contention is set).
+  void ContentionTick();
   int64_t GranuleOfAccount(int64_t account) const;
 
   model::SystemConfig cfg_;

@@ -97,19 +97,20 @@ std::vector<HierRequest> HierarchicalLockManager::EffectiveLockSet(
   return out;  // already sorted by ObjectId's total order (std::map)
 }
 
-std::optional<TxnId> HierarchicalLockManager::FindConflict(
+std::optional<std::pair<TxnId, LockMode>> HierarchicalLockManager::FindConflict(
     TxnId txn, Key key, LockMode mode) const {
   auto it = holders_.find(key);
   if (it == holders_.end()) return std::nullopt;
   for (const auto& [holder, held_mode] : it->second) {
     if (holder == txn) continue;
-    if (!Compatible(held_mode, mode)) return holder;
+    if (!Compatible(held_mode, mode)) return std::make_pair(holder, held_mode);
   }
   return std::nullopt;
 }
 
 std::optional<TxnId> HierarchicalLockManager::TryAcquireAll(
-    TxnId txn, const std::vector<HierRequest>& requests) {
+    TxnId txn, const std::vector<HierRequest>& requests,
+    HierConflictInfo* conflict) {
   GRANULOCK_CHECK(held_by_txn_.find(txn) == held_by_txn_.end())
       << "conservative protocol: txn " << txn << " already holds locks";
   const std::vector<HierRequest> effective = EffectiveLockSet(requests);
@@ -122,7 +123,11 @@ std::optional<TxnId> HierarchicalLockManager::TryAcquireAll(
       GRANULOCK_CHECK_LT(req.object.index, options_.num_files);
     }
     if (auto blocker = FindConflict(txn, KeyOf(req.object), req.mode)) {
-      return blocker;
+      if (conflict != nullptr) {
+        *conflict = HierConflictInfo{req.object, req.mode, blocker->second,
+                                     blocker->first};
+      }
+      return blocker->first;
     }
   }
   std::vector<Key>& held = held_by_txn_[txn];
@@ -208,6 +213,14 @@ void HierarchicalLockManager::CheckConsistency() const {
     }
   }
   GRANULOCK_AUDIT_CHECK_EQ(holds_from_txns, holds_from_objects);
+}
+
+int64_t HierarchicalLockManager::LockedGranules() const {
+  int64_t count = 0;
+  for (const auto& [key, holders] : holders_) {
+    if (ObjectOf(key).level == ObjectId::Level::kGranule) ++count;
+  }
+  return count;
 }
 
 LockMode HierarchicalLockManager::HeldMode(TxnId txn,

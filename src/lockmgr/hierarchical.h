@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lockmgr/lock_mode.h"
@@ -46,6 +47,16 @@ struct HierRequest {
   LockMode mode = LockMode::kX;
 };
 
+/// Attribution of a refused hierarchical acquisition: the first object in
+/// the effective lock set (ObjectId order: root < files < granules) that
+/// collided, the effective mode requested on it, and the holder's mode.
+struct HierConflictInfo {
+  ObjectId object;
+  LockMode requested = LockMode::kX;
+  LockMode held = LockMode::kX;
+  TxnId holder = 0;
+};
+
 /// Multiple-granularity lock manager (Gray et al.) with **conservative
 /// all-or-nothing acquisition**, matching the paper's deadlock-free
 /// protocol. Like `LockTable`, it is a passive single-threaded structure:
@@ -73,9 +84,11 @@ class HierarchicalLockManager {
   /// Atomically acquires `requests` (plus derived intention locks) for
   /// `txn`, or acquires nothing. Returns a blocking holder (owner of the
   /// lowest conflicting object) or nullopt on success. `txn` must not
-  /// already hold locks.
+  /// already hold locks. When refused and `conflict` is non-null, it
+  /// receives the colliding object/modes/holder (untouched on success).
   std::optional<TxnId> TryAcquireAll(TxnId txn,
-                                     const std::vector<HierRequest>& requests);
+                                     const std::vector<HierRequest>& requests,
+                                     HierConflictInfo* conflict = nullptr);
 
   /// Releases everything `txn` holds.
   void ReleaseAll(TxnId txn);
@@ -86,6 +99,10 @@ class HierarchicalLockManager {
 
   /// True iff nothing is locked.
   bool Empty() const { return held_by_txn_.empty(); }
+
+  /// Number of granule-level objects currently locked (intention or
+  /// stronger); file/root locks are not counted. Order-insensitive scan.
+  int64_t LockedGranules() const;
 
   /// The file that contains `granule`.
   int64_t FileOfGranule(int64_t granule) const;
@@ -112,7 +129,8 @@ class HierarchicalLockManager {
   static Key KeyOf(const ObjectId& object);
   static ObjectId ObjectOf(Key key);
 
-  std::optional<TxnId> FindConflict(TxnId txn, Key key, LockMode mode) const;
+  std::optional<std::pair<TxnId, LockMode>> FindConflict(TxnId txn, Key key,
+                                                         LockMode mode) const;
 
   Options options_;
   int64_t granules_per_file_;

@@ -11,19 +11,20 @@ LockTable::LockTable(int64_t num_granules) : num_granules_(num_granules) {
   GRANULOCK_CHECK_GE(num_granules, 1);
 }
 
-std::optional<TxnId> LockTable::FindConflict(TxnId txn, int64_t granule,
-                                             LockMode mode) const {
+std::optional<std::pair<TxnId, LockMode>> LockTable::FindConflict(
+    TxnId txn, int64_t granule, LockMode mode) const {
   auto it = granules_.find(granule);
   if (it == granules_.end()) return std::nullopt;
   for (const auto& [holder, held_mode] : it->second.holders) {
     if (holder == txn) continue;
-    if (!Compatible(held_mode, mode)) return holder;
+    if (!Compatible(held_mode, mode)) return std::make_pair(holder, held_mode);
   }
   return std::nullopt;
 }
 
 std::optional<TxnId> LockTable::TryAcquireAll(
-    TxnId txn, const std::vector<LockRequest>& requests) {
+    TxnId txn, const std::vector<LockRequest>& requests,
+    ConflictInfo* conflict) {
   GRANULOCK_CHECK(held_by_txn_.find(txn) == held_by_txn_.end())
       << "conservative protocol: txn " << txn << " already holds locks";
   // Conflict scan in granule order so the reported blocker is
@@ -37,7 +38,11 @@ std::optional<TxnId> LockTable::TryAcquireAll(
     GRANULOCK_CHECK_GE(req.granule, 0);
     GRANULOCK_CHECK_LT(req.granule, num_granules_);
     if (auto blocker = FindConflict(txn, req.granule, req.mode)) {
-      return blocker;
+      if (conflict != nullptr) {
+        *conflict = ConflictInfo{req.granule, req.mode, blocker->second,
+                                 blocker->first};
+      }
+      return blocker->first;
     }
   }
   // All clear: acquire. Deduplicate, keeping the strongest mode per

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lockmgr/lock_mode.h"
@@ -18,6 +19,16 @@ using TxnId = uint64_t;
 struct LockRequest {
   int64_t granule = 0;
   LockMode mode = LockMode::kX;
+};
+
+/// Attribution of a refused acquisition: which granule collided, the mode
+/// that was asked for, and the mode (and owner) it ran into. Filled for
+/// the lowest conflicting granule, so it is deterministic.
+struct ConflictInfo {
+  int64_t granule = 0;
+  LockMode requested = LockMode::kX;
+  LockMode held = LockMode::kX;
+  TxnId holder = 0;
 };
 
 /// A flat lock table over `num_granules` equal-size granules, supporting
@@ -44,8 +55,12 @@ class LockTable {
   /// `txn` must not already hold locks (conservative protocol: one
   /// acquisition per transaction lifetime). Duplicate granules in
   /// `requests` are allowed; the strongest requested mode wins.
+  ///
+  /// When refused and `conflict` is non-null, it receives the colliding
+  /// granule/modes/holder (contention attribution; untouched on success).
   std::optional<TxnId> TryAcquireAll(TxnId txn,
-                                     const std::vector<LockRequest>& requests);
+                                     const std::vector<LockRequest>& requests,
+                                     ConflictInfo* conflict = nullptr);
 
   /// Releases everything `txn` holds. No-op for an unknown transaction.
   void ReleaseAll(TxnId txn);
@@ -83,10 +98,11 @@ class LockTable {
     std::vector<std::pair<TxnId, LockMode>> holders;
   };
 
-  /// Returns a holder of `granule` whose mode conflicts with `mode` for
-  /// `txn` (ignoring `txn`'s own holdings), or nullopt.
-  std::optional<TxnId> FindConflict(TxnId txn, int64_t granule,
-                                    LockMode mode) const;
+  /// Returns the first holder of `granule` whose mode conflicts with
+  /// `mode` for `txn` (ignoring `txn`'s own holdings) and that holder's
+  /// mode, or nullopt.
+  std::optional<std::pair<TxnId, LockMode>> FindConflict(
+      TxnId txn, int64_t granule, LockMode mode) const;
 
   int64_t num_granules_;
   std::unordered_map<int64_t, GranuleState> granules_;

@@ -131,6 +131,14 @@ std::vector<std::pair<TxnId, int64_t>> WaitQueueLockTable::WaitingRequests()
   return out;
 }
 
+int64_t WaitQueueLockTable::LockedGranules() const {
+  int64_t count = 0;
+  for (const auto& [granule, state] : granules_) {
+    if (!state.holders.empty()) ++count;
+  }
+  return count;
+}
+
 std::vector<TxnId> WaitQueueLockTable::Holders(int64_t granule) const {
   std::vector<TxnId> out;
   auto it = granules_.find(granule);

@@ -55,6 +55,10 @@ class WaitQueueLockTable {
   /// Number of queued (waiting) requests across all granules.
   int64_t WaitingCount() const { return waiting_count_; }
 
+  /// Number of granules currently held by at least one transaction
+  /// (granules with only waiters are not counted). Order-insensitive.
+  int64_t LockedGranules() const;
+
   /// Every queued request as (waiter, granule) pairs, in no particular
   /// order. Used to rebuild the waits-for graph for deadlock detection.
   std::vector<std::pair<TxnId, int64_t>> WaitingRequests() const;

@@ -1,6 +1,7 @@
 #include "lockmgr/waits_for.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace granulock::lockmgr {
 
@@ -68,6 +69,39 @@ std::vector<TxnId> WaitsForGraph::FindCycleFrom(TxnId start) const {
     }
   }
   return {};
+}
+
+int64_t WaitsForGraph::ChainDepthFrom(TxnId start) const {
+  // Recursive DFS with memoization; on-path nodes are marked so a
+  // back-edge (cycle) contributes depth 0 instead of recursing forever.
+  // A depth computed while a cycle was being skipped is path-dependent,
+  // so it is not memoized — keeping the result independent of the
+  // unordered adjacency order even on transiently cyclic graphs.
+  std::unordered_map<TxnId, int64_t> memo;
+  std::unordered_set<TxnId> on_path;
+  // Returns (depth, saw_cycle). Bounded by active transactions.
+  auto depth = [&](auto&& self, TxnId node) -> std::pair<int64_t, bool> {
+    auto mit = memo.find(node);
+    if (mit != memo.end()) return {mit->second, false};
+    auto it = out_.find(node);
+    if (it == out_.end()) return {0, false};
+    on_path.insert(node);
+    int64_t best = 0;
+    bool saw_cycle = false;
+    for (const TxnId next : it->second) {
+      if (on_path.count(next) != 0) {  // cycle: contributes 0
+        saw_cycle = true;
+        continue;
+      }
+      const auto [d, c] = self(self, next);
+      best = std::max(best, 1 + d);
+      saw_cycle = saw_cycle || c;
+    }
+    on_path.erase(node);
+    if (!saw_cycle) memo.emplace(node, best);
+    return {best, saw_cycle};
+  };
+  return depth(depth, start).first;
 }
 
 bool WaitsForGraph::HasEdge(TxnId waiter, TxnId holder) const {

@@ -40,6 +40,14 @@ class WaitsForGraph {
   /// if `start` is not on any cycle. Iterative DFS; O(V + E).
   std::vector<TxnId> FindCycleFrom(TxnId start) const;
 
+  /// Length (in edges) of the longest waits-for path starting at `start`:
+  /// 0 when `start` waits on nobody, 1 when all its holders are active,
+  /// more when holders are themselves blocked. Back-edges to a node
+  /// already on the current path contribute 0 (cycles are the deadlock
+  /// detector's business). Memoized DFS; the result is a max over
+  /// neighbors, so it is independent of the unordered adjacency order.
+  int64_t ChainDepthFrom(TxnId start) const;
+
   /// True iff the edge exists.
   bool HasEdge(TxnId waiter, TxnId holder) const;
 

@@ -1,0 +1,230 @@
+#include "obs/contention.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace granulock::obs {
+
+std::string ContentionKeyName(int64_t key) {
+  if (key >= 0) return StrFormat("g%lld", (long long)key);
+  if (key == kRootObjectKey) return "root";
+  return StrFormat("file%lld", (long long)(-2 - key));
+}
+
+ThrashingBoundary DetectThrashingBoundary(const std::vector<double>& xs,
+                                          const std::vector<double>& ys,
+                                          double rel_tolerance) {
+  ThrashingBoundary out;
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n == 0) return out;
+  size_t peak = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (ys[i] > ys[peak]) peak = i;  // first maximum wins ties
+  }
+  out.peak_x = xs[peak];
+  out.peak_y = ys[peak];
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (ys[i + 1] < ys[i] * (1.0 - rel_tolerance)) {
+      out.found = true;
+      out.boundary_x = xs[i + 1];
+      break;
+    }
+  }
+  if (out.peak_y > 0.0) {
+    double min_after = out.peak_y;
+    for (size_t i = peak; i < n; ++i) min_after = std::min(min_after, ys[i]);
+    out.collapse_fraction = 1.0 - min_after / out.peak_y;
+  }
+  return out;
+}
+
+ContentionProfiler::ContentionProfiler()
+    : ContentionProfiler(Options{}) {}
+
+ContentionProfiler::ContentionProfiler(Options options)
+    : options_(options),
+      series_(options.sample_interval > 0 ? options.sample_interval : 50.0,
+              options.series_capacity) {
+  series_.SetColumns({"blocked_fraction", "lock_occupancy"});
+}
+
+void ContentionProfiler::BeginRun(int64_t num_granules, bool imputed) {
+  num_granules_ = num_granules;
+  imputed_ = imputed;
+}
+
+void ContentionProfiler::OnBlock(uint64_t waiter, int64_t key,
+                                 lockmgr::LockMode requested,
+                                 lockmgr::LockMode held, int64_t chain_depth,
+                                 double now) {
+  ++by_key_[key].waits;
+  ++total_waits_;
+  ++mode_conflicts_[static_cast<int>(requested)][static_cast<int>(held)];
+  if (chain_depth < 1) chain_depth = 1;
+  ++chain_depths_[chain_depth];
+  max_chain_depth_ = std::max(max_chain_depth_, chain_depth);
+  open_waits_[waiter] = OpenWait{now, key};
+}
+
+void ContentionProfiler::OnUnblock(uint64_t waiter, double now) {
+  auto it = open_waits_.find(waiter);
+  if (it == open_waits_.end()) return;
+  const double waited = now - it->second.start;
+  by_key_[it->second.key].wait_time += waited;
+  total_wait_time_ += waited;
+  open_waits_.erase(it);
+}
+
+void ContentionProfiler::OnGrant(int64_t key, int64_t count) {
+  by_key_[key].grants += count;
+  total_grants_ += count;
+}
+
+void ContentionProfiler::OnGrantTotal(int64_t count) {
+  total_grants_ += count;
+}
+
+void ContentionProfiler::OnSample(
+    double now, double blocked_fraction, double lock_occupancy,
+    std::vector<std::pair<uint64_t, uint64_t>> edges) {
+  series_.Push(now, {blocked_fraction, lock_occupancy});
+  // The edge list may come from unordered engine state; sort so stored
+  // snapshots (and everything derived from them) are order-independent.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  if (spans_ != nullptr) {
+    spans_->Instant(now, "waits_for_edges",
+                    static_cast<int64_t>(edges.size()));
+  }
+  if (snapshots_.size() >= options_.max_snapshots) return;
+  Snapshot snap;
+  snap.time = now;
+  snap.total_edges = edges.size();
+  if (edges.size() > options_.max_snapshot_edges) {
+    edges.resize(options_.max_snapshot_edges);
+  }
+  snap.edges = std::move(edges);
+  snapshots_.push_back(std::move(snap));
+}
+
+std::vector<ContentionProfiler::GranuleStat>
+ContentionProfiler::TopGranules() const {
+  std::vector<GranuleStat> all;
+  all.reserve(by_key_.size());
+  for (const auto& [key, c] : by_key_) {
+    all.push_back(GranuleStat{key, c.waits, c.wait_time, c.grants});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const GranuleStat& a, const GranuleStat& b) {
+              if (a.wait_time != b.wait_time) return a.wait_time > b.wait_time;
+              if (a.waits != b.waits) return a.waits > b.waits;
+              return a.key < b.key;
+            });
+  if (options_.top_k >= 0 &&
+      all.size() > static_cast<size_t>(options_.top_k)) {
+    all.resize(static_cast<size_t>(options_.top_k));
+  }
+  return all;
+}
+
+double ContentionProfiler::MeanBlockedFraction() const {
+  const auto rows = series_.Rows();
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& row : rows) sum += row.values[0];
+  return sum / static_cast<double>(rows.size());
+}
+
+double ContentionProfiler::MeanLockOccupancy() const {
+  const auto rows = series_.Rows();
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& row : rows) sum += row.values[1];
+  return sum / static_cast<double>(rows.size());
+}
+
+void ContentionProfiler::WriteDot(std::ostream& os) const {
+  const Snapshot* best = nullptr;
+  for (const Snapshot& s : snapshots_) {
+    if (best == nullptr || s.edges.size() > best->edges.size()) best = &s;
+  }
+  os << "digraph waits_for {\n";
+  if (best != nullptr) {
+    os << "  // simulated time " << best->time << ", " << best->total_edges
+       << " edges";
+    if (best->edges.size() < best->total_edges) {
+      os << " (" << best->edges.size() << " shown)";
+    }
+    os << "\n";
+    for (const auto& [waiter, holder] : best->edges) {
+      os << "  t" << waiter << " -> t" << holder << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void ContentionProfiler::WriteJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("imputed_granules").Value(imputed_);
+  w.Key("num_granules").Value(num_granules_);
+  w.Key("waits").Value(total_waits_);
+  w.Key("grants").Value(total_grants_);
+  w.Key("wait_time").Value(total_wait_time_);
+  w.Key("mean_blocked_fraction").Value(MeanBlockedFraction());
+  w.Key("mean_lock_occupancy").Value(MeanLockOccupancy());
+  w.Key("top_granules").BeginArray();
+  for (const GranuleStat& g : TopGranules()) {
+    w.BeginObject();
+    w.Key("key").Value(g.key);
+    w.Key("name").Value(ContentionKeyName(g.key));
+    w.Key("waits").Value(g.waits);
+    w.Key("wait_time").Value(g.wait_time);
+    w.Key("grants").Value(g.grants);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("mode_conflicts").BeginObject();
+  for (int req = 0; req < lockmgr::kNumLockModes; ++req) {
+    for (int held = 0; held < lockmgr::kNumLockModes; ++held) {
+      if (mode_conflicts_[req][held] == 0) continue;
+      const std::string cell = StrFormat(
+          "%s|%s",
+          lockmgr::LockModeToString(static_cast<lockmgr::LockMode>(req)),
+          lockmgr::LockModeToString(static_cast<lockmgr::LockMode>(held)));
+      w.Key(cell).Value(mode_conflicts_[req][held]);
+    }
+  }
+  w.EndObject();
+  w.Key("chain_depths").BeginObject();
+  for (const auto& [depth, count] : chain_depths_) {
+    w.Key(StrFormat("%lld", (long long)depth)).Value(count);
+  }
+  w.EndObject();
+  w.Key("max_chain_depth").Value(max_chain_depth_);
+  w.Key("samples").Value(static_cast<int64_t>(series_.Rows().size()));
+  w.Key("snapshots").Value(static_cast<int64_t>(snapshots_.size()));
+  w.EndObject();
+}
+
+void ContentionProfiler::Clear() {
+  num_granules_ = 0;
+  imputed_ = false;
+  by_key_.clear();
+  open_waits_.clear();
+  for (auto& row : mode_conflicts_) {
+    for (auto& cell : row) cell = 0;
+  }
+  chain_depths_.clear();
+  max_chain_depth_ = 0;
+  total_waits_ = 0;
+  total_grants_ = 0;
+  total_wait_time_ = 0.0;
+  series_.Clear();
+  snapshots_.clear();
+}
+
+}  // namespace granulock::obs

@@ -1,0 +1,202 @@
+#ifndef GRANULOCK_OBS_CONTENTION_H_
+#define GRANULOCK_OBS_CONTENTION_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lockmgr/lock_mode.h"
+#include "obs/span_trace.h"
+#include "obs/time_series.h"
+
+namespace granulock::obs {
+
+/// Keys identifying the lockable object a wait is attributed to. Granules
+/// use their own non-negative index; the two coarser levels of the
+/// hierarchical manager map into negative keys so one ordered map covers
+/// the whole hierarchy.
+inline constexpr int64_t kRootObjectKey = -1;
+inline constexpr int64_t FileObjectKey(int64_t file) { return -2 - file; }
+
+/// Human-readable name for a contention key: "g<N>" for granules, "root"
+/// for the database root, "file<F>" for file-level locks.
+std::string ContentionKeyName(int64_t key);
+
+/// The ltot (or multiprogramming level) where a throughput curve bends
+/// over — the paper's thrashing region boundary. Detected from a sweep's
+/// discrete derivative: the first grid point whose throughput drops by
+/// more than `rel_tolerance` relative to its predecessor.
+struct ThrashingBoundary {
+  bool found = false;
+  double boundary_x = 0.0;  ///< first x where the derivative turns negative
+  double peak_x = 0.0;      ///< x of the (first) throughput maximum
+  double peak_y = 0.0;      ///< throughput at the peak
+  /// 1 - min(y after peak) / peak_y: how far throughput collapses past
+  /// the boundary (0 when not found or the curve never drops).
+  double collapse_fraction = 0.0;
+};
+
+/// Scans the (x, y) curve in x order. `rel_tolerance` guards against
+/// declaring a boundary on replication noise (default 2%).
+ThrashingBoundary DetectThrashingBoundary(const std::vector<double>& xs,
+                                          const std::vector<double>& ys,
+                                          double rel_tolerance = 0.02);
+
+/// Attribution profiler for lock contention: where do waits happen, which
+/// mode pairs collide, how deep do blocking chains grow, and how does the
+/// blocked fraction evolve over simulated time. Engines call the On*
+/// hooks at the points where they already account for blocking; all
+/// internal state is kept in ordered containers and all times are
+/// simulated time, so attaching a profiler never perturbs results and its
+/// exports are byte-stable run to run (the same contract as the other
+/// `obs` sinks, enforced by tests/contention_test.cc and
+/// tests/determinism_test.cc).
+///
+/// Not thread-safe; one profiler belongs to one engine run.
+class ContentionProfiler {
+ public:
+  struct Options {
+    /// Hot granules reported by `TopGranules()` / `WriteJson`.
+    int top_k = 10;
+    /// Simulated-time cadence the owning engine samples at (engines read
+    /// this to schedule their observer ticks).
+    double sample_interval = 50.0;
+    /// Ring capacity of the contention time series.
+    size_t series_capacity = 1 << 16;
+    /// Bounds on stored waits-for snapshots (edges kept per snapshot and
+    /// snapshots retained; the largest snapshot is what `WriteDot` uses).
+    size_t max_snapshot_edges = 256;
+    size_t max_snapshots = 64;
+  };
+
+  ContentionProfiler();
+  explicit ContentionProfiler(Options options);
+
+  /// Declares the run about to start. `imputed` marks the probabilistic
+  /// engine, whose conflict model has no real lock table: granule
+  /// attribution there is drawn from a profiler-private stream and grants
+  /// are only counted in aggregate (per-granule `grants` stay 0).
+  void BeginRun(int64_t num_granules, bool imputed);
+
+  /// `waiter` started blocking on `key` at simulated time `now`:
+  /// `requested` collided with `held` and the blocking chain below the
+  /// holder is `chain_depth` edges long (1 = waiting on an active
+  /// holder). A waiter already blocked is re-attributed to the new key.
+  void OnBlock(uint64_t waiter, int64_t key, lockmgr::LockMode requested,
+               lockmgr::LockMode held, int64_t chain_depth, double now);
+
+  /// `waiter` stopped blocking (granted or aborted) at `now`; the wait
+  /// time is credited to the key recorded by `OnBlock`. Unknown waiters
+  /// are ignored. Waits still open when the run ends stay uncredited —
+  /// the accounting covers completed waits only.
+  void OnUnblock(uint64_t waiter, double now);
+
+  /// `count` locks granted on `key` (no waiting involved in the count —
+  /// grants measure traffic, waits measure contention).
+  void OnGrant(int64_t key, int64_t count = 1);
+
+  /// Aggregate-only grant count, for the imputed engine where individual
+  /// granules are not modeled.
+  void OnGrantTotal(int64_t count);
+
+  /// One periodic sample at simulated time `now`: the fraction of
+  /// transactions blocked on locks, the fraction of granules locked, and
+  /// the current waits-for edges (waiter, holder). The edge list may come
+  /// from unordered engine state — it is sorted here before storage.
+  void OnSample(double now, double blocked_fraction, double lock_occupancy,
+                std::vector<std::pair<uint64_t, uint64_t>> edges);
+
+  /// Mirrors every snapshot into `spans` as Chrome-trace instant events
+  /// (named "waits_for_edges", value = edge count). Unowned; may be null.
+  void LinkSpans(SpanRecorder* spans) { spans_ = spans; }
+
+  // ---- read-out --------------------------------------------------------
+
+  struct GranuleStat {
+    int64_t key = 0;
+    int64_t waits = 0;
+    double wait_time = 0.0;
+    int64_t grants = 0;
+  };
+  /// The `top_k` hottest keys by completed wait time (ties: more waits,
+  /// then lower key) — a deterministic total order.
+  std::vector<GranuleStat> TopGranules() const;
+
+  int64_t total_waits() const { return total_waits_; }
+  int64_t total_grants() const { return total_grants_; }
+  double total_wait_time() const { return total_wait_time_; }
+  int64_t max_chain_depth() const { return max_chain_depth_; }
+  /// requested x held counts of deny events (indexes follow `LockMode`).
+  using ModeMatrix =
+      int64_t[lockmgr::kNumLockModes][lockmgr::kNumLockModes];
+  const ModeMatrix& mode_conflicts() const { return mode_conflicts_; }
+  /// chain depth -> number of blocks observed at that depth.
+  const std::map<int64_t, int64_t>& chain_depths() const {
+    return chain_depths_;
+  }
+  /// The contention time series (columns blocked_fraction,
+  /// lock_occupancy), for CSV export.
+  const TimeSeriesSampler& series() const { return series_; }
+  double MeanBlockedFraction() const;
+  double MeanLockOccupancy() const;
+
+  struct Snapshot {
+    double time = 0.0;
+    /// Sorted (waiter, holder) pairs, truncated to `max_snapshot_edges`.
+    std::vector<std::pair<uint64_t, uint64_t>> edges;
+    /// Edge count before truncation.
+    size_t total_edges = 0;
+  };
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+
+  /// Writes the waits-for snapshot with the most edges (ties: earliest)
+  /// as a Graphviz digraph; an empty graph when nothing was captured.
+  void WriteDot(std::ostream& os) const;
+
+  /// Writes one JSON object summarizing the run: totals, top-K granules,
+  /// the non-zero cells of the mode-conflict matrix ("REQ|HELD" keys),
+  /// the chain-depth histogram, and the series means. Byte-stable for a
+  /// given accounting state.
+  void WriteJson(std::ostream& os) const;
+
+  const Options& options() const { return options_; }
+
+  /// Forgets everything (including BeginRun state).
+  void Clear();
+
+ private:
+  struct GranuleContention {
+    int64_t waits = 0;
+    double wait_time = 0.0;
+    int64_t grants = 0;
+  };
+  struct OpenWait {
+    double start = 0.0;
+    int64_t key = 0;
+  };
+
+  Options options_;
+  int64_t num_granules_ = 0;
+  bool imputed_ = false;
+
+  std::map<int64_t, GranuleContention> by_key_;
+  std::map<uint64_t, OpenWait> open_waits_;
+  int64_t mode_conflicts_[lockmgr::kNumLockModes][lockmgr::kNumLockModes] =
+      {};
+  std::map<int64_t, int64_t> chain_depths_;
+  int64_t max_chain_depth_ = 0;
+  int64_t total_waits_ = 0;
+  int64_t total_grants_ = 0;
+  double total_wait_time_ = 0.0;
+
+  TimeSeriesSampler series_;
+  std::vector<Snapshot> snapshots_;
+  SpanRecorder* spans_ = nullptr;  // unowned, optional
+};
+
+}  // namespace granulock::obs
+
+#endif  // GRANULOCK_OBS_CONTENTION_H_

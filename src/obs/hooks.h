@@ -1,6 +1,7 @@
 #ifndef GRANULOCK_OBS_HOOKS_H_
 #define GRANULOCK_OBS_HOOKS_H_
 
+#include "obs/contention.h"
 #include "obs/registry.h"
 #include "obs/span_trace.h"
 #include "obs/time_series.h"
@@ -25,9 +26,13 @@ struct Hooks {
   SpanRecorder* spans = nullptr;
   /// Periodic queue/utilization/throughput samples.
   TimeSeriesSampler* sampler = nullptr;
+  /// Per-granule wait attribution, blocking-chain telemetry, and the
+  /// contention time series (see obs/contention.h).
+  ContentionProfiler* contention = nullptr;
 
   bool any() const {
-    return registry != nullptr || spans != nullptr || sampler != nullptr;
+    return registry != nullptr || spans != nullptr || sampler != nullptr ||
+           contention != nullptr;
   }
 };
 

@@ -133,6 +133,12 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  os_ << json;
+  return *this;
+}
+
 namespace {
 
 /// Recursive-descent JSON checker. Tracks position only; values are not

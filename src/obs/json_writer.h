@@ -56,6 +56,11 @@ class JsonWriter {
   JsonWriter& Value(bool b);
   JsonWriter& Null();
 
+  /// Embeds `json` — which must already be one well-formed JSON value —
+  /// verbatim in value position. Used to splice pre-rendered sub-reports
+  /// (e.g. the contention profiler's) into a streamed document.
+  JsonWriter& Raw(std::string_view json);
+
  private:
   /// Emits the separating comma if a sibling value precedes this one.
   void BeforeValue();

@@ -1,6 +1,7 @@
 #include "obs/registry.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/json_writer.h"
 #include "util/logging.h"
@@ -17,11 +18,20 @@ Histogram::Histogram(std::vector<double> bounds)
 }
 
 void Histogram::Observe(double x) {
+  // Non-finite observations land in the terminal overflow bucket (NaN
+  // compares false against every bound, so lower_bound would otherwise
+  // drop it into bucket 0 and poison sum/min/max). They count toward
+  // count() but are excluded from sum/min/max, keeping Mean() finite.
+  if (!std::isfinite(x)) {
+    ++counts_.back();
+    ++count_;
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   ++counts_[static_cast<size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += x;
-  if (count_ == 1) {
+  if (finite_count_++ == 0) {
     min_ = max_ = x;
   } else {
     min_ = std::min(min_, x);

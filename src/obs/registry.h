@@ -41,6 +41,10 @@ class Gauge {
 /// finite buckets; one overflow bucket catches everything above the last
 /// bound. Also tracks count/sum/min/max so means are exact even though
 /// bucket placement is coarse.
+///
+/// Non-finite observations (NaN, ±inf) are clamped into the overflow
+/// bucket and counted in `count()`, but excluded from sum/min/max so one
+/// bad sample cannot poison the moments (`Mean()` stays finite).
 class Histogram {
  public:
   void Observe(double x);
@@ -53,10 +57,12 @@ class Histogram {
 
   int64_t count() const { return count_; }
   double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double min() const { return finite_count_ == 0 ? 0.0 : min_; }
+  double max() const { return finite_count_ == 0 ? 0.0 : max_; }
+  /// Mean of the finite observations (0 when there were none).
   double Mean() const {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    return finite_count_ == 0 ? 0.0
+                              : sum_ / static_cast<double>(finite_count_);
   }
 
  private:
@@ -66,6 +72,7 @@ class Histogram {
   std::vector<double> bounds_;
   std::vector<int64_t> counts_;
   int64_t count_ = 0;
+  int64_t finite_count_ = 0;  // observations contributing to sum/min/max
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

@@ -48,6 +48,10 @@ void SpanRecorder::TxnComplete(uint64_t txn, double arrival, double completion,
   completed_.emplace(txn, TxnInfo{arrival, completion, parallelism});
 }
 
+void SpanRecorder::Instant(double time, std::string name, int64_t value) {
+  instants_.push_back(InstantEvent{time, std::move(name), value});
+}
+
 void SpanRecorder::WriteChromeTrace(std::ostream& os) const {
   // Collect the tracks present so thread-name metadata can precede spans.
   std::map<int32_t, int> tid_of;  // track -> tid (lifecycle first, then nodes)
@@ -96,6 +100,20 @@ void SpanRecorder::WriteChromeTrace(std::ostream& os) const {
     w.Key("args").BeginObject().Key("txn").Value(s.txn).EndObject();
     w.EndObject();
   }
+  // Instant markers land on the lifecycle track with global scope so
+  // they draw as full-height lines in the trace viewer.
+  for (const InstantEvent& e : instants_) {
+    w.BeginObject();
+    w.Key("name").Value(e.name);
+    w.Key("cat").Value("contention");
+    w.Key("ph").Value("i");
+    w.Key("s").Value("g");
+    w.Key("pid").Value(0);
+    w.Key("tid").Value(tid_of.at(kLifecycleTrack));
+    w.Key("ts").Value(e.time);
+    w.Key("args").BeginObject().Key("value").Value(e.value).EndObject();
+    w.EndObject();
+  }
   w.EndArray();
   w.EndObject();
   os << "\n";
@@ -126,8 +144,9 @@ Result<SpanRecorder::Decomposition> SpanRecorder::Decompose(
 
 Status SpanRecorder::CheckReconciliation(double rel_tol) const {
   // One pass accumulating per-txn phase sums (Decompose per txn would be
-  // quadratic in the span count).
-  std::unordered_map<uint64_t, Decomposition> sums;
+  // quadratic in the span count). Ordered map so the first-offender
+  // error below is deterministic.
+  std::map<uint64_t, Decomposition> sums;
   for (const Span& s : spans_) {
     if (completed_.find(s.txn) == completed_.end()) continue;
     if (truncated_.count(s.txn) != 0) continue;
@@ -153,6 +172,7 @@ Status SpanRecorder::CheckReconciliation(double rel_tol) const {
 
 void SpanRecorder::Clear() {
   spans_.clear();
+  instants_.clear();
   dropped_ = 0;
   completed_.clear();
   truncated_.clear();

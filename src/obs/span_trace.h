@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -70,6 +71,18 @@ class SpanRecorder {
   void TxnComplete(uint64_t txn, double arrival, double completion,
                    int64_t parallelism);
 
+  /// A named point-in-time marker with an integer value (contention
+  /// profiler snapshots and the like). Exported as a Chrome-trace
+  /// global instant event ("ph":"i") on the lifecycle track; does not
+  /// count against the span capacity.
+  struct InstantEvent {
+    double time = 0.0;
+    std::string name;
+    int64_t value = 0;
+  };
+  void Instant(double time, std::string name, int64_t value);
+  const std::vector<InstantEvent>& instants() const { return instants_; }
+
   const std::vector<Span>& spans() const { return spans_; }
   uint64_t dropped() const { return dropped_; }
   /// Transactions registered through `TxnComplete`.
@@ -115,6 +128,7 @@ class SpanRecorder {
 
   size_t capacity_;
   std::vector<Span> spans_;
+  std::vector<InstantEvent> instants_;
   uint64_t dropped_ = 0;
   std::unordered_map<uint64_t, TxnInfo> completed_;
   std::unordered_set<uint64_t> truncated_;  // txns with >= 1 dropped span

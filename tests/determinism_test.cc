@@ -107,6 +107,86 @@ TEST(DeterminismTest, JsonReportBytesAreReproducible) {
   EXPECT_EQ(report_a, report_b);  // byte-identical
 }
 
+// --- contention-profiler determinism ---
+//
+// --profile_contention re-runs surviving cells with a
+// `obs::ContentionProfiler` attached. Two contracts: (1) profiling is
+// invisible — every simulated metric in the report stays byte-identical
+// with the profiler on or off; (2) the profiler's own output is
+// deterministic — the contention section's bytes are stable across
+// repeated same-seed runs and across any --threads value (the profiling
+// pass always runs serially on the rep-0 seed).
+
+TEST(ContentionDeterminismTest, ProfilerOnOrOffLeavesMetricsByteIdentical) {
+  bench::BenchArgs args;
+  args.seed = 42;
+  args.reps = 2;
+  args.tmax = 500.0;
+
+  const model::SystemConfig cfg = Figure2Config();
+  std::vector<bench::Series> series;
+  series.push_back({"npros=10", cfg, workload::WorkloadSpec::Base(cfg), {}});
+
+  bench::FigureData off =
+      bench::RunFigure("fig02", series, args, {1, 20, 100});
+  args.profile_contention = true;
+  bench::FigureData on = bench::RunFigure("fig02", series, args, {1, 20, 100});
+
+  // Cell-level: every replicated metric is bit-identical.
+  ASSERT_EQ(on.values.size(), off.values.size());
+  for (size_t s = 0; s < off.values.size(); ++s) {
+    ASSERT_EQ(on.values[s].size(), off.values[s].size());
+    for (size_t p = 0; p < off.values[s].size(); ++p) {
+      ExpectBitIdentical(off.values[s][p], on.values[s][p]);
+    }
+  }
+  ASSERT_EQ(on.contention.size(), 1u);  // the profile itself was collected
+  EXPECT_EQ(on.contention[0].points.size(), 3u);
+
+  // Report-level: with the contention section dropped (and the flag
+  // normalized), the profiled report is byte-identical to the plain one.
+  on.contention.clear();
+  off.wall_seconds = 0.0;
+  on.wall_seconds = 0.0;
+  args.profile_contention = false;
+  const std::string report_off = bench::RenderJsonReport("fig02", off, args);
+  const std::string report_on = bench::RenderJsonReport("fig02", on, args);
+  EXPECT_EQ(report_on, report_off);
+}
+
+TEST(ContentionDeterminismTest, ContentionBytesStableAcrossRunsAndThreads) {
+  bench::BenchArgs args;
+  args.seed = 42;
+  args.reps = 2;
+  args.tmax = 500.0;
+  args.profile_contention = true;
+
+  const model::SystemConfig cfg = Figure2Config();
+  std::vector<bench::Series> series;
+  series.push_back({"npros=10", cfg, workload::WorkloadSpec::Base(cfg), {}});
+
+  // threads=1 twice (repeated same-seed run), then 2 and 8.
+  std::string reference;
+  for (int threads : {1, 1, 2, 8}) {
+    args.threads = threads;
+    args.resolved_threads = threads;
+    bench::FigureData data =
+        bench::RunFigure("fig02", series, args, {1, 20, 100});
+    data.wall_seconds = 0.0;
+    // Pin the thread count recorded in the report header so the bytes can
+    // only differ if the results (or the contention section) differ.
+    args.threads = 1;
+    args.resolved_threads = 1;
+    const std::string report = bench::RenderJsonReport("fig02", data, args);
+    ASSERT_NE(report.find("\"contention\""), std::string::npos);
+    if (reference.empty()) {
+      reference = report;
+    } else {
+      EXPECT_EQ(report, reference) << "threads=" << threads;
+    }
+  }
+}
+
 // --- parallel execution determinism ---
 //
 // `ParallelRunner` must be invisible in the results: the same seed run

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -121,6 +122,52 @@ TEST(MetricsRegistryTest, HistogramBucketsObservations) {
   EXPECT_DOUBLE_EQ(h->min(), 0.5);
   EXPECT_DOUBLE_EQ(h->max(), 1000.0);
   EXPECT_DOUBLE_EQ(h->Mean(), 1006.5 / 4.0);
+}
+
+TEST(MetricsRegistryTest, HistogramClampsNonFiniteIntoOverflow) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("rt", {1.0, 10.0});
+  h->Observe(std::numeric_limits<double>::quiet_NaN());
+  h->Observe(std::numeric_limits<double>::infinity());
+  h->Observe(-std::numeric_limits<double>::infinity());
+  // All three land in the overflow bucket and are counted...
+  ASSERT_EQ(h->counts().size(), 3u);
+  EXPECT_EQ(h->counts()[0], 0);
+  EXPECT_EQ(h->counts()[1], 0);
+  EXPECT_EQ(h->counts()[2], 3);
+  EXPECT_EQ(h->count(), 3);
+  // ...but excluded from the moments, which stay finite (and zero while
+  // no finite observation arrived).
+  EXPECT_DOUBLE_EQ(h->sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Mean(), 0.0);
+
+  // A finite observation after the bad ones: moments reflect it alone.
+  h->Observe(5.0);
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_EQ(h->counts()[1], 1);
+  EXPECT_DOUBLE_EQ(h->Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h->min(), 5.0);
+  EXPECT_DOUBLE_EQ(h->max(), 5.0);
+
+  // The JSON export stays valid: no bare NaN/inf tokens can leak out.
+  std::ostringstream os;
+  registry.WriteJson(os);
+  EXPECT_TRUE(ValidateJson(os.str()).ok()) << os.str();
+}
+
+TEST(MetricsRegistryTest, HistogramValuesAboveLastBoundOverflow) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("rt", {1.0});
+  h->Observe(1.0);  // inclusive upper edge: still the finite bucket
+  h->Observe(std::nextafter(1.0, 2.0));  // just above: overflow
+  h->Observe(std::numeric_limits<double>::max());
+  ASSERT_EQ(h->counts().size(), 2u);
+  EXPECT_EQ(h->counts()[0], 1);
+  EXPECT_EQ(h->counts()[1], 2);
+  // Huge-but-finite observations do contribute to the moments.
+  EXPECT_DOUBLE_EQ(h->max(), std::numeric_limits<double>::max());
 }
 
 TEST(MetricsRegistryTest, SnapshotIsInNameOrder) {

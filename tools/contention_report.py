@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Render the contention-attribution section of a BENCH_*.json report.
+
+Usage:
+    tools/contention_report.py BENCH_fig02.json
+    tools/contention_report.py BENCH_fig02.json --series "NPROS=10" --ltot 50
+    tools/contention_report.py BENCH_fig02.json --top 5
+
+Reads the `contention` section written by a bench run with
+--profile_contention and prints, per series:
+
+  * the thrashing boundary detected on the throughput curve,
+  * a hot-granule table (top-K keys by completed wait time),
+  * the mode-conflict heatmap (requested x held deny counts),
+  * the blocking-chain depth histogram,
+
+for the hottest profiled point of the series (the one with the most
+waits), or the point selected with --ltot. --series restricts the output
+to one curve.
+
+Exit status:
+    0  rendered at least one profile
+    1  the selection (--series/--ltot) matched nothing
+    2  usage error, unreadable input, or no `contention` section
+       (re-run the bench with --profile_contention)
+
+Stdlib only; the output is plain text, aligned for a terminal.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Gray's lock modes in canonical order (matches lockmgr::LockMode).
+MODES = ["NL", "IS", "IX", "S", "SIX", "X"]
+
+
+def load_report(path):
+    if not os.path.exists(path):
+        print(f"error: report {path} does not exist", file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read report {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fmt(value, digits=4):
+    """Compact numeric formatting: integers stay integral."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def print_table(headers, rows):
+    """Prints an aligned table: first column left, the rest right."""
+    widths = [len(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells):
+        out = []
+        for i, cell in enumerate(cells):
+            out.append(cell.ljust(widths[i]) if i == 0
+                       else cell.rjust(widths[i]))
+        return "  ".join(out)
+    print(render(headers))
+    print(render(["-" * w for w in widths]))
+    for row in str_rows:
+        print(render(row))
+
+
+def print_boundary(boundary):
+    if not boundary:
+        print("  thrashing boundary: (not recorded)")
+        return
+    if boundary.get("found"):
+        print(f"  thrashing boundary: ltot = {fmt(boundary.get('boundary_ltot'))}"
+              f"  (peak {fmt(boundary.get('peak_throughput'))} txn/time at"
+              f" ltot = {fmt(boundary.get('peak_ltot'))},"
+              f" collapse {fmt(100.0 * boundary.get('collapse_fraction', 0.0), 3)}%"
+              " past the peak)")
+    else:
+        print("  thrashing boundary: none detected"
+              f" (peak {fmt(boundary.get('peak_throughput'))} txn/time at"
+              f" ltot = {fmt(boundary.get('peak_ltot'))})")
+
+
+def print_hot_granules(profile, top):
+    granules = profile.get("top_granules", [])[:top] if top else \
+        profile.get("top_granules", [])
+    print(f"  hot granules (top {len(granules)} by wait time;"
+          f" {fmt(profile.get('waits'))} waits,"
+          f" {fmt(profile.get('grants'))} grants,"
+          f" total wait time {fmt(profile.get('wait_time'))}):")
+    if not granules:
+        print("    (no waits recorded)")
+        return
+    rows = [[g.get("name", "?"), fmt(g.get("waits")),
+             fmt(g.get("wait_time")), fmt(g.get("grants"))]
+            for g in granules]
+    print("    " + "\n    ".join(
+        render_lines(["object", "waits", "wait_time", "grants"], rows)))
+
+
+def render_lines(headers, rows):
+    """print_table, but returned as lines (for indenting)."""
+    import io
+    buf = io.StringIO()
+    stdout = sys.stdout
+    sys.stdout = buf
+    try:
+        print_table(headers, rows)
+    finally:
+        sys.stdout = stdout
+    return buf.getvalue().rstrip("\n").split("\n")
+
+
+def print_mode_heatmap(profile):
+    conflicts = profile.get("mode_conflicts", {})
+    print("  mode-conflict heatmap (rows = requested, cols = held):")
+    if not conflicts:
+        print("    (no deny events)")
+        return
+    grid = {}
+    for cell, count in conflicts.items():
+        req, _, held = cell.partition("|")
+        grid[(req, held)] = count
+    held_modes = [m for m in MODES if any(h == m for (_, h) in grid)]
+    req_modes = [m for m in MODES if any(r == m for (r, _) in grid)]
+    rows = []
+    for req in req_modes:
+        rows.append([req] + [fmt(grid.get((req, held), 0))
+                             for held in held_modes])
+    print("    " + "\n    ".join(
+        render_lines(["req\\held"] + held_modes, rows)))
+
+
+def print_chain_histogram(profile):
+    depths = profile.get("chain_depths", {})
+    print(f"  blocking-chain depth histogram"
+          f" (max depth {fmt(profile.get('max_chain_depth'))}):")
+    if not depths:
+        print("    (no blocks recorded)")
+        return
+    items = sorted(depths.items(), key=lambda kv: int(kv[0]))
+    peak = max(count for _, count in items)
+    for depth, count in items:
+        bar = "#" * max(1, round(40 * count / peak)) if peak else ""
+        print(f"    depth {depth:>3}: {count:>8}  {bar}")
+
+
+def pick_point(points, ltot):
+    """The requested ltot, or the point with the most waits (ties: lowest
+    ltot, matching the C++ driver's hottest-cell rule)."""
+    if ltot is not None:
+        for point in points:
+            if point.get("ltot") == ltot:
+                return point
+        return None
+    best = None
+    for point in points:
+        waits = point.get("profile", {}).get("waits", 0)
+        if best is None or waits > best.get("profile", {}).get("waits", 0):
+            best = point
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="BENCH_*.json written with "
+                        "--json_out --profile_contention")
+    parser.add_argument("--series", help="only this series label")
+    parser.add_argument("--ltot", type=int,
+                        help="profile this sweep point instead of the "
+                        "hottest one")
+    parser.add_argument("--top", type=int, default=0,
+                        help="cap the hot-granule table at N rows "
+                        "(default: all recorded)")
+    args = parser.parse_args()
+
+    report = load_report(args.report)
+    contention = report.get("contention")
+    if not contention:
+        print(f"error: {args.report} has no `contention` section; "
+              "re-run the bench with --json_out --profile_contention",
+              file=sys.stderr)
+        sys.exit(2)
+
+    experiment = report.get("experiment", "?")
+    print(f"contention report: {experiment} ({args.report})")
+
+    rendered = 0
+    for series in contention:
+        label = series.get("label", "?")
+        if args.series is not None and label != args.series:
+            continue
+        points = series.get("points", [])
+        point = pick_point(points, args.ltot)
+        print(f"\nseries {label}: {len(points)} profiled point(s)")
+        print_boundary(series.get("thrashing_boundary"))
+        if point is None:
+            if args.ltot is not None:
+                print(f"  (no profiled point at ltot = {args.ltot}; "
+                      f"available: {[p.get('ltot') for p in points]})")
+            else:
+                print("  (no profiled points)")
+            continue
+        profile = point.get("profile", {})
+        where = "imputed attribution" if profile.get("imputed_granules") \
+            else "lock-table attribution"
+        print(f"  profiled point: ltot = {fmt(point.get('ltot'))}"
+              f" ({where};"
+              f" mean blocked fraction"
+              f" {fmt(profile.get('mean_blocked_fraction'))},"
+              f" mean lock occupancy"
+              f" {fmt(profile.get('mean_lock_occupancy'))})")
+        print_hot_granules(profile, args.top)
+        print_mode_heatmap(profile)
+        print_chain_histogram(profile)
+        rendered += 1
+
+    if rendered == 0:
+        if args.series is not None:
+            labels = [s.get("label", "?") for s in contention]
+            print(f"error: no series labelled {args.series!r}; "
+                  f"available: {labels}", file=sys.stderr)
+        else:
+            print("error: no profiled points in any series", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

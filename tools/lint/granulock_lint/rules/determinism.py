@@ -35,12 +35,14 @@ class UnorderedIterationRule(Rule):
         "loop over one in the simulation core can leak that order into "
         "event scheduling or metrics, breaking bit-identical replay"
     )
-    # The deterministic core: event engines, experiment machinery, and the
-    # database-layer simulators. Lock managers (src/lockmgr) iterate
-    # unordered tables only inside order-insensitive CheckConsistency
-    # scans, and src/obs sorts before export, so they stay out of scope
-    # until someone audits them in.
-    paths = ["src/sim/*", "src/core/*", "src/db/*"]
+    # The deterministic core: event engines, experiment machinery, the
+    # database-layer simulators, and the observability sinks — obs exports
+    # (JSON/CSV/DOT/traces) are byte-compared by the determinism tests, so
+    # an unordered iteration there is as fatal as one in an engine.
+    # Lock managers (src/lockmgr) iterate unordered tables only inside
+    # order-insensitive CheckConsistency scans and Supremum folds; they
+    # stay out of scope until someone audits them in.
+    paths = ["src/sim/*", "src/core/*", "src/db/*", "src/obs/*"]
 
     def check(self, rel_path: str, model: FileModel,
               ctx: RuleContext) -> Iterable[Finding]:
