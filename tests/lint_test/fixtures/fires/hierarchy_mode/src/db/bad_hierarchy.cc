@@ -1,0 +1,48 @@
+// Fixture: granulock-hierarchy-mode-discipline must fire when a
+// request set passed to TryAcquireAll contains a child lock whose
+// required parent intention (Gray's table) is statically absent, and
+// stay silent when the intent is provided or any mode is non-constant.
+#include <vector>
+
+namespace granulock::db {
+
+enum class LockMode { kNL, kIS, kIX, kS, kSIX, kX };
+
+struct ObjectId {
+  static ObjectId Root();
+  static ObjectId File(long f);
+  static ObjectId Granule(long g);
+};
+
+struct HierRequest {
+  ObjectId object;
+  LockMode mode;
+};
+
+class HierarchicalLockManager {
+ public:
+  long TryAcquireAll(long txn, const std::vector<HierRequest>& requests);
+};
+
+long MissingParentIntent(HierarchicalLockManager* mgr, long txn) {
+  std::vector<HierRequest> requests;
+  requests.push_back(HierRequest{ObjectId::Root(), LockMode::kIS});
+  requests.push_back(HierRequest{ObjectId::Granule(7), LockMode::kX});  // finding
+  return mgr->TryAcquireAll(txn, requests);
+}
+
+long ProperIntent(HierarchicalLockManager* mgr, long txn) {
+  const LockMode parent = LockMode::kIX;  // constant-propagated
+  std::vector<HierRequest> requests;
+  requests.push_back(HierRequest{ObjectId::Root(), parent});
+  requests.push_back(HierRequest{ObjectId::Granule(7), LockMode::kX});
+  return mgr->TryAcquireAll(txn, requests);
+}
+
+long NonConstantMode(HierarchicalLockManager* mgr, long txn, LockMode m) {
+  std::vector<HierRequest> requests;
+  requests.push_back(HierRequest{ObjectId::Granule(3), m});  // ambiguous
+  return mgr->TryAcquireAll(txn, requests);
+}
+
+}  // namespace granulock::db

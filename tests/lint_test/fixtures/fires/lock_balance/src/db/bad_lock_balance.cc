@@ -1,0 +1,54 @@
+// Fixture: granulock-lock-balance must fire when a successful
+// TryAcquireAll path (blocker optional empty) can reach the end of a
+// releasing function without a release, and stay silent when every
+// success path releases or the acquisition provably failed.
+#include <optional>
+#include <vector>
+
+namespace granulock::db {
+
+using TxnId = unsigned long long;
+
+class Table {
+ public:
+  std::optional<TxnId> TryAcquireAll(TxnId txn,
+                                     const std::vector<long>& requests);
+  void ReleaseAll(TxnId txn);
+};
+
+bool LeakOnEarlyExit(Table* table, TxnId txn,
+                     const std::vector<long>& requests, bool flaky) {
+  const auto blocker = table->TryAcquireAll(txn, requests);  // finding
+  if (blocker.has_value()) {
+    return false;  // failed: nothing held, nothing to release
+  }
+  if (flaky) {
+    return true;  // BUG: success path exits still holding the locks
+  }
+  table->ReleaseAll(txn);
+  return true;
+}
+
+bool BalancedEverywhere(Table* table, TxnId txn,
+                        const std::vector<long>& requests, bool flaky) {
+  const auto blocker = table->TryAcquireAll(txn, requests);  // clean
+  if (!blocker.has_value()) {
+    if (flaky) {
+      table->ReleaseAll(txn);
+      return true;
+    }
+    table->ReleaseAll(txn);
+  }
+  return false;
+}
+
+bool OwnershipElsewhere(Table* table, TxnId txn,
+                        const std::vector<long>& requests) {
+  // No release anywhere in this function: the lifetime is split across
+  // callbacks (the engines' event-driven idiom), so the rule must not
+  // demand local balance.
+  const auto blocker = table->TryAcquireAll(txn, requests);  // clean
+  return !blocker.has_value();
+}
+
+}  // namespace granulock::db

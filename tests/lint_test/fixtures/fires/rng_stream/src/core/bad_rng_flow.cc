@@ -1,0 +1,60 @@
+// Fixture: granulock-rng-stream-isolation must fire when a value
+// derived from a profiler-private RNG stream or the wall clock flows
+// into SimulationMetrics or event scheduling, and stay silent for the
+// legitimate seeded stream and for observer-only flows.
+
+namespace granulock::core {
+
+double MonotonicSeconds();
+
+struct SimulationMetrics {
+  double totcom = 0.0;
+  double imputed = 0.0;
+};
+
+class Rng {
+ public:
+  double Uniform();
+  long UniformInt(long lo, long hi);
+};
+
+class Sim {
+ public:
+  void ScheduleAfter(double dt, int what);
+  double Now();
+};
+
+class Profiler {
+ public:
+  void OnBlock(long granule);
+};
+
+class Engine {
+ public:
+  void Tick() {
+    const long granule = contention_rng_.UniformInt(0, 9);
+    profiler_->OnBlock(granule);  // allowed: observer call, not a sink
+    metrics_.imputed = static_cast<double>(granule);       // finding
+    sim_.ScheduleAfter(contention_rng_.Uniform(), 1);      // finding
+  }
+
+  void Report() {
+    const double wall = MonotonicSeconds();
+    metrics_.totcom = wall;  // finding: wall clock into metrics
+  }
+
+  void CleanTick() {
+    const double dt = rng_.Uniform();  // the seeded simulation stream
+    sim_.ScheduleAfter(dt, 2);         // clean
+    metrics_.totcom += 1.0;            // clean
+  }
+
+ private:
+  Rng rng_;
+  Rng contention_rng_;
+  Sim sim_;
+  Profiler* profiler_;
+  SimulationMetrics metrics_;
+};
+
+}  // namespace granulock::core

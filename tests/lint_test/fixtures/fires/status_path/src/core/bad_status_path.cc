@@ -1,0 +1,31 @@
+// Fixture: granulock-status-path must fire when a stored Status is
+// consumed on one path but ignored on another, and stay silent when
+// every path through the function consumes it.
+
+namespace granulock::core {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status DoWork();
+Status DoOther();
+
+int UseOnSomePathsOnly(bool flaky) {
+  const Status st = DoWork();  // finding: ignored when flaky
+  if (flaky) {
+    return 2;
+  }
+  return st.ok() ? 0 : 1;
+}
+
+int ConsumedEverywhere(bool flaky) {
+  const Status st = DoOther();  // clean: both branches look at it
+  if (flaky) {
+    return st.ok() ? 3 : 4;
+  }
+  return st.ok() ? 0 : 1;
+}
+
+}  // namespace granulock::core

@@ -103,6 +103,56 @@ def case_rule_usage():
     _expect_rule("fires/usage", "granulock-lint-usage", 1, lines=[5])
 
 
+def case_rule_lock_balance():
+    _expect_rule("fires/lock_balance", "granulock-lock-balance", 1,
+                 lines=[21])
+
+
+def case_rule_rng_stream():
+    _expect_rule("fires/rng_stream", "granulock-rng-stream-isolation", 3,
+                 lines=[37, 38, 43])
+
+
+def case_rule_hierarchy_mode():
+    _expect_rule("fires/hierarchy_mode",
+                 "granulock-hierarchy-mode-discipline", 1, lines=[30])
+
+
+def case_rule_status_path():
+    _expect_rule("fires/status_path", "granulock-status-path", 1,
+                 lines=[16])
+
+
+def case_sarif_report():
+    """SARIF output over a firing fixture has the shape GitHub code
+    scanning ingests: schema/version, a rule catalogue, one result per
+    finding with a physical location."""
+    root, files = _fixture_files("fires/lock_balance")
+    cmd = [sys.executable, _LINT, "--root", root, "--format", "sarif",
+           "--baseline", "", "--jobs", "1"] + files
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    assert proc.returncode == 1, \
+        f"expected exit 1 (findings), got {proc.returncode}: {proc.stderr}"
+    doc = json.loads(proc.stdout)
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "granulock-lint"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    assert "granulock-lock-balance" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "granulock-lock-balance"
+    assert result["level"] == "warning"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] == 21
+    assert loc["artifactLocation"]["uri"].endswith("bad_lock_balance.cc")
+    assert "suppressions" not in result
+    # Deterministic: a second run is byte-identical.
+    proc2 = subprocess.run(cmd, capture_output=True, text=True)
+    assert proc.stdout == proc2.stdout, "SARIF output is not deterministic"
+
+
 def case_suppression():
     code, doc = _run("suppression")
     assert code == 0, f"suppression: expected exit 0, got {code}"
@@ -185,6 +235,11 @@ CASES = {
     "rule_flag_literal": case_rule_flag_literal,
     "rule_header_guard": case_rule_header_guard,
     "rule_usage": case_rule_usage,
+    "rule_lock_balance": case_rule_lock_balance,
+    "rule_rng_stream": case_rule_rng_stream,
+    "rule_hierarchy_mode": case_rule_hierarchy_mode,
+    "rule_status_path": case_rule_status_path,
+    "sarif_report": case_sarif_report,
     "suppression": case_suppression,
     "clean_tree": case_clean_tree,
     "baseline": case_baseline,

@@ -1,4 +1,4 @@
-"""granulock-lint: AST-level semantic linter for the granulock codebase.
+"""granulock-analyze: semantic linter + dataflow analyzer for granulock.
 
 Enforces project-specific invariants that the generic clang-tidy wall
 cannot express: determinism discipline (no unordered-container iteration
@@ -6,16 +6,23 @@ feeding results, no wall-clock or libc randomness outside the sanctioned
 ``util`` paths), audit-macro purity (``GRANULOCK_DCHECK*`` arguments must
 be side-effect-free because they vanish in Release), Status discipline
 (every ``Status``/``Result<T>`` return is checked, propagated, or
-explicitly voided), fault-point placement, flag-registration hygiene, and
-header-guard style.
+explicitly voided — statement-level and path-sensitive), fault-point
+placement, flag-registration hygiene, and header-guard style; plus the
+path-sensitive protocol rules built on the CFG/dataflow/taint layers:
+lock balance (every successful acquire path releases), RNG stream
+isolation (profiler-private randomness never reaches deterministic
+state), and hierarchy mode discipline (Gray's intent modes at
+``HierarchicalLockManager`` call sites).
 
 The linter is driven by ``compile_commands.json`` (the database CMake
 already exports for clang-tidy) and is organised as a rule engine over a
 frontend abstraction.  The default ``builtin`` frontend is a
-self-contained C++ lexer + lightweight AST written against the same
-surface the ``clang.cindex`` bindings expose; it has no dependencies
-beyond the Python standard library, so the lint gate runs on the pinned
-toolchain (which ships no libclang).  See docs/STATIC_ANALYSIS.md.
+self-contained C++ lexer + lightweight AST (with intraprocedural CFGs,
+a worklist dataflow framework, a configurable taint engine, and callee
+summaries layered on top) written against the same surface the
+``clang.cindex`` bindings expose; it has no dependencies beyond the
+Python standard library, so the lint gate runs on the pinned toolchain
+(which ships no libclang).  See docs/STATIC_ANALYSIS.md.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -39,7 +39,14 @@ def make_parser() -> argparse.ArgumentParser:
                    choices=["auto", "builtin", "cindex"],
                    help="parser frontend (default: auto)")
     p.add_argument("--format", dest="fmt", default="text",
-                   choices=["text", "json"], help="report format")
+                   choices=["text", "json", "sarif"], help="report format")
+    p.add_argument("--changed-only", action="store_true",
+                   help="lint only files that differ from the base branch "
+                        "(intersected with the compile-db lint set); fast "
+                        "local iteration, not a substitute for the full "
+                        "strict run")
+    p.add_argument("--changed-base", default="main",
+                   help="base ref for --changed-only (default: main)")
     p.add_argument("--baseline", default=None,
                    help="baseline file (default: tools/lint/baseline.json; "
                         "pass an empty string to disable)")
@@ -108,6 +115,19 @@ def main(argv: List[str] = None) -> int:
                   "explicit paths", file=sys.stderr)
             return 2
 
+    if args.changed_only:
+        try:
+            changed = set(compile_db.changed_files(repo_root,
+                                                   args.changed_base))
+        except compile_db.ChangedFilesError as e:
+            print(f"granulock-lint: --changed-only: {e}", file=sys.stderr)
+            return 2
+        files = [f for f in files if f in changed]
+        if not files:
+            print(f"granulock-lint: 0 files changed vs "
+                  f"{args.changed_base}; nothing to lint")
+            return 0
+
     missing = [f for f in files
                if not os.path.isfile(os.path.join(repo_root, f))]
     if missing:
@@ -163,6 +183,9 @@ def main(argv: List[str] = None) -> int:
                 "database": db or "", "rules": [r.id for r in rules]}
         sys.stdout.write(report.render_json(
             live, baselined, suppressed, len(results), meta))
+    elif args.fmt == "sarif":
+        sys.stdout.write(report.render_sarif(
+            live, baselined, rules, __version__))
     else:
         report.render_text(live, baselined, suppressed, len(results))
 

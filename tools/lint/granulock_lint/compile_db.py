@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from typing import List, Optional, Tuple
 
 SOURCE_ROOTS = ("src", "bench", "tests", "examples")
@@ -101,3 +102,38 @@ def lint_set(repo_root: str,
         files.extend(files_from_database(db, repo_root))
     files.extend(project_headers(repo_root))
     return db, sorted(set(files))
+
+
+class ChangedFilesError(Exception):
+    """git could not answer which files changed."""
+
+
+def changed_files(repo_root: str, base: str = "main") -> List[str]:
+    """Repo-relative paths that differ from ``base``: committed changes
+    since the merge base, plus staged, unstaged, and untracked files.
+    The caller intersects this with the lint set, so non-source paths
+    are harmless."""
+
+    def git(*args: str) -> str:
+        proc = subprocess.run(
+            ["git", "-C", repo_root] + list(args),
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise ChangedFilesError(
+                f"git {' '.join(args)}: {proc.stderr.strip()}")
+        return proc.stdout
+
+    changed = set()
+    # `base...HEAD` diffs from the merge base, so commits on base that
+    # this branch lacks do not count as local changes.
+    for line in git("diff", "--name-only", f"{base}...HEAD").splitlines():
+        if line:
+            changed.add(line)
+    for line in git("diff", "--name-only", "HEAD").splitlines():
+        if line:
+            changed.add(line)
+    for line in git("ls-files", "--others",
+                    "--exclude-standard").splitlines():
+        if line:
+            changed.add(line)
+    return sorted(changed)

@@ -141,6 +141,7 @@ def build_index(repo_root: str, files: List[str]) -> ProjectIndex:
         except (OSError, lexer.LexError):
             continue  # the per-file pass reports the error
         index_file(index, cpp_model.build_model(lexed))
+    index.finalize()
     return index
 
 

@@ -18,8 +18,9 @@ positives — the right failure mode for a merge gate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
+from . import summaries as summaries_mod
 from .cpp_model import FileModel
 from .lexer import Token, match_paren
 
@@ -48,12 +49,22 @@ class ProjectIndex:
     # declaration/definition.
     nonconst_methods: Set[str] = field(default_factory=set)
     files_indexed: int = 0
+    # Raw per-definition facts for the callee-summary pass, keyed by
+    # unqualified name; fixpointed into ``summaries`` by finalize().
+    fn_facts: Dict[str, List["summaries_mod.FnFact"]] = field(
+        default_factory=dict)
+    summaries: Optional["summaries_mod.Summaries"] = None
 
     def returns_status(self, name: str) -> bool:
         return name in self.status_names and name not in self.non_status_names
 
     def is_known_nonconst_method(self, name: str) -> bool:
         return name in self.nonconst_methods and name not in self.const_methods
+
+    def finalize(self) -> None:
+        """Closes the callee summaries; call once after all files are
+        indexed (build_index does)."""
+        self.summaries = summaries_mod.finalize(self.fn_facts)
 
 
 def _is_declaration(tokens: List[Token], name_index: int) -> bool:
@@ -168,4 +179,5 @@ def index_file(index: ProjectIndex, model: FileModel) -> None:
                 index.nonconst_methods.add(tok.text)
             elif tail == ";" and kind is not None:
                 index.nonconst_methods.add(tok.text)
+    summaries_mod.collect(index.fn_facts, model)
     index.files_indexed += 1

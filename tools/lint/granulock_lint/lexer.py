@@ -62,13 +62,16 @@ _PUNCTUATORS = [
 _PUNCT_RE = re.compile("|".join(re.escape(p) for p in _PUNCTUATORS))
 
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
-# Hex/bin/oct/dec with C++14 digit separators, optional float parts and
-# suffixes. Precise classification is irrelevant; not splitting is what
-# matters.
-_NUMBER_RE = re.compile(
-    r"(?:0[xX][0-9a-fA-F']+|0[bB][01']+|\.?\d[\d'a-fA-F]*"
-    r"(?:\.[\d']*)?(?:[eEpP][+-]?[\d']+)?)[uUlLfFzZ]*"
-)
+# A pp-number ([lex.ppnumber]): optional dot, a digit, then any run of
+# digit/letter/underscore/separator/dot, where e/E/p/P may carry a sign.
+# This single shape covers hex (0xFF), binary (0b1010), C++14 digit
+# separators (1'000'000), hex floats (0x1.8p3), exponents (1e-5), and
+# user-defined literal suffixes (42ms, 123_granules) without splitting —
+# precise classification is irrelevant; not splitting is what matters.
+_NUMBER_RE = re.compile(r"\.?\d(?:[eEpP][+-]|[0-9a-zA-Z_']|\.)*")
+# A user-defined literal suffix after a string/char literal's closing
+# quote ("..."_sv, 'x'_c): part of the same preprocessing token.
+_UDL_SUFFIX_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 _RAW_STRING_START_RE = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]*)\(')
 _STRING_START_RE = re.compile(r'(?:u8|[uUL])?"')
 _CHAR_START_RE = re.compile(r"(?:u8|[uUL])?'")
@@ -178,10 +181,14 @@ def lex(path: str, text: str) -> LexedFile:
             end = text.find(delim, m.end())
             if end == -1:
                 raise LexError(f"{path}:{line}: unterminated raw string")
-            lit = text[i:end + len(delim)]
+            j = end + len(delim)
+            sfx = _UDL_SUFFIX_RE.match(text, j)
+            if sfx:
+                j = sfx.end()
+            lit = text[i:j]
             tokens.append(Token("string", lit, line, col(i)))
             line += lit.count("\n")
-            i = end + len(delim)
+            i = j
             nl = text.rfind("\n", 0, i)
             if nl != -1 and nl >= line_start:
                 line_start = nl + 1
@@ -206,8 +213,12 @@ def lex(path: str, text: str) -> LexedFile:
                 j += 1
             if j >= n:
                 raise LexError(f"{path}:{line}: unterminated {kind} literal")
-            tokens.append(Token(kind, text[i:j + 1], line, col(i)))
-            i = j + 1
+            end = j + 1
+            sfx = _UDL_SUFFIX_RE.match(text, end)
+            if sfx:
+                end = sfx.end()
+            tokens.append(Token(kind, text[i:end], line, col(i)))
+            i = end
             break
         else:
             m = _IDENT_RE.match(text, i)

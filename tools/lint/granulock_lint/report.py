@@ -1,10 +1,13 @@
-"""Text and JSON reporters.
+"""Text, JSON, and SARIF reporters.
 
 Text output is clang-diagnostic-shaped (``file:line:col: warning: ...
 [rule-id]``) so editors and CI annotators parse it for free.  JSON output
 carries the same findings plus run metadata and is stable-sorted, so two
 runs over the same tree produce byte-identical reports — the same
-property the bench reports guarantee.
+property the bench reports guarantee.  SARIF output (2.1.0) is what
+GitHub code scanning ingests: one run, one result per finding, baselined
+findings included but marked suppressed so they annotate without
+failing the scan.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
-from .rules import Finding
+from .rules import Finding, Rule
 
 
 def render_text(findings: List[Finding], baselined: List[Finding],
@@ -50,5 +53,64 @@ def render_json(findings: List[Finding], baselined: List[Finding],
              "message": f.message}
             for f in sorted(baselined, key=Finding.sort_key)
         ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_result(f: Finding, suppressed: bool) -> Dict:
+    result = {
+        "ruleId": f.rule,
+        "level": "warning",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": f.line,
+                           "startColumn": max(f.col, 1)},
+            },
+        }],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external",
+                                   "justification": "baselined"}]
+    return result
+
+
+def render_sarif(findings: List[Finding], baselined: List[Finding],
+                 rules: List[Rule], version: str) -> str:
+    """SARIF 2.1.0 document for the run.  Stable-sorted like the JSON
+    reporter; baselined findings appear with a suppression record."""
+    driver = {
+        "name": "granulock-lint",
+        "version": version,
+        "informationUri":
+            "https://github.com/granulock/granulock"
+            "/blob/main/docs/STATIC_ANALYSIS.md",
+        "rules": [
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.id},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "warning"},
+            }
+            for rule in sorted(rules, key=lambda r: r.id)
+        ],
+    }
+    results = [
+        _sarif_result(f, suppressed=False)
+        for f in sorted(findings, key=Finding.sort_key)
+    ] + [
+        _sarif_result(f, suppressed=True)
+        for f in sorted(baselined, key=Finding.sort_key)
+    ]
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": driver},
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
     }
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"

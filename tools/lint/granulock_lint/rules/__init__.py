@@ -80,5 +80,6 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 def all_rules() -> List[Rule]:
     # Import the rule modules for their registration side effect.
     from . import (audit_purity, determinism, fault_hygiene,  # noqa: F401
-                   flag_hygiene, header_hygiene, status_discipline)
+                   flag_hygiene, header_hygiene, hierarchy_discipline,
+                   lock_balance, rng_isolation, status_discipline)
     return [cls() for _, cls in sorted(_REGISTRY.items())]

@@ -1,0 +1,306 @@
+"""Hierarchy mode discipline at HierarchicalLockManager call sites.
+
+Gray's multiple-granularity protocol: before locking a child in mode M,
+every ancestor must hold the matching intention — ``IS`` for child
+``IS``/``S``, ``IX`` for child ``IX``/``SIX``/``X`` (or a stronger mode
+that covers it: an ancestor ``X`` covers everything).  The manager
+derives missing intentions at runtime for *implicit* request sets, but
+call sites that spell out their ancestor requests explicitly can encode
+a protocol misunderstanding — a Root ``kIS`` over granule ``kX``
+children — that runtime derivation will faithfully amplify.
+
+This rule constant-propagates ``LockMode`` locals (flow-sensitively,
+with the constant lattice: a mode assigned differently on two branches
+is not a constant), then inspects each ``TryAcquireAll`` request vector
+whose construction it can see completely:
+
+  * every ``push_back``/``emplace_back`` of a ``HierRequest`` must have
+    a statically known level (``ObjectId::Root()``/``File``/``Granule``)
+    and a mode that resolves to a constant;
+  * any unknown level, non-constant mode, other mutation of the vector
+    (``clear``, passing it to an unknown function) — or a vector the
+    rule cannot trace at all — makes the whole call site ambiguous and
+    silent;
+  * a child request whose required parent intention is covered by *no*
+    request at *any* ancestor level is flagged: the intent is statically
+    shown absent.
+
+Coverage is checked path-insensitively over all pushes in the function
+(a Root push on any branch counts), which can only hide findings, never
+invent them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .. import dataflow
+from ..cfg import Stmt, calls_in_range, functions_of
+from ..cpp_model import FileModel
+from . import Finding, Rule, RuleContext, register
+
+# Gray's lattice, as in src/lockmgr/lock_mode.h:
+#   kNL < kIS < {kIX, kS} < kSIX < kX    (kIX and kS incomparable)
+_MODES = ("kNL", "kIS", "kIX", "kS", "kSIX", "kX")
+_COVERS = {
+    "kNL": {"kNL"},
+    "kIS": {"kNL", "kIS"},
+    "kIX": {"kNL", "kIS", "kIX"},
+    "kS": {"kNL", "kIS", "kS"},
+    "kSIX": {"kNL", "kIS", "kIX", "kS", "kSIX"},
+    "kX": set(_MODES),
+}
+_REQUIRED_INTENTION = {
+    "kIS": "kIS", "kS": "kIS",
+    "kIX": "kIX", "kSIX": "kIX", "kX": "kIX",
+}
+_LEVELS = {"Root": 0, "File": 1, "Granule": 2}
+_LEVEL_NAMES = {0: "root", 1: "file", 2: "granule"}
+
+_OPEN = {"(", "[", "{"}
+_CLOSE = {")", "]", "}"}
+
+
+def _covers(held: str, needed: str) -> bool:
+    return needed in _COVERS[held]
+
+
+class _ConstModes(dataflow.Analysis):
+    """Flow-sensitive constant propagation of LockMode locals.
+    State: {var: mode-string}; absent means not a constant here."""
+
+    direction = "forward"
+
+    def __init__(self, model: FileModel):
+        self.tokens = model.lexed.tokens
+
+    def boundary_state(self):
+        return {}
+
+    def join(self, a, b):
+        return dataflow.join_const_maps(a, b)
+
+    def transfer_stmt(self, stmt: Stmt, state):
+        assign = _find_assignment(self.tokens, stmt)
+        if assign is None:
+            return state
+        lhs, op_index = assign
+        mode = _mode_literal(self.tokens, op_index + 1, stmt.end, state)
+        new = dict(state)
+        if mode is not None:
+            new[lhs] = mode
+        else:
+            new.pop(lhs, None)
+        return new
+
+
+def _find_assignment(tokens, stmt: Stmt) -> Optional[Tuple[str, int]]:
+    """(lhs identifier, '=' token index) for a top-level plain-name
+    assignment/initialization in the statement; None otherwise."""
+    depth = 0
+    for i in range(stmt.start, stmt.end + 1):
+        tok = tokens[i]
+        if tok.kind != "punct":
+            continue
+        if tok.text in _OPEN:
+            depth += 1
+        elif tok.text in _CLOSE:
+            depth -= 1
+        elif depth == 0 and tok.text == "=":
+            if tokens[i - 1].kind == "ident" and i - 1 >= stmt.start:
+                return tokens[i - 1].text, i
+            return None
+    return None
+
+
+def _mode_literal(tokens, lo: int, hi: int,
+                  consts: Dict[str, str]) -> Optional[str]:
+    """Resolves the expression tokens[lo..hi] (';'-trimmed) to a
+    LockMode constant: a qualified ``LockMode::kFoo`` literal or a local
+    the constant propagation pinned down."""
+    while hi >= lo and tokens[hi].text in (";", ","):
+        hi -= 1
+    # Strip `ns::` qualification.
+    while hi - lo >= 2 and tokens[lo].kind == "ident" \
+            and tokens[lo + 1].text == "::":
+        lo += 2
+    if lo != hi or tokens[lo].kind != "ident":
+        return None
+    name = tokens[lo].text
+    if name in _MODES:
+        return name
+    return consts.get(name)
+
+
+def _parse_hier_request(tokens, lo: int, hi: int,
+                        consts: Dict[str, str]
+                        ) -> Optional[Tuple[Optional[int], Optional[str],
+                                            int]]:
+    """Parses ``[ns::]HierRequest{<object>, <mode>}`` inside
+    tokens[lo..hi].  Returns (level, mode, line) with None components
+    when unresolvable, or None when no HierRequest literal is there."""
+    i = lo
+    while i <= hi:
+        if tokens[i].kind == "ident" and tokens[i].text == "HierRequest" \
+                and i + 1 <= hi and tokens[i + 1].text == "{":
+            break
+        i += 1
+    else:
+        return None
+    line = tokens[i].line
+    open_brace = i + 1
+    depth = 0
+    close_brace = None
+    comma = None
+    for j in range(open_brace, hi + 1):
+        text = tokens[j].text
+        if tokens[j].kind != "punct":
+            continue
+        if text in _OPEN:
+            depth += 1
+        elif text in _CLOSE:
+            depth -= 1
+            if depth == 0:
+                close_brace = j
+                break
+        elif text == "," and depth == 1 and comma is None:
+            comma = j
+    if close_brace is None or comma is None:
+        return (None, None, line)
+    level = _object_level(tokens, open_brace + 1, comma - 1)
+    mode = _mode_literal(tokens, comma + 1, close_brace - 1, consts)
+    return (level, mode, line)
+
+
+def _object_level(tokens, lo: int, hi: int) -> Optional[int]:
+    """``[ns::]ObjectId::Root()`` / ``File(expr)`` / ``Granule(expr)``
+    -> its level; anything else -> None."""
+    while hi - lo >= 2 and tokens[lo].kind == "ident" \
+            and tokens[lo + 1].text == "::" \
+            and tokens[lo].text != "ObjectId":
+        lo += 2
+    if not (hi - lo >= 3 and tokens[lo].text == "ObjectId"
+            and tokens[lo + 1].text == "::"
+            and tokens[lo + 2].kind == "ident"
+            and tokens[lo + 3].text == "("):
+        return None
+    return _LEVELS.get(tokens[lo + 2].text)
+
+
+# Vector member calls that keep the contents traceable.
+_SAFE_VECTOR_OPS = {"push_back", "emplace_back", "reserve", "size",
+                    "empty"}
+
+
+@register
+class HierarchyModeDisciplineRule(Rule):
+    id = "granulock-hierarchy-mode-discipline"
+    rationale = (
+        "a child lock request whose ancestors provably never hold the "
+        "matching intention (Gray: IS over IS/S children, IX over "
+        "IX/SIX/X) encodes a protocol misunderstanding that runtime "
+        "intention derivation will amplify, not fix"
+    )
+    paths = ["src/*", "src/*/*", "examples/*", "bench/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        tokens = model.lexed.tokens
+        for func in functions_of(model):
+            cfg = func.cfg(tokens)
+            if cfg is None:
+                continue
+            body_calls = calls_in_range(model, func.body_open,
+                                        func.body_close)
+            if not any(c.name == "TryAcquireAll" for c in body_calls):
+                continue
+            analysis = _ConstModes(model)
+            solved = dataflow.solve(cfg, analysis)
+            # (level, mode, line) per request vector; None value marks
+            # a vector the rule lost track of.
+            vectors: Dict[str, Optional[List[Tuple]]] = {}
+            acquire_args: List[Tuple[str, int]] = []  # (vector, line)
+            for stmt, consts in dataflow.stmt_states(cfg, analysis,
+                                                     solved):
+                self._scan_stmt(model, stmt, consts, vectors,
+                                acquire_args)
+            for vec_name in dict.fromkeys(name for name, _ in acquire_args):
+                requests = vectors.get(vec_name)
+                if not requests:
+                    continue  # untraceable or empty: stay silent
+                yield from self._check_vector(rel_path, func.name,
+                                              requests)
+
+    def _scan_stmt(self, model, stmt, consts, vectors,
+                   acquire_args) -> None:
+        tokens = model.lexed.tokens
+        for call in calls_in_range(model, stmt.start, stmt.end):
+            if call.is_member_call and len(call.path) >= 2:
+                receiver = call.path[-2]
+                if call.name in ("push_back", "emplace_back"):
+                    parsed = _parse_hier_request(
+                        tokens, call.open_index + 1, call.close_index - 1,
+                        consts)
+                    if parsed is None:
+                        continue  # not a HierRequest vector
+                    if vectors.get(receiver, []) is None:
+                        continue
+                    level, mode, line = parsed
+                    if level is None or mode is None:
+                        vectors[receiver] = None  # ambiguous forever
+                    else:
+                        vectors.setdefault(receiver, []).append(
+                            (level, mode, line))
+                elif call.name not in _SAFE_VECTOR_OPS \
+                        and receiver in vectors:
+                    vectors[receiver] = None  # clear()/erase()/...
+            if call.name == "TryAcquireAll":
+                for name in self._arg_idents(tokens, call):
+                    if name in vectors:
+                        acquire_args.append((name, call.line))
+                    # An ident we never traced stays silent by absence.
+            elif not call.is_member_call or call.name != "TryAcquireAll":
+                # A traced vector passed to any other function may be
+                # mutated there: lose track of it.
+                if call.name not in _SAFE_VECTOR_OPS \
+                        and call.name not in ("push_back", "emplace_back"):
+                    for name in self._arg_idents(tokens, call):
+                        if name in vectors:
+                            vectors[name] = None
+
+    @staticmethod
+    def _arg_idents(tokens, call) -> List[str]:
+        out = []
+        depth = 0
+        for i in range(call.open_index + 1, call.close_index):
+            tok = tokens[i]
+            if tok.kind == "punct":
+                if tok.text in _OPEN:
+                    depth += 1
+                elif tok.text in _CLOSE:
+                    depth -= 1
+            elif tok.kind == "ident" and depth == 0:
+                out.append(tok.text)
+        return out
+
+    def _check_vector(self, rel_path: str, func_name: str,
+                      requests: List[Tuple[int, str, int]]
+                      ) -> Iterable[Finding]:
+        for level, mode, line in requests:
+            if level == 0:
+                continue  # the root has no ancestors
+            needed = _REQUIRED_INTENTION.get(mode)
+            if needed is None:
+                continue  # kNL requests need no parent intent
+            covered = any(
+                anc_level < level and _covers(anc_mode, needed)
+                for anc_level, anc_mode, _ in requests)
+            if covered:
+                continue
+            yield self.finding(
+                rel_path, line, 1,
+                f"{_LEVEL_NAMES.get(level, '?')}-level '{mode}' request "
+                f"in '{func_name}' has no ancestor intention: Gray's "
+                f"table requires '{needed}' (or a covering mode) at "
+                f"every ancestor, and no request in this set provides "
+                f"it")

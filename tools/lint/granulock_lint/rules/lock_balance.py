@@ -1,0 +1,193 @@
+"""Lock balance: every successful acquire path reaches a release.
+
+The engines acquire whole lock sets through
+``TryAcquireAll(txn, requests)``, which returns the blocking
+transaction (``std::optional<TxnId>``) — **an empty optional means the
+acquisition succeeded**.  On the success path the transaction holds
+real table state, so every exit of the function must release it, either
+directly (``ReleaseAll``/``Release``/``Unlock``) or through a helper the
+callee-summary pass knows to release transitively (``Complete``,
+``AbortAndRestart``, ``PumpLockManager``...).
+
+The analysis is a forward may-analysis over acquire tokens:
+
+  * ``auto blocker = x->TryAcquireAll(...)`` in a plain statement gens a
+    *conditional* token keyed to ``blocker``;
+  * the token resolves along the branch edges of a recognized guard —
+    ``blocker.has_value()`` / ``blocker`` / ``!blocker`` — remembering
+    the optional-blocker polarity: the has-value edge is the FAILURE
+    edge (nothing held), the empty edge is the success edge (token
+    becomes *held*);
+  * any statement calling a releasing function (summary set) kills all
+    tokens;
+  * a held token reaching function exit is the finding, anchored at the
+    acquire line.
+
+Conservatism: functions that never release anything are skipped
+entirely (the engines' event-driven style legitimately acquires in one
+callback and releases in another — only functions that own a release
+locally promise local balance); acquisitions inside ``return``
+statements transfer ownership to the caller and gen nothing; an
+unrecognized guard leaves the token conditional forever, and
+conditional tokens are never reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from .. import dataflow
+from ..cfg import Edge, Stmt, calls_in_range, functions_of
+from ..cpp_model import FileModel
+from ..summaries import PRIMITIVE_RELEASES
+from . import Finding, Rule, RuleContext, register
+
+# Acquire entry points returning std::optional<TxnId> blocker
+# (has_value() == the acquisition FAILED).
+OPTIONAL_BLOCKER_ACQUIRES = frozenset({"TryAcquireAll"})
+
+
+@dataclass(frozen=True)
+class _Token:
+    """One tracked acquisition (value equality keeps the fixpoint
+    stable): ``var`` is the local the optional blocker was stored into,
+    ``held`` flips to True on the proven-success branch edge."""
+
+    var: str
+    line: int
+    col: int
+    held: bool = False
+
+
+class _LockBalance(dataflow.Analysis):
+    direction = "forward"
+
+    def __init__(self, model: FileModel, releasing: FrozenSet[str]):
+        self.model = model
+        self.tokens = model.lexed.tokens
+        self.releasing = releasing
+
+    def boundary_state(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer_stmt(self, stmt: Stmt, state):
+        calls = calls_in_range(self.model, stmt.start, stmt.end)
+        if any(c.name in self.releasing for c in calls):
+            return frozenset()
+        if stmt.kind != "plain":
+            return state
+        for call in calls:
+            if call.name not in OPTIONAL_BLOCKER_ACQUIRES:
+                continue
+            var = self._assigned_var(stmt, call)
+            if var is None:
+                continue
+            # Re-acquiring into the same variable replaces the token.
+            state = frozenset(t for t in state if t.var != var) \
+                | {_Token(var, call.line, call.col)}
+        return state
+
+    def transfer_edge(self, edge: Edge, state):
+        if edge.cond is None or edge.branch is None or not state:
+            return state
+        guard = self._parse_guard(edge.cond)
+        if guard is None:
+            return state
+        var, positive = guard
+        # positive guard ("blocker truthy") taken == acquisition FAILED.
+        failed_edge = edge.branch if positive else not edge.branch
+        out = []
+        for tok in state:
+            if tok.var != var or tok.held:
+                out.append(tok)
+            elif failed_edge:
+                pass  # failure proven: nothing held, drop the token
+            else:
+                out.append(_Token(tok.var, tok.line, tok.col, held=True))
+        return frozenset(out)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _assigned_var(self, stmt: Stmt, call) -> Optional[str]:
+        """The local the acquire's optional result is stored into:
+        ``... name = x->TryAcquireAll(...);`` with the call spanning the
+        whole right-hand side.  None when the shape is anything else."""
+        j = call.expr_start - 1
+        if j <= stmt.start or self.tokens[j].text != "=":
+            return None
+        if self.tokens[j - 1].kind != "ident":
+            return None
+        # The call must be the entire initializer (a returned/compared
+        # blocker is not a local acquisition).
+        k = call.close_index + 1
+        if k <= stmt.end and self.tokens[k].text != ";":
+            return None
+        return self.tokens[j - 1].text
+
+    def _parse_guard(self, cond: Stmt) -> Optional[Tuple[str, bool]]:
+        """Recognizes ``v``, ``!v``, ``v.has_value()``,
+        ``!v.has_value()`` as the whole condition.  Returns
+        (var, positive) or None."""
+        toks = self.tokens[cond.start:cond.end + 1]
+        positive = True
+        if toks and toks[0].text == "!" and toks[0].kind == "punct":
+            positive = False
+            toks = toks[1:]
+        if len(toks) == 1 and toks[0].kind == "ident":
+            return toks[0].text, positive
+        if (len(toks) == 5 and toks[0].kind == "ident"
+                and toks[1].text in (".", "->")
+                and toks[2].text == "has_value"
+                and toks[3].text == "(" and toks[4].text == ")"):
+            return toks[0].text, positive
+        return None
+
+
+@register
+class LockBalanceRule(Rule):
+    id = "granulock-lock-balance"
+    rationale = (
+        "a successful TryAcquireAll holds real lock-table state; a path "
+        "that exits without releasing it leaks the locks and wedges "
+        "every future conflicting transaction"
+    )
+    paths = ["src/db/*", "src/lockmgr/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        summaries = ctx.index.summaries
+        releasing = (summaries.releasing_fns if summaries is not None
+                     else PRIMITIVE_RELEASES)
+        tokens = model.lexed.tokens
+        for func in functions_of(model):
+            body_calls = calls_in_range(model, func.body_open,
+                                        func.body_close)
+            # Ownership gate: only functions that release something
+            # locally promise acquire/release balance; the event-driven
+            # engines legitimately split the lifetime across callbacks.
+            if not any(c.name in releasing for c in body_calls):
+                continue
+            if not any(c.name in OPTIONAL_BLOCKER_ACQUIRES
+                       for c in body_calls):
+                continue
+            cfg = func.cfg(tokens)
+            if cfg is None:
+                continue
+            analysis = _LockBalance(model, releasing)
+            leaked = dataflow.exit_state(cfg, analysis)
+            if not leaked:
+                continue
+            for tok in sorted(leaked, key=lambda t: (t.line, t.col)):
+                if not tok.held:
+                    continue  # unresolved guard: stay silent
+                yield self.finding(
+                    rel_path, tok.line, tok.col,
+                    f"locks acquired here (success path of "
+                    f"'TryAcquireAll' stored in '{tok.var}') can reach "
+                    f"the end of '{func.name}' without a release; every "
+                    f"exit of a releasing function must call ReleaseAll "
+                    f"or a helper that does")

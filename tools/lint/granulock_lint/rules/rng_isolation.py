@@ -1,0 +1,74 @@
+"""RNG stream isolation: profiler randomness stays out of the core.
+
+The determinism contract (tested bit-for-bit by the dynamic suite) is
+that observers are *provably invisible*: enabling the contention
+profiler, tracing, or metrics export never changes a simulation result.
+PR 6 enforces this at runtime by giving the profiler its own RNG stream
+(``contention_rng_``) and keeping wall-clock reads (``util/wall_clock``)
+in reporting code.  This rule is the static twin: a value derived from a
+profiler-private stream or from the wall clock must never flow into
+
+  * ``SimulationMetrics`` state (a member of a metrics object), or
+  * event scheduling (``ScheduleAt``/``ScheduleAfter``/
+    ``ScheduleObserverAt``/``ScheduleObserverAfter``) or server work
+    submission (``Submit``) — anything that would perturb the
+    deterministic event order.
+
+Flows into observer calls (``OnBlock``, ``PublishRunProfile``, registry
+gauges) are exactly what the private streams are *for* and are not
+sinks.  ``src/util`` (the wall clock's own home) and test trees are out
+of scope.  The callee-summary pass widens the source set to wrappers:
+any function whose every definition returns a wall-clock- or
+RNG-derived value (``WallTimer::Seconds``) taints its callers' locals
+too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .. import taint
+from ..cpp_model import FileModel
+from ..summaries import RNG_RECEIVER_FRAGMENTS
+from . import Finding, Rule, RuleContext, register
+
+_SPEC = taint.TaintSpec(
+    source_receivers=RNG_RECEIVER_FRAGMENTS,
+    source_calls=("MonotonicSeconds",),
+    sink_calls=("ScheduleAt", "ScheduleAfter", "ScheduleObserverAt",
+                "ScheduleObserverAfter", "Submit"),
+    sink_object_names=("metrics_",),
+    sink_object_types=("SimulationMetrics",),
+)
+
+
+@register
+class RngStreamIsolationRule(Rule):
+    id = "granulock-rng-stream-isolation"
+    rationale = (
+        "profiler-private RNG streams and wall-clock reads exist so "
+        "observers stay provably invisible; a value derived from one "
+        "that reaches SimulationMetrics or event scheduling breaks "
+        "bit-identical determinism in a way the dynamic suite can only "
+        "catch after the fact"
+    )
+    paths = ["src/*", "src/*/*"]
+    exclude_paths = ["src/util/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        summaries = ctx.index.summaries
+        extra = frozenset()
+        if summaries is not None:
+            extra = summaries.wallclock_source_fns | summaries.rng_source_fns
+        for flow in taint.analyze_file(model, _SPEC, extra):
+            if flow.kind == "assign":
+                what = f"is stored into '{flow.sink}'"
+            else:
+                what = f"is passed to '{flow.sink}()'"
+            yield self.finding(
+                rel_path, flow.line, flow.col,
+                f"value derived from '{flow.via}' (profiler-private "
+                f"RNG / wall clock) {what}; nondeterministic inputs "
+                f"must not reach SimulationMetrics or event "
+                f"scheduling — keep them in observer/reporting state")

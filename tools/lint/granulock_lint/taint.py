@@ -1,0 +1,316 @@
+"""Forward may-taint analysis over function CFGs.
+
+The engine is seeded by a :class:`TaintSpec` — which calls produce
+tainted values (sources), which constructs must never receive one
+(sinks), and which calls launder taint (sanitizers) — and propagates
+through local assignments with the worklist framework.  The
+rng-stream-isolation rule instantiates it with the profiler-private RNG
+streams and wall-clock reads as sources and the deterministic core's
+state (``SimulationMetrics`` members, event scheduling) as sinks; the
+spec is plain data, so future rules (or tests) can instantiate other
+policies without touching the engine.
+
+Propagation is intentionally shallow and conservative:
+
+  * ``lhs = expr`` taints ``lhs`` iff ``expr`` mentions a tainted name
+    or contains a source call (so a call *on* a tainted value, or any
+    arithmetic over one, stays tainted);
+  * compound assignments (``+=`` ...) taint but never clean;
+  * a plain reassignment from a clean expression kills the taint;
+  * anything the parser does not understand (subscripted lhs,
+    brace-init declarations) neither gens nor kills — missed findings,
+    never false positives.
+
+Member-field writes track the dotted path (``obj.field``), which is how
+sink-object stores (``metrics_.totcom = tainted``) are recognized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from . import dataflow
+from .cfg import CallSite, Function, Stmt, calls_in_range, functions_of
+from .cpp_model import FileModel
+from .lexer import Token
+
+# Assignment operators that propagate taint right-to-left.  ``=`` also
+# kills; the compound forms only gen (the old value persists).
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+_OPEN = {"(", "[", "{"}
+_CLOSE = {")", "]", "}"}
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Sources, sinks, and sanitizers, all name-keyed.
+
+    ``source_receivers``: substring fragments; a member call whose
+    receiver identifier contains one yields taint (e.g. fragment
+    ``"contention_rng"`` matches ``contention_rng_.UniformInt(...)``).
+
+    ``source_calls``: function names whose return value is tainted
+    wherever they appear (free, qualified, or member).
+
+    ``sink_calls``: function names where a tainted argument is a
+    violation (event scheduling, in the determinism policy).
+
+    ``sink_object_names`` / ``sink_object_types``: storing a tainted
+    value into a member of one of these objects (by name, or by any
+    variable declared in-file with one of these types) is a violation.
+
+    ``sanitizer_calls``: the whole extent of a call to one of these
+    names is ignored — neither its arguments nor its result carry taint.
+    """
+
+    source_receivers: Tuple[str, ...] = ()
+    source_calls: Tuple[str, ...] = ()
+    sink_calls: Tuple[str, ...] = ()
+    sink_object_names: Tuple[str, ...] = ()
+    sink_object_types: Tuple[str, ...] = ()
+    sanitizer_calls: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One source-to-sink flow: where it lands and what carried it."""
+
+    kind: str  # "assign" (sink-object store) | "arg" (sink-call argument)
+    line: int
+    col: int
+    sink: str  # "metrics_.totcom" or the sink call's name
+    via: str  # the tainted identifier or source call that flowed in
+
+
+def _sink_typed_names(model: FileModel, spec: TaintSpec) -> FrozenSet[str]:
+    """Names of variables declared in this file with a sink type
+    (``SimulationMetrics m;`` makes ``m`` a sink object)."""
+    if not spec.sink_object_types:
+        return frozenset()
+    tokens = model.lexed.tokens
+    out: Set[str] = set()
+    for i, tok in enumerate(tokens):
+        if tok.kind != "ident" or tok.text not in spec.sink_object_types:
+            continue
+        j = i + 1
+        while j < len(tokens) and tokens[j].text in ("&", "*", "const"):
+            j += 1
+        if j < len(tokens) and tokens[j].kind == "ident":
+            out.add(tokens[j].text)
+    return frozenset(out)
+
+
+class _FunctionTaint(dataflow.Analysis):
+    """The per-function forward analysis.  State: frozenset of tainted
+    names (plain identifiers and dotted member paths)."""
+
+    direction = "forward"
+
+    def __init__(self, model: FileModel, spec: TaintSpec,
+                 extra_source_fns: FrozenSet[str],
+                 sink_typed: FrozenSet[str]):
+        self.model = model
+        self.tokens = model.lexed.tokens
+        self.spec = spec
+        self.extra_source_fns = extra_source_fns
+        self.sink_objects = frozenset(spec.sink_object_names) | sink_typed
+        self.flows: List[TaintFlow] = []
+        self._reported: Set[Tuple[str, int, str]] = set()
+
+    # -- analysis interface -------------------------------------------------
+
+    def boundary_state(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer_stmt(self, stmt: Stmt, state):
+        masked = self._sanitized_ranges(stmt)
+        self._check_sink_calls(stmt, state, masked)
+        assign = self._parse_assignment(stmt)
+        if assign is None:
+            return state
+        op, lhs_name, lhs_base, op_index = assign
+        rhs_tainted, via = self._range_tainted(op_index + 1, stmt.end,
+                                               state, masked)
+        if rhs_tainted and lhs_base is not None \
+                and lhs_base in self.sink_objects:
+            self._report(TaintFlow(kind="assign",
+                                   line=self.tokens[op_index].line,
+                                   col=self.tokens[op_index].col,
+                                   sink=lhs_name, via=via))
+        if lhs_name is None:
+            return state
+        if rhs_tainted:
+            return state | {lhs_name}
+        if op == "=" and lhs_name in state:
+            return state - {lhs_name}
+        return state
+
+    # -- helpers ------------------------------------------------------------
+
+    def _is_source_call(self, call: CallSite) -> bool:
+        if call.name in self.spec.source_calls \
+                or call.name in self.extra_source_fns:
+            return True
+        if call.is_member_call and len(call.path) >= 2:
+            receiver = call.path[-2]
+            return any(frag in receiver
+                       for frag in self.spec.source_receivers)
+        return False
+
+    def _sanitized_ranges(self, stmt: Stmt) -> List[Tuple[int, int]]:
+        out = []
+        for call in calls_in_range(self.model, stmt.start, stmt.end):
+            if call.name in self.spec.sanitizer_calls:
+                out.append((call.expr_start, call.close_index))
+        return out
+
+    @staticmethod
+    def _masked(index: int, masked: Sequence[Tuple[int, int]]) -> bool:
+        return any(lo <= index <= hi for lo, hi in masked)
+
+    def _range_tainted(self, lo: int, hi: int, state,
+                       masked: Sequence[Tuple[int, int]]
+                       ) -> Tuple[bool, str]:
+        """(does [lo, hi] carry taint, the name that carries it)."""
+        for call in calls_in_range(self.model, lo, hi):
+            if self._masked(call.name_index, masked):
+                continue
+            if self._is_source_call(call):
+                return True, call.qualified()
+        i = lo
+        while i <= hi and i < len(self.tokens):
+            tok = self.tokens[i]
+            if tok.kind == "ident" and not self._masked(i, masked):
+                name = tok.text
+                if name in state:
+                    return True, name
+                dotted = self._dotted_at(i)
+                if dotted is not None and dotted in state:
+                    return True, dotted
+            i += 1
+        return False, ""
+
+    def _dotted_at(self, i: int) -> Optional[str]:
+        """The dotted path ending at token ``i`` (``a.b`` for the ``b``
+        of ``a.b``), or None when token ``i`` is not a member tail."""
+        if i - 2 < 0:
+            return None
+        joiner = self.tokens[i - 1]
+        base = self.tokens[i - 2]
+        if joiner.kind == "punct" and joiner.text in (".", "->") \
+                and base.kind == "ident":
+            return f"{base.text}.{self.tokens[i].text}"
+        return None
+
+    def _parse_assignment(self, stmt: Stmt):
+        """Finds the first top-level assignment in the statement.
+        Returns (op, lhs_name, lhs_base, op_token_index) — lhs_name is
+        None when the left side is not understood — or None when the
+        statement assigns nothing."""
+        depth = 0
+        for i in range(stmt.start, min(stmt.end + 1, len(self.tokens))):
+            tok = self.tokens[i]
+            if tok.kind != "punct":
+                continue
+            if tok.text in _OPEN:
+                depth += 1
+            elif tok.text in _CLOSE:
+                depth -= 1
+            elif depth == 0 and tok.text in _ASSIGN_OPS:
+                name, base = self._parse_lhs(stmt.start, i - 1)
+                return tok.text, name, base, i
+        return None
+
+    def _parse_lhs(self, start: int,
+                   last: int) -> Tuple[Optional[str], Optional[str]]:
+        """(lhs name, lhs object base) for the tokens before an
+        assignment operator.  ``x`` -> ("x", None); ``a.b``/``a->b`` ->
+        ("a.b", "a"); anything else -> (None, None)."""
+        if last < start or self.tokens[last].kind != "ident":
+            return None, None
+        parts = [self.tokens[last].text]
+        j = last
+        while j - 2 >= start:
+            joiner = self.tokens[j - 1]
+            base = self.tokens[j - 2]
+            if joiner.kind == "punct" and joiner.text in (".", "->") \
+                    and base.kind == "ident":
+                parts.insert(0, base.text)
+                j -= 2
+            else:
+                break
+        if len(parts) == 1:
+            return parts[0], None
+        return ".".join(parts[-2:]), parts[0]
+
+    def _arg_ranges(self, call: CallSite) -> List[Tuple[int, int]]:
+        """Token ranges of the call's top-level arguments."""
+        lo = call.open_index + 1
+        hi = call.close_index - 1
+        if hi < lo:
+            return []
+        out = []
+        depth = 0
+        arg_start = lo
+        for i in range(lo, hi + 1):
+            tok = self.tokens[i]
+            if tok.kind != "punct":
+                continue
+            if tok.text in _OPEN:
+                depth += 1
+            elif tok.text in _CLOSE:
+                depth -= 1
+            elif tok.text == "," and depth == 0:
+                out.append((arg_start, i - 1))
+                arg_start = i + 1
+        out.append((arg_start, hi))
+        return out
+
+    def _check_sink_calls(self, stmt: Stmt, state,
+                          masked: Sequence[Tuple[int, int]]) -> None:
+        for call in calls_in_range(self.model, stmt.start, stmt.end):
+            if call.name not in self.spec.sink_calls:
+                continue
+            for lo, hi in self._arg_ranges(call):
+                tainted, via = self._range_tainted(lo, hi, state, masked)
+                if tainted:
+                    self._report(TaintFlow(kind="arg", line=call.line,
+                                           col=call.col,
+                                           sink=call.qualified(),
+                                           via=via))
+                    break
+
+    def _report(self, flow: TaintFlow) -> None:
+        key = (flow.kind, flow.line, flow.sink)
+        if key not in self._reported:
+            self._reported.add(key)
+            self.flows.append(flow)
+
+
+def analyze_function(model: FileModel, func: Function, spec: TaintSpec,
+                     extra_source_fns: FrozenSet[str] = frozenset()
+                     ) -> List[TaintFlow]:
+    """Runs the taint analysis over one function.  Returns the flows in
+    a deterministic order; an unanalyzable body yields no flows."""
+    cfg = func.cfg(model.lexed.tokens)
+    if cfg is None:
+        return []
+    analysis = _FunctionTaint(model, spec, extra_source_fns,
+                              _sink_typed_names(model, spec))
+    dataflow.solve(cfg, analysis)
+    return sorted(analysis.flows, key=lambda f: (f.line, f.col, f.sink))
+
+
+def analyze_file(model: FileModel, spec: TaintSpec,
+                 extra_source_fns: FrozenSet[str] = frozenset()
+                 ) -> List[TaintFlow]:
+    """Every flow in every analyzable function of the file."""
+    out: List[TaintFlow] = []
+    for func in functions_of(model):
+        out.extend(analyze_function(model, func, spec, extra_source_fns))
+    return out
