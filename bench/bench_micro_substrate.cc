@@ -17,6 +17,7 @@
 #include "sim/priority_server.h"
 #include "sim/stats.h"
 #include "sim/simulator.h"
+#include "util/arena.h"
 #include "util/random.h"
 
 namespace granulock {
@@ -59,6 +60,60 @@ void BM_EventCancelChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventCancelChurn)->Arg(10000);
+
+void BM_CalendarQueueChurn(benchmark::State& state) {
+  // The calendar queue's steady-state regime: a large live population
+  // (range(0) events in flight) with random-offset reschedule churn, the
+  // access pattern of a many-transaction run. Each iteration pops the next
+  // event and schedules a replacement at now + U[0, 10), so the queue
+  // holds `live` events forever while the clock advances — bucket rotation,
+  // bottom-rung refills, and width recalibration all on the hot path.
+  const int64_t live = state.range(0);
+  sim::Simulator sim;
+  Rng rng(1);
+  for (int64_t i = 0; i < live; ++i) {
+    sim.ScheduleAt(rng.UniformDouble(0.0, 10.0), [] {});
+  }
+  for (auto _ : state) {
+    sim.Step();
+    sim.ScheduleAt(sim.Now() + rng.UniformDouble(0.0, 10.0), [] {});
+  }
+  benchmark::DoNotOptimize(sim.ExecutedEvents());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalendarQueueChurn)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ArenaAllocVsPool(benchmark::State& state) {
+  // Replication-scratch allocation: fill-and-discard vectors, the pattern
+  // of per-txn `blocked` / `sub_cpu_done` buffers. Arg 0 uses the default
+  // heap allocator (every round pays malloc/free); arg 1 uses an Arena
+  // reset between rounds (steady state: one coalesced block, bump-pointer
+  // only). The ratio is what the engines gain per replication.
+  const bool use_arena = state.range(0) != 0;
+  util::Arena arena;
+  constexpr int kVectors = 64;
+  constexpr int kElems = 32;
+  for (auto _ : state) {
+    if (use_arena) {
+      arena.Reset();
+      for (int v = 0; v < kVectors; ++v) {
+        std::vector<int64_t, util::ArenaAllocator<int64_t>> vec{
+            util::ArenaAllocator<int64_t>(&arena)};
+        for (int i = 0; i < kElems; ++i) vec.push_back(i);
+        benchmark::DoNotOptimize(vec.data());
+      }
+    } else {
+      for (int v = 0; v < kVectors; ++v) {
+        std::vector<int64_t> vec;
+        for (int i = 0; i < kElems; ++i) vec.push_back(i);
+        benchmark::DoNotOptimize(vec.data());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kVectors);
+  state.SetLabel(use_arena ? "arena" : "heap");
+}
+BENCHMARK(BM_ArenaAllocVsPool)->Arg(0)->Arg(1);
 
 void BM_PriorityServerThroughput(benchmark::State& state) {
   const int64_t jobs = state.range(0);
@@ -127,6 +182,21 @@ void BM_YaoExpectedGranules(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_YaoExpectedGranules)->Arg(25)->Arg(250)->Arg(2500);
+
+void BM_VectorizedYao(benchmark::State& state) {
+  // Whole-sweep Yao evaluation (one incremental product across nu =
+  // 1..max_nu) vs. the per-nu scalar restarts BM_YaoExpectedGranules
+  // measures. items/sec counts nu values, so the two benchmarks are
+  // directly comparable; the sweep amortizes the product to O(1) per nu.
+  const int64_t max_nu = state.range(0);
+  std::vector<double> out(static_cast<size_t>(max_nu));
+  for (auto _ : state) {
+    model::YaoExpectedGranulesSweep(5000, 100, max_nu, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * max_nu);
+}
+BENCHMARK(BM_VectorizedYao)->Arg(25)->Arg(250)->Arg(2500);
 
 void BM_ConflictDraw(benchmark::State& state) {
   model::ConflictModel conflict(5000);

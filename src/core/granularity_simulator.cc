@@ -16,6 +16,14 @@ using sim::ServiceClass;
 /// One live transaction. `params` is drawn once at creation; `blocked`
 /// lists the transactions this one is currently blocking.
 struct GranularitySimulator::Txn {
+  /// Scratch vectors draw from the run's arena: they grow to steady-state
+  /// capacity once and are reclaimed wholesale when the replication's
+  /// arena resets, so pooled reuse never touches the heap.
+  explicit Txn(util::Arena* arena)
+      : blocked(util::ArenaAllocator<Txn*>(arena)),
+        sub_cpu_done(
+            util::ArenaAllocator<std::pair<int32_t, double>>(arena)) {}
+
   uint64_t id = 0;
   workload::TransactionParams params;
   double arrival_time = 0.0;  // first entry into the pending queue
@@ -24,7 +32,7 @@ struct GranularitySimulator::Txn {
   // (I/O, then CPU). Lives in the transaction so the fan-in completions
   // capture only {this, txn} — no per-phase allocation.
   int64_t lock_fanin_remaining = 0;
-  std::vector<Txn*> blocked;
+  std::vector<Txn*, util::ArenaAllocator<Txn*>> blocked;
 
   // Phase accounting (always on). The five per-txn phase values sum to
   // the response time exactly: pending/lock intervals tile [arrival,
@@ -40,7 +48,9 @@ struct GranularitySimulator::Txn {
   double cpu_done_sum = 0.0;   // sum of cpu-done timestamps (for sync)
   // (node, cpu-done) per sub-transaction; filled only when a SpanRecorder
   // is attached, to emit the sync spans at completion.
-  std::vector<std::pair<int32_t, double>> sub_cpu_done;
+  std::vector<std::pair<int32_t, double>,
+              util::ArenaAllocator<std::pair<int32_t, double>>>
+      sub_cpu_done;
 
   /// Returns the transaction to its freshly-constructed state while keeping
   /// the vectors' capacity — pooled reuse must behave exactly like a new
@@ -101,6 +111,13 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
   const WallTimer wall_timer;
   GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
   GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
+  if (options_.arena != nullptr) {
+    arena_ = options_.arena;
+  } else {
+    owned_arena_ = std::make_unique<util::Arena>();
+    arena_ = owned_arena_.get();
+  }
+  txn_factory_.emplace(cfg_, spec_);
   if (options_.max_active < 0) {
     return Status::InvalidArgument("max_active must be >= 0");
   }
@@ -128,14 +145,8 @@ Result<SimulationMetrics> GranularitySimulator::Run() {
         &sim_, StrFormat("cpu%lld", (long long)n)));
     io_.push_back(std::make_unique<sim::PriorityServer>(
         &sim_, StrFormat("io%lld", (long long)n)));
-    cpu_.back()->SetTransitionObserver(
-        [this](double now, int delta_any, int delta_lock) {
-          cpu_union_.Transition(now, delta_any, delta_lock);
-        });
-    io_.back()->SetTransitionObserver(
-        [this](double now, int delta_any, int delta_lock) {
-          io_union_.Transition(now, delta_any, delta_lock);
-        });
+    cpu_.back()->SetBusyUnion(&cpu_union_);
+    io_.back()->SetBusyUnion(&io_union_);
   }
 
   SetUpObservability();
@@ -307,8 +318,7 @@ void GranularitySimulator::ContentionTick() {
       ntrans > 0.0 ? static_cast<double>(blocked_count_) / ntrans : 0.0;
   // The probabilistic engine has no lock table; occupancy is estimated
   // from the locks the active transactions nominally hold.
-  int64_t locks_held = 0;
-  for (const Txn* t : active_) locks_held += t->params.lu;
+  const int64_t locks_held = active_lu_total_;
   const double occupancy =
       cfg_.ltot > 0
           ? std::min(1.0, static_cast<double>(locks_held) /
@@ -382,11 +392,11 @@ GranularitySimulator::Txn* GranularitySimulator::CreateTransaction(
     owned = std::move(txn_pool_.back());
     txn_pool_.pop_back();
   } else {
-    owned = std::make_unique<Txn>();
+    owned = std::make_unique<Txn>(arena_);
   }
   Txn* txn = owned.get();
   txn->id = next_txn_id_++;
-  txn->params = workload::GenerateTransaction(cfg_, spec_, rng_);
+  txn_factory_->Generate(rng_, &txn->params);
   txn->arrival_time = arrival_time;
   if (ctr_txn_created_ != nullptr) ctr_txn_created_->Increment();
   if (options_.trace != nullptr) {
@@ -488,8 +498,10 @@ void GranularitySimulator::CheckConsistency() const {
   // The blocked count is exactly the sum of the blockers' lists, and
   // only active (lock-holding) transactions may block others.
   size_t blocked_from_lists = 0;
+  int64_t lu_total = 0;
   for (const Txn* txn : active_) {
     blocked_from_lists += txn->blocked.size();
+    lu_total += txn->params.lu;
     GRANULOCK_AUDIT_CHECK_GT(txn->subtxns_remaining, 0)
         << "active txn " << txn->id << " has no sub-transactions left";
     GRANULOCK_AUDIT_CHECK_LE(txn->subtxns_remaining, txn->params.pu)
@@ -504,6 +516,10 @@ void GranularitySimulator::CheckConsistency() const {
   }
   GRANULOCK_AUDIT_CHECK_EQ(static_cast<size_t>(blocked_count_),
                            blocked_from_lists);
+  // The incrementally maintained conflict-scan total never drifts from
+  // the ground truth it summarizes.
+  GRANULOCK_AUDIT_CHECK_EQ(active_lu_total_, lu_total)
+      << "active_lu_total_ drifted from the sum over active_";
 }
 
 void GranularitySimulator::BeginLockRequest(Txn* txn) {
@@ -569,10 +585,29 @@ void GranularitySimulator::FinishLockRequest(Txn* txn) {
   GRANULOCK_DCHECK_GE(outstanding_lock_requests_, 0)
       << "lock request for txn " << txn->id
       << " finished more often than it began";
-  active_locks_scratch_.clear();
-  active_locks_scratch_.reserve(active_.size());
-  for (const Txn* t : active_) active_locks_scratch_.push_back(t->params.lu);
-  const int blocker = conflict_.DrawBlocker(active_locks_scratch_, rng_);
+  // Conflict draw over the active transactions' lock counts, equivalent to
+  // `conflict_.DrawBlocker` on a vector of their `lu` values but without
+  // materializing that vector: the running `active_lu_total_` decides the
+  // common no-conflict case with a single comparison. The early-out is
+  // exact (not a shortcut) while the total stays below 2^53, where every
+  // partial sum the scan would form is an exactly-represented integer; a
+  // larger total falls back to the scan so the outcome is still
+  // bit-identical to the reference loop.
+  int blocker = -1;
+  if (!active_.empty()) {
+    const double scaled = conflict_.DrawScaledVariate(rng_);
+    if (active_lu_total_ >= (int64_t{1} << 53) ||
+        scaled <= static_cast<double>(active_lu_total_)) {
+      double cum = 0.0;
+      for (size_t j = 0; j < active_.size(); ++j) {
+        cum += static_cast<double>(active_[j]->params.lu);
+        if (scaled <= cum) {
+          blocker = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+  }
   if (blocker >= 0) {
     ++lock_denials_;
     if (ctr_lock_denials_ != nullptr) ctr_lock_denials_->Increment();
@@ -608,6 +643,7 @@ void GranularitySimulator::FinishLockRequest(Txn* txn) {
 
 void GranularitySimulator::Grant(Txn* txn) {
   active_.push_back(txn);
+  active_lu_total_ += txn->params.lu;
   txn->subtxns_remaining = txn->params.pu;
   const double now = sim_.Now();
   txn->lock_wait += now - txn->lock_since;
@@ -672,6 +708,7 @@ void GranularitySimulator::Complete(Txn* txn) {
   auto it = std::find(active_.begin(), active_.end(), txn);
   GRANULOCK_CHECK(it != active_.end());
   active_.erase(it);
+  active_lu_total_ -= txn->params.lu;
 
   const double now = sim_.Now();
   const double response = now - txn->arrival_time;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/fault.h"
@@ -16,6 +17,7 @@
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
+#include "util/arena.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "workload/workload.h"
@@ -86,6 +88,13 @@ class GranularitySimulator {
     /// simulated results — and the poll throws to cancel the run at a
     /// deterministic simulated-time boundary. Null disables polling.
     const fault::CellWatchdog* watchdog = nullptr;
+    /// Optional arena backing per-transaction scratch vectors (not owned;
+    /// must outlive the engine and must not be `Reset` while it lives).
+    /// Replication drivers pass a per-worker arena and reset it wholesale
+    /// between cells; null makes the engine use a private arena. Either
+    /// way results are bit-identical — the arena only changes where
+    /// scratch memory lives.
+    util::Arena* arena = nullptr;
   };
 
   /// Builds a simulator for (`cfg`, `spec`); `seed` fully determines the
@@ -160,6 +169,12 @@ class GranularitySimulator {
   model::SystemConfig cfg_;
   workload::WorkloadSpec spec_;
   Options options_;
+  /// Built in `Run()` (needs a validated spec); amortizes lock-demand and
+  /// node-set work across the millions of transactions one run creates.
+  std::optional<workload::TransactionFactory> txn_factory_;
+  /// `options_.arena` or the private fallback; backs Txn scratch vectors.
+  util::Arena* arena_ = nullptr;
+  std::unique_ptr<util::Arena> owned_arena_;
   Rng rng_;
   /// Profiler-private stream for imputed granule attribution (the
   /// probabilistic conflict model has no real lock table). Never draws
@@ -177,7 +192,13 @@ class GranularitySimulator {
   std::vector<Txn*> active_;  // holding locks, running sub-transactions
   std::vector<std::unique_ptr<Txn>> live_txns_;
   std::vector<std::unique_ptr<Txn>> txn_pool_;  // recycled Txn objects
-  std::vector<int64_t> active_locks_scratch_;   // FinishLockRequest reuse
+  /// Exact sum of `params.lu` over `active_` (maintained at grant /
+  /// complete, audited in CheckConsistency). Lets the conflict draw skip
+  /// the partial-sum scan entirely whenever the scaled variate exceeds the
+  /// total — the common case at low contention — without changing any
+  /// outcome: integer partial sums below 2^53 are exact in a double, so
+  /// "variate > total" is precisely the old loop's fall-through condition.
+  int64_t active_lu_total_ = 0;
   int64_t blocked_count_ = 0;
   int outstanding_lock_requests_ = 0;
 

@@ -48,6 +48,30 @@ struct ExplicitSimulator::Txn {
   double cpu_span_sum = 0.0;
   double cpu_done_sum = 0.0;
   std::vector<std::pair<int32_t, double>> sub_cpu_done;
+
+  /// Returns the transaction to its freshly-constructed state while
+  /// keeping the vectors' capacity — pooled reuse must behave exactly
+  /// like a new `Txn` minus the allocations.
+  void Reset() {
+    id = 0;
+    arrival_time = 0.0;
+    subtxns_remaining = 0;
+    lock_fanin_remaining = 0;
+    blocked.clear();
+    granules.clear();
+    coarse = false;
+    mode = LockMode::kX;
+    locks_set = 0.0;
+    pending_since = 0.0;
+    lock_since = 0.0;
+    grant_time = 0.0;
+    pending_wait = 0.0;
+    lock_wait = 0.0;
+    io_span_sum = 0.0;
+    cpu_span_sum = 0.0;
+    cpu_done_sum = 0.0;
+    sub_cpu_done.clear();
+  }
 };
 
 ExplicitSimulator::ExplicitSimulator(model::SystemConfig cfg,
@@ -86,6 +110,7 @@ Result<core::SimulationMetrics> ExplicitSimulator::Run() {
   const WallTimer wall_timer;
   GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
   GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
+  txn_factory_.emplace(cfg_, spec_);
   if (options_.read_fraction < 0.0 || options_.read_fraction > 1.0) {
     return Status::InvalidArgument("read_fraction must be in [0, 1]");
   }
@@ -123,14 +148,8 @@ Result<core::SimulationMetrics> ExplicitSimulator::Run() {
         &sim_, StrFormat("cpu%lld", (long long)n)));
     io_.push_back(std::make_unique<sim::PriorityServer>(
         &sim_, StrFormat("io%lld", (long long)n)));
-    cpu_.back()->SetTransitionObserver(
-        [this](double now, int delta_any, int delta_lock) {
-          cpu_union_.Transition(now, delta_any, delta_lock);
-        });
-    io_.back()->SetTransitionObserver(
-        [this](double now, int delta_any, int delta_lock) {
-          io_union_.Transition(now, delta_any, delta_lock);
-        });
+    cpu_.back()->SetBusyUnion(&cpu_union_);
+    io_.back()->SetBusyUnion(&io_union_);
   }
 
   SetUpObservability();
@@ -360,10 +379,16 @@ void ExplicitSimulator::EnqueuePending(Txn* txn) {
 
 ExplicitSimulator::Txn* ExplicitSimulator::CreateTransaction(
     double arrival_time) {
-  auto owned = std::make_unique<Txn>();
+  std::unique_ptr<Txn> owned;
+  if (!txn_pool_.empty()) {
+    owned = std::move(txn_pool_.back());
+    txn_pool_.pop_back();
+  } else {
+    owned = std::make_unique<Txn>();
+  }
   Txn* txn = owned.get();
   txn->id = next_txn_id_++;
-  txn->params = workload::GenerateTransaction(cfg_, spec_, rng_);
+  txn_factory_->Generate(rng_, &txn->params);
   txn->arrival_time = arrival_time;
   if (ctr_txn_created_ != nullptr) ctr_txn_created_->Increment();
   txn->mode =
@@ -405,6 +430,10 @@ void ExplicitSimulator::DestroyTransaction(Txn* txn) {
       live_txns_.begin(), live_txns_.end(),
       [txn](const std::unique_ptr<Txn>& p) { return p.get() == txn; });
   GRANULOCK_CHECK(it != live_txns_.end());
+  // Recycle through the pool: the closed system otherwise churns one
+  // short-lived Txn (three vectors deep) per completion.
+  (*it)->Reset();
+  txn_pool_.push_back(std::move(*it));
   *it = std::move(live_txns_.back());
   live_txns_.pop_back();
 }

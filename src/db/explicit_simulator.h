@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -149,6 +150,9 @@ class ExplicitSimulator {
   model::SystemConfig cfg_;
   workload::WorkloadSpec spec_;
   Options options_;
+  /// Built in `Run()` (needs a validated spec); amortizes lock-demand and
+  /// node-set work across every transaction the run creates.
+  std::optional<workload::TransactionFactory> txn_factory_;
   Rng rng_;
 
   sim::Simulator sim_;
@@ -163,6 +167,7 @@ class ExplicitSimulator {
   std::deque<Txn*> pending_;
   std::unordered_map<lockmgr::TxnId, Txn*> active_;
   std::vector<std::unique_ptr<Txn>> live_txns_;
+  std::vector<std::unique_ptr<Txn>> txn_pool_;  // recycled Txn objects
   int64_t blocked_count_ = 0;
   int outstanding_lock_requests_ = 0;
 

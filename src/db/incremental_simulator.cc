@@ -46,6 +46,28 @@ struct IncrementalSimulator::Txn {
   double stage_cpu_done_sum = 0.0;  // current stage only
   // (node, cpu-done) of the current stage; spans-attached runs only.
   std::vector<std::pair<int32_t, double>> sub_cpu_done;
+
+  /// Returns the transaction to its freshly-constructed state while
+  /// keeping the vectors' capacity — pooled reuse must behave exactly
+  /// like a new `Txn` minus the allocations.
+  void Reset() {
+    id = 0;
+    arrival_time = 0.0;
+    mode = LockMode::kX;
+    granules.clear();
+    next_lock = 0;
+    substages_remaining = 0;
+    lock_fanin_remaining = 0;
+    restarts = 0;
+    lock_since = 0.0;
+    stage_start = 0.0;
+    lock_wait = 0.0;
+    io_span_sum = 0.0;
+    cpu_span_sum = 0.0;
+    sync_span_sum = 0.0;
+    stage_cpu_done_sum = 0.0;
+    sub_cpu_done.clear();
+  }
 };
 
 IncrementalSimulator::IncrementalSimulator(model::SystemConfig cfg,
@@ -84,6 +106,7 @@ Result<core::SimulationMetrics> IncrementalSimulator::Run() {
   const WallTimer wall_timer;
   GRANULOCK_RETURN_NOT_OK(cfg_.Validate());
   GRANULOCK_RETURN_NOT_OK(spec_.Validate(cfg_));
+  txn_factory_.emplace(cfg_, spec_);
   if (options_.read_fraction < 0.0 || options_.read_fraction > 1.0) {
     return Status::InvalidArgument("read_fraction must be in [0, 1]");
   }
@@ -99,14 +122,8 @@ Result<core::SimulationMetrics> IncrementalSimulator::Run() {
         &sim_, StrFormat("cpu%lld", (long long)n)));
     io_.push_back(std::make_unique<sim::PriorityServer>(
         &sim_, StrFormat("io%lld", (long long)n)));
-    cpu_.back()->SetTransitionObserver(
-        [this](double now, int delta_any, int delta_lock) {
-          cpu_union_.Transition(now, delta_any, delta_lock);
-        });
-    io_.back()->SetTransitionObserver(
-        [this](double now, int delta_any, int delta_lock) {
-          io_union_.Transition(now, delta_any, delta_lock);
-        });
+    cpu_.back()->SetBusyUnion(&cpu_union_);
+    io_.back()->SetBusyUnion(&io_union_);
   }
 
   SetUpObservability();
@@ -323,10 +340,16 @@ void IncrementalSimulator::BeginMeasurement() {
 
 IncrementalSimulator::Txn* IncrementalSimulator::CreateTransaction(
     double arrival_time) {
-  auto owned = std::make_unique<Txn>();
+  std::unique_ptr<Txn> owned;
+  if (!txn_pool_.empty()) {
+    owned = std::move(txn_pool_.back());
+    txn_pool_.pop_back();
+  } else {
+    owned = std::make_unique<Txn>();
+  }
   Txn* txn = owned.get();
   txn->id = next_txn_id_++;
-  txn->params = workload::GenerateTransaction(cfg_, spec_, rng_);
+  txn_factory_->Generate(rng_, &txn->params);
   txn->arrival_time = arrival_time;
   txn->mode =
       rng_.Bernoulli(options_.read_fraction) ? LockMode::kS : LockMode::kX;
@@ -367,6 +390,10 @@ void IncrementalSimulator::DestroyTransaction(Txn* txn) {
       live_txns_.begin(), live_txns_.end(),
       [txn](const std::unique_ptr<Txn>& p) { return p.get() == txn; });
   GRANULOCK_CHECK(it != live_txns_.end());
+  // Recycle through the pool: restarts and completions otherwise churn
+  // one short-lived Txn (two vectors deep) per event.
+  (*it)->Reset();
+  txn_pool_.push_back(std::move(*it));
   *it = std::move(live_txns_.back());
   live_txns_.pop_back();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -125,6 +126,9 @@ class IncrementalSimulator {
   model::SystemConfig cfg_;
   workload::WorkloadSpec spec_;
   Options options_;
+  /// Built in `Run()` (needs a validated spec); amortizes lock-demand and
+  /// node-set work across every transaction the run creates.
+  std::optional<workload::TransactionFactory> txn_factory_;
   Rng rng_;
 
   sim::Simulator sim_;
@@ -137,6 +141,7 @@ class IncrementalSimulator {
   lockmgr::WaitsForGraph waits_for_;
   std::unordered_map<lockmgr::TxnId, Txn*> txn_by_id_;
   std::vector<std::unique_ptr<Txn>> live_txns_;
+  std::vector<std::unique_ptr<Txn>> txn_pool_;  // recycled Txn objects
   int64_t waiting_count_ = 0;
   int64_t running_count_ = 0;
   /// Deadlock victims sleeping out their restart backoff (they hold no

@@ -31,6 +31,22 @@ struct TransferSimulator::Txn {
   // never overlap for one transaction, so one field serves both.
   int64_t lock_fanin_remaining = 0;
   std::vector<Txn*> blocked;
+
+  /// Returns the transaction to its freshly-constructed state while
+  /// keeping the vector's capacity — pooled reuse must behave exactly
+  /// like a new `Txn` minus the allocations.
+  void Reset() {
+    id = 0;
+    arrival_time = 0.0;
+    from = 0;
+    to = 0;
+    amount = 0;
+    read_from = 0;
+    read_to = 0;
+    phase_remaining = 0;
+    lock_fanin_remaining = 0;
+    blocked.clear();
+  }
 };
 
 TransferSimulator::TransferSimulator(model::SystemConfig cfg, uint64_t seed,
@@ -88,14 +104,8 @@ Result<TransferSimulator::Report> TransferSimulator::Run() {
         &sim_, StrFormat("cpu%lld", (long long)n)));
     io_.push_back(std::make_unique<sim::PriorityServer>(
         &sim_, StrFormat("io%lld", (long long)n)));
-    cpu_.back()->SetTransitionObserver(
-        [this](double now, int delta_any, int delta_lock) {
-          cpu_union_.Transition(now, delta_any, delta_lock);
-        });
-    io_.back()->SetTransitionObserver(
-        [this](double now, int delta_any, int delta_lock) {
-          io_union_.Transition(now, delta_any, delta_lock);
-        });
+    cpu_.back()->SetBusyUnion(&cpu_union_);
+    io_.back()->SetBusyUnion(&io_union_);
   }
 
   if (auto* prof = options_.contention) {
@@ -194,7 +204,13 @@ void TransferSimulator::BeginMeasurement() {
 
 TransferSimulator::Txn* TransferSimulator::CreateTransaction(
     double arrival_time) {
-  auto owned = std::make_unique<Txn>();
+  std::unique_ptr<Txn> owned;
+  if (!txn_pool_.empty()) {
+    owned = std::move(txn_pool_.back());
+    txn_pool_.pop_back();
+  } else {
+    owned = std::make_unique<Txn>();
+  }
   Txn* txn = owned.get();
   txn->id = next_txn_id_++;
   txn->arrival_time = arrival_time;
@@ -216,6 +232,10 @@ void TransferSimulator::DestroyTransaction(Txn* txn) {
       live_txns_.begin(), live_txns_.end(),
       [txn](const std::unique_ptr<Txn>& p) { return p.get() == txn; });
   GRANULOCK_CHECK(it != live_txns_.end());
+  // Recycle through the pool: the closed system otherwise churns one
+  // short-lived Txn per completion.
+  (*it)->Reset();
+  txn_pool_.push_back(std::move(*it));
   *it = std::move(live_txns_.back());
   live_txns_.pop_back();
 }

@@ -147,6 +147,7 @@ class TransferSimulator {
   std::deque<Txn*> pending_;
   std::unordered_map<lockmgr::TxnId, Txn*> active_;
   std::vector<std::unique_ptr<Txn>> live_txns_;
+  std::vector<std::unique_ptr<Txn>> txn_pool_;  // recycled Txn objects
   int64_t blocked_count_ = 0;
   int outstanding_lock_requests_ = 0;
   /// Net intended delta of applied writes (see Report::in_flight_imbalance).

@@ -15,12 +15,17 @@ int ConflictModel::DrawBlocker(const std::vector<int64_t>& active_locks,
   if (active_locks.empty()) return -1;
   // p ~ U(0, 1]; find the first j with p <= cum_j / ltot. Working with
   // p * ltot avoids accumulating division error across the partial sums.
-  const double scaled_p = rng.NextDoubleOpenClosed() * static_cast<double>(ltot_);
+  return FindBlocker(active_locks.data(), active_locks.size(),
+                     DrawScaledVariate(rng));
+}
+
+int ConflictModel::FindBlocker(const int64_t* active_locks, size_t count,
+                               double scaled_variate) const {
   double cum = 0.0;
-  for (size_t j = 0; j < active_locks.size(); ++j) {
+  for (size_t j = 0; j < count; ++j) {
     GRANULOCK_CHECK_GE(active_locks[j], 0);
     cum += static_cast<double>(active_locks[j]);
-    if (scaled_p <= cum) return static_cast<int>(j);
+    if (scaled_variate <= cum) return static_cast<int>(j);
   }
   return -1;
 }

@@ -34,6 +34,25 @@ class ConflictModel {
   /// always proceeds.
   int DrawBlocker(const std::vector<int64_t>& active_locks, Rng& rng) const;
 
+  /// Draws the scaled conflict variate `p * ltot` with `p ~ U(0, 1]` — the
+  /// single RNG draw `DrawBlocker` performs. Splitting the draw from the
+  /// scan lets callers that track the exact total of active lock counts
+  /// skip the partial-sum scan entirely when `variate > total` (the scan
+  /// could only ever return "proceed" in that case, because every partial
+  /// sum of non-negative integers below 2^53 is exact in a double and
+  /// bounded by the total).
+  double DrawScaledVariate(Rng& rng) const {
+    return rng.NextDoubleOpenClosed() * static_cast<double>(ltot_);
+  }
+
+  /// Resolves a previously drawn scaled variate against the active lock
+  /// counts: returns the first index `j` whose cumulative lock count
+  /// reaches `scaled_variate`, or -1. `DrawBlocker(a, rng)` is equivalent
+  /// to `FindBlocker(a.data(), a.size(), DrawScaledVariate(rng))` for
+  /// non-empty `a`.
+  int FindBlocker(const int64_t* active_locks, size_t count,
+                  double scaled_variate) const;
+
   /// The analytic probability that a requester is blocked (by anyone),
   /// `min(1, sum Lj / ltot)`. Exposed for tests and for the analytic
   /// cross-checks in the benches.

@@ -68,6 +68,58 @@ int64_t WorstPlacementLocks(int64_t ltot, int64_t nu) {
   return std::min(nu, ltot);
 }
 
+void YaoExpectedGranulesSweep(int64_t dbsize, int64_t ltot, int64_t max_nu,
+                              double* out) {
+  GRANULOCK_CHECK_GE(max_nu, 1);
+  GRANULOCK_CHECK_LE(max_nu, dbsize);
+  GRANULOCK_CHECK_GE(ltot, 1);
+  GRANULOCK_CHECK_LE(ltot, dbsize);
+  const double n = static_cast<double>(dbsize);
+  const double granule = n / static_cast<double>(ltot);
+  const double scale = static_cast<double>(ltot);
+  // Extend one running miss-probability product across the nu range. The
+  // scalar routine's cutoffs are absorbing (numer decreases with j, and a
+  // zero product stays zero), so once either fires every later nu also
+  // yields miss = 0 — exactly what the scalar loop would compute.
+  double miss_prob = 1.0;
+  for (int64_t j = 0; j < max_nu; ++j) {
+    if (miss_prob != 0.0) {
+      const double numer = n - granule - static_cast<double>(j);
+      if (numer <= 0.0) {
+        miss_prob = 0.0;
+      } else {
+        miss_prob *= numer / (n - static_cast<double>(j));
+      }
+    }
+    out[j] = scale * (1.0 - miss_prob);
+  }
+}
+
+LockDemandTable::LockDemandTable(Placement placement, int64_t dbsize,
+                                 int64_t ltot, int64_t max_nu) {
+  GRANULOCK_CHECK_GE(max_nu, 1);
+  table_.resize(static_cast<size_t>(max_nu));
+  if (placement == Placement::kRandom) {
+    // One sweep for all expectations, then the same round-and-clamp as the
+    // scalar LocksRequired.
+    std::vector<double> expected(static_cast<size_t>(max_nu));
+    YaoExpectedGranulesSweep(dbsize, ltot, max_nu, expected.data());
+    for (int64_t nu = 1; nu <= max_nu; ++nu) {
+      const int64_t best = BestPlacementLocks(dbsize, ltot, nu);
+      const int64_t worst = WorstPlacementLocks(ltot, nu);
+      const double e = expected[static_cast<size_t>(nu - 1)];
+      int64_t locks = std::llround(e);
+      locks = std::clamp(locks, best, worst);
+      table_[static_cast<size_t>(nu - 1)] = LockDemand{locks, e};
+    }
+    return;
+  }
+  for (int64_t nu = 1; nu <= max_nu; ++nu) {
+    table_[static_cast<size_t>(nu - 1)] =
+        LocksRequired(placement, dbsize, ltot, nu);
+  }
+}
+
 LockDemand LocksRequired(Placement placement, int64_t dbsize, int64_t ltot,
                          int64_t nu) {
   const int64_t best = BestPlacementLocks(dbsize, ltot, nu);

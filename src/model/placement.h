@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace granulock::model {
 
@@ -56,6 +57,49 @@ int64_t WorstPlacementLocks(int64_t ltot, int64_t nu);
 /// Lock demand for a transaction of `nu` entities under `placement`.
 LockDemand LocksRequired(Placement placement, int64_t dbsize, int64_t ltot,
                          int64_t nu);
+
+/// Evaluates Yao's formula for every `nu` in `1..max_nu` in a single pass,
+/// writing `YaoExpectedGranules(dbsize, ltot, nu)` to `out[nu - 1]`.
+///
+/// The per-`nu` product shares all but its last factor with the `nu - 1`
+/// product, so the whole sweep extends one running product instead of
+/// restarting it: O(max_nu) total instead of O(max_nu^2). The running
+/// product performs the identical floating-point operation sequence as the
+/// scalar routine's prefix (including the `numer <= 0` and underflow-to-0
+/// cutoffs, both of which are absorbing), so every output is bit-identical
+/// to its scalar counterpart. Requires 1 <= max_nu <= dbsize and
+/// 1 <= ltot <= dbsize; `out` must hold `max_nu` doubles.
+void YaoExpectedGranulesSweep(int64_t dbsize, int64_t ltot, int64_t max_nu,
+                              double* out);
+
+/// Precomputed `LocksRequired` answers for every transaction size a
+/// workload can draw, for one fixed `(placement, dbsize, ltot)` cell.
+///
+/// Transaction generation queries the same `(nu, ltot)` point millions of
+/// times per replication; under random placement each query used to pay an
+/// O(nu) Yao product. The table folds the whole `nu` range into one
+/// `YaoExpectedGranulesSweep`, making lookups O(1) and — because the sweep
+/// is bit-identical to the scalar formula — leaving every downstream
+/// metric unchanged.
+class LockDemandTable {
+ public:
+  /// Builds the table for `nu` in `1..max_nu`. Requirements are those of
+  /// `LocksRequired` (1 <= max_nu <= dbsize, 1 <= ltot <= dbsize).
+  LockDemandTable(Placement placement, int64_t dbsize, int64_t ltot,
+                  int64_t max_nu);
+
+  /// The demand for a transaction touching `nu` entities; `nu` must be in
+  /// `1..max_nu`. Bit-identical to `LocksRequired(placement, dbsize, ltot,
+  /// nu)`.
+  const LockDemand& Lookup(int64_t nu) const {
+    return table_[static_cast<size_t>(nu - 1)];
+  }
+
+  int64_t max_nu() const { return static_cast<int64_t>(table_.size()); }
+
+ private:
+  std::vector<LockDemand> table_;
+};
 
 }  // namespace granulock::model
 

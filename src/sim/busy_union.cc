@@ -4,23 +4,6 @@
 
 namespace granulock::sim {
 
-void BusyUnionTracker::Accumulate(double now) {
-  GRANULOCK_CHECK_GE(now, last_time_);
-  const double span = now - last_time_;
-  if (busy_count_ > 0) any_time_ += span;
-  if (lock_count_ > 0) lock_time_ += span;
-  last_time_ = now;
-}
-
-void BusyUnionTracker::Transition(double now, int delta_any, int delta_lock) {
-  Accumulate(now);
-  busy_count_ += delta_any;
-  lock_count_ += delta_lock;
-  GRANULOCK_CHECK_GE(busy_count_, 0);
-  GRANULOCK_CHECK_GE(lock_count_, 0);
-  GRANULOCK_CHECK_LE(lock_count_, busy_count_);
-}
-
 void BusyUnionTracker::ResetWindow(double now) {
   last_time_ = now;
   any_time_ = 0.0;

@@ -1,6 +1,8 @@
 #ifndef GRANULOCK_SIM_BUSY_UNION_H_
 #define GRANULOCK_SIM_BUSY_UNION_H_
 
+#include "util/logging.h"
+
 namespace granulock::sim {
 
 /// Tracks the *union* busy time of a pool of servers: the wall-clock time
@@ -23,7 +25,16 @@ class BusyUnionTracker {
   /// Reports that one pool member changed state at time `now`.
   /// `delta_any` is +1 when it went from idle to busy, -1 for the reverse,
   /// 0 otherwise; `delta_lock` likewise for the busy-on-lock-work state.
-  void Transition(double now, int delta_any, int delta_lock);
+  /// Inline: every server busy-state flip in every simulation funnels
+  /// through here (tens of millions of calls per sweep).
+  void Transition(double now, int delta_any, int delta_lock) {
+    Accumulate(now);
+    busy_count_ += delta_any;
+    lock_count_ += delta_lock;
+    GRANULOCK_CHECK_GE(busy_count_, 0);
+    GRANULOCK_CHECK_GE(lock_count_, 0);
+    GRANULOCK_CHECK_LE(lock_count_, busy_count_);
+  }
 
   /// Restarts the accounting window at `now` (warmup discard); current
   /// busy counts are preserved.
@@ -41,7 +52,13 @@ class BusyUnionTracker {
   int lock_count() const { return lock_count_; }
 
  private:
-  void Accumulate(double now);
+  void Accumulate(double now) {
+    GRANULOCK_CHECK_GE(now, last_time_);
+    const double span = now - last_time_;
+    if (busy_count_ > 0) any_time_ += span;
+    if (lock_count_ > 0) lock_time_ += span;
+    last_time_ = now;
+  }
 
   int busy_count_ = 0;
   int lock_count_ = 0;

@@ -46,13 +46,6 @@ void PriorityServer::SetTransitionObserver(TransitionObserver observer) {
   observer_ = std::move(observer);
 }
 
-void PriorityServer::NotifyTransition(bool entering, ServiceClass cls) {
-  if (!observer_) return;
-  const int delta_any = entering ? 1 : -1;
-  const int delta_lock = cls == ServiceClass::kLock ? delta_any : 0;
-  observer_(sim_->Now(), delta_any, delta_lock);
-}
-
 void PriorityServer::BeginService(Job job) {
   GRANULOCK_CHECK(!current_.has_value());
   current_ = std::move(job);

@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "sim/busy_union.h"
 #include "sim/simulator.h"
 
 namespace granulock::sim {
@@ -85,6 +86,14 @@ class PriorityServer {
   /// before the first `Submit`.
   void SetTransitionObserver(TransitionObserver observer);
 
+  /// Wires busy-state transitions straight into a `BusyUnionTracker`
+  /// (not owned; may be null to unwire). The direct pointer skips the
+  /// `std::function` indirection of `SetTransitionObserver` — busy flips
+  /// happen tens of millions of times per sweep, and every engine feeds
+  /// them into a union tracker anyway. Takes precedence over an installed
+  /// observer; must be set before the first `Submit`.
+  void SetBusyUnion(BusyUnionTracker* tracker) { busy_union_ = tracker; }
+
   /// FCFS queue conservation audit: every job ever submitted is finished,
   /// queued, or in service (per class); the in-service job has
   /// non-negative remaining demand; accounting never goes negative.
@@ -109,7 +118,16 @@ class PriorityServer {
   /// service it received so far.
   void PreemptCurrent();
   int ClassIndex(ServiceClass cls) const { return static_cast<int>(cls); }
-  void NotifyTransition(bool entering, ServiceClass cls);
+  void NotifyTransition(bool entering, ServiceClass cls) {
+    if (busy_union_ == nullptr && !observer_) return;
+    const int delta_any = entering ? 1 : -1;
+    const int delta_lock = cls == ServiceClass::kLock ? delta_any : 0;
+    if (busy_union_ != nullptr) {
+      busy_union_->Transition(sim_->Now(), delta_any, delta_lock);
+    } else {
+      observer_(sim_->Now(), delta_any, delta_lock);
+    }
+  }
 
   Simulator* sim_;
   std::string name_;
@@ -117,6 +135,7 @@ class PriorityServer {
   std::optional<Job> current_;
   SimTime service_start_ = 0.0;
   EventId completion_event_ = 0;
+  BusyUnionTracker* busy_union_ = nullptr;
   TransitionObserver observer_;
   double busy_time_[kNumServiceClasses] = {0.0, 0.0};
   uint64_t completed_[kNumServiceClasses] = {0, 0};

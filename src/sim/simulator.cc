@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/invariants.h"
 #include "util/logging.h"
@@ -15,27 +16,60 @@ constexpr uint64_t MakeEventId(uint32_t slot, uint32_t generation) {
 
 }  // namespace
 
+Simulator::Simulator() {
+  buckets_.resize(kMinBuckets);
+  bucket_mask_ = kMinBuckets - 1;
+}
+
+uint32_t Simulator::AcquireSlot() {
+  if (free_slots_.empty()) {
+    GRANULOCK_CHECK_LT(slot_gen_.size(), (size_t{1} << 32))
+        << "event slab exhausted";
+    slot_cb_.emplace_back();
+    slot_gen_.push_back(1);
+    slot_flags_.push_back(0);
+    return static_cast<uint32_t>(slot_gen_.size() - 1);
+  }
+  const uint32_t index = free_slots_.back();
+  free_slots_.pop_back();
+  return index;
+}
+
+void Simulator::ReleaseSlot(uint32_t index) {
+  slot_cb_[index].Reset();
+  slot_flags_[index] = 0;
+  if (++slot_gen_[index] == 0) slot_gen_[index] = 1;  // ids stay non-zero
+  free_slots_.push_back(index);
+  --live_count_;
+}
+
 EventId Simulator::Schedule(SimTime at, Callback callback, bool observer) {
   GRANULOCK_CHECK_GE(at, now_) << "cannot schedule into the past";
-  uint32_t index;
-  if (free_slots_.empty()) {
-    GRANULOCK_CHECK_LT(slots_.size(), (size_t{1} << 32))
-        << "event slab exhausted";
-    index = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
+  const uint32_t index = AcquireSlot();
+  slot_cb_[index] = std::move(callback);
+  slot_flags_[index] =
+      static_cast<uint8_t>(kLiveFlag | (observer ? kObserverFlag : 0));
+  const uint64_t ref = MakeEventId(index, slot_gen_[index]);
+  const uint64_t day = DayOf(at);
+  const uint64_t seq = next_seq_++;
+  if (day <= bottom_day_ && bottom_day_ != kNoBottomDay) {
+    // Imminent event: sorted-insert into the bottom so it pops in pure
+    // (time, seq) order ahead of everything in the calendar. The bottom
+    // is small (one day's events), so the shift is a short memmove.
+    const CalEntry entry{at, seq, ref};
+    bottom_.insert(std::lower_bound(bottom_.begin(), bottom_.end(), entry,
+                                    EntryLater{}),
+                   entry);
   } else {
-    index = free_slots_.back();
-    free_slots_.pop_back();
+    Bucket& bucket = buckets_[day & bucket_mask_];
+    bucket.time.push_back(at);
+    bucket.seq.push_back(seq);
+    bucket.ref.push_back(ref);
   }
-  EventSlot& slot = slots_[index];
-  slot.callback = std::move(callback);
-  slot.live = true;
-  slot.observer = observer;
-  heap_.push_back(HeapEntry{at, next_seq_++, index, slot.generation});
-  std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
   ++live_count_;
   max_pending_ = std::max(max_pending_, live_count_);
-  return MakeEventId(index, slot.generation);
+  if (live_count_ > buckets_.size() * 2) Rebuild(buckets_.size() * 2);
+  return ref;
 }
 
 EventId Simulator::ScheduleAt(SimTime at, Callback callback) {
@@ -56,92 +90,222 @@ EventId Simulator::ScheduleObserverAfter(SimTime delay, Callback callback) {
   return ScheduleObserverAt(now_ + delay, std::move(callback));
 }
 
-void Simulator::ReleaseSlot(uint32_t index) {
-  EventSlot& slot = slots_[index];
-  slot.callback.Reset();
-  slot.live = false;
-  if (++slot.generation == 0) slot.generation = 1;  // ids stay non-zero
-  free_slots_.push_back(index);
-  --live_count_;
-}
-
 void Simulator::Cancel(EventId id) {
   const uint32_t index = static_cast<uint32_t>(id & 0xffffffffu);
   const uint32_t generation = static_cast<uint32_t>(id >> 32);
-  if (index >= slots_.size()) return;  // never scheduled
-  const EventSlot& slot = slots_[index];
-  if (!slot.live || slot.generation != generation) {
+  if (index >= slot_gen_.size()) return;  // never scheduled
+  if ((slot_flags_[index] & kLiveFlag) == 0 ||
+      slot_gen_[index] != generation) {
     return;  // already fired or cancelled (possibly reused since)
   }
   ReleaseSlot(index);
-  // The heap entry referencing the old generation is now stale; it is
-  // skipped when popped, or swept out by compaction below.
+  // The queue entry referencing the old generation is now stale; it is
+  // skipped (and pruned) when next encountered, or swept out by
+  // compaction below.
   ++stale_count_;
-  MaybeCompactHeap();
+  MaybeCompact();
 }
 
-void Simulator::MaybeCompactHeap() {
-  if (stale_count_ >= kCompactMinStale && stale_count_ > live_count_) {
-    CompactHeap();
+void Simulator::MaybeCompact() {
+  // Ratio trigger: stale entries dominate and the sweep amortizes.
+  // Floor trigger: a large live set with slow churn never satisfies the
+  // ratio, but tombstones must not accumulate without bound either.
+  if ((stale_count_ >= kCompactMinStale && stale_count_ > live_count_) ||
+      stale_count_ >= kCompactStaleFloor) {
+    Compact();
   }
 }
 
-void Simulator::CompactHeap() {
+void Simulator::RemoveEntry(Bucket& bucket, size_t i) {
+  bucket.time[i] = bucket.time.back();
+  bucket.seq[i] = bucket.seq.back();
+  bucket.ref[i] = bucket.ref.back();
+  bucket.time.pop_back();
+  bucket.seq.pop_back();
+  bucket.ref.pop_back();
+}
+
+void Simulator::DropStale(Bucket& bucket) {
+  for (size_t i = 0; i < bucket.ref.size();) {
+    if (IsStaleRef(bucket.ref[i])) {
+      RemoveEntry(bucket, i);
+      --stale_count_;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Simulator::Compact() {
+  for (Bucket& bucket : buckets_) DropStale(bucket);
+  // The bottom is kept sorted, so compaction must preserve order here
+  // (erase-remove, no swap tricks).
   auto keep_end = std::remove_if(
-      heap_.begin(), heap_.end(),
-      [this](const HeapEntry& entry) { return IsStale(entry); });
-  heap_.erase(keep_end, heap_.end());
-  // (time, seq) is a total order — seq is unique — so rebuilding the heap
-  // cannot reorder eventual pops; determinism is unaffected.
-  std::make_heap(heap_.begin(), heap_.end(), EntryLater{});
+      bottom_.begin(), bottom_.end(), [this](const CalEntry& entry) {
+        if (IsStaleRef(entry.ref)) {
+          --stale_count_;
+          return true;
+        }
+        return false;
+      });
+  bottom_.erase(keep_end, bottom_.end());
+  GRANULOCK_DCHECK_EQ(stale_count_, size_t{0});
   stale_count_ = 0;
 }
 
-bool Simulator::Step() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
-    const HeapEntry entry = heap_.back();
-    heap_.pop_back();
-    if (IsStale(entry)) {
-      --stale_count_;
-      continue;
+bool Simulator::RefillBottom() {
+  GRANULOCK_DCHECK(bottom_.empty());
+  if (live_count_ == 0) return false;
+  // Every pending event is >= now_, so the cursor can skip straight past
+  // days the clock has already left behind.
+  const uint64_t now_day = DayOf(now_);
+  uint64_t day = std::max(current_day_, now_day);
+  // One lap of the calendar: visit days in order. The first day holding
+  // a live in-day entry is the global minimum's day, because no live
+  // calendar entry lies behind the cursor.
+  bool found = false;
+  for (size_t lap = 0; lap < buckets_.size(); ++lap, ++day) {
+    Bucket& bucket = buckets_[day & bucket_mask_];
+    if (bucket.ref.empty()) continue;
+    DropStale(bucket);
+    for (size_t i = 0; i < bucket.time.size();) {
+      // Same bucket, different year: not this day's business.
+      if (DayOf(bucket.time[i]) == day) {
+        bottom_.push_back(
+            CalEntry{bucket.time[i], bucket.seq[i], bucket.ref[i]});
+        RemoveEntry(bucket, i);
+      } else {
+        ++i;
+      }
     }
-    EventSlot& slot = slots_[entry.slot];
-    // Move the callback out before invoking: the callback may schedule new
-    // events that reuse this very slot.
-    Callback cb = std::move(slot.callback);
-    const bool observer = slot.observer;
-    ReleaseSlot(entry.slot);
-    // Event-time monotonicity: the clock never runs backwards. The heap
-    // pops in (time, seq) order and scheduling into the past is rejected,
-    // so a violation here means the pending-event bookkeeping is corrupt.
-    GRANULOCK_DCHECK_GE(entry.time, now_)
-        << "event " << MakeEventId(entry.slot, entry.generation)
-        << " fires at " << entry.time << " but the clock is at " << now_;
-    now_ = entry.time;
-    if (observer) {
-      ++observer_executed_;
-    } else {
-      ++executed_;
+    if (!bottom_.empty()) {
+      found = true;
+      break;
     }
-    cb();
-    return true;
   }
-  return false;
+  if (found) {
+    sparse_refills_ = 0;
+  } else {
+    // A full lap found nothing in-day: the queue is sparse relative to
+    // its year (all events more than nbuckets days out), which means the
+    // width underestimates the real event gaps. Repeated sparse refills
+    // trigger a same-size rebuild purely to re-estimate the width from
+    // the pending population (small queues never hit the growth-triggered
+    // rebuild that normally calibrates it).
+    if (++sparse_refills_ >= kSparseRebuildThreshold) {
+      sparse_refills_ = 0;
+      Rebuild(buckets_.size());
+    }
+    if (live_count_ <= kSmallPullAll) {
+      // Tiny queue: pull *everything* into the bottom, degrading to a
+      // plain sorted-array priority queue — optimal at this size, and
+      // subsequent imminent inserts go straight into the bottom instead
+      // of round-tripping through the calendar.
+      uint64_t max_day = 0;
+      for (Bucket& bucket : buckets_) {
+        DropStale(bucket);
+        for (size_t i = 0; i < bucket.time.size(); ++i) {
+          max_day = std::max(max_day, DayOf(bucket.time[i]));
+          bottom_.push_back(
+              CalEntry{bucket.time[i], bucket.seq[i], bucket.ref[i]});
+        }
+        bucket.time.clear();
+        bucket.seq.clear();
+        bucket.ref.clear();
+      }
+      GRANULOCK_CHECK(!bottom_.empty())
+          << "live_count=" << live_count_ << " but no live entry found";
+      day = max_day;
+    } else {
+      // Direct search for the minimum day; pull that day and jump the
+      // cursor to it.
+      uint64_t best_day = 0;
+      for (Bucket& bucket : buckets_) {
+        DropStale(bucket);
+        for (SimTime t : bucket.time) {
+          const uint64_t d = DayOf(t);
+          if (!found || d < best_day) {
+            best_day = d;
+            found = true;
+          }
+        }
+      }
+      GRANULOCK_CHECK(found) << "live_count=" << live_count_
+                             << " but no live entry found";
+      day = best_day;
+      Bucket& bucket = buckets_[day & bucket_mask_];
+      for (size_t i = 0; i < bucket.time.size();) {
+        if (DayOf(bucket.time[i]) == day) {
+          bottom_.push_back(
+              CalEntry{bucket.time[i], bucket.seq[i], bucket.ref[i]});
+          RemoveEntry(bucket, i);
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  // Minimum at the back; a same-timestamp burst is sorted once here
+  // instead of re-scanned on every pop.
+  std::sort(bottom_.begin(), bottom_.end(), EntryLater{});
+  current_day_ = day;
+  bottom_day_ = day;
+  return true;
+}
+
+bool Simulator::PrepareMin() {
+  for (;;) {
+    while (!bottom_.empty()) {
+      if (IsStaleRef(bottom_.back().ref)) {
+        bottom_.pop_back();
+        --stale_count_;
+        continue;
+      }
+      return true;
+    }
+    if (!RefillBottom()) return false;
+  }
+}
+
+void Simulator::Fire() {
+  const CalEntry entry = bottom_.back();
+  bottom_.pop_back();
+  const uint32_t slot = static_cast<uint32_t>(entry.ref & 0xffffffffu);
+  // Move the callback out before invoking: the callback may schedule new
+  // events that reuse this very slot.
+  Callback cb = std::move(slot_cb_[slot]);
+  const bool observer = (slot_flags_[slot] & kObserverFlag) != 0;
+  ReleaseSlot(slot);
+  // Event-time monotonicity: the clock never runs backwards. Extraction
+  // yields the (time, seq) minimum and scheduling into the past is
+  // rejected, so a violation here means the queue bookkeeping is
+  // corrupt.
+  GRANULOCK_DCHECK_GE(entry.time, now_)
+      << "event " << entry.ref << " fires at " << entry.time
+      << " but the clock is at " << now_;
+  now_ = entry.time;
+  if (observer) {
+    ++observer_executed_;
+  } else {
+    ++executed_;
+  }
+  if (live_count_ < buckets_.size() / 4 && buckets_.size() > kMinBuckets) {
+    Rebuild(buckets_.size() / 2);
+  }
+  cb();
+}
+
+bool Simulator::Step() {
+  if (!PrepareMin()) return false;
+  Fire();
+  return true;
 }
 
 void Simulator::RunUntil(SimTime deadline) {
   GRANULOCK_CHECK_GE(deadline, now_);
-  while (!heap_.empty()) {
-    // Skip stale entries at the top without advancing time.
-    if (IsStale(heap_.front())) {
-      std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
-      heap_.pop_back();
-      --stale_count_;
-      continue;
-    }
-    if (heap_.front().time > deadline) break;
-    Step();
+  while (PrepareMin()) {
+    if (bottom_.back().time > deadline) break;
+    Fire();
   }
   now_ = deadline;
 }
@@ -151,51 +315,180 @@ void Simulator::RunUntilEmpty() {
   }
 }
 
+double Simulator::ChooseWidth(const std::vector<CalEntry>& entries) const {
+  if (entries.size() < 2) return width_;
+  const size_t k = std::min(entries.size(), kWidthSampleMax);
+  width_scratch_.clear();
+  width_scratch_.reserve(entries.size());
+  for (const CalEntry& entry : entries) width_scratch_.push_back(entry.time);
+  // The k soonest events are the neighborhood the cursor is about to walk
+  // through; their gaps predict the pop cadence.
+  std::nth_element(width_scratch_.begin(), width_scratch_.begin() + (k - 1),
+                   width_scratch_.end());
+  std::sort(width_scratch_.begin(), width_scratch_.begin() + k);
+  // Brown's two-pass estimate: a raw mean gap is easily wrecked by a few
+  // far-future stragglers (watchdogs, observer ticks) in an otherwise
+  // dense schedule — one huge gap would spread the dense cluster across
+  // a single day and turn extraction into a linear scan. Average once,
+  // then average again over only the gaps below twice the raw mean.
+  const double raw_span = width_scratch_[k - 1] - width_scratch_[0];
+  if (!(raw_span > 0.0)) return width_;  // all at one instant: no signal
+  const double raw_mean = raw_span / static_cast<double>(k - 1);
+  double filtered_sum = 0.0;
+  size_t filtered_n = 0;
+  for (size_t i = 1; i < k; ++i) {
+    const double gap = width_scratch_[i] - width_scratch_[i - 1];
+    if (gap <= 2.0 * raw_mean) {
+      filtered_sum += gap;
+      ++filtered_n;
+    }
+  }
+  // ~3x the (filtered) mean gap keeps consecutive pops usually within one
+  // day while still spreading the population over distinct buckets.
+  double width = filtered_n > 0 && filtered_sum > 0.0
+                     ? 3.0 * filtered_sum / static_cast<double>(filtered_n)
+                     : 3.0 * raw_mean;
+  if (!std::isfinite(width)) return width_;
+  return std::max(width, kMinWidth);
+}
+
+void Simulator::Rebuild(size_t new_bucket_count) {
+  rebuild_scratch_.clear();
+  rebuild_scratch_.reserve(live_count_);
+  for (Bucket& bucket : buckets_) {
+    for (size_t i = 0; i < bucket.time.size(); ++i) {
+      if (!IsStaleRef(bucket.ref[i])) {
+        rebuild_scratch_.push_back(
+            CalEntry{bucket.time[i], bucket.seq[i], bucket.ref[i]});
+      }
+    }
+    bucket.time.clear();
+    bucket.seq.clear();
+    bucket.ref.clear();
+  }
+  // The bottom redistributes like any other pending entries; the next
+  // extraction refills it under the new geometry.
+  for (const CalEntry& entry : bottom_) {
+    if (!IsStaleRef(entry.ref)) rebuild_scratch_.push_back(entry);
+  }
+  bottom_.clear();
+  bottom_day_ = kNoBottomDay;
+  stale_count_ = 0;  // stale entries dropped during collection
+  GRANULOCK_DCHECK_EQ(rebuild_scratch_.size(), live_count_);
+
+  width_ = ChooseWidth(rebuild_scratch_);
+  inv_width_ = 1.0 / width_;
+  buckets_.resize(new_bucket_count);
+  bucket_mask_ = new_bucket_count - 1;
+  // now_ <= every live timestamp, so DayOf(now_) lower-bounds every live
+  // day — a valid (if conservative) cursor.
+  current_day_ = DayOf(now_);
+  for (const CalEntry& entry : rebuild_scratch_) {
+    Bucket& bucket = buckets_[DayOf(entry.time) & bucket_mask_];
+    bucket.time.push_back(entry.time);
+    bucket.seq.push_back(entry.seq);
+    bucket.ref.push_back(entry.ref);
+  }
+}
+
 void Simulator::CheckConsistency() const {
-  // Every heap entry is either live or lazily deleted, and the stale
-  // counter matches the actual number of stale entries.
+  // Every queue entry is either live or lazily deleted, the stale counter
+  // matches the actual number of stale entries, each calendar entry sits
+  // in the bucket its day maps to, and the bottom/calendar split respects
+  // `bottom_day_`.
   size_t live_entries = 0;
   size_t stale_entries = 0;
-  std::vector<uint8_t> seen(slots_.size(), 0);
-  for (const HeapEntry& entry : heap_) {
-    GRANULOCK_AUDIT_CHECK_LT(entry.slot, slots_.size())
-        << "heap entry references slot " << entry.slot << " beyond slab";
-    if (IsStale(entry)) {
+  std::vector<uint8_t> seen(slot_gen_.size(), 0);
+  GRANULOCK_AUDIT_CHECK_EQ(bucket_mask_ + 1, buckets_.size())
+      << "bucket mask " << bucket_mask_ << " does not match "
+      << buckets_.size() << " buckets";
+  GRANULOCK_AUDIT_CHECK(width_ > 0.0 && inv_width_ == 1.0 / width_)
+      << "width=" << width_ << " inv_width=" << inv_width_;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const Bucket& bucket = buckets_[b];
+    GRANULOCK_AUDIT_CHECK(bucket.time.size() == bucket.seq.size() &&
+                          bucket.time.size() == bucket.ref.size())
+        << "bucket " << b << " parallel arrays disagree";
+    for (size_t i = 0; i < bucket.time.size(); ++i) {
+      const uint32_t slot = static_cast<uint32_t>(bucket.ref[i] & 0xffffffffu);
+      GRANULOCK_AUDIT_CHECK_LT(slot, slot_gen_.size())
+          << "calendar entry references slot " << slot << " beyond slab";
+      GRANULOCK_AUDIT_CHECK_EQ(DayOf(bucket.time[i]) & bucket_mask_, b)
+          << "entry at t=" << bucket.time[i] << " (day "
+          << DayOf(bucket.time[i]) << ") stored in bucket " << b;
+      if (IsStaleRef(bucket.ref[i])) {
+        ++stale_entries;
+        continue;
+      }
+      ++live_entries;
+      GRANULOCK_AUDIT_CHECK(!seen[slot])
+          << "slot " << slot << " has two live queue entries";
+      seen[slot] = 1;
+      // The live minimum is the next event to fire; anything earlier than
+      // the clock would have fired already (or time would run backwards).
+      GRANULOCK_AUDIT_CHECK_GE(bucket.time[i], now_)
+          << "pending event at " << bucket.time[i] << " is before now="
+          << now_;
+      // The day cursor lower-bounds every live calendar day (refill
+      // relies on it to stop at the first in-day hit), and the bottom
+      // holds everything at or before `bottom_day_`.
+      GRANULOCK_AUDIT_CHECK_GE(DayOf(bucket.time[i]), current_day_)
+          << "pending event at day " << DayOf(bucket.time[i])
+          << " is behind the cursor at " << current_day_;
+      if (bottom_day_ != kNoBottomDay) {
+        GRANULOCK_AUDIT_CHECK_GT(DayOf(bucket.time[i]), bottom_day_)
+            << "calendar entry at day " << DayOf(bucket.time[i])
+            << " belongs in the bottom (bottom_day=" << bottom_day_ << ")";
+      }
+    }
+  }
+  for (size_t i = 0; i < bottom_.size(); ++i) {
+    const CalEntry& entry = bottom_[i];
+    const uint32_t slot = static_cast<uint32_t>(entry.ref & 0xffffffffu);
+    GRANULOCK_AUDIT_CHECK_LT(slot, slot_gen_.size())
+        << "bottom entry references slot " << slot << " beyond slab";
+    GRANULOCK_AUDIT_CHECK(bottom_day_ != kNoBottomDay)
+        << "bottom holds entries but claims no day";
+    GRANULOCK_AUDIT_CHECK_LE(DayOf(entry.time), bottom_day_)
+        << "bottom entry at day " << DayOf(entry.time)
+        << " is beyond bottom_day=" << bottom_day_;
+    if (i + 1 < bottom_.size()) {
+      const CalEntry& next = bottom_[i + 1];
+      GRANULOCK_AUDIT_CHECK(entry.time > next.time ||
+                            (entry.time == next.time && entry.seq > next.seq))
+          << "bottom not sorted descending at index " << i;
+    }
+    if (IsStaleRef(entry.ref)) {
       ++stale_entries;
       continue;
     }
     ++live_entries;
-    GRANULOCK_AUDIT_CHECK(!seen[entry.slot])
-        << "slot " << entry.slot << " has two live heap entries";
-    seen[entry.slot] = 1;
-    // The heap min is the next event to fire; anything earlier than the
-    // clock would have fired already (or time would run backwards).
+    GRANULOCK_AUDIT_CHECK(!seen[slot])
+        << "slot " << slot << " has two live queue entries";
+    seen[slot] = 1;
     GRANULOCK_AUDIT_CHECK_GE(entry.time, now_)
         << "pending event at " << entry.time << " is before now=" << now_;
   }
   GRANULOCK_AUDIT_CHECK_EQ(stale_entries, stale_count_)
-      << "stale heap entries=" << stale_entries << " but counter says "
+      << "stale queue entries=" << stale_entries << " but counter says "
       << stale_count_;
   GRANULOCK_AUDIT_CHECK_EQ(live_entries, live_count_)
-      << "live heap entries=" << live_entries << " but counter says "
+      << "live queue entries=" << live_entries << " but counter says "
       << live_count_;
-  GRANULOCK_AUDIT_CHECK_EQ(heap_.size(), live_count_ + stale_count_)
-      << "heap=" << heap_.size() << " live=" << live_count_
-      << " stale=" << stale_count_;
-  // Every slot is live (with a callback and a heap entry) or recycled.
+  // Every slot is live (with a callback and a queue entry) or recycled.
   size_t live_slots = 0;
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].live) {
+  for (size_t i = 0; i < slot_gen_.size(); ++i) {
+    if (slot_flags_[i] & kLiveFlag) {
       ++live_slots;
-      GRANULOCK_AUDIT_CHECK(static_cast<bool>(slots_[i].callback))
+      GRANULOCK_AUDIT_CHECK(static_cast<bool>(slot_cb_[i]))
           << "live slot " << i << " has no callback";
       GRANULOCK_AUDIT_CHECK(seen[i])
-          << "live slot " << i << " has no heap entry";
+          << "live slot " << i << " has no queue entry";
     }
   }
   GRANULOCK_AUDIT_CHECK_EQ(live_slots, live_count_);
-  GRANULOCK_AUDIT_CHECK_EQ(slots_.size(), live_count_ + free_slots_.size())
-      << "slots=" << slots_.size() << " live=" << live_count_
+  GRANULOCK_AUDIT_CHECK_EQ(slot_gen_.size(), live_count_ + free_slots_.size())
+      << "slots=" << slot_gen_.size() << " live=" << live_count_
       << " free=" << free_slots_.size();
   GRANULOCK_AUDIT_CHECK_GE(max_pending_, PendingEvents());
 }

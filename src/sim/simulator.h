@@ -27,16 +27,41 @@ using EventId = uint64_t;
 /// callbacks; higher-level abstractions (servers, queues) are built on top.
 ///
 /// Hot-path design (this is the innermost loop of every experiment):
-///  * Callbacks live in `InlineCallback` small-buffer storage inside a
-///    slab of event slots — no per-event heap allocation.
+///  * The pending set is a calendar queue (Brown 1988) with a sorted
+///    "bottom rung" (the ladder-queue refinement): future events hash
+///    into an array of buckets by "day" = floor(time / width) mod
+///    nbuckets — O(1) insert, no sift chains — while the imminent day's
+///    events are pulled into a small array sorted descending, so
+///    extract-min is a literal `pop_back`. A burst of same-timestamp
+///    events is sorted once at the day boundary instead of re-scanned on
+///    every pop. The bucket width adapts automatically (from the gaps
+///    between the soonest pending events, with Brown's outlier-filtered
+///    two-pass mean so far-future watchdogs don't wreck the estimate)
+///    and the bucket count doubles/halves with the pending population.
+///    When the queue is sparse relative to its year, the refill falls
+///    back to a direct min search (the classic calendar-queue fallback).
+///  * Storage is structure-of-arrays: each bucket keeps `time`, `seq` and
+///    slot-reference arrays side by side so min-scans touch densely
+///    packed 8-byte lanes, and the event slab splits callbacks,
+///    generations and flags into parallel arrays so staleness checks
+///    never drag 64-byte callback objects through the cache.
+///  * Callbacks live in `InlineCallback` small-buffer storage inside the
+///    slab — no per-event heap allocation.
 ///  * Slots are recycled through a free list; each reuse bumps a
 ///    generation stamp, so a stale `EventId` (already fired or cancelled)
 ///    can never touch a later event that happens to reuse its slot.
 ///  * `Cancel` is O(1): it destroys the callback and invalidates the
-///    slot's generation; the heap entry is deleted lazily when popped.
-///    When the stale fraction of the heap grows past a threshold the heap
-///    is compacted in one O(n) pass, so cancel-heavy workloads cannot
-///    accumulate unbounded stale entries.
+///    slot's generation; the calendar entry is deleted lazily when its
+///    bucket is next scanned. When stale entries outnumber live ones —
+///    or pile up past an absolute floor, so low-churn long runs cannot
+///    carry tombstones indefinitely — they are swept out in one O(n)
+///    compaction pass.
+///
+/// Determinism: pops always yield the exact (time, seq) minimum of the
+/// live set — the calendar layout only changes *where* entries wait, not
+/// the order they fire — so runs are bit-identical to the previous
+/// binary-heap engine (`scheduler_differential_test` proves this against
+/// a reference heap under randomized schedule/cancel streams).
 ///
 /// Not thread-safe: a `Simulator` and everything scheduled on it must be
 /// driven from one thread. (Running *replications* in parallel is safe —
@@ -45,7 +70,7 @@ class Simulator {
  public:
   using Callback = InlineCallback;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -87,11 +112,12 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   size_t PendingEvents() const { return live_count_; }
 
-  /// Size of the internal event heap, including lazily-deleted (cancelled)
-  /// entries awaiting compaction — the engine's actual memory footprint.
-  /// Diagnostics and the cancel-churn memory regression test; bounded by
-  /// `PendingEvents()` plus the compaction threshold.
-  size_t HeapSize() const { return heap_.size(); }
+  /// Size of the internal pending-event store (all calendar entries),
+  /// including lazily-deleted (cancelled) entries awaiting compaction —
+  /// the engine's actual memory footprint. Diagnostics and the
+  /// cancel-churn memory regression tests; bounded by `PendingEvents()`
+  /// plus the compaction thresholds.
+  size_t HeapSize() const { return live_count_ + stale_count_; }
 
   /// Total number of simulation events executed so far (diagnostics).
   /// Observer events are counted separately in
@@ -104,57 +130,133 @@ class Simulator {
   size_t MaxPendingEvents() const { return max_pending_; }
 
   /// Full audit of the engine's internal bookkeeping: every live slot has
-  /// a callback and exactly one matching heap entry, stale heap entries
-  /// are counted exactly, slots are either live or on the free list, no
-  /// pending event lies in the past, and the pending count is
-  /// `heap - stale`. O(pending events); violations report through
+  /// a callback and exactly one matching calendar entry, every entry sits
+  /// in the bucket its day maps to and no live entry lies before the
+  /// day cursor or the clock, stale entries are counted exactly, slots
+  /// are either live or on the free list, and the pending count is
+  /// `entries - stale`. O(pending events); violations report through
   /// `invariants::Fail`.
   void CheckConsistency() const;
 
  private:
   friend struct AuditTestPeer;  // invariants_test corrupts state through it
 
-  /// One slab slot. `generation` advances every time the slot's event
-  /// finishes (fires or is cancelled), invalidating outstanding ids and
-  /// heap entries that still reference the old generation.
-  struct EventSlot {
-    Callback callback;
-    uint32_t generation = 1;
-    bool live = false;      // holds an un-fired, un-cancelled event
-    bool observer = false;  // excluded from the executed-event count
+  /// One calendar bucket, structure-of-arrays: `time[i]`, `seq[i]` and
+  /// `ref[i]` describe one pending entry. `ref` packs
+  /// (generation << 32 | slot) exactly like an `EventId`; an entry is
+  /// stale (lazily deleted) when its generation no longer matches its
+  /// slot's. Entries are unordered within a bucket — extraction scans.
+  struct Bucket {
+    std::vector<SimTime> time;
+    std::vector<uint64_t> seq;
+    std::vector<uint64_t> ref;
   };
 
-  /// One pending-heap entry; 24 bytes, cheap to sift. An entry is stale
-  /// (lazily deleted) when its generation no longer matches its slot.
-  struct HeapEntry {
+  /// One pending entry in AoS form (bottom rung and rebuild scratch).
+  struct CalEntry {
     SimTime time;
-    uint64_t seq;  // tie-break: FIFO among equal timestamps
-    uint32_t slot;
-    uint32_t generation;
+    uint64_t seq;
+    uint64_t ref;
   };
+
+  /// Descending (time, seq) order: sorting the bottom with this puts the
+  /// minimum at the back, where `pop_back` is O(1).
   struct EntryLater {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    bool operator()(const CalEntry& a, const CalEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  /// Compact when the heap carries both more stale entries than live ones
-  /// and enough of them to amortize the O(n) rebuild.
+  /// Compact when stale entries both outnumber live ones and are plentiful
+  /// enough to amortize the O(n) sweep...
   static constexpr size_t kCompactMinStale = 64;
+  /// ...or unconditionally once this many tombstones accumulate, so a
+  /// long-lived run with a large live set and slow cancel churn (stale
+  /// never outnumbers live) still gets swept instead of carrying stale
+  /// slots for the whole run.
+  static constexpr size_t kCompactStaleFloor = 1024;
+
+  /// Calendar tuning. Bucket counts are powers of two (masked modulo);
+  /// the count doubles when live entries exceed twice the bucket count
+  /// and halves when they fall below a quarter of it (8x hysteresis so
+  /// oscillating populations don't thrash rebuilds).
+  static constexpr size_t kMinBuckets = 16;
+  /// Width is estimated from the gaps between this many soonest events.
+  static constexpr size_t kWidthSampleMax = 64;
+  static constexpr double kMinWidth = 1e-9;
+  /// This many consecutive sparse refills (full lap without an in-day
+  /// hit) force a same-size rebuild to recalibrate the width — small
+  /// queues never grow, so this is their only calibration path.
+  static constexpr size_t kSparseRebuildThreshold = 8;
+  /// At or below this many live events a sparse refill pulls the whole
+  /// queue into the bottom (a sorted array beats any bucketing at this
+  /// size).
+  static constexpr size_t kSmallPullAll = 32;
 
   EventId Schedule(SimTime at, Callback callback, bool observer);
-  bool IsStale(const HeapEntry& entry) const {
-    const EventSlot& slot = slots_[entry.slot];
-    return !slot.live || slot.generation != entry.generation;
+
+  /// Maps a timestamp to its calendar day. Guarded against overflowing
+  /// the uint64 cast for absurd time/width ratios.
+  uint64_t DayOf(SimTime t) const {
+    const double day = t * inv_width_;
+    if (day >= 9.2e18) return uint64_t{9200000000000000000u};
+    return static_cast<uint64_t>(day);
   }
+
+  bool IsStaleRef(uint64_t ref) const {
+    const uint32_t slot = static_cast<uint32_t>(ref & 0xffffffffu);
+    return (slot_flags_[slot] & kLiveFlag) == 0 ||
+           slot_gen_[slot] != static_cast<uint32_t>(ref >> 32);
+  }
+
+  /// Swap-removes entry `i` from `bucket` (order within a bucket is
+  /// irrelevant; extraction order comes from the sorted bottom).
+  static void RemoveEntry(Bucket& bucket, size_t i);
+
+  /// Drops stale entries from `bucket`, decrementing `stale_count_`.
+  void DropStale(Bucket& bucket);
+
+  /// Ensures the bottom holds the live (time, seq) minimum at its back:
+  /// pops stale tail entries, refilling from the calendar when the
+  /// bottom drains. Returns false iff no live events remain.
+  bool PrepareMin();
+
+  /// Moves the soonest day's entries from the calendar into the (empty)
+  /// bottom: scans days forward from the cursor for one lap, then falls
+  /// back to a direct global-minimum search (sparse queue). Prunes stale
+  /// entries as it goes and advances `current_day_`/`bottom_day_`.
+  /// Returns false iff no live events exist.
+  bool RefillBottom();
+
+  /// Pops the bottom's back entry — the live minimum — advances the
+  /// clock, and runs its callback.
+  void Fire();
+
+  uint32_t AcquireSlot();
   /// Marks the slot's event finished: destroys the callback, bumps the
   /// generation (skipping 0 on wrap so ids stay non-zero), and recycles
   /// the slot.
   void ReleaseSlot(uint32_t index);
-  /// Rebuilds the heap without its stale entries (O(n)).
-  void CompactHeap();
-  void MaybeCompactHeap();
+
+  /// Sweeps all stale entries out of the calendar (O(entries)).
+  void Compact();
+  void MaybeCompact();
+
+  /// Rebuilds the calendar with `new_bucket_count` buckets and a width
+  /// re-estimated from the pending events, dropping stale entries.
+  /// (time, seq) is a total order — seq is unique — so redistribution
+  /// cannot reorder eventual pops; determinism is unaffected.
+  void Rebuild(size_t new_bucket_count);
+
+  /// Picks a bucket width ~3x the mean gap between the soonest pending
+  /// events (so consecutive pops usually stay within one bucket-day),
+  /// falling back to the current width when there is no signal (fewer
+  /// than two events, or all at one instant).
+  double ChooseWidth(const std::vector<CalEntry>& entries) const;
+
+  static constexpr uint8_t kLiveFlag = 1;
+  static constexpr uint8_t kObserverFlag = 2;
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
@@ -162,10 +264,34 @@ class Simulator {
   uint64_t observer_executed_ = 0;
   size_t max_pending_ = 0;
   size_t live_count_ = 0;
-  size_t stale_count_ = 0;  // stale (cancelled) entries still in the heap
-  std::vector<HeapEntry> heap_;  // std::push_heap/pop_heap with EntryLater
-  std::vector<EventSlot> slots_;
+  size_t stale_count_ = 0;  // stale (cancelled) entries still in buckets
+
+  /// `bottom_day_` value meaning "no bottom region claimed yet".
+  static constexpr uint64_t kNoBottomDay = ~uint64_t{0};
+
+  // Calendar state.
+  std::vector<Bucket> buckets_;  // power-of-two count
+  size_t bucket_mask_ = 0;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  uint64_t current_day_ = 0;  // no live calendar entry has an earlier day
+
+  // Bottom rung: entries of the imminent day (<= bottom_day_), sorted
+  // descending by (time, seq) so the back is the minimum. Entries with
+  // day <= bottom_day_ insert here (sorted); later days go to the
+  // calendar, whose live entries all have day > bottom_day_.
+  std::vector<CalEntry> bottom_;
+  uint64_t bottom_day_ = kNoBottomDay;
+  size_t sparse_refills_ = 0;  // consecutive refills that needed fallback
+
+  // Event slab, structure-of-arrays: parallel by slot index.
+  std::vector<Callback> slot_cb_;
+  std::vector<uint32_t> slot_gen_;
+  std::vector<uint8_t> slot_flags_;  // kLiveFlag | kObserverFlag
   std::vector<uint32_t> free_slots_;
+
+  std::vector<CalEntry> rebuild_scratch_;
+  mutable std::vector<SimTime> width_scratch_;
 };
 
 }  // namespace granulock::sim

@@ -1,0 +1,63 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace granulock::util {
+
+Arena::Arena(size_t initial_block_bytes)
+    : next_block_bytes_(std::max<size_t>(initial_block_bytes, 64)) {}
+
+Arena::~Arena() = default;
+
+void Arena::AddBlock(size_t min_bytes) {
+  // Geometric growth keeps the block count logarithmic in the working
+  // set; `Reset()` later coalesces everything into one block anyway.
+  size_t size = std::max(next_block_bytes_, min_bytes);
+  Block block;
+  block.data = std::make_unique<unsigned char[]>(size);
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  active_block_ = blocks_.size() - 1;
+  cursor_ = 0;
+  next_block_bytes_ = size * 2;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  GRANULOCK_CHECK(align != 0 && (align & (align - 1)) == 0);
+  // Align the absolute address, not the block offset: `new[]` only
+  // guarantees max_align_t, so over-aligned requests (cache-line buffers)
+  // need the adjustment computed against the pointer value.
+  const auto aligned_offset = [align](const Block& b, size_t cursor) {
+    const auto base = reinterpret_cast<uintptr_t>(b.data.get()) + cursor;
+    return cursor + static_cast<size_t>((-base) & (align - 1));
+  };
+  if (blocks_.empty()) AddBlock(bytes + align);
+  Block* block = &blocks_[active_block_];
+  size_t offset = aligned_offset(*block, cursor_);
+  if (offset + bytes > block->size) {
+    AddBlock(bytes + align);
+    block = &blocks_[active_block_];
+    offset = aligned_offset(*block, 0);
+  }
+  cursor_ = offset + bytes;
+  bytes_used_ += bytes;
+  high_water_ = std::max(high_water_, bytes_used_);
+  return block->data.get() + offset;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1 || (blocks_.size() == 1 && blocks_[0].size < high_water_)) {
+    // Coalesce: replace the fragmented block list with one block large
+    // enough for the whole previous working set.
+    blocks_.clear();
+    AddBlock(high_water_);
+  }
+  active_block_ = 0;
+  cursor_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace granulock::util

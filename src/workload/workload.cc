@@ -97,4 +97,76 @@ TransactionParams GenerateTransaction(const model::SystemConfig& cfg,
   return params;
 }
 
+namespace {
+
+// Floyd's k-subset sampler writing into a caller-owned buffer. Performs
+// the identical `UniformInt` draw sequence as
+// `Rng::SampleWithoutReplacement` (membership tests consume no
+// randomness), but tracks the chosen set in the output buffer itself — a
+// linear scan over at most `npros` elements — instead of a freshly
+// allocated hash set.
+void SampleNodesInto(Rng& rng, int64_t n, int64_t k,
+                     std::vector<int32_t>* out) {
+  out->clear();
+  for (int64_t j = n - k; j < n; ++j) {
+    const int64_t t = rng.UniformInt(0, j);
+    // `j` itself can never be present yet (every earlier element is < j),
+    // so the collision fallback always inserts.
+    const bool taken =
+        std::find(out->begin(), out->end(), static_cast<int32_t>(t)) !=
+        out->end();
+    out->push_back(static_cast<int32_t>(taken ? j : t));
+  }
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace
+
+TransactionFactory::TransactionFactory(const model::SystemConfig& cfg,
+                                       const WorkloadSpec& spec)
+    : sizes_(spec.sizes),
+      partitioning_(spec.partitioning),
+      demand_table_(spec.placement, cfg.dbsize, cfg.ltot,
+                    spec.sizes != nullptr ? spec.sizes->MaxSize() : 1),
+      dbsize_(cfg.dbsize),
+      npros_(cfg.npros),
+      iotime_(cfg.iotime),
+      cputime_(cfg.cputime),
+      liotime_(cfg.liotime),
+      lcputime_(cfg.lcputime) {
+  GRANULOCK_CHECK(sizes_ != nullptr);
+}
+
+void TransactionFactory::Generate(Rng& rng, TransactionParams* params) const {
+  params->nu = sizes_->Sample(rng);
+  GRANULOCK_CHECK_GE(params->nu, 1);
+  GRANULOCK_CHECK_LE(params->nu, dbsize_);
+
+  const model::LockDemand& demand = demand_table_.Lookup(params->nu);
+  params->lu = demand.locks;
+  params->expected_locks = demand.expected_locks;
+
+  switch (partitioning_) {
+    case PartitioningMethod::kHorizontal:
+      params->pu = npros_;
+      break;
+    case PartitioningMethod::kRandom:
+      params->pu = rng.UniformInt(1, npros_);
+      break;
+  }
+  if (params->pu == npros_) {
+    params->nodes.resize(static_cast<size_t>(npros_));
+    for (int64_t i = 0; i < npros_; ++i) {
+      params->nodes[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+    }
+  } else {
+    SampleNodesInto(rng, npros_, params->pu, &params->nodes);
+  }
+
+  params->io_demand = static_cast<double>(params->nu) * iotime_;
+  params->cpu_demand = static_cast<double>(params->nu) * cputime_;
+  params->lock_io_demand = params->expected_locks * liotime_;
+  params->lock_cpu_demand = params->expected_locks * lcputime_;
+}
+
 }  // namespace granulock::workload

@@ -68,6 +68,40 @@ struct TransactionParams {
 TransactionParams GenerateTransaction(const model::SystemConfig& cfg,
                                       const WorkloadSpec& spec, Rng& rng);
 
+/// Amortized transaction generator for one fixed (`cfg`, `spec`) cell.
+///
+/// `GenerateTransaction` re-derives the lock demand (an O(nu) Yao product
+/// under random placement) and allocates a fresh `nodes` vector on every
+/// call; engines call it once per simulated transaction — millions of
+/// times per sweep. The factory precomputes a `LockDemandTable` over the
+/// whole size range and fills a caller-owned `TransactionParams` in place,
+/// so steady-state generation does no allocation and no per-call Yao work.
+///
+/// Determinism contract: `Generate` consumes RNG draws in exactly the same
+/// order and count as `GenerateTransaction` (size sample, then `pu` and
+/// node draws for random partitioning) and produces bit-identical
+/// parameters.
+class TransactionFactory {
+ public:
+  /// `spec` must have passed `Validate(cfg)`; both are copied/shared, so
+  /// the factory has no lifetime ties to the arguments.
+  TransactionFactory(const model::SystemConfig& cfg, const WorkloadSpec& spec);
+
+  /// Draws one transaction into `*params`, reusing its `nodes` capacity.
+  void Generate(Rng& rng, TransactionParams* params) const;
+
+ private:
+  std::shared_ptr<const SizeDistribution> sizes_;
+  PartitioningMethod partitioning_;
+  model::LockDemandTable demand_table_;
+  int64_t dbsize_;
+  int64_t npros_;
+  double iotime_;
+  double cputime_;
+  double liotime_;
+  double lcputime_;
+};
+
 }  // namespace granulock::workload
 
 #endif  // GRANULOCK_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace granulock::sim {
+namespace {
+
+// Randomized differential test: drive the calendar-queue scheduler and a
+// reference priority-queue model (a plain vector scanned for the least
+// (time, seq) entry) with the same schedule / cancel / pop stream, and
+// require bit-identical pop order — including same-timestamp ties and
+// cancelled ids. This is the determinism contract every engine metric
+// rests on: the event core must behave exactly like a stable binary heap
+// ordered by (time, sequence number).
+
+struct RefEntry {
+  double time;
+  uint64_t seq;  // scheduling order, the tie-breaker
+  int label;
+};
+
+class ReferenceQueue {
+ public:
+  void Schedule(double time, int label) {
+    entries_.push_back(RefEntry{time, next_seq_++, label});
+  }
+
+  // Cancelling a label that is absent (already fired or already cancelled)
+  // is a no-op, mirroring the simulator's stale-EventId semantics.
+  void Cancel(int label) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].label == label) {
+        entries_[i] = entries_.back();
+        entries_.pop_back();
+        return;
+      }
+    }
+  }
+
+  // Extracts the live minimum by (time, seq).
+  int Pop() {
+    size_t best = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].time < entries_[best].time ||
+          (entries_[i].time == entries_[best].time &&
+           entries_[i].seq < entries_[best].seq)) {
+        best = i;
+      }
+    }
+    const int label = entries_[best].label;
+    entries_[best] = entries_.back();
+    entries_.pop_back();
+    return label;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const RefEntry& at(size_t i) const { return entries_[i]; }
+
+ private:
+  std::vector<RefEntry> entries_;
+  uint64_t next_seq_ = 0;
+};
+
+void RunDifferential(uint64_t seed, int ops) {
+  Simulator sim;
+  ReferenceQueue ref;
+  Rng rng(seed);
+
+  std::vector<int> sim_order;
+  std::vector<int> ref_order;
+  // Every label ever scheduled, with its EventId; cancels draw from here,
+  // so stale cancels (already-fired targets) are exercised too.
+  std::vector<std::pair<EventId, int>> issued;
+  int next_label = 0;
+
+  for (int op = 0; op < ops; ++op) {
+    const int64_t kind = rng.UniformInt(0, 9);
+    if (kind <= 4 || ref.empty()) {
+      // Schedule. A quarter of the draws reuse an existing pending time to
+      // force exact same-timestamp ties; the rest land at now + U[0, 10).
+      double t;
+      if (rng.UniformInt(0, 3) == 0 && !ref.empty()) {
+        t = ref.at(static_cast<size_t>(rng.UniformInt(
+                       0, static_cast<int64_t>(ref.size()) - 1)))
+                .time;
+      } else {
+        t = sim.Now() + rng.UniformDouble(0.0, 10.0);
+      }
+      if (t < sim.Now()) t = sim.Now();
+      const int label = next_label++;
+      const EventId id =
+          sim.ScheduleAt(t, [&sim_order, label] { sim_order.push_back(label); });
+      ref.Schedule(t, label);
+      issued.emplace_back(id, label);
+    } else if (kind <= 6 && !issued.empty()) {
+      // Cancel a random ever-issued event; both sides treat a fired or
+      // already-cancelled target as a no-op.
+      const auto& [id, label] = issued[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(issued.size()) - 1))];
+      sim.Cancel(id);
+      ref.Cancel(label);
+    } else {
+      ASSERT_TRUE(sim.Step());
+      ref_order.push_back(ref.Pop());
+      ASSERT_EQ(sim_order.size(), ref_order.size());
+      ASSERT_EQ(sim_order.back(), ref_order.back())
+          << "divergence at pop " << ref_order.size() << " (seed " << seed
+          << ")";
+    }
+  }
+  // Drain both completely.
+  while (sim.Step()) {
+    ASSERT_FALSE(ref.empty());
+    ref_order.push_back(ref.Pop());
+  }
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(sim_order, ref_order) << "seed " << seed;
+}
+
+TEST(SchedulerDifferentialTest, MatchesReferenceOrderUnderChurn) {
+  for (uint64_t seed : {1u, 7u, 42u, 1999u, 987654u}) {
+    RunDifferential(seed, 20000);
+  }
+}
+
+// Heavy-tie regime: many events share few distinct timestamps, so almost
+// every pop is decided by the sequence-number tie-break.
+TEST(SchedulerDifferentialTest, TieStormPreservesSchedulingOrder) {
+  Simulator sim;
+  ReferenceQueue ref;
+  Rng rng(0xabcdef);
+  std::vector<int> sim_order;
+  std::vector<int> ref_order;
+  int next_label = 0;
+  for (int round = 0; round < 50; ++round) {
+    const double base = sim.Now();
+    for (int i = 0; i < 200; ++i) {
+      const double t = base + static_cast<double>(rng.UniformInt(0, 3));
+      const int label = next_label++;
+      sim.ScheduleAt(t, [&sim_order, label] { sim_order.push_back(label); });
+      ref.Schedule(t, label);
+    }
+    for (int i = 0; i < 150; ++i) {
+      ASSERT_TRUE(sim.Step());
+      ref_order.push_back(ref.Pop());
+    }
+    ASSERT_EQ(sim_order, ref_order) << "round " << round;
+  }
+  while (sim.Step()) ref_order.push_back(ref.Pop());
+  EXPECT_EQ(sim_order, ref_order);
+}
+
+// Far-future outliers (watchdog-style events) must not perturb ordering
+// while the near-term population churns through bucket-width rebuilds.
+TEST(SchedulerDifferentialTest, FarFutureOutliersDoNotPerturbOrder) {
+  Simulator sim;
+  ReferenceQueue ref;
+  Rng rng(31337);
+  std::vector<int> sim_order;
+  std::vector<int> ref_order;
+  int next_label = 0;
+  auto schedule = [&](double t) {
+    const int label = next_label++;
+    sim.ScheduleAt(t, [&sim_order, label] { sim_order.push_back(label); });
+    ref.Schedule(t, label);
+  };
+  for (int i = 0; i < 8; ++i) schedule(1e6 + static_cast<double>(i));
+  for (int step = 0; step < 5000; ++step) {
+    schedule(sim.Now() + rng.UniformDouble(0.0, 0.5));
+    if (step % 3 == 0) {
+      ASSERT_TRUE(sim.Step());
+      ref_order.push_back(ref.Pop());
+      ASSERT_EQ(sim_order.back(), ref_order.back()) << "step " << step;
+    }
+  }
+  while (sim.Step()) ref_order.push_back(ref.Pop());
+  EXPECT_EQ(sim_order, ref_order);
+}
+
+}  // namespace
+}  // namespace granulock::sim

@@ -168,6 +168,36 @@ TEST(SimulatorTest, CancelZeroIdIsNoOp) {
   EXPECT_TRUE(fired);
 }
 
+TEST(SimulatorTest, CancelChurnWithLargeLiveSetHitsTombstoneFloor) {
+  // Regression test for the tombstone-count floor. With a large live
+  // population and slow churn, stale entries never outnumber live ones,
+  // so the ratio trigger (stale > max(64, live)) alone would let ~live
+  // tombstones accumulate — here 40k stale atop 40k live. The absolute
+  // floor must compact far earlier, keeping the footprint near
+  // live + floor regardless of the live set's size.
+  Simulator sim;
+  constexpr int kLive = 40000;
+  std::vector<EventId> pending;
+  double t = 1.0e6;  // live events sit far in the future
+  for (int i = 0; i < kLive; ++i) {
+    pending.push_back(sim.ScheduleAt(t, [] {}));
+    t += 1.0;
+  }
+  size_t max_heap = 0;
+  for (int i = 0; i < kLive; ++i) {
+    pending.push_back(sim.ScheduleAt(t, [] {}));
+    t += 1.0;
+    sim.Cancel(pending.front());
+    pending.erase(pending.begin());
+    max_heap = std::max(max_heap, sim.HeapSize());
+  }
+  EXPECT_EQ(sim.PendingEvents(), static_cast<size_t>(kLive));
+  // Without the floor the ratio rule would admit up to ~40k tombstones;
+  // with it, stale never exceeds the floor before a compaction runs.
+  EXPECT_LE(max_heap, static_cast<size_t>(kLive) + 1100u);
+  sim.CheckConsistency();
+}
+
 TEST(SimulatorTest, CancelChurnKeepsHeapBounded) {
   // Regression test for cancel-heavy workloads (high-contention runs
   // cancel timeouts constantly): lazily-deleted entries must be compacted,

@@ -42,7 +42,12 @@ class UnorderedIterationRule(Rule):
     # Lock managers (src/lockmgr) iterate unordered tables only inside
     # order-insensitive CheckConsistency scans and Supremum folds; they
     # stay out of scope until someone audits them in.
-    paths = ["src/sim/*", "src/core/*", "src/db/*", "src/obs/*"]
+    # src/util/arena* is in scope because the arena backs engine scratch
+    # state: an unordered walk there would order allocations (and thus
+    # pointer values observable via container growth) nondeterministically.
+    # The calendar queue itself is covered by src/sim/*.
+    paths = ["src/sim/*", "src/core/*", "src/db/*", "src/obs/*",
+             "src/util/arena*"]
 
     def check(self, rel_path: str, model: FileModel,
               ctx: RuleContext) -> Iterable[Finding]:
@@ -103,7 +108,10 @@ class WallClockRule(Rule):
         "auditable in one place"
     )
     paths = ["src/*", "src/*/*", "bench/*", "examples/*"]
-    exclude_paths = ["src/util/*"]
+    # Only the two sanctioned entropy/clock homes are exempt. The rest of
+    # src/util — notably the arena allocator, which sits on every engine's
+    # hot path — must be as clock-free as the engines themselves.
+    exclude_paths = ["src/util/wall_clock*", "src/util/random*"]
 
     def check(self, rel_path: str, model: FileModel,
               ctx: RuleContext) -> Iterable[Finding]:
