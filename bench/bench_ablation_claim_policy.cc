@@ -33,10 +33,16 @@ int main(int argc, char** argv) {
 
   // Checkpoint/containment wrapper: series 0/1 = conservative/incremental
   // with best placement, 2/3 = the same with worst placement below.
+  // Non-default contention flags change the incremental results, so they
+  // extend the fingerprint; default runs keep their historical journals.
   model::SystemConfig fp_cfg = base;
   args.Apply(&fp_cfg);
-  bench::CellRunner cells("ablation_claim_policy", args,
-                          fp_cfg.ToString() + ";base_workload;incremental_2pl");
+  std::string canonical =
+      fp_cfg.ToString() + ";base_workload;incremental_2pl";
+  if (!args.ContentionIsDefault()) canonical += ";" + args.DescribeContention();
+  bench::CellRunner cells("ablation_claim_policy", args, canonical);
+  db::IncrementalSimulator::Options iopt;
+  iopt.contention = args.Contention();
   const std::vector<int64_t> sweep = core::StandardLockSweep(base.dbsize);
   const uint64_t seed = static_cast<uint64_t>(args.seed);
 
@@ -58,7 +64,7 @@ int main(int argc, char** argv) {
     auto incremental = cells.Run(
         1, static_cast<int>(p), ltot, seed,
         [&](const fault::CellWatchdog*) {
-          return db::IncrementalSimulator::RunOnce(cfg, spec, seed);
+          return db::IncrementalSimulator::RunOnce(cfg, spec, seed, iopt);
         });
     const bool ok = conservative.ok() && incremental.ok();
     table.AddRow(
@@ -107,7 +113,7 @@ int main(int argc, char** argv) {
     auto incremental = cells.Run(
         3, static_cast<int>(p), ltot, seed,
         [&](const fault::CellWatchdog*) {
-          return db::IncrementalSimulator::RunOnce(cfg, spec, seed);
+          return db::IncrementalSimulator::RunOnce(cfg, spec, seed, iopt);
         });
     const bool ok = conservative.ok() && incremental.ok();
     table2.AddRow(

@@ -64,7 +64,50 @@ void BenchArgs::Register(FlagParser& parser) {
   parser.AddString("fault_inject", &fault_inject, "",
                    "arm a deterministic fault: <point>@<hit>[xN][:key=<u64>] "
                    "with points cell_throw, cell_timeout, cell_audit_fail, "
-                   "write_short_write, signal_mid_sweep");
+                   "write_short_write, signal_mid_sweep, policy_victim_flip");
+  parser.AddString("policy", &policy, "detect",
+                   "contention-resolution policy for the incremental "
+                   "engine: detect (requester aborts on a cycle; the "
+                   "bit-identical default), detect_fewest_locks, "
+                   "detect_youngest, wound_wait, wait_die, wait_depth");
+  parser.AddDouble("backoff_factor", &backoff_factor, 1.0,
+                   "multiply the restart-backoff mean by this per restart "
+                   "of the same transaction (>= 1; 1 = fixed mean, the "
+                   "historical behavior)");
+  parser.AddDouble("backoff_cap", &backoff_cap, 0.0,
+                   "upper bound on the grown backoff mean; 0 = uncapped");
+  parser.AddInt64("max_restarts", &max_restarts, -1,
+                  "per-transaction restart budget; a victim past it is "
+                  "sacrificed (terminal abort, replaced by a fresh "
+                  "transaction); -1 = unlimited");
+  parser.AddBool("admission", &admission, false,
+                 "enable the MPL admission controller (blocked-fraction "
+                 "feedback with hysteretic recovery) in the incremental "
+                 "engine");
+}
+
+db::ContentionOptions BenchArgs::Contention() const {
+  db::ContentionOptions out;
+  const Result<db::ContentionPolicyKind> kind =
+      db::ParseContentionPolicy(policy);
+  GRANULOCK_CHECK(kind.ok()) << kind.status();  // ParseArgsOrDie validated
+  out.policy = *kind;
+  out.governor.backoff_factor = backoff_factor;
+  out.governor.max_backoff = backoff_cap;
+  out.governor.max_restarts = max_restarts;
+  out.admission.enabled = admission;
+  return out;
+}
+
+bool BenchArgs::ContentionIsDefault() const {
+  return policy == "detect" && backoff_factor == 1.0 && backoff_cap == 0.0 &&
+         max_restarts == -1 && !admission;
+}
+
+std::string BenchArgs::DescribeContention() const {
+  return StrFormat("policy=%s;bf=%.17g;bc=%.17g;mr=%lld;adm=%d",
+                   policy.c_str(), backoff_factor, backoff_cap,
+                   (long long)max_restarts, admission ? 1 : 0);
 }
 
 void BenchArgs::Apply(model::SystemConfig* cfg) const {
@@ -132,6 +175,21 @@ BenchArgs ParseArgsOrDie(int argc, char** argv) {
     std::exit(1);
   }
   args.resolved_threads = *resolved;
+  const Result<db::ContentionPolicyKind> kind =
+      db::ParseContentionPolicy(args.policy);
+  if (!kind.ok()) {
+    std::cerr << kind.status() << "\n" << parser.UsageString(argv[0]);
+    std::exit(1);
+  }
+  {
+    const db::ContentionOptions contention = args.Contention();
+    const Status valid = db::ValidateContentionOptions(contention.governor,
+                                                       contention.admission);
+    if (!valid.ok()) {
+      std::cerr << valid << "\n" << parser.UsageString(argv[0]);
+      std::exit(1);
+    }
+  }
   sim::invariants::SetDeepAudit(args.audit);
   if (args.audit) {
     GRANULOCK_LOG(Info) << "--audit: deep invariant audits enabled";
@@ -564,6 +622,10 @@ std::string RenderJsonReport(const std::string& experiment_id,
       w.Key("lockios").Value(m.lockios);
       w.Key("denial_rate").Value(m.denial_rate);
       w.Key("deadlock_aborts").Value(m.deadlock_aborts);
+      w.Key("txn_restarts").Value(m.txn_restarts);
+      w.Key("txn_sacrificed").Value(m.txn_sacrificed);
+      w.Key("response_p95").Value(m.response_p95);
+      w.Key("response_p99").Value(m.response_p99);
       w.Key("events_executed").Value(m.events_executed);
       w.Key("phase_pending_wait").Value(m.phase_pending_wait);
       w.Key("phase_lock_wait").Value(m.phase_lock_wait);

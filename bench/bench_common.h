@@ -11,6 +11,7 @@
 
 #include "core/checkpoint.h"
 #include "core/experiment.h"
+#include "db/contention_policy.h"
 #include "model/config.h"
 #include "obs/contention.h"
 #include "obs/registry.h"
@@ -51,6 +52,15 @@ struct BenchArgs {
   double cell_timeout_s = 0.0;  ///< per-cell wall deadline; 0 = none
   std::string fault_inject;     ///< injection spec, e.g. cell_throw@3
 
+  // Contention-resolution knobs for the incremental (claim-as-needed)
+  // engine; ignored by benches that only run the conservative engines.
+  // The defaults reproduce the engine's historical behavior bit for bit.
+  std::string policy = "detect";   ///< victim policy (see --help for names)
+  double backoff_factor = 1.0;     ///< restart backoff growth per restart
+  double backoff_cap = 0.0;        ///< cap on the backoff mean; 0 = none
+  int64_t max_restarts = -1;       ///< restart budget; -1 = unlimited
+  bool admission = false;          ///< enable the MPL admission controller
+
   /// `threads` resolved through `core::ResolveThreadCount` by
   /// `ParseArgsOrDie` (so 0 becomes the detected hardware concurrency).
   int resolved_threads = 1;
@@ -63,6 +73,19 @@ struct BenchArgs {
 
   /// True when a checkpoint journal should be open for this run.
   bool checkpoint_enabled() const { return checkpoint || resume; }
+
+  /// The contention options assembled from the flags (already validated
+  /// by `ParseArgsOrDie`).
+  db::ContentionOptions Contention() const;
+
+  /// True when any contention flag differs from its bit-identical
+  /// default — callers append `DescribeContention()` to their journal
+  /// fingerprints only then, so default runs keep historical journals.
+  bool ContentionIsDefault() const;
+
+  /// Canonical one-line description of the contention flags, for journal
+  /// fingerprints.
+  std::string DescribeContention() const;
 
   /// The journal path for `experiment_id` (honoring --checkpoint_path).
   std::string JournalPath(const std::string& experiment_id) const;

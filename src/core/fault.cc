@@ -18,6 +18,8 @@ const char* InjectionPointName(InjectionPoint point) {
       return "write_short_write";
     case InjectionPoint::kSignalMidSweep:
       return "signal_mid_sweep";
+    case InjectionPoint::kPolicyVictimFlip:
+      return "policy_victim_flip";
   }
   return "?";
 }

@@ -31,12 +31,13 @@ enum class InjectionPoint {
   kCellAuditFail = 2,  ///< route an invariants::Fail through a cell
   kWriteShortWrite = 3,///< truncate an atomic file write mid-stream
   kSignalMidSweep = 4, ///< raise SIGTERM after a cell completes
+  kPolicyVictimFlip = 5, ///< corrupt one contention-policy victim choice
 };
 
-inline constexpr int kNumInjectionPoints = 5;
+inline constexpr int kNumInjectionPoints = 6;
 
 /// Stable spec name ("cell_throw", "cell_timeout", "cell_audit_fail",
-/// "write_short_write", "signal_mid_sweep").
+/// "write_short_write", "signal_mid_sweep", "policy_victim_flip").
 const char* InjectionPointName(InjectionPoint point);
 
 /// Key wildcard: the armed fault matches any evaluation key.

@@ -66,7 +66,13 @@ std::string SimulationMetrics::ToString() const {
   out += StrFormat("utilization       cpu %.3f  io %.3f\n", cpu_utilization,
                    io_utilization);
   if (deadlock_aborts > 0) {
-    out += StrFormat("deadlock aborts   %lld\n", (long long)deadlock_aborts);
+    out += StrFormat("deadlock aborts   %lld (restarted %lld, sacrificed %lld)\n",
+                     (long long)deadlock_aborts, (long long)txn_restarts,
+                     (long long)txn_sacrificed);
+  }
+  if (avg_admission_held > 0.0) {
+    out += StrFormat("admission held    %.3f (time-avg parked txns)\n",
+                     avg_admission_held);
   }
   // Display-only: Welford accumulation can leave a phase mean at a tiny
   // negative (e.g. -2e-16) when its true value is 0; print it as 0 rather

@@ -48,6 +48,9 @@ namespace granulock::core {
   X(cpu_utilization, kMeanDouble)       \
   X(io_utilization, kMeanDouble)        \
   X(deadlock_aborts, kMeanInt64)        \
+  X(txn_restarts, kMeanInt64)           \
+  X(txn_sacrificed, kMeanInt64)         \
+  X(avg_admission_held, kMeanDouble)    \
   X(events_executed, kSumUint64)        \
   X(phase_pending_wait, kMeanDouble)    \
   X(phase_lock_wait, kMeanDouble)       \
@@ -140,6 +143,17 @@ struct SimulationMetrics {
   /// conservative protocol; populated by the incremental claim-as-needed
   /// engine).
   int64_t deadlock_aborts = 0;
+  /// Aborted transactions that went back through backoff and restarted
+  /// (every abort either restarts or sacrifices, so deadlock_aborts ==
+  /// txn_restarts + txn_sacrificed for the incremental engine).
+  int64_t txn_restarts = 0;
+  /// Transactions terminally aborted by the restart governor after
+  /// exhausting their restart budget; each is replaced by a fresh
+  /// transaction so the closed system stays closed.
+  int64_t txn_sacrificed = 0;
+  /// Time-average number of transactions parked by the admission
+  /// controller (0 unless admission control is enabled).
+  double avg_admission_held = 0.0;
   /// Discrete events the engine executed (diagnostics / perf). Observer
   /// events (metric sampling) are excluded, so the count is identical
   /// with observability on or off.

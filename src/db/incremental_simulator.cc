@@ -1,6 +1,7 @@
 #include "db/incremental_simulator.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "db/granule_selector.h"
@@ -30,6 +31,12 @@ struct IncrementalSimulator::Txn {
   // never overlap for one transaction, so one field serves both.
   int64_t lock_fanin_remaining = 0;
   int64_t restarts = 0;
+  /// Wounded by a contention policy while running: aborts at its next
+  /// safe point (lock cost paid / stage join) instead of proceeding.
+  bool doomed = false;
+  /// Time spent parked in the admission queue before starting (0 when
+  /// admission control is disabled).
+  double admitted_wait = 0.0;
 
   // Phase accounting (always on). There is no pending queue, so
   // `phase_lock_wait` absorbs everything between stages: lock-cost
@@ -59,6 +66,8 @@ struct IncrementalSimulator::Txn {
     substages_remaining = 0;
     lock_fanin_remaining = 0;
     restarts = 0;
+    doomed = false;
+    admitted_wait = 0.0;
     lock_since = 0.0;
     stage_start = 0.0;
     lock_wait = 0.0;
@@ -76,7 +85,8 @@ IncrementalSimulator::IncrementalSimulator(model::SystemConfig cfg,
     : cfg_(std::move(cfg)),
       spec_(std::move(spec)),
       options_(options),
-      rng_(seed) {}
+      rng_(seed),
+      seed_(seed) {}
 
 IncrementalSimulator::IncrementalSimulator(model::SystemConfig cfg,
                                            workload::WorkloadSpec spec,
@@ -84,6 +94,23 @@ IncrementalSimulator::IncrementalSimulator(model::SystemConfig cfg,
     : IncrementalSimulator(std::move(cfg), std::move(spec), seed, Options{}) {}
 
 IncrementalSimulator::~IncrementalSimulator() = default;
+
+/// The read-only per-transaction view handed to contention policies.
+class IncrementalSimulator::PolicyDirectory final : public TxnDirectory {
+ public:
+  explicit PolicyDirectory(const IncrementalSimulator* self) : self_(self) {}
+  int64_t RestartsOf(lockmgr::TxnId txn) const override {
+    auto it = self_->txn_by_id_.find(txn);
+    return it == self_->txn_by_id_.end() ? 0 : it->second->restarts;
+  }
+  bool IsDoomed(lockmgr::TxnId txn) const override {
+    auto it = self_->txn_by_id_.find(txn);
+    return it != self_->txn_by_id_.end() && it->second->doomed;
+  }
+
+ private:
+  const IncrementalSimulator* self_;
+};
 
 Result<core::SimulationMetrics> IncrementalSimulator::RunOnce(
     const model::SystemConfig& cfg, const workload::WorkloadSpec& spec,
@@ -113,6 +140,10 @@ Result<core::SimulationMetrics> IncrementalSimulator::Run() {
   if (options_.restart_delay <= 0.0) {
     return Status::InvalidArgument("restart_delay must be positive");
   }
+  GRANULOCK_RETURN_NOT_OK(ValidateContentionOptions(
+      options_.contention.governor, options_.contention.admission));
+  policy_ = MakeContentionPolicy(options_.contention.policy);
+  governor_.emplace(options_.restart_delay, options_.contention.governor);
 
   table_ = std::make_unique<WaitQueueLockTable>(cfg_.ltot);
   cpu_.reserve(static_cast<size_t>(cfg_.npros));
@@ -134,11 +165,22 @@ Result<core::SimulationMetrics> IncrementalSimulator::Run() {
   if (cfg_.warmup > 0.0) {
     sim_.ScheduleAt(cfg_.warmup, [this] { BeginMeasurement(); });
   }
+  if (options_.contention.admission.enabled) {
+    // A *regular* event chain: the controller changes which transactions
+    // run and when, by design. With admission disabled no controller
+    // exists and no event is ever scheduled, so the run is bit-identical
+    // to one built before the controller did.
+    admission_.emplace(options_.contention.admission, cfg_.ntrans);
+    admission_stat_.Start(0.0, 0.0);
+    const double iv = options_.contention.admission.interval;
+    if (iv <= cfg_.tmax) {
+      sim_.ScheduleAt(iv, [this] { AdmissionTick(); });
+    }
+  }
 
   for (int64_t i = 0; i < cfg_.ntrans; ++i) {
     sim_.ScheduleAt(static_cast<double>(i), [this] {
-      Txn* txn = CreateTransaction(sim_.Now());
-      StartTransaction(txn);
+      AdmitOrHold(CreateTransaction(sim_.Now()));
     });
   }
   sim_.RunUntil(cfg_.tmax);
@@ -176,15 +218,22 @@ Result<core::SimulationMetrics> IncrementalSimulator::Run() {
                                      : 0.0;
   m.avg_active = active_stat_.Average(cfg_.tmax);
   m.avg_blocked = blocked_stat_.Average(cfg_.tmax);
-  m.avg_pending = 0.0;  // no pending queue under claim-as-needed
+  // Admission parking is the claim-as-needed analogue of the conservative
+  // engines' pending queue; without the controller there is none.
+  m.avg_pending = admission_ ? admission_stat_.Average(cfg_.tmax) : 0.0;
   m.cpu_utilization =
       m.measured_time > 0.0 ? m.totcpus_sum / (npros * m.measured_time)
                             : 0.0;
   m.io_utilization =
       m.measured_time > 0.0 ? m.totios_sum / (npros * m.measured_time) : 0.0;
   m.deadlock_aborts = deadlock_aborts_;
+  m.txn_restarts = txn_restarts_;
+  m.txn_sacrificed = txn_sacrificed_;
+  m.avg_admission_held = admission_ ? admission_stat_.Average(cfg_.tmax) : 0.0;
   m.events_executed = sim_.ExecutedEvents();
-  m.phase_pending_wait = 0.0;  // no pending queue under claim-as-needed
+  // Mean over completed txns; exactly 0.0 with admission disabled (every
+  // Add is 0.0, and Welford keeps a mean of identical values exact).
+  m.phase_pending_wait = phase_pending_.Mean();
   m.phase_lock_wait = phase_lock_.Mean();
   m.phase_io_service = phase_io_.Mean();
   m.phase_cpu_service = phase_cpu_.Mean();
@@ -253,7 +302,8 @@ void IncrementalSimulator::ContentionTick() {
           ? std::min(1.0, static_cast<double>(table_->LockedGranules()) /
                               static_cast<double>(cfg_.ltot))
           : 0.0;
-  prof->OnSample(now, blocked_fraction, occupancy, std::move(edges));
+  prof->OnSample(now, blocked_fraction, occupancy, std::move(edges),
+                 deadlock_aborts_, txn_restarts_, txn_sacrificed_);
   const double iv = prof->options().sample_interval;
   if (now + iv <= cfg_.tmax) {
     sim_.ScheduleObserverAfter(iv, [this] { ContentionTick(); });
@@ -321,8 +371,11 @@ void IncrementalSimulator::BeginMeasurement() {
   lock_requests_ = 0;
   lock_waits_ = 0;
   deadlock_aborts_ = 0;
+  txn_restarts_ = 0;
+  txn_sacrificed_ = 0;
   response_.Reset();
   response_quantiles_.Reset();
+  phase_pending_.Reset();
   phase_lock_.Reset();
   phase_io_.Reset();
   phase_cpu_.Reset();
@@ -335,6 +388,7 @@ void IncrementalSimulator::BeginMeasurement() {
   io_union_.ResetWindow(now);
   active_stat_.ResetWindow(now);
   blocked_stat_.ResetWindow(now);
+  if (admission_) admission_stat_.ResetWindow(now);
   window_start_ = now;
 }
 
@@ -461,6 +515,13 @@ void IncrementalSimulator::PayLockCost(Txn* txn, std::function<void()> then) {
 }
 
 void IncrementalSimulator::OnLockCostPaid(Txn* txn) {
+  if (txn->doomed) {
+    // Wounded while paying the lock cost: abort here, before touching the
+    // table again (a doomed transaction must never queue).
+    AbortTxn(txn, /*waiting=*/false);
+    if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
+    return;
+  }
   const int64_t granule = txn->granules[txn->next_lock];
   const WaitQueueLockTable::AcquireResult result =
       table_->Acquire(txn->id, granule, txn->mode);
@@ -483,47 +544,110 @@ void IncrementalSimulator::OnLockCostPaid(Txn* txn) {
   --running_count_;
   ++waiting_count_;
   UpdateQueueStats();
-  // Deadlock check: rebuild the waits-for graph from the table's queues
-  // (holder sets shift as grants move, so stored edges would go stale).
-  waits_for_ = lockmgr::WaitsForGraph();
-  for (const auto& [waiter, waited_granule] : table_->WaitingRequests()) {
-    for (lockmgr::TxnId holder : table_->Holders(waited_granule)) {
-      waits_for_.AddWait(waiter, holder);
-    }
-  }
-  if (!waits_for_.FindCycleFrom(txn->id).empty()) {
-    AbortAndRestart(txn);
-  } else if (auto* prof = options_.obs.contention) {
-    // A genuine wait (not a victim abort): attribute it to the granule,
-    // with the strongest mode held by the other holders (Supremum is
-    // order-insensitive, so the unordered holder scan is safe) and the
-    // length of the waits-for chain rooted at this transaction.
-    LockMode held = LockMode::kNL;
-    for (lockmgr::TxnId holder : table_->Holders(granule)) {
-      if (holder != txn->id) {
-        held = Supremum(held, table_->HeldMode(holder, granule));
-      }
-    }
-    prof->OnBlock(txn->id, granule, txn->mode, held,
-                  waits_for_.ChainDepthFrom(txn->id), sim_.Now());
-  }
+  ResolveConflict(txn, granule);
   if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
+}
+
+void IncrementalSimulator::ResolveConflict(Txn* txn, int64_t granule) {
+  const ConflictRequest req{txn->id, granule, txn->mode};
+  const PolicyDirectory dir(this);
+  bool requester_gone = false;
+  // Re-ask while the requester stays queued: aborting one victim can
+  // expose a new conflict shape (e.g. the next holder in a cycle). Each
+  // round either aborts/dooms at least one victim or stops, so the loop
+  // terminates. Under the default detect policy the first round returns
+  // either nothing (no cycle) or the requester — a single iteration,
+  // bit-identical to the engine's historical hard-coded check.
+  while (!requester_gone && table_->IsQueued(txn->id)) {
+    ConflictDecision decision = policy_->OnBlock(req, *table_, dir);
+    MaybeInjectVictimFlip(seed_, &decision.victims);
+    if (decision.victims.empty()) break;
+    bool progressed = false;
+    for (lockmgr::TxnId victim_id : decision.victims) {
+      auto it = txn_by_id_.find(victim_id);
+      if (it == txn_by_id_.end()) {
+        // Policies may only name live transactions (holders or waiters);
+        // anything else is a policy bug — or an injected fault, which the
+        // cell-retry harness must contain, so fail loudly rather than
+        // corrupt state.
+        throw std::runtime_error(StrFormat(
+            "contention policy '%s' chose victim txn %llu which does not "
+            "exist",
+            ContentionPolicyName(policy_->kind()),
+            (unsigned long long)victim_id));
+      }
+      Txn* victim = it->second;
+      if (victim->doomed) continue;
+      const bool is_requester = victim == txn;
+      if (table_->IsQueued(victim->id)) {
+        progressed = true;
+        AbortTxn(victim, /*waiting=*/true);
+        if (is_requester) {
+          requester_gone = true;
+          break;
+        }
+      } else if (!is_requester) {
+        // A running holder cannot be yanked mid-service: doom it so it
+        // aborts at its next safe point (lock cost paid / stage join).
+        progressed = true;
+        victim->doomed = true;
+      }
+      // is_requester && !queued: a victim abort above already unblocked
+      // the requester mid-round; nothing left to do.
+    }
+    if (!progressed) break;
+  }
+  if (!requester_gone && table_->IsQueued(txn->id)) {
+    if (auto* prof = options_.obs.contention) {
+      // A genuine wait (not a victim abort): attribute it to the granule,
+      // with the strongest mode held by the other holders (Supremum is
+      // order-insensitive, so the unordered holder scan is safe) and the
+      // length of the waits-for chain rebuilt from the table's queues
+      // (holder sets shift as grants move, so stored edges would go
+      // stale).
+      waits_for_ = BuildWaitsForGraph(*table_);
+      LockMode held = LockMode::kNL;
+      for (lockmgr::TxnId holder : table_->Holders(granule)) {
+        if (holder != txn->id) {
+          held = Supremum(held, table_->HeldMode(holder, granule));
+        }
+      }
+      prof->OnBlock(txn->id, granule, txn->mode, held,
+                    waits_for_.ChainDepthFrom(txn->id), sim_.Now());
+    }
+  }
 }
 
 void IncrementalSimulator::CheckConsistency() const {
   GRANULOCK_AUDIT_CHECK_GE(running_count_, 0);
   GRANULOCK_AUDIT_CHECK_GE(waiting_count_, 0);
   GRANULOCK_AUDIT_CHECK_GE(in_backoff_, 0);
+  GRANULOCK_AUDIT_CHECK_GE(admission_held_, 0);
   // Closed system: every live transaction is running, queued on a lock,
-  // or sleeping out a deadlock backoff.
+  // sleeping out a deadlock backoff, or parked by the admission
+  // controller. Sacrificed transactions were replaced one-for-one, so
+  // the identity survives terminal aborts.
   GRANULOCK_AUDIT_CHECK_EQ(
       live_txns_.size(),
-      static_cast<size_t>(running_count_ + waiting_count_ + in_backoff_))
+      static_cast<size_t>(running_count_ + waiting_count_ + in_backoff_ +
+                          admission_held_))
       << "live=" << live_txns_.size() << " running=" << running_count_
-      << " waiting=" << waiting_count_ << " backoff=" << in_backoff_;
+      << " waiting=" << waiting_count_ << " backoff=" << in_backoff_
+      << " admission_held=" << admission_held_;
+  GRANULOCK_AUDIT_CHECK_EQ(admission_queue_.size(),
+                           static_cast<size_t>(admission_held_));
   GRANULOCK_AUDIT_CHECK_EQ(txn_by_id_.size(), live_txns_.size());
   GRANULOCK_AUDIT_CHECK_EQ(waiting_count_, table_->WaitingCount());
   table_->CheckConsistency();
+  // A doomed transaction aborts at its next safe point and never queues;
+  // a queued doomed transaction would deadlock against its own abort.
+  for (const auto& [waiter, granule] : table_->WaitingRequests()) {
+    auto it = txn_by_id_.find(waiter);
+    GRANULOCK_AUDIT_CHECK(it != txn_by_id_.end())
+        << "queued txn " << waiter << " is not live";
+    GRANULOCK_AUDIT_CHECK(it == txn_by_id_.end() || !it->second->doomed)
+        << "doomed txn " << waiter << " is queued on granule " << granule;
+  }
   // Acyclicity: every cycle is detected and broken (victim abort) at the
   // instant its closing edge would appear, so between events the
   // waits-for graph rebuilt from the table has no cycle.
@@ -541,7 +665,7 @@ void IncrementalSimulator::CheckConsistency() const {
   }
 }
 
-void IncrementalSimulator::AbortAndRestart(Txn* txn) {
+void IncrementalSimulator::AbortTxn(Txn* txn, bool waiting) {
   ++deadlock_aborts_;
   ++txn->restarts;
   if (ctr_deadlock_aborts_ != nullptr) ctr_deadlock_aborts_->Increment();
@@ -549,28 +673,108 @@ void IncrementalSimulator::AbortAndRestart(Txn* txn) {
     options_.trace->Record(sim_.Now(), txn->id,
                            sim::TraceEventType::kAborted, txn->restarts);
   }
-  --waiting_count_;
-  ++in_backoff_;
+  if (waiting) {
+    --waiting_count_;
+  } else {
+    --running_count_;  // doomed victim aborting at a safe point
+  }
+  const bool sacrifice = governor_->ShouldSacrifice(txn->restarts);
+  if (!sacrifice) ++in_backoff_;
   if (auto* prof = options_.obs.contention) {
     // Close any open wait (no-op for the usual instant-abort victim, whose
     // wait was never recorded as a genuine block).
     prof->OnUnblock(txn->id, sim_.Now());
   }
+  txn->doomed = false;
   const std::vector<lockmgr::TxnId> granted = table_->Abort(txn->id);
   UpdateQueueStats();
   HandleGrants(granted);
+  if (sacrifice) {
+    SacrificeTxn(txn);
+    return;
+  }
+  ++txn_restarts_;
   // Restart from the first granule with the same parameters (all lock
   // costs are paid again) after a randomized backoff — restarting
   // immediately would re-form the same cycle under heavy contention and
-  // livelock the system.
-  sim_.ScheduleAfter(rng_.Exponential(options_.restart_delay), [this, txn] {
-    --in_backoff_;
-    ++running_count_;
-    txn->next_lock = 0;
-    UpdateQueueStats();
-    RequestNextLock(txn);
-    if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
-  });
+  // livelock the system. The governor grows the mean with each restart
+  // of the same transaction (and caps it) when configured; the factor-1
+  // default collapses to the historical fixed-mean draw.
+  sim_.ScheduleAfter(governor_->BackoffDelay(txn->restarts, rng_),
+                     [this, txn] {
+                       --in_backoff_;
+                       ++running_count_;
+                       txn->next_lock = 0;
+                       UpdateQueueStats();
+                       RequestNextLock(txn);
+                       if (sim::invariants::DeepAuditEnabled()) {
+                         CheckConsistency();
+                       }
+                     });
+}
+
+void IncrementalSimulator::SacrificeTxn(Txn* txn) {
+  // Terminal abort: the restart budget is spent. Replace the victim with
+  // a fresh transaction (same create-then-destroy order as Complete) so
+  // the closed system stays closed.
+  ++txn_sacrificed_;
+  if (options_.trace != nullptr) {
+    options_.trace->Record(sim_.Now(), txn->id,
+                           sim::TraceEventType::kCompleted,
+                           /*detail=*/-1);  // -1 marks a sacrifice
+  }
+  Txn* fresh = CreateTransaction(sim_.Now());
+  DestroyTransaction(txn);
+  AdmitOrHold(fresh);
+}
+
+void IncrementalSimulator::AdmitOrHold(Txn* txn) {
+  if (!admission_) {
+    StartTransaction(txn);
+    return;
+  }
+  admission_queue_.push_back(txn);
+  ++admission_held_;
+  admission_stat_.Update(sim_.Now(), static_cast<double>(admission_held_));
+  ReleaseAdmitted();
+}
+
+void IncrementalSimulator::ReleaseAdmitted() {
+  if (!admission_) return;
+  while (!admission_queue_.empty() &&
+         AdmittedCount() < admission_->target()) {
+    Txn* txn = admission_queue_.front();
+    admission_queue_.pop_front();
+    --admission_held_;
+    admission_stat_.Update(sim_.Now(), static_cast<double>(admission_held_));
+    txn->admitted_wait = sim_.Now() - txn->arrival_time;
+    StartTransaction(txn);
+  }
+}
+
+int64_t IncrementalSimulator::AdmittedCount() const {
+  return running_count_ + waiting_count_ + in_backoff_;
+}
+
+void IncrementalSimulator::AdmissionTick() {
+  // "Blocked" = contention-induced dead time: queued on a lock OR sleeping
+  // out a restart backoff. Counting only lock waiters misses the dominant
+  // thrashing mode of this engine, where deadlock victims spend the
+  // collapse parked in backoff rather than in wait queues.
+  const int64_t admitted = AdmittedCount();
+  const double blocked_fraction =
+      admitted > 0 ? static_cast<double>(waiting_count_ + in_backoff_) /
+                         static_cast<double>(admitted)
+                   : 0.0;
+  admission_->Evaluate(blocked_fraction);
+  // Raising the target admits parked work immediately; lowering it only
+  // stops future admissions (running transactions are never preempted).
+  ReleaseAdmitted();
+  const double iv = options_.contention.admission.interval;
+  if (sim_.Now() + iv <= cfg_.tmax) {
+    sim_.ScheduleAfter(iv, [this] { AdmissionTick(); });
+  }
+  if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
 }
 
 void IncrementalSimulator::HandleGrants(
@@ -655,6 +859,13 @@ void IncrementalSimulator::OnStageDone(Txn* txn) {
     }
     txn->sub_cpu_done.clear();
   }
+  if (txn->doomed) {
+    // Wounded while processing this stage: abort at the join, after the
+    // sync accounting above, instead of requesting the next lock.
+    AbortTxn(txn, /*waiting=*/false);
+    if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
+    return;
+  }
   ++txn->next_lock;
   if (txn->next_lock < txn->granules.size()) {
     txn->lock_since = now;
@@ -673,6 +884,7 @@ void IncrementalSimulator::Complete(Txn* txn) {
   response_.Add(response);
   response_quantiles_.Add(response);
   const double pu = static_cast<double>(txn->params.pu);
+  phase_pending_.Add(txn->admitted_wait);
   phase_lock_.Add(txn->lock_wait);
   phase_io_.Add(txn->io_span_sum / pu);
   phase_cpu_.Add(txn->cpu_span_sum / pu);
@@ -690,14 +902,17 @@ void IncrementalSimulator::Complete(Txn* txn) {
   }
   UpdateQueueStats();
   HandleGrants(granted);
+  // A completion frees an MPL slot; drain the admission queue into it
+  // (no-op when the controller is disabled or nothing is parked).
+  ReleaseAdmitted();
   if (cfg_.think_time > 0.0) {
     sim_.ScheduleAfter(rng_.Exponential(cfg_.think_time), [this] {
-      StartTransaction(CreateTransaction(sim_.Now()));
+      AdmitOrHold(CreateTransaction(sim_.Now()));
     });
   } else {
     Txn* fresh = CreateTransaction(sim_.Now());
     DestroyTransaction(txn);
-    StartTransaction(fresh);
+    AdmitOrHold(fresh);
     if (sim::invariants::DeepAuditEnabled()) CheckConsistency();
     return;
   }

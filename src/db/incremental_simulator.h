@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "db/contention_policy.h"
 #include "lockmgr/wait_queue_table.h"
 #include "lockmgr/waits_for.h"
 #include "model/config.h"
@@ -38,11 +39,16 @@ namespace granulock::db {
 ///    then lock granule k+1, ...;
 ///  * a conflicting request joins a per-granule FIFO wait queue while the
 ///    transaction KEEPS its earlier locks — so deadlock is possible;
-///  * deadlock detection runs on every wait (waits-for cycle search); the
-///    requesting transaction is the victim: it aborts, releases its
-///    locks, and restarts from its first granule (same parameters),
-///    paying all costs again. Aborts are reported in
-///    `SimulationMetrics::deadlock_aborts`.
+///  * contention resolution is pluggable (`Options::contention`): the
+///    default policy searches for a waits-for cycle on every wait and
+///    aborts the *requester* — bit-identical to the engine's historical
+///    hard-coded behavior — while the alternatives pick other victims or
+///    avoid the cycle search entirely (wound-wait, wait-die, wait-depth;
+///    see db/contention_policy.h). A victim releases its locks and
+///    restarts from its first granule (same parameters), paying all
+///    costs again, unless the restart governor sacrifices it. Aborts are
+///    reported in `SimulationMetrics::deadlock_aborts`, split into
+///    `txn_restarts` + `txn_sacrificed`.
 ///
 /// Granule acquisition order is a random shuffle of the transaction's
 /// granule set — sorted acquisition would make deadlock impossible and
@@ -57,6 +63,11 @@ class IncrementalSimulator {
     /// livelock (victims restart instantly, re-form the same cycle and
     /// abort again). Must be > 0.
     double restart_delay = 10.0;
+    /// Contention resolution: victim policy, restart governor, admission
+    /// controller. The defaults (detect-requester policy, factor-1
+    /// uncapped governor, admission disabled) are bit-identical to the
+    /// engine's historical hard-coded behavior.
+    ContentionOptions contention;
     /// Optional lifecycle tracer (not owned; must outlive the run).
     /// Incremental runs additionally record `aborted` events for deadlock
     /// victims.
@@ -92,13 +103,16 @@ class IncrementalSimulator {
   friend struct AuditTestPeer;  // invariants_test corrupts state through it
 
   struct Txn;
+  class PolicyDirectory;
 
   /// Deep audit (runs at quiescent points when
   /// `sim::invariants::DeepAuditEnabled()`): every live transaction is
-  /// running, waiting, or backing off after an abort; the wait count
-  /// matches the lock table; the table's own invariants hold; and the
-  /// waits-for graph rebuilt from the table is acyclic (every cycle is
-  /// broken by a victim abort the moment its closing edge appears).
+  /// running, waiting, backing off after an abort, or parked by the
+  /// admission controller; the wait count matches the lock table; the
+  /// table's own invariants hold; no doomed transaction is queued; and
+  /// the waits-for graph rebuilt from the table is acyclic (every cycle
+  /// is broken by a victim abort the moment its closing edge appears —
+  /// by construction under the timestamp/wait-depth policies).
   void CheckConsistency() const;
 
   void StartTransaction(Txn* txn);
@@ -109,8 +123,28 @@ class IncrementalSimulator {
   void DoStageWork(Txn* txn);
   void OnStageDone(Txn* txn);
   void Complete(Txn* txn);
-  void AbortAndRestart(Txn* txn);
+  /// Runs the contention policy after `txn` queued on `granule`: aborts
+  /// waiting victims, dooms running ones, re-asks while the requester
+  /// stays queued, and records the profiler wait when it does.
+  void ResolveConflict(Txn* txn, int64_t granule);
+  /// Aborts `txn` (a queued waiter when `waiting`, else a doomed running
+  /// transaction at a safe point): releases its locks, then either
+  /// schedules a governed backoff restart or sacrifices it.
+  void AbortTxn(Txn* txn, bool waiting);
+  /// Terminal abort: the transaction is destroyed and replaced by a
+  /// fresh one so the closed system stays closed.
+  void SacrificeTxn(Txn* txn);
   void HandleGrants(const std::vector<lockmgr::TxnId>& granted);
+  /// Starts `txn` immediately, or parks it in the admission queue when
+  /// the controller is enabled (FIFO drain via ReleaseAdmitted).
+  void AdmitOrHold(Txn* txn);
+  void ReleaseAdmitted();
+  /// Transactions occupying an MPL slot: running + waiting + in backoff.
+  int64_t AdmittedCount() const;
+  /// Periodic admission-controller evaluation (a regular event — it
+  /// changes admission decisions by design; never scheduled when the
+  /// controller is disabled).
+  void AdmissionTick();
 
   Txn* CreateTransaction(double arrival_time);
   void DestroyTransaction(Txn* txn);
@@ -148,10 +182,22 @@ class IncrementalSimulator {
   /// locks and sit in no queue — only this counter accounts for them).
   int64_t in_backoff_ = 0;
 
+  // Contention resolution (built in Run(); see db/contention_policy.h).
+  std::unique_ptr<ContentionPolicy> policy_;
+  std::optional<RestartGovernor> governor_;
+  std::optional<AdmissionController> admission_;
+  /// Created-but-not-yet-started transactions parked by the admission
+  /// controller, FIFO. They hold no locks and occupy no MPL slot.
+  std::deque<Txn*> admission_queue_;
+  int64_t admission_held_ = 0;
+  sim::TimeWeightedStat admission_stat_;
+
   int64_t totcom_ = 0;
   int64_t lock_requests_ = 0;
   int64_t lock_waits_ = 0;
   int64_t deadlock_aborts_ = 0;
+  int64_t txn_restarts_ = 0;
+  int64_t txn_sacrificed_ = 0;
   sim::RunningStat response_;
   sim::QuantileEstimator response_quantiles_;
   sim::TimeWeightedStat active_stat_;
@@ -159,6 +205,7 @@ class IncrementalSimulator {
   double window_start_ = 0.0;
 
   // Response-time decomposition (always on; see SimulationMetrics).
+  sim::RunningStat phase_pending_;  // admission-queue wait (0 when disabled)
   sim::RunningStat phase_lock_;
   sim::RunningStat phase_io_;
   sim::RunningStat phase_cpu_;
@@ -181,6 +228,8 @@ class IncrementalSimulator {
   double sample_time_ = 0.0;
 
   uint64_t next_txn_id_ = 1;
+  /// The run's seed, kept as the policy_victim_flip fault-injection key.
+  uint64_t seed_ = 0;
   bool ran_ = false;
 };
 

@@ -241,4 +241,36 @@ LockMode WaitQueueLockTable::HeldMode(TxnId txn, int64_t granule) const {
   return LockMode::kNL;
 }
 
+int64_t WaitQueueLockTable::HeldCount(TxnId txn) const {
+  auto it = held_by_txn_.find(txn);
+  return it == held_by_txn_.end() ? 0
+                                  : static_cast<int64_t>(it->second.size());
+}
+
+std::vector<TxnId> WaitQueueLockTable::WaitersAhead(TxnId txn,
+                                                    int64_t granule) const {
+  std::vector<TxnId> ahead;
+  auto it = granules_.find(granule);
+  if (it == granules_.end()) return ahead;
+  for (const Waiter& waiter : it->second.queue) {
+    if (waiter.txn == txn) return ahead;
+    ahead.push_back(waiter.txn);
+  }
+  ahead.clear();  // txn is not queued here at all
+  return ahead;
+}
+
+bool WaitQueueLockTable::HasOtherWaitersOnHeldGranules(TxnId txn) const {
+  auto it = held_by_txn_.find(txn);
+  if (it == held_by_txn_.end()) return false;
+  for (const int64_t granule : it->second) {
+    auto git = granules_.find(granule);
+    if (git == granules_.end()) continue;
+    for (const Waiter& waiter : git->second.queue) {
+      if (waiter.txn != txn) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace granulock::lockmgr

@@ -52,6 +52,25 @@ class WaitQueueLockTable {
   /// The mode `txn` holds on `granule` (kNL if none).
   LockMode HeldMode(TxnId txn, int64_t granule) const;
 
+  /// Number of granules `txn` currently holds (any mode).
+  int64_t HeldCount(TxnId txn) const;
+
+  /// True iff `txn` has a queued (waiting) request.
+  bool IsQueued(TxnId txn) const {
+    return queued_on_.find(txn) != queued_on_.end();
+  }
+
+  /// The transactions queued ahead of `txn` in `granule`'s FIFO queue,
+  /// front first. Empty when `txn` is not queued on `granule` — strict
+  /// FIFO means these must all drain before `txn` can be granted, so
+  /// contention policies treat them as blockers.
+  std::vector<TxnId> WaitersAhead(TxnId txn, int64_t granule) const;
+
+  /// True iff some *other* transaction is queued on a granule `txn`
+  /// holds (i.e. a waits-for edge points at `txn`). `txn`'s own queued
+  /// upgrade request on a granule it holds does not count.
+  bool HasOtherWaitersOnHeldGranules(TxnId txn) const;
+
   /// Number of queued (waiting) requests across all granules.
   int64_t WaitingCount() const { return waiting_count_; }
 

@@ -48,7 +48,8 @@ ContentionProfiler::ContentionProfiler(Options options)
     : options_(options),
       series_(options.sample_interval > 0 ? options.sample_interval : 50.0,
               options.series_capacity) {
-  series_.SetColumns({"blocked_fraction", "lock_occupancy"});
+  series_.SetColumns({"blocked_fraction", "lock_occupancy",
+                      "deadlock_aborts", "txn_restarts", "txn_sacrificed"});
 }
 
 void ContentionProfiler::BeginRun(int64_t num_granules, bool imputed) {
@@ -89,8 +90,12 @@ void ContentionProfiler::OnGrantTotal(int64_t count) {
 
 void ContentionProfiler::OnSample(
     double now, double blocked_fraction, double lock_occupancy,
-    std::vector<std::pair<uint64_t, uint64_t>> edges) {
-  series_.Push(now, {blocked_fraction, lock_occupancy});
+    std::vector<std::pair<uint64_t, uint64_t>> edges, int64_t deadlock_aborts,
+    int64_t txn_restarts, int64_t txn_sacrificed) {
+  series_.Push(now, {blocked_fraction, lock_occupancy,
+                     static_cast<double>(deadlock_aborts),
+                     static_cast<double>(txn_restarts),
+                     static_cast<double>(txn_sacrificed)});
   // The edge list may come from unordered engine state; sort so stored
   // snapshots (and everything derived from them) are order-independent.
   std::sort(edges.begin(), edges.end());

@@ -106,8 +106,13 @@ class ContentionProfiler {
   /// transactions blocked on locks, the fraction of granules locked, and
   /// the current waits-for edges (waiter, holder). The edge list may come
   /// from unordered engine state — it is sorted here before storage.
+  /// Engines with contention resolution additionally pass their running
+  /// abort counters (cumulative at `now`); engines without pass nothing
+  /// and the columns stay 0.
   void OnSample(double now, double blocked_fraction, double lock_occupancy,
-                std::vector<std::pair<uint64_t, uint64_t>> edges);
+                std::vector<std::pair<uint64_t, uint64_t>> edges,
+                int64_t deadlock_aborts = 0, int64_t txn_restarts = 0,
+                int64_t txn_sacrificed = 0);
 
   /// Mirrors every snapshot into `spans` as Chrome-trace instant events
   /// (named "waits_for_edges", value = edge count). Unowned; may be null.
@@ -138,7 +143,8 @@ class ContentionProfiler {
     return chain_depths_;
   }
   /// The contention time series (columns blocked_fraction,
-  /// lock_occupancy), for CSV export.
+  /// lock_occupancy, deadlock_aborts, txn_restarts, txn_sacrificed),
+  /// for CSV export.
   const TimeSeriesSampler& series() const { return series_; }
   double MeanBlockedFraction() const;
   double MeanLockOccupancy() const;

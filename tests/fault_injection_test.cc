@@ -7,6 +7,7 @@
 #include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "core/granularity_simulator.h"
+#include "db/incremental_simulator.h"
 #include "obs/registry.h"
 #include "sim/invariants.h"
 #include "util/status.h"
@@ -71,6 +72,8 @@ TEST_F(FaultInjectionTest, PointNamesAreStable) {
                "write_short_write");
   EXPECT_STREQ(InjectionPointName(InjectionPoint::kSignalMidSweep),
                "signal_mid_sweep");
+  EXPECT_STREQ(InjectionPointName(InjectionPoint::kPolicyVictimFlip),
+               "policy_victim_flip");
 }
 
 TEST_F(FaultInjectionTest, InertUnlessArmed) {
@@ -169,6 +172,51 @@ TEST_F(FaultInjectionTest, InjectedThrowRetriesWithSameSeedBitIdentically) {
   retry_policy.max_cell_retries = 1;
   const CellOutcome retried = RunCell(retry_policy, CellKey{0, 0, 0}, seed,
                                       SimBody(cfg, spec, seed));
+  ASSERT_TRUE(retried.result.ok()) << retried.result.status();
+  EXPECT_EQ(retried.attempts, 2);
+  EXPECT_EQ(Encoded(*retried.result), Encoded(*clean.result));
+}
+
+TEST_F(FaultInjectionTest, PolicyVictimFlipIsContainedAndRetryRecovers) {
+  // `policy_victim_flip` corrupts one contention-policy victim decision
+  // inside the incremental engine (the victim id becomes 0, which is
+  // never assigned). The engine must reject it loudly, RunCell must
+  // contain the throw, and a same-seed retry — the single armed fire now
+  // spent — must reproduce the clean run bit for bit.
+  model::SystemConfig cfg = SmallConfig();
+  cfg.ltot = 20;
+  cfg.ntrans = 20;  // contended enough that deadlock victims are chosen
+  workload::WorkloadSpec spec = workload::WorkloadSpec::Base(cfg);
+  spec.placement = model::Placement::kWorst;
+  const uint64_t seed = 3;
+  const core::CellBody body = [&cfg, &spec,
+                               seed](const fault::CellWatchdog*) {
+    return db::IncrementalSimulator::RunOnce(cfg, spec, seed);
+  };
+
+  const CellOutcome clean = RunCell(CellPolicy{}, CellKey{0, 0, 0}, seed, body);
+  ASSERT_TRUE(clean.result.ok()) << clean.result.status();
+  // The fault only fires on a victim decision; make sure the workload
+  // actually produces them.
+  ASSERT_GT(clean.result->deadlock_aborts, 0);
+
+  // Contained: the corrupted decision surfaces as a failed cell, not a
+  // crash or silently wrong metrics.
+  ASSERT_TRUE(Injector::Global().ArmFromFlag("policy_victim_flip@0").ok());
+  const CellOutcome faulted =
+      RunCell(CellPolicy{}, CellKey{0, 0, 0}, seed, body);
+  EXPECT_FALSE(faulted.result.ok());
+  EXPECT_EQ(faulted.result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(faulted.result.status().ToString().find("does not exist"),
+            std::string::npos);
+
+  // Recovered: with one retry the second attempt runs fault-free and the
+  // metrics round-trip bit-identically to the clean reference.
+  ASSERT_TRUE(Injector::Global().ArmFromFlag("policy_victim_flip@0").ok());
+  CellPolicy retry_policy;
+  retry_policy.max_cell_retries = 1;
+  const CellOutcome retried =
+      RunCell(retry_policy, CellKey{0, 0, 0}, seed, body);
   ASSERT_TRUE(retried.result.ok()) << retried.result.status();
   EXPECT_EQ(retried.attempts, 2);
   EXPECT_EQ(Encoded(*retried.result), Encoded(*clean.result));

@@ -190,6 +190,115 @@ TEST(WaitQueueEdgeTest, MassReleaseAcrossGranulesGrantsEachQueueHead) {
 }
 
 // ---------------------------------------------------------------------------
+// Abort edge cases: transactions that hold nothing, queued-but-never-
+// granted requests, and double aborts. The contention policies call Abort
+// in states the original engine never reached (e.g. aborting a waiter
+// chosen as a deadlock victim before it ever held a lock), so these paths
+// must be airtight.
+
+TEST(WaitQueueAbortEdgeTest, AbortOfTxnHoldingNothingIsNoOp) {
+  WaitQueueLockTable table(4);
+  EXPECT_EQ(table.Acquire(1, 0, LockMode::kS), AcquireResult::kGranted);
+  // txn 2 holds nothing and waits on nothing.
+  EXPECT_TRUE(table.Abort(2).empty());
+  EXPECT_EQ(table.HeldMode(1, 0), LockMode::kS);
+  EXPECT_EQ(table.WaitingCount(), 0);
+  EXPECT_EQ(table.HeldCount(2), 0);
+  table.CheckConsistency();
+}
+
+TEST(WaitQueueAbortEdgeTest, AbortOfQueuedButNeverGrantedTxn) {
+  WaitQueueLockTable table(4);
+  EXPECT_EQ(table.Acquire(1, 0, LockMode::kX), AcquireResult::kGranted);
+  EXPECT_EQ(table.Acquire(2, 0, LockMode::kX), AcquireResult::kQueued);
+  EXPECT_TRUE(table.IsQueued(2));
+  EXPECT_EQ(table.HeldCount(2), 0);  // queued, holds nothing yet
+  // Aborting the pure waiter leaves the holder untouched and grants
+  // nobody (the queue behind it is empty).
+  EXPECT_TRUE(table.Abort(2).empty());
+  EXPECT_FALSE(table.IsQueued(2));
+  EXPECT_EQ(table.WaitingCount(), 0);
+  EXPECT_EQ(table.HeldMode(1, 0), LockMode::kX);
+  table.CheckConsistency();
+}
+
+TEST(WaitQueueAbortEdgeTest, DoubleAbortIsIdempotent) {
+  WaitQueueLockTable table(4);
+  EXPECT_EQ(table.Acquire(1, 0, LockMode::kX), AcquireResult::kGranted);
+  EXPECT_EQ(table.Acquire(1, 1, LockMode::kS), AcquireResult::kGranted);
+  EXPECT_EQ(table.Acquire(2, 0, LockMode::kS), AcquireResult::kQueued);
+  EXPECT_EQ(table.Abort(1), (std::vector<TxnId>{2}));
+  EXPECT_EQ(table.HeldCount(1), 0);
+  // Second abort of the same txn: nothing left to release, no grants, no
+  // corruption of txn 2's freshly granted lock.
+  EXPECT_TRUE(table.Abort(1).empty());
+  EXPECT_EQ(table.HeldMode(2, 0), LockMode::kS);
+  EXPECT_EQ(table.WaitingCount(), 0);
+  table.CheckConsistency();
+}
+
+TEST(WaitQueueAbortEdgeTest, AbortWhileQueuedAndHoldingReleasesBoth) {
+  // The classic deadlock-victim shape: holds one granule, queued on
+  // another. Abort must drop the queued request AND release the held
+  // lock, unblocking waiters on both granules.
+  WaitQueueLockTable table(4);
+  EXPECT_EQ(table.Acquire(1, 0, LockMode::kX), AcquireResult::kGranted);
+  EXPECT_EQ(table.Acquire(2, 1, LockMode::kX), AcquireResult::kGranted);
+  EXPECT_EQ(table.Acquire(1, 1, LockMode::kX), AcquireResult::kQueued);
+  EXPECT_EQ(table.Acquire(3, 0, LockMode::kX), AcquireResult::kQueued);
+  EXPECT_EQ(table.Abort(1), (std::vector<TxnId>{3}));
+  EXPECT_FALSE(table.IsQueued(1));
+  EXPECT_EQ(table.HeldCount(1), 0);
+  EXPECT_EQ(table.HeldMode(3, 0), LockMode::kX);
+  EXPECT_EQ(table.WaitingCount(), 0);
+  table.CheckConsistency();
+}
+
+// ---------------------------------------------------------------------------
+// Policy-facing accessors: the contention policies pick victims from
+// exactly these views, so their edge semantics are contractual.
+
+TEST(PolicyAccessorTest, WaitersAheadReportsFifoPrefix) {
+  WaitQueueLockTable table(4);
+  EXPECT_EQ(table.Acquire(1, 0, LockMode::kX), AcquireResult::kGranted);
+  EXPECT_EQ(table.Acquire(2, 0, LockMode::kX), AcquireResult::kQueued);
+  EXPECT_EQ(table.Acquire(3, 0, LockMode::kX), AcquireResult::kQueued);
+  EXPECT_EQ(table.Acquire(4, 0, LockMode::kX), AcquireResult::kQueued);
+  EXPECT_TRUE(table.WaitersAhead(2, 0).empty());
+  EXPECT_EQ(table.WaitersAhead(3, 0), (std::vector<TxnId>{2}));
+  EXPECT_EQ(table.WaitersAhead(4, 0), (std::vector<TxnId>{2, 3}));
+  // Not queued there (or at all): empty, not a crash.
+  EXPECT_TRUE(table.WaitersAhead(1, 0).empty());
+  EXPECT_TRUE(table.WaitersAhead(4, 1).empty());
+  EXPECT_TRUE(table.WaitersAhead(99, 0).empty());
+}
+
+TEST(PolicyAccessorTest, HasOtherWaitersOnHeldGranules) {
+  WaitQueueLockTable table(4);
+  EXPECT_EQ(table.Acquire(1, 0, LockMode::kX), AcquireResult::kGranted);
+  EXPECT_FALSE(table.HasOtherWaitersOnHeldGranules(1));
+  EXPECT_EQ(table.Acquire(2, 0, LockMode::kS), AcquireResult::kQueued);
+  EXPECT_TRUE(table.HasOtherWaitersOnHeldGranules(1));
+  // The waiter itself holds nothing, so nobody waits on it.
+  EXPECT_FALSE(table.HasOtherWaitersOnHeldGranules(2));
+  EXPECT_FALSE(table.Abort(1).empty());
+  EXPECT_FALSE(table.HasOtherWaitersOnHeldGranules(1));
+}
+
+TEST(PolicyAccessorTest, HeldCountTracksGrantsAndReleases) {
+  WaitQueueLockTable table(8);
+  EXPECT_EQ(table.HeldCount(1), 0);
+  EXPECT_EQ(table.Acquire(1, 0, LockMode::kS), AcquireResult::kGranted);
+  EXPECT_EQ(table.Acquire(1, 1, LockMode::kX), AcquireResult::kGranted);
+  EXPECT_EQ(table.HeldCount(1), 2);
+  // A covering re-acquire does not double count.
+  EXPECT_EQ(table.Acquire(1, 0, LockMode::kS), AcquireResult::kGranted);
+  EXPECT_EQ(table.HeldCount(1), 2);
+  table.ReleaseAll(1);
+  EXPECT_EQ(table.HeldCount(1), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Granularity boundaries: ltot == 1 and ltot == dbsize; empty lock sets.
 
 TEST(BoundaryTest, SingleLockTableSerializesEverything) {

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Gate the policy-shootout report's robustness claims.
+
+Usage:
+    tools/check_policy_shootout.py BENCH_policy_shootout.json
+
+Asserts, against the machine-readable shootout report:
+
+  1. The baseline `detect` policy genuinely thrashes: its thrashing
+     boundary is found inside the MPL grid and its post-peak collapse is
+     severe (>= 20% relative).
+  2. At least two other policy series push the boundary later than the
+     baseline's (or show none at all) — the pluggable policies buy real
+     robustness, not just different constants.
+  3. The admission-controlled series eliminates the collapse: its
+     post-peak relative drop stays under 2%.
+  4. Accounting sanity on every point: deadlock_aborts ==
+     txn_restarts + txn_sacrificed (every abort either restarted or was
+     terminally sacrificed — the closed-system conservation the engine
+     audits, visible end to end in the report).
+
+Exit status: 0 = all claims hold, 1 = a claim failed, 2 = usage error.
+"""
+
+import json
+import sys
+
+BASELINE = "detect"
+ADMISSION = "detect+admission"
+MIN_BASELINE_COLLAPSE = 0.20
+MAX_ADMISSION_COLLAPSE = 0.02
+MIN_LATER_BOUNDARY_POLICIES = 2
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {sys.argv[1]}: {err}", file=sys.stderr)
+        return 2
+
+    series = {s.get("label"): s for s in report.get("series", [])}
+    failures = []
+
+    def boundary(label):
+        s = series.get(label)
+        if s is None:
+            failures.append(f"series '{label}' missing from report")
+            return None
+        return s.get("thrashing_boundary", {})
+
+    base = boundary(BASELINE)
+    adm = boundary(ADMISSION)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
+        return 1
+
+    # Claim 1: the baseline collapses.
+    if not base.get("found"):
+        failures.append(
+            f"baseline '{BASELINE}' shows no thrashing boundary — the "
+            "workload no longer stresses the policies")
+    elif base.get("collapse_fraction", 0.0) < MIN_BASELINE_COLLAPSE:
+        failures.append(
+            f"baseline '{BASELINE}' collapse is only "
+            f"{base['collapse_fraction']:.1%} "
+            f"(need >= {MIN_BASELINE_COLLAPSE:.0%})")
+
+    # Claim 2: >= 2 policies with a later (or absent) boundary.
+    later = []
+    if base.get("found"):
+        base_x = base.get("boundary_mpl", 0.0)
+        for label, s in series.items():
+            if label in (BASELINE, ADMISSION):
+                continue
+            b = s.get("thrashing_boundary", {})
+            if not b.get("found") or b.get("boundary_mpl", 0.0) > base_x:
+                later.append(label)
+        if len(later) < MIN_LATER_BOUNDARY_POLICIES:
+            failures.append(
+                f"only {len(later)} polic(ies) push the thrashing boundary "
+                f"past the baseline's (MPL {base_x:g}): {sorted(later)} — "
+                f"need >= {MIN_LATER_BOUNDARY_POLICIES}")
+
+    # Claim 3: admission control eliminates the collapse.
+    if adm.get("collapse_fraction", 1.0) >= MAX_ADMISSION_COLLAPSE:
+        failures.append(
+            f"'{ADMISSION}' post-peak drop is "
+            f"{adm.get('collapse_fraction', 1.0):.1%} "
+            f"(need < {MAX_ADMISSION_COLLAPSE:.0%}) — the controller no "
+            "longer flattens the overload region")
+
+    # Claim 4: abort accounting balances on every point.
+    for label, s in series.items():
+        for point in s.get("points", []):
+            aborts = point.get("deadlock_aborts")
+            restarts = point.get("txn_restarts")
+            sacrificed = point.get("txn_sacrificed")
+            if None in (aborts, restarts, sacrificed):
+                failures.append(
+                    f"[{label} mpl={point.get('mpl')}] report is missing "
+                    "abort/restart/sacrifice counters")
+                continue
+            # Replicated points carry per-replication means; the identity
+            # survives averaging exactly, so compare with a tiny epsilon
+            # for float round-off only.
+            if abs(aborts - (restarts + sacrificed)) > 1e-9 * max(
+                    1.0, abs(aborts)):
+                failures.append(
+                    f"[{label} mpl={point.get('mpl')}] abort accounting "
+                    f"broken: {aborts} != {restarts} + {sacrificed}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} shootout claim(s) violated:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+
+    print(f"OK: baseline collapses {base['collapse_fraction']:.1%} past "
+          f"MPL {base.get('boundary_mpl', 0.0):g}; "
+          f"{len(later)} policies push the boundary later "
+          f"({', '.join(sorted(later))}); admission post-peak drop "
+          f"{adm.get('collapse_fraction', 0.0):.1%}; abort accounting "
+          "balances on every point")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,11 @@ POINT_METRICS = [
     "lockios",
     "denial_rate",
     "deadlock_aborts",
+    "txn_restarts",
+    "txn_sacrificed",
+    "response_p95",
+    "response_p99",
+    "avg_admission_held",
     "events_executed",
     "phase_pending_wait",
     "phase_lock_wait",

@@ -25,6 +25,7 @@ _EVALUATION_ALLOWLIST = {
     "src/core/fault.h",
     "src/core/experiment.cc",  # the contained cell runner
     "src/util/fileio.cc",    # short-write hook installed by ArmFromFlag
+    "src/db/contention_policy.cc",  # policy_victim_flip (MaybeInjectVictimFlip)
 }
 
 _EVALUATION_CALLS = {"ShouldFire"}
