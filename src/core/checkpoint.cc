@@ -366,7 +366,7 @@ Status CheckpointJournal::OpenForAppend(bool truncate) {
 
 bool CheckpointJournal::Lookup(const CellKey& key,
                                SimulationMetrics* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  granulock::MutexLock lock(&mu_);
   const auto it = cells_.find(std::make_tuple(key.series, key.point, key.rep));
   if (it == cells_.end()) return false;
   *out = it->second;
@@ -375,28 +375,76 @@ bool CheckpointJournal::Lookup(const CellKey& key,
 
 Status CheckpointJournal::Append(const CellKey& key,
                                  const SimulationMetrics& metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = cells_.emplace(
-      std::make_tuple(key.series, key.point, key.rep), metrics);
-  if (!inserted) {
-    return Status::AlreadyExists(
-        StrFormat("cell (%d,%d,%d) journaled twice", key.series, key.point,
-                  key.rep));
-  }
+  // Encode outside the lock: serialization is pure CPU work and needs no
+  // shared state.
   const std::string line = EncodeRecord(key, metrics) + "\n";
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-      std::fflush(file_) != 0) {
-    return Status::Internal(
-        StrFormat("append to checkpoint journal %s failed", path_.c_str()));
+  uint64_t target_seq = 0;
+  {
+    granulock::MutexLock lock(&mu_);
+    const auto [it, inserted] = cells_.emplace(
+        std::make_tuple(key.series, key.point, key.rep), metrics);
+    if (!inserted) {
+      return Status::AlreadyExists(
+          StrFormat("cell (%d,%d,%d) journaled twice", key.series, key.point,
+                    key.rep));
+    }
+    pending_ += line;
+    target_seq = ++enqueued_seq_;
   }
+  return WaitDurable(target_seq);
+}
+
+Status CheckpointJournal::WaitDurable(uint64_t target_seq) {
+  mu_.Lock();
+  for (;;) {
+    if (flush_failed_) {
+      const std::string message = flush_error_;
+      mu_.Unlock();
+      return Status::Internal(message);
+    }
+    if (durable_seq_ >= target_seq) {
+      mu_.Unlock();
+      return Status::OK();
+    }
+    if (flusher_active_) {
+      // Another appender is on the disk; it will advance durable_seq_ (or
+      // set the sticky error) and notify. The wait releases mu_ while
+      // blocked, so the journal stays appendable throughout.
+      flush_cv_.Wait(&mu_);
+      continue;
+    }
+    // Become the flusher for everything enqueued so far: one
+    // fwrite+fflush+fsync makes the whole pending batch durable (group
+    // commit). The mutex is dropped across the I/O.
+    flusher_active_ = true;
+    std::string batch;
+    batch.swap(pending_);
+    const uint64_t batch_seq = enqueued_seq_;
+    std::FILE* const file = file_;
+    mu_.Unlock();
+
+    const bool wrote =
+        std::fwrite(batch.data(), 1, batch.size(), file) == batch.size() &&
+        std::fflush(file) == 0;
 #ifndef _WIN32
-  ::fsync(fileno(file_));
+    if (wrote) ::fsync(fileno(file));
 #endif
-  return Status::OK();
+
+    mu_.Lock();
+    flusher_active_ = false;
+    if (wrote) {
+      durable_seq_ = batch_seq;
+    } else {
+      flush_failed_ = true;
+      flush_error_ =
+          StrFormat("append to checkpoint journal %s failed", path_.c_str());
+    }
+    flush_cv_.NotifyAll();
+  }
 }
 
 size_t CheckpointJournal::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  granulock::MutexLock lock(&mu_);
   return cells_.size();
 }
 

@@ -30,7 +30,7 @@ Injector& Injector::Global() {
 }
 
 void Injector::Arm(InjectionPoint point, ArmSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  granulock::MutexLock lock(&mu_);
   PointState& state = points_[static_cast<int>(point)];
   state.armed = true;
   state.spec = spec;
@@ -40,14 +40,14 @@ void Injector::Arm(InjectionPoint point, ArmSpec spec) {
 }
 
 void Injector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  granulock::MutexLock lock(&mu_);
   for (PointState& state : points_) state = PointState{};
   armed_any_.store(false, std::memory_order_relaxed);
 }
 
 bool Injector::ShouldFire(InjectionPoint point, uint64_t key) {
   if (!armed()) return false;  // inert fast path
-  std::lock_guard<std::mutex> lock(mu_);
+  granulock::MutexLock lock(&mu_);
   PointState& state = points_[static_cast<int>(point)];
   if (!state.armed) return false;
   if (state.spec.key != kAnyKey && state.spec.key != key) return false;
@@ -62,12 +62,12 @@ bool Injector::ShouldFire(InjectionPoint point, uint64_t key) {
 }
 
 uint64_t Injector::hits(InjectionPoint point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  granulock::MutexLock lock(&mu_);
   return points_[static_cast<int>(point)].hits;
 }
 
 uint64_t Injector::fires(InjectionPoint point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  granulock::MutexLock lock(&mu_);
   return points_[static_cast<int>(point)].fires;
 }
 

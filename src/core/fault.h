@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 /// Deterministic fault-injection harness for the experiment runner, in the
 /// spirit of the paper's own methodology: you only trust a system's
@@ -63,12 +64,12 @@ class Injector {
   static Injector& Global();
 
   /// Arms `point` with `spec` (resets the point's hit counter).
-  void Arm(InjectionPoint point, ArmSpec spec);
+  void Arm(InjectionPoint point, ArmSpec spec) GRANULOCK_EXCLUDES(mu_);
 
   /// Disarms every point and resets all counters. Does not clear the
   /// util fileio short-write hook installed by `ArmFromFlag` — call
   /// `DisarmShortWriteHook` for that (tests).
-  void DisarmAll();
+  void DisarmAll() GRANULOCK_EXCLUDES(mu_);
 
   /// True when any point is armed (one relaxed load; the inert fast path).
   bool armed() const {
@@ -78,11 +79,12 @@ class Injector {
   /// Evaluates `point` with `key`: increments the matching-hit counter and
   /// returns true when the armed spec says this evaluation faults.
   /// Always false when nothing is armed.
-  bool ShouldFire(InjectionPoint point, uint64_t key);
+  bool ShouldFire(InjectionPoint point, uint64_t key)
+      GRANULOCK_EXCLUDES(mu_);
 
   /// Diagnostics for tests: matching evaluations / actual fires so far.
-  uint64_t hits(InjectionPoint point) const;
-  uint64_t fires(InjectionPoint point) const;
+  uint64_t hits(InjectionPoint point) const GRANULOCK_EXCLUDES(mu_);
+  uint64_t fires(InjectionPoint point) const GRANULOCK_EXCLUDES(mu_);
 
   /// Parses a `--fault_inject` spec and arms accordingly. Grammar:
   ///   <point>@<hit>[xN][:key=<u64>]
@@ -104,8 +106,8 @@ class Injector {
     uint64_t fires = 0;
   };
 
-  mutable std::mutex mu_;
-  PointState points_[kNumInjectionPoints];
+  mutable granulock::Mutex mu_;
+  PointState points_[kNumInjectionPoints] GRANULOCK_GUARDED_BY(mu_);
   std::atomic<bool> armed_any_{false};
 };
 

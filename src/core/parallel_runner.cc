@@ -26,10 +26,12 @@ ParallelRunner::ParallelRunner(int threads) : threads_(threads) {
 
 ParallelRunner::~ParallelRunner() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    granulock::MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
+  // No lock around the joins: workers_ only grows under mu_ before this
+  // point, and no other thread can be mutating it during destruction.
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -46,13 +48,13 @@ void ParallelRunner::RunTask(const std::function<void(size_t)>& fn,
   try {
     fn(i);
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    granulock::MutexLock lock(&error_mu_);
     if (!batch_failed_) {
       batch_failed_ = true;
       batch_error_ = e.what();
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    granulock::MutexLock lock(&error_mu_);
     if (!batch_failed_) {
       batch_failed_ = true;
       batch_error_ = "non-std exception";
@@ -64,7 +66,7 @@ void ParallelRunner::ParallelFor(size_t n,
                                  const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    granulock::MutexLock lock(&error_mu_);
     batch_failed_ = false;
     batch_error_.clear();
   }
@@ -73,7 +75,7 @@ void ParallelRunner::ParallelFor(size_t n,
     // execution, and keeps `--threads=1` free of any pool machinery.
     for (size_t i = 0; i < n; ++i) RunTask(fn, i);
   } else {
-    std::unique_lock<std::mutex> lock(mu_);
+    granulock::MutexLock lock(&mu_);
     GRANULOCK_CHECK(fn_ == nullptr) << "ParallelFor is not reentrant";
     EnsureWorkersStarted();
     fn_ = &fn;
@@ -81,14 +83,15 @@ void ParallelRunner::ParallelFor(size_t n,
     next_.store(0, std::memory_order_relaxed);
     workers_done_ = 0;
     ++epoch_;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     // Wait for every worker to finish the batch (not merely for the last
     // task to be claimed) so `fn` stays alive while any worker may touch
-    // it.
-    done_cv_.wait(lock, [this] { return workers_done_ == threads_; });
+    // it. Plain while-loop instead of a predicate lambda so the guarded
+    // reads stay visible to the capability analysis.
+    while (workers_done_ != threads_) done_cv_.Wait(&mu_);
     fn_ = nullptr;
   }
-  std::lock_guard<std::mutex> lock(error_mu_);
+  granulock::MutexLock lock(&error_mu_);
   if (batch_failed_) {
     throw std::runtime_error("task failed in ParallelFor: " + batch_error_);
   }
@@ -100,9 +103,8 @@ void ParallelRunner::WorkerLoop() {
     const std::function<void(size_t)>* fn = nullptr;
     size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || epoch_ != seen_epoch; });
+      granulock::MutexLock lock(&mu_);
+      while (!stop_ && epoch_ == seen_epoch) work_cv_.Wait(&mu_);
       if (stop_) return;
       seen_epoch = epoch_;
       fn = fn_;
@@ -114,10 +116,10 @@ void ParallelRunner::WorkerLoop() {
       RunTask(*fn, i);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      granulock::MutexLock lock(&mu_);
       ++workers_done_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 

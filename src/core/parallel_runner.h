@@ -2,15 +2,15 @@
 #define GRANULOCK_CORE_PARALLEL_RUNNER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace granulock::core {
 
@@ -53,35 +53,40 @@ class ParallelRunner {
   /// to completion, and the exception is rethrown as a std::runtime_error
   /// on the calling thread after the join — never std::terminate.
   /// Reentrant calls (from inside `fn`) are not supported.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      GRANULOCK_EXCLUDES(mu_, error_mu_);
 
  private:
-  void WorkerLoop();
-  void EnsureWorkersStarted();
+  void WorkerLoop() GRANULOCK_EXCLUDES(mu_, error_mu_);
+  void EnsureWorkersStarted() GRANULOCK_REQUIRES(mu_);
   /// Wraps one `fn(i)` call, capturing the first escaped exception into
   /// `batch_error_`.
-  void RunTask(const std::function<void(size_t)>& fn, size_t i);
+  void RunTask(const std::function<void(size_t)>& fn, size_t i)
+      GRANULOCK_EXCLUDES(error_mu_);
 
   const int threads_;
-  std::vector<std::thread> workers_;
 
   // Batch hand-off state, guarded by mu_. `epoch_` increments per batch;
   // workers pull task indices from the lock-free `next_` counter.
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t n_ = 0;
+  granulock::Mutex mu_;
+  granulock::CondVar work_cv_;
+  granulock::CondVar done_cv_;
+  std::vector<std::thread> workers_ GRANULOCK_GUARDED_BY(mu_);
+  const std::function<void(size_t)>* fn_ GRANULOCK_GUARDED_BY(mu_) = nullptr;
+  size_t n_ GRANULOCK_GUARDED_BY(mu_) = 0;
   std::atomic<size_t> next_{0};
-  uint64_t epoch_ = 0;
-  int workers_done_ = 0;
-  bool stop_ = false;
+  uint64_t epoch_ GRANULOCK_GUARDED_BY(mu_) = 0;
+  int workers_done_ GRANULOCK_GUARDED_BY(mu_) = 0;
+  bool stop_ GRANULOCK_GUARDED_BY(mu_) = false;
 
-  // First exception that escaped `fn` in the current batch (guarded by
-  // error_mu_, which is never held together with mu_).
-  std::mutex error_mu_;
-  bool batch_failed_ = false;
-  std::string batch_error_;
+  // First exception that escaped `fn` in the current batch. error_mu_ is
+  // never held together with mu_ today; the ACQUIRED_AFTER declares the
+  // one legal nesting (mu_ before error_mu_) should that ever change,
+  // and granulock-latch-order folds the declaration into the global
+  // acquisition-order graph it proves acyclic.
+  granulock::Mutex error_mu_ GRANULOCK_ACQUIRED_AFTER(mu_);
+  bool batch_failed_ GRANULOCK_GUARDED_BY(error_mu_) = false;
+  std::string batch_error_ GRANULOCK_GUARDED_BY(error_mu_);
 };
 
 }  // namespace granulock::core

@@ -12,8 +12,12 @@ namespace {
 // driver can flip it safely; simulations read it with relaxed ordering.
 std::atomic<bool> g_deep_audit{false};
 
-// Active failure capture (tests only; single-threaded).
-ScopedFailureCapture* g_capture = nullptr;
+// Active failure capture. Installed/cleared only by single-threaded
+// tests, but *read* by Fail, which parallel workers can reach through a
+// cell body — so the pointer itself is atomic (the capture object's
+// fields stay plain: they are only touched while the installing test is
+// the sole running thread).
+std::atomic<ScopedFailureCapture*> g_capture{nullptr};
 
 // Depth of active ScopedFailureThrow guards on this thread. Thread-local
 // because cells run on ParallelRunner workers, each containing only its
@@ -34,9 +38,11 @@ void Fail(const char* file, int line, const std::string& message) {
   if (t_throw_depth > 0) {
     throw AuditFailure(message);
   }
-  if (g_capture != nullptr) {
-    ++g_capture->count_;
-    g_capture->last_message_ = message;
+  ScopedFailureCapture* const capture =
+      g_capture.load(std::memory_order_acquire);
+  if (capture != nullptr) {
+    ++capture->count_;
+    capture->last_message_ = message;
     GRANULOCK_LOG(Warning) << "[captured] " << message << " (" << file << ":"
                            << line << ")";
     return;
@@ -46,12 +52,14 @@ void Fail(const char* file, int line, const std::string& message) {
 }
 
 ScopedFailureCapture::ScopedFailureCapture() {
-  GRANULOCK_CHECK(g_capture == nullptr)
+  GRANULOCK_CHECK(g_capture.load(std::memory_order_relaxed) == nullptr)
       << "nested ScopedFailureCapture is not supported";
-  g_capture = this;
+  g_capture.store(this, std::memory_order_release);
 }
 
-ScopedFailureCapture::~ScopedFailureCapture() { g_capture = nullptr; }
+ScopedFailureCapture::~ScopedFailureCapture() {
+  g_capture.store(nullptr, std::memory_order_release);
+}
 
 ScopedFailureThrow::ScopedFailureThrow() { ++t_throw_depth; }
 

@@ -7,6 +7,10 @@
 namespace granulock {
 namespace {
 
+// Read from every thread that logs (ParallelRunner workers included) and
+// written by flag parsing before fan-out; atomic is the discipline
+// granulock-atomic-discipline demands for cross-thread globals that carry
+// no mutex.
 std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {

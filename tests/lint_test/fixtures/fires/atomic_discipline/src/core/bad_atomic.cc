@@ -1,0 +1,39 @@
+// Fixture: granulock-atomic-discipline must flag a member written
+// outside construction and touched from thread-entry-reachable code
+// without a concurrency classification, and stay silent for atomic,
+// GRANULOCK_GUARDED_BY, and mutex members.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace granulock::core {
+
+class Pool {
+ public:
+  void Start() {
+    workers_.emplace_back([this] { Body(); });
+  }
+
+  void Body() {
+    count_ += 1;  // finding: unclassified cross-thread write
+    ok_.store(true);
+    Tally();
+  }
+
+  void Tally() {
+    granulock::MutexLock lock(&mu_);
+    guarded_total_ += 1;
+  }
+
+ private:
+  std::vector<std::thread> workers_;
+  long count_ = 0;
+  std::atomic<bool> ok_;
+  granulock::Mutex mu_;
+  long guarded_total_ GRANULOCK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace granulock::core

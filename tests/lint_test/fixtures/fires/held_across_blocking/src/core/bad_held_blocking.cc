@@ -1,0 +1,39 @@
+// Fixture: granulock-held-across-blocking must flag a mutex held
+// across direct file I/O and across a call whose every definition
+// blocks, and stay silent for a condition-variable wait (the
+// primitive releases the mutex while blocked).
+#include <cstdio>
+
+#include "util/mutex.h"
+
+namespace granulock::core {
+
+void FlushSide(std::FILE* f) { std::fflush(f); }
+
+class Journal {
+ public:
+  void AppendLocked(const char* buf, std::FILE* f) {
+    granulock::MutexLock lock(&mu_);
+    bytes_ += 1;
+    std::fwrite(buf, 1, 1, f);  // finding: direct I/O under mu_
+  }
+
+  void FlushLocked(std::FILE* f) {
+    granulock::MutexLock lock(&mu_);
+    FlushSide(f);  // finding: callee blocks on every definition
+  }
+
+  void WaitQuiesced() {
+    granulock::MutexLock lock(&mu_);
+    while (bytes_ != 0) {
+      cv_.Wait(&mu_);  // clean: condvar wait releases mu_
+    }
+  }
+
+ private:
+  granulock::Mutex mu_;
+  granulock::CondVar cv_;
+  long bytes_ = 0;
+};
+
+}  // namespace granulock::core

@@ -1,0 +1,36 @@
+// Fixture: granulock-latch-order must report each lock-order cycle
+// once, at its lexically earliest witness edge: one cycle from two
+// functions nesting a pair of member mutexes in opposite orders, and
+// one from a GRANULOCK_ACQUIRED_AFTER declaration contradicted by the
+// code's actual nesting.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace granulock::core {
+
+granulock::Mutex g_state_mu;
+granulock::Mutex g_log_mu GRANULOCK_ACQUIRED_AFTER(g_state_mu);  // finding
+
+class Pair {
+ public:
+  void LockAB() {
+    granulock::MutexLock la(&a_);
+    granulock::MutexLock lb(&b_);  // finding: cycle with LockBA
+  }
+
+  void LockBA() {
+    granulock::MutexLock lb(&b_);
+    granulock::MutexLock la(&a_);  // the opposing edge
+  }
+
+ private:
+  granulock::Mutex a_;
+  granulock::Mutex b_;
+};
+
+void LogLocked() {
+  granulock::MutexLock hold_log(&g_log_mu);
+  granulock::MutexLock hold_state(&g_state_mu);  // contradicts line 12
+}
+
+}  // namespace granulock::core

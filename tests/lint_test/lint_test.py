@@ -118,6 +118,30 @@ def case_rule_hierarchy_mode():
                  "granulock-hierarchy-mode-discipline", 1, lines=[30])
 
 
+def case_rule_latch_order():
+    # One finding per cycle, at the lexically earliest witness edge:
+    # line 12 (ACQUIRED_AFTER annotation contradicted by LogLocked) and
+    # line 18 (LockAB/LockBA nest a_/b_ in opposite orders).
+    _expect_rule("fires/latch_order", "granulock-latch-order", 2,
+                 lines=[12, 18])
+
+
+def case_rule_held_across_blocking():
+    # fwrite under the mutex (line 18) and a call to a callee that
+    # blocks on every definition (line 23); the condvar Wait on line 29
+    # must stay silent.
+    _expect_rule("fires/held_across_blocking",
+                 "granulock-held-across-blocking", 2, lines=[18, 23])
+
+
+def case_rule_atomic_discipline():
+    # count_ is written from thread-reachable Body with no
+    # classification (line 21); atomic ok_, guarded guarded_total_, and
+    # the mutex itself must stay silent.
+    _expect_rule("fires/atomic_discipline",
+                 "granulock-atomic-discipline", 1, lines=[21])
+
+
 def case_rule_status_path():
     _expect_rule("fires/status_path", "granulock-status-path", 1,
                  lines=[16])
@@ -238,6 +262,9 @@ CASES = {
     "rule_lock_balance": case_rule_lock_balance,
     "rule_rng_stream": case_rule_rng_stream,
     "rule_hierarchy_mode": case_rule_hierarchy_mode,
+    "rule_latch_order": case_rule_latch_order,
+    "rule_held_across_blocking": case_rule_held_across_blocking,
+    "rule_atomic_discipline": case_rule_atomic_discipline,
     "rule_status_path": case_rule_status_path,
     "sarif_report": case_sarif_report,
     "suppression": case_suppression,

@@ -14,6 +14,17 @@ isolation (profiler-private randomness never reaches deterministic
 state), and hierarchy mode discipline (Gray's intent modes at
 ``HierarchicalLockManager`` call sites).
 
+v2 (1.2.0) adds the interprocedural concurrency layer
+(``concurrency.py``): a project-wide call graph over the name-keyed
+index with bottom-up lock-acquire and blocking summaries, a global
+lock-acquisition-order graph proven acyclic (``granulock-latch-order``),
+no-mutex-held-across-blocking enforcement with the condition-variable
+exception (``granulock-held-across-blocking``), and a thread-entry
+reachability walk requiring every cross-thread mutable member to carry
+an explicit classification (``granulock-atomic-discipline``).  The same
+contracts are enforced intraprocedurally at compile time by Clang's
+``-Wthread-safety`` via ``src/util/thread_annotations.h``.
+
 The linter is driven by ``compile_commands.json`` (the database CMake
 already exports for clang-tidy) and is organised as a rule engine over a
 frontend abstraction.  The default ``builtin`` frontend is a
@@ -25,4 +36,4 @@ Python standard library, so the lint gate runs on the pinned toolchain
 (which ships no libclang).  See docs/STATIC_ANALYSIS.md.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

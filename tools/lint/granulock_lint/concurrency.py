@@ -1,0 +1,1036 @@
+"""Interprocedural concurrency model: locks, threads, and the global
+analyses behind the three concurrency rules.
+
+This module is the project-wide call-graph layer of granulock-analyze.
+Per file (during indexing) it collects:
+
+  * **declarations** — mutex / condition-variable / atomic /
+    ``thread_local`` / ``std::vector<std::thread>`` members and globals,
+    plus the thread-safety annotations the Clang wall also consumes
+    (``GRANULOCK_GUARDED_BY``, ``GRANULOCK_REQUIRES``,
+    ``GRANULOCK_ACQUIRED_BEFORE/AFTER``);
+  * **per-function facts** — lock acquisitions (RAII scopes and manual
+    ``Lock()``/``Unlock()`` pairs, as lexical held intervals), blocking
+    operations, condition-variable waits, calls, thread spawns, and
+    member accesses.
+
+:func:`finalize` (run once after every file is indexed, like
+``summaries.finalize``) closes the facts into bottom-up summaries and
+three global analyses:
+
+  * **granulock-latch-order** — a lock-acquisition-order graph (lexical
+    nesting + ``ACQUIRED_BEFORE/AFTER`` + acquisitions of summarized
+    callees while holding); any cycle is reported with a witness path.
+  * **granulock-held-across-blocking** — no mutex held across file I/O,
+    ``join()``, sleeps, or a callee that (on **every** definition)
+    blocks.  A wait on a declared condition variable is the allowlisted
+    exception: it releases the mutex while blocked.
+  * **granulock-atomic-discipline** — a member/global touched from a
+    thread-entry root and written outside construction must be atomic,
+    ``GRANULOCK_GUARDED_BY``-annotated, thread-local, or suppressed.
+
+Conservatism polarity matches the rest of the frontend: everything here
+**adds** findings, so ambiguity silences.  Lock names resolve through
+the declaration registry (enclosing class first, then file-scope
+globals, then a project-unique name) and unresolvable names drop out;
+call-graph hops follow *uniquely defined* names only (a name with two
+definitions, e.g. a virtual override, is ambiguous and cuts the graph);
+a callee counts as blocking only when **all** of its definitions block.
+Tokens inside lambda bodies are attributed to no function at all — a
+lambda is deferred code, so ``workers_.emplace_back([this] {
+WorkerLoop(); })`` must not read as "calls WorkerLoop with the caller's
+locks held" (the spawn scan still sees ``WorkerLoop`` as a thread
+root).
+
+The lock-primitive layer itself (util/mutex.h, util/thread_annotations.h)
+is excluded from collection: ``Mutex::Lock``'s body would otherwise
+summarize every wrapper call as acquiring one shared ``Mutex::mu_``
+identity and collapse the graph.  The primitive calls *on* a receiver
+are the events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cfg import calls_in_range, functions_of
+from .cpp_model import FileModel, MUTATING_OPS
+from .lexer import Token, match_close, match_paren
+
+RULE_LATCH_ORDER = "granulock-latch-order"
+RULE_HELD_ACROSS_BLOCKING = "granulock-held-across-blocking"
+RULE_ATOMIC_DISCIPLINE = "granulock-atomic-discipline"
+
+# Only the shipped tree is modeled; test/bench scaffolding outside src/
+# spawning threads must not grow the graph (fnmatch '*' crosses '/').
+_COLLECTED_GLOB = "src/*"
+# The annotated primitive layer (see module docstring).
+_PRIMITIVE_FILES = ("util/mutex.h", "util/thread_annotations.h")
+
+_MUTEX_TYPES = frozenset({"Mutex", "mutex", "timed_mutex",
+                          "recursive_mutex", "recursive_timed_mutex",
+                          "shared_mutex", "shared_timed_mutex"})
+_CONDVAR_TYPES = frozenset({"CondVar", "condition_variable",
+                            "condition_variable_any"})
+_RAII_LOCK_TYPES = frozenset({"MutexLock", "lock_guard", "unique_lock",
+                              "scoped_lock", "shared_lock"})
+_THREAD_TYPES = frozenset({"thread", "jthread"})
+_ATOMIC_TYPES = frozenset({"atomic", "atomic_flag", "atomic_bool",
+                           "atomic_int", "atomic_uint", "atomic_size_t",
+                           "atomic_uint64_t", "atomic_int64_t"})
+# Deferred-acquisition tags: a unique_lock constructed with one of these
+# does not take the lock at the declaration.
+_NON_ACQUIRING_TAGS = frozenset({"adopt_lock", "defer_lock", "try_to_lock",
+                                 "adopt_lock_t", "defer_lock_t"})
+
+# Names that block the calling thread (matched by unqualified callee
+# name, member or free).  Deliberately tight: polarity is finding-adding.
+BLOCKING_PRIMITIVES = frozenset({
+    "fread", "fwrite", "fflush", "fsync", "fdatasync", "fopen", "fclose",
+    "fgets", "fputs", "fputc", "fprintf", "fscanf", "getline", "system",
+    "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until", "join",
+})
+# The condition-variable wait family: blocking unless the receiver is a
+# declared condition variable (which releases the mutex while blocked).
+_WAIT_CALLS = frozenset({"Wait", "wait", "wait_for", "wait_until"})
+_SPAWN_APPENDS = frozenset({"emplace_back", "push_back"})
+
+_DECL_DECOR = frozenset({"&", "*", "const"})
+# Tokens that may legally follow a declared member/global name.
+_DECL_TAIL = frozenset({";", "=", "{", "(", ",", "["})
+
+
+# ---------------------------------------------------------------------------
+# Collected facts
+
+
+@dataclass(frozen=True)
+class FnConc:
+    """Concurrency facts for one function definition.
+
+    Lock references are stored unresolved as plain member/global names;
+    :func:`finalize` resolves them against the declaration registry with
+    ``qualifier`` (the enclosing class, '' for free functions) as
+    context.
+    """
+
+    name: str
+    qualifier: str
+    path: str
+    line: int
+    is_ctor_dtor: bool
+    # (lock_name, line, col) — every acquisition in the body.
+    acq_sites: Tuple[Tuple[str, int, int], ...]
+    # (holder, holder_line, acquired, line, col) — acquired inside the
+    # holder's lexical held interval.
+    held_edges: Tuple[Tuple[str, int, str, int, int], ...]
+    # (holder, kind, receiver, op, line, col); kind "prim" | "wait".
+    held_blocks: Tuple[Tuple[str, str, str, str, int, int], ...]
+    # (holder, callee, line, col) — calls inside a held interval.
+    held_calls: Tuple[Tuple[str, str, int, int], ...]
+    # (callee, line, col) — every non-lambda call in the body.
+    call_sites: Tuple[Tuple[str, int, int], ...]
+    # (op, line, col) — blocking primitives anywhere in the body.
+    blocking_sites: Tuple[Tuple[str, int, int], ...]
+    # (receiver, line, col) — wait-family calls anywhere in the body.
+    wait_sites: Tuple[Tuple[str, int, int], ...]
+    # (member, is_write, line, col) — underscore-suffixed / g_-prefixed
+    # accesses outside lambdas, excluding receivered chains.
+    accesses: Tuple[Tuple[str, bool, int, int], ...]
+
+
+@dataclass
+class ConcFacts:
+    """Accumulated across files by :func:`collect`."""
+
+    # Lock identity "Qual::name" ('' qualifier spells "::name").
+    mutexes: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    mutex_names: Dict[str, Set[str]] = field(default_factory=dict)
+    condvars: Set[str] = field(default_factory=set)
+    condvar_names: Dict[str, Set[str]] = field(default_factory=dict)
+    atomics: Set[str] = field(default_factory=set)
+    thread_locals: Set[str] = field(default_factory=set)
+    guarded: Dict[str, str] = field(default_factory=dict)
+    thread_containers: Set[str] = field(default_factory=set)
+    # ((qual, before), (qual, after), path, line, col) from
+    # ACQUIRED_BEFORE/AFTER annotations.
+    order_edges: List[Tuple[Tuple[str, str], Tuple[str, str],
+                            str, int, int]] = field(default_factory=list)
+    # (receiver_or_None, qualifier, arg_idents, path, line): receiver is
+    # None for a direct std::thread construction, else the container the
+    # thread was emplaced into.
+    spawns: List[Tuple[Optional[str], str, Tuple[str, ...],
+                       str, int]] = field(default_factory=list)
+    # Function name -> {(qual, lock_name)} from GRANULOCK_REQUIRES.
+    requires: Dict[str, Set[Tuple[str, str]]] = field(default_factory=dict)
+    fns: Dict[str, List[FnConc]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ConcurrencyResult:
+    """Finalized analyses, attached to the project index before the
+    worker pool forks (rules only filter by path)."""
+
+    # path -> [(rule_id, line, col, message)], sorted.
+    findings_by_path: Dict[str, List[Tuple[str, int, int, str]]]
+    # (src, dst) -> (path, line, col) of the earliest witness site.
+    lock_order_edges: Dict[Tuple[str, str], Tuple[str, int, int]]
+    cycles: Tuple[Tuple[str, ...], ...]
+    acquire_summaries: Dict[str, frozenset]
+    blocking_fns: frozenset
+    thread_roots: frozenset
+    thread_reachable: frozenset
+
+
+# ---------------------------------------------------------------------------
+# Structure helpers
+
+
+def _class_ranges(tokens: List[Token]) -> List[Tuple[str, int, int]]:
+    """(name, body_open, body_close) for every class/struct body, used
+    to qualify members declared or accessed inside it."""
+    out: List[Tuple[str, int, int]] = []
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != "ident" or tok.text not in ("class", "struct"):
+            continue
+        if i > 0 and tokens[i - 1].text == "enum":
+            continue
+        name: Optional[str] = None
+        j = i + 1
+        while j < n:
+            t = tokens[j]
+            if t.kind == "ident" and t.text == "final":
+                j += 1
+                continue
+            if t.kind == "ident" and j + 1 < n and tokens[j + 1].text == "(":
+                # Attribute macro: class GRANULOCK_CAPABILITY("mutex") X.
+                close = match_paren(tokens, j + 1)
+                if close is None:
+                    break
+                j = close + 1
+                continue
+            if t.kind == "ident":
+                name = t.text
+                j += 1
+                continue
+            if t.text == "{":
+                break
+            if t.text == ":":
+                # Base clause: scan to the body '{' at bracket depth 0.
+                depth = 0
+                j += 1
+                while j < n:
+                    text = tokens[j].text
+                    if text in ("(", "[", "<"):
+                        depth += 1
+                    elif text in (")", "]", ">"):
+                        depth -= 1
+                    elif depth <= 0 and text == "{":
+                        break
+                    elif depth <= 0 and text == ";":
+                        break
+                    j += 1
+                break
+            # Forward declaration, template specialization, etc.
+            name = None
+            break
+        if name is None or j >= n or tokens[j].text != "{":
+            continue
+        close = match_close(tokens, j, "{", "}")
+        if close is None:
+            continue
+        out.append((name, j, close))
+    return out
+
+
+def _qualifier_at(ranges: List[Tuple[str, int, int]], idx: int) -> str:
+    """Name of the innermost class body containing token ``idx``."""
+    best = ""
+    best_open = -1
+    for name, open_i, close_i in ranges:
+        if open_i < idx < close_i and open_i > best_open:
+            best = name
+            best_open = open_i
+    return best
+
+
+def _lock_id(qual: str, name: str) -> str:
+    return f"{qual}::{name}"
+
+
+def _match_paren_back(tokens: List[Token], close_index: int) -> Optional[int]:
+    depth = 0
+    for i in range(close_index, -1, -1):
+        t = tokens[i]
+        if t.kind != "punct":
+            continue
+        if t.text == ")":
+            depth += 1
+        elif t.text == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def _declared_name_before(tokens: List[Token], i: int) -> Optional[str]:
+    """The declarator identifier directly before token ``i`` (skipping an
+    array suffix: ``points_[kN] GRANULOCK_GUARDED_BY(mu_)``)."""
+    j = i - 1
+    if j >= 0 and tokens[j].text == "]":
+        while j >= 0 and tokens[j].text != "[":
+            j -= 1
+        j -= 1
+    if j >= 0 and tokens[j].kind == "ident":
+        return tokens[j].text
+    return None
+
+
+def _skip_template_args(tokens: List[Token], j: int) -> Optional[int]:
+    """tokens[j] == '<': index just past the matching '>'."""
+    close = match_close(tokens, j, "<", ">")
+    if close is None:
+        return None
+    return close + 1
+
+
+def _lambda_ranges(tokens: List[Token], start: int,
+                   end: int) -> List[Tuple[int, int]]:
+    """Brace-body ranges of lambda expressions inside [start, end]."""
+    out: List[Tuple[int, int]] = []
+    j = start
+    while j <= end:
+        t = tokens[j]
+        if t.kind == "punct" and t.text == "[":
+            prev = tokens[j - 1] if j > 0 else None
+            # Postfix '[' (subscript) follows a value; a lambda
+            # introducer does not.
+            if prev is not None and (prev.kind in ("ident", "number",
+                                                   "string")
+                                     or prev.text in (")", "]")):
+                j += 1
+                continue
+            close = match_close(tokens, j, "[", "]")
+            if close is None or close > end:
+                break
+            k = close + 1
+            if k <= end and tokens[k].text == "(":
+                pclose = match_paren(tokens, k)
+                if pclose is None or pclose > end:
+                    j = close + 1
+                    continue
+                k = pclose + 1
+            while k <= end and tokens[k].text in ("mutable", "noexcept",
+                                                  "constexpr"):
+                k += 1
+            if k <= end and tokens[k].text == "->":
+                while k <= end and tokens[k].text != "{":
+                    k += 1
+            if k <= end and tokens[k].text == "{":
+                bclose = match_close(tokens, k, "{", "}")
+                if bclose is not None and bclose <= end:
+                    out.append((k, bclose))
+                    j = bclose + 1
+                    continue
+        j += 1
+    return out
+
+
+def _scope_close(tokens: List[Token], idx: int, limit: int) -> int:
+    """Index of the '}' closing the innermost scope containing ``idx``
+    (capped at ``limit``, the function body close)."""
+    depth = 0
+    for j in range(idx, limit + 1):
+        text = tokens[j].text
+        if tokens[j].kind != "punct":
+            continue
+        if text == "{":
+            depth += 1
+        elif text == "}":
+            depth -= 1
+            if depth < 0:
+                return j
+    return limit
+
+
+def _lock_operands(tokens: List[Token], open_index: int,
+                   close_index: int) -> Optional[List[str]]:
+    """Lock member names from a RAII guard's constructor arguments.
+    Returns None when any operand is not a plain ``[&][this->]name``
+    (an unknown receiver chain — ambiguity silences)."""
+    chunks: List[List[Token]] = [[]]
+    depth = 0
+    for j in range(open_index + 1, close_index):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text in ("(", "[", "{", "<"):
+                depth += 1
+            elif t.text in (")", "]", "}", ">"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                chunks.append([])
+                continue
+        chunks[-1].append(t)
+    out: List[str] = []
+    for chunk in chunks:
+        toks = [t for t in chunk if t.text != "&"]
+        if toks and toks[0].text == "this":
+            toks = toks[1:]
+            if toks and toks[0].text == "->":
+                toks = toks[1:]
+        if len(toks) == 1 and toks[0].kind == "ident":
+            if toks[0].text in _NON_ACQUIRING_TAGS:
+                return None
+            if toks[0].text == "std":
+                continue
+            out.append(toks[0].text)
+        else:
+            return None
+    return out if out else None
+
+
+def _simple_receiver(call) -> Optional[str]:
+    """The receiver member name of ``recv.Method(...)`` /
+    ``this->recv.Method(...)``; None for longer chains (unknown owner)."""
+    if not call.is_member_call or len(call.path) < 2:
+        return None
+    if call.joiners[-1] not in (".", "->"):
+        return None
+    if len(call.path) == 2:
+        return call.path[-2]
+    if len(call.path) == 3 and call.path[0] == "this":
+        return call.path[-2]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Per-file collection
+
+
+def collect(conc: ConcFacts, model: FileModel) -> None:
+    path = model.lexed.path.replace("\\", "/")
+    if not fnmatch(path, _COLLECTED_GLOB):
+        return
+    if any(path.endswith(p) for p in _PRIMITIVE_FILES):
+        return
+    tokens = model.lexed.tokens
+    ranges = _class_ranges(tokens)
+    _collect_decls(conc, tokens, ranges, path)
+    _collect_annotations(conc, tokens, ranges, path)
+    for func in functions_of(model):
+        _collect_fn(conc, model, func, ranges, path)
+
+
+def _register_declarators(conc: ConcFacts, tokens: List[Token],
+                          ranges, path: str, j: int, kind: str) -> None:
+    """Registers the comma-separated declarator list starting at ``j``
+    (just past the type) under ``kind``."""
+    n = len(tokens)
+    while j < n:
+        while j < n and tokens[j].text in _DECL_DECOR:
+            j += 1
+        if j >= n or tokens[j].kind != "ident":
+            return
+        name_tok = tokens[j]
+        tail = tokens[j + 1] if j + 1 < n else None
+        if tail is None:
+            return
+        if not (tail.text in _DECL_TAIL
+                or (tail.kind == "ident"
+                    and tail.text.startswith("GRANULOCK_"))):
+            return
+        qual = _qualifier_at(ranges, j)
+        ident = _lock_id(qual, name_tok.text)
+        if kind == "mutex":
+            conc.mutexes.setdefault(ident, (path, name_tok.line))
+            conc.mutex_names.setdefault(name_tok.text, set()).add(ident)
+        elif kind == "condvar":
+            conc.condvars.add(ident)
+            conc.condvar_names.setdefault(name_tok.text, set()).add(ident)
+        elif kind == "atomic":
+            conc.atomics.add(ident)
+        elif kind == "thread_container":
+            conc.thread_containers.add(ident)
+        elif kind == "thread_local":
+            conc.thread_locals.add(ident)
+        elif kind == "thread":
+            if tail.text in ("(", "{"):
+                closer = ")" if tail.text == "(" else "}"
+                close = match_close(tokens, j + 1, tail.text, closer)
+                if close is not None:
+                    args = tuple(t.text for t in tokens[j + 2:close]
+                                 if t.kind == "ident")
+                    conc.spawns.append((None, qual, args, path,
+                                        name_tok.line))
+        # Walk past an initializer / ctor args to a ',' (more
+        # declarators) or the end of the declaration.
+        j += 1
+        depth = 0
+        while j < n:
+            text = tokens[j].text
+            if tokens[j].kind == "punct":
+                if text in ("(", "[", "{", "<"):
+                    depth += 1
+                elif text in (")", "]", "}", ">"):
+                    if depth == 0:
+                        return
+                    depth -= 1
+                elif text == ";" and depth == 0:
+                    return
+                elif text == "," and depth == 0:
+                    j += 1
+                    break
+            j += 1
+
+
+def _collect_decls(conc: ConcFacts, tokens: List[Token], ranges,
+                   path: str) -> None:
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != "ident":
+            continue
+        text = tok.text
+        if text in _MUTEX_TYPES or text in _CONDVAR_TYPES \
+                or text in _THREAD_TYPES or text in _ATOMIC_TYPES:
+            j = i + 1
+            if j < n and tokens[j].text == "<":
+                j2 = _skip_template_args(tokens, j)
+                if j2 is None:
+                    continue
+                j = j2
+            kind = ("mutex" if text in _MUTEX_TYPES
+                    else "condvar" if text in _CONDVAR_TYPES
+                    else "thread" if text in _THREAD_TYPES
+                    else "atomic")
+            _register_declarators(conc, tokens, ranges, path, j, kind)
+        elif text == "vector" and i + 1 < n and tokens[i + 1].text == "<":
+            close = match_close(tokens, i + 1, "<", ">")
+            if close is None:
+                continue
+            inner = {t.text for t in tokens[i + 2:close]
+                     if t.kind == "ident"}
+            if inner & _THREAD_TYPES:
+                _register_declarators(conc, tokens, ranges, path,
+                                      close + 1, "thread_container")
+        elif text == "thread_local":
+            # Declared name: the last identifier before the initializer
+            # or terminator.
+            j = i + 1
+            last = None
+            depth = 0
+            while j < n:
+                t = tokens[j]
+                if t.kind == "ident":
+                    last = j
+                elif t.kind == "punct":
+                    if t.text == "<":
+                        depth += 1
+                    elif t.text == ">":
+                        depth -= 1
+                    elif depth == 0 and t.text in ("=", ";", "{", "("):
+                        break
+                j += 1
+            if last is not None:
+                qual = _qualifier_at(ranges, last)
+                conc.thread_locals.add(_lock_id(qual, tokens[last].text))
+
+
+def _collect_annotations(conc: ConcFacts, tokens: List[Token], ranges,
+                         path: str) -> None:
+    for i, tok in enumerate(tokens):
+        if tok.kind != "ident" or not tok.text.startswith("GRANULOCK_"):
+            continue
+        if i + 1 >= len(tokens) or tokens[i + 1].text != "(":
+            continue
+        close = match_paren(tokens, i + 1)
+        if close is None:
+            continue
+        args = [t.text for t in tokens[i + 2:close] if t.kind == "ident"]
+        qual = _qualifier_at(ranges, i)
+        if tok.text in ("GRANULOCK_GUARDED_BY", "GRANULOCK_PT_GUARDED_BY"):
+            member = _declared_name_before(tokens, i)
+            if member is not None and args:
+                conc.guarded[_lock_id(qual, member)] = args[0]
+        elif tok.text in ("GRANULOCK_ACQUIRED_BEFORE",
+                          "GRANULOCK_ACQUIRED_AFTER"):
+            member = _declared_name_before(tokens, i)
+            if member is None:
+                continue
+            for arg in args:
+                if tok.text.endswith("BEFORE"):
+                    edge = ((qual, member), (qual, arg))
+                else:
+                    edge = ((qual, arg), (qual, member))
+                conc.order_edges.append((edge[0], edge[1], path,
+                                         tok.line, tok.col))
+        elif tok.text == "GRANULOCK_REQUIRES":
+            # The macro follows the parameter list: `)` then the macro.
+            if i == 0 or tokens[i - 1].text != ")":
+                continue
+            popen = _match_paren_back(tokens, i - 1)
+            if popen is None or popen == 0:
+                continue
+            fn_tok = tokens[popen - 1]
+            if fn_tok.kind != "ident":
+                continue
+            locks = conc.requires.setdefault(fn_tok.text, set())
+            for arg in args:
+                locks.add((qual, arg))
+
+
+def _collect_fn(conc: ConcFacts, model: FileModel, func, ranges,
+                path: str) -> None:
+    tokens = model.lexed.tokens
+    ni = func.name_index
+    qualifier = ""
+    if ni >= 2 and tokens[ni - 1].text == "::" \
+            and tokens[ni - 2].kind == "ident":
+        qualifier = tokens[ni - 2].text
+    else:
+        qualifier = _qualifier_at(ranges, ni)
+    is_dtor = ni >= 1 and tokens[ni - 1].text == "~"
+    if is_dtor and ni >= 3 and tokens[ni - 2].text == "::":
+        qualifier = tokens[ni - 3].text if tokens[ni - 3].kind == "ident" \
+            else qualifier
+    is_ctor_dtor = is_dtor or (qualifier != "" and func.name == qualifier)
+
+    lambdas = _lambda_ranges(tokens, func.body_open, func.body_close)
+
+    def in_lambda(idx: int) -> bool:
+        return any(lo < idx < hi for lo, hi in lambdas)
+
+    # -- RAII guard declarations ------------------------------------------
+    # Each acquisition interval is (lock, start_idx, end_idx, line, col).
+    intervals: List[Tuple[str, int, int, int, int]] = []
+    j = func.body_open + 1
+    n = func.body_close
+    while j < n:
+        tok = tokens[j]
+        if tok.kind == "ident" and tok.text in _RAII_LOCK_TYPES \
+                and not in_lambda(j):
+            k = j + 1
+            if k < n and tokens[k].text == "<":
+                k2 = _skip_template_args(tokens, k)
+                if k2 is None:
+                    j += 1
+                    continue
+                k = k2
+            if k < n and tokens[k].kind == "ident" \
+                    and k + 1 < n and tokens[k + 1].text == "(":
+                close = match_paren(tokens, k + 1)
+                if close is not None and close <= n:
+                    locks = _lock_operands(tokens, k + 1, close)
+                    if locks:
+                        scope_end = _scope_close(tokens, j,
+                                                 func.body_close)
+                        for lock in locks:
+                            intervals.append((lock, j, scope_end,
+                                              tok.line, tok.col))
+                    j = close + 1
+                    continue
+        j += 1
+
+    # -- calls: manual locks, waits, blocking primitives, spawns ----------
+    lock_events: List[Tuple[int, str, str, int, int]] = []  # idx, op, recv
+    wait_events: List[Tuple[int, str, int, int]] = []
+    prim_events: List[Tuple[int, str, int, int]] = []
+    call_sites: List[Tuple[str, int, int]] = []
+    body_calls = []
+    for call in calls_in_range(model, func.body_open, func.body_close):
+        if in_lambda(call.name_index):
+            continue
+        body_calls.append(call)
+        call_sites.append((call.name, call.line, call.col))
+        recv = _simple_receiver(call)
+        if call.name in ("Lock", "lock") and recv is not None:
+            lock_events.append((call.name_index, "lock", recv,
+                                call.line, call.col))
+        elif call.name in ("Unlock", "unlock") and recv is not None:
+            lock_events.append((call.name_index, "unlock", recv,
+                                call.line, call.col))
+        elif call.name in _WAIT_CALLS:
+            wait_events.append((call.name_index, recv or "",
+                                call.line, call.col))
+        elif call.name in BLOCKING_PRIMITIVES:
+            prim_events.append((call.name_index, call.name,
+                                call.line, call.col))
+        if call.name in _SPAWN_APPENDS and recv is not None:
+            args = tuple(t.text for t in
+                         tokens[call.open_index + 1:call.close_index]
+                         if t.kind == "ident")
+            conc.spawns.append((recv, qualifier, args, path, call.line))
+
+    # Pair manual Lock/Unlock lexically (per receiver).  An unpaired
+    # Lock holds to the end of the body; an unpaired Unlock is
+    # lock-balance's business, not ours.
+    open_locks: Dict[str, List[Tuple[int, int, int]]] = {}
+    for idx, op, recv, line, col in sorted(lock_events):
+        if op == "lock":
+            open_locks.setdefault(recv, []).append((idx, line, col))
+        else:
+            stack = open_locks.get(recv)
+            if stack:
+                sidx, sline, scol = stack.pop()
+                intervals.append((recv, sidx, idx, sline, scol))
+    for recv, stack in open_locks.items():
+        for sidx, sline, scol in stack:
+            intervals.append((recv, sidx, func.body_close, sline, scol))
+
+    # -- held relations ----------------------------------------------------
+    held_edges: List[Tuple[str, int, str, int, int]] = []
+    held_blocks: List[Tuple[str, str, str, str, int, int]] = []
+    held_calls: List[Tuple[str, str, int, int]] = []
+    for lock, s, e, lline, lcol in intervals:
+        for lock2, s2, e2, l2, c2 in intervals:
+            if s < s2 <= e:
+                held_edges.append((lock, lline, lock2, l2, c2))
+        for idx, opname, bl, bc in prim_events:
+            if s < idx <= e:
+                held_blocks.append((lock, "prim", "", opname, bl, bc))
+        for idx, recv, wl, wc in wait_events:
+            if s < idx <= e:
+                held_blocks.append((lock, "wait", recv, "wait", wl, wc))
+        for call in body_calls:
+            if s < call.name_index <= e:
+                held_calls.append((lock, call.name, call.line, call.col))
+
+    # -- member / global accesses -----------------------------------------
+    accesses: List[Tuple[str, bool, int, int]] = []
+    for idx in range(func.body_open + 1, func.body_close):
+        tok = tokens[idx]
+        if tok.kind != "ident" or in_lambda(idx):
+            continue
+        name = tok.text
+        if not (name.endswith("_") or name.startswith("g_")
+                or name.startswith("t_")):
+            continue
+        prev = tokens[idx - 1]
+        if prev.text in (".", "->"):
+            # A receivered chain: the owner is another object — unless
+            # it is an explicit `this`.
+            if not (idx >= 2 and prev.text == "->"
+                    and tokens[idx - 2].text == "this"):
+                continue
+        nxt = tokens[idx + 1] if idx + 1 < len(tokens) else None
+        is_write = (nxt is not None and nxt.text in MUTATING_OPS) or \
+            prev.text in ("++", "--")
+        accesses.append((name, is_write, tok.line, tok.col))
+
+    acq_sites = tuple((lock, line, col)
+                      for lock, _s, _e, line, col in intervals)
+    conc.fns.setdefault(func.name, []).append(FnConc(
+        name=func.name, qualifier=qualifier, path=path, line=func.line,
+        is_ctor_dtor=is_ctor_dtor,
+        acq_sites=acq_sites,
+        held_edges=tuple(held_edges),
+        held_blocks=tuple(held_blocks),
+        held_calls=tuple(held_calls),
+        call_sites=tuple(call_sites),
+        blocking_sites=tuple((op, line, col)
+                             for _i, op, line, col in prim_events),
+        wait_sites=tuple((recv, line, col)
+                         for _i, recv, line, col in wait_events),
+        accesses=tuple(accesses),
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Finalization: summaries + the three global analyses
+
+
+def _resolver(ids, names_map=None):
+    def resolve(qual: str, name: str) -> Optional[str]:
+        if qual:
+            cand = _lock_id(qual, name)
+            if cand in ids:
+                return cand
+        cand = _lock_id("", name)
+        if cand in ids:
+            return cand
+        if names_map is not None:
+            matches = names_map.get(name, ())
+            if len(matches) == 1:
+                return next(iter(matches))
+        return None
+    return resolve
+
+
+def finalize(conc: ConcFacts) -> ConcurrencyResult:
+    resolve_mutex = _resolver(conc.mutexes, conc.mutex_names)
+    resolve_condvar = _resolver(conc.condvars, conc.condvar_names)
+    unique = {name for name, defs in conc.fns.items() if len(defs) == 1}
+
+    # -- bottom-up acquire summaries (unique-definition names only) -------
+    summaries: Dict[str, Set[str]] = {}
+    for name in unique:
+        d = conc.fns[name][0]
+        base: Set[str] = set()
+        for lock, _l, _c in d.acq_sites:
+            lid = resolve_mutex(d.qualifier, lock)
+            if lid is not None:
+                base.add(lid)
+        summaries[name] = base
+    changed = True
+    while changed:
+        changed = False
+        for name in unique:
+            d = conc.fns[name][0]
+            mine = summaries[name]
+            for callee, _l, _c in d.call_sites:
+                other = summaries.get(callee)
+                if other and not other <= mine:
+                    mine |= other
+                    changed = True
+
+    # -- blocking summaries (a name blocks only when ALL defs block) ------
+    def cv_exempt(qual: str, recv: str) -> bool:
+        if not recv:
+            return False
+        if resolve_condvar(qual, recv) is not None:
+            return True
+        low = recv.lower()
+        return "cv" in low or "cond" in low
+
+    def directly_blocks(d: FnConc) -> bool:
+        if d.blocking_sites:
+            return True
+        return any(not cv_exempt(d.qualifier, recv)
+                   for recv, _l, _c in d.wait_sites)
+
+    blocking: Set[str] = set()
+    grow = True
+    while grow:
+        grow = False
+        for name, defs in conc.fns.items():
+            if name in blocking or not defs:
+                continue
+            if all(directly_blocks(d)
+                   or any(c in blocking for c, _l, _c in d.call_sites)
+                   for d in defs):
+                blocking.add(name)
+                grow = True
+
+    findings: Set[Tuple[str, str, int, int, str]] = set()
+
+    # -- latch order graph -------------------------------------------------
+    edges: Dict[Tuple[str, str], Tuple[str, int, int]] = {}
+
+    def add_edge(a: str, b: str, site: Tuple[str, int, int]) -> None:
+        key = (a, b)
+        if key not in edges or site < edges[key]:
+            edges[key] = site
+
+    for ref_a, ref_b, path, line, col in conc.order_edges:
+        a = resolve_mutex(*ref_a)
+        b = resolve_mutex(*ref_b)
+        if a is not None and b is not None:
+            add_edge(a, b, (path, line, col))
+    for defs in conc.fns.values():
+        for d in defs:
+            for holder, _hl, acquired, line, col in d.held_edges:
+                a = resolve_mutex(d.qualifier, holder)
+                b = resolve_mutex(d.qualifier, acquired)
+                if a is not None and b is not None:
+                    add_edge(a, b, (d.path, line, col))
+            for holder, callee, line, col in d.held_calls:
+                summary = summaries.get(callee)
+                if not summary:
+                    continue
+                a = resolve_mutex(d.qualifier, holder)
+                if a is None:
+                    continue
+                for b in summary:
+                    add_edge(a, b, (d.path, line, col))
+            for rqual, rname in conc.requires.get(d.name, ()):
+                r = resolve_mutex(rqual, rname)
+                if r is None:
+                    continue
+                for lock, line, col in d.acq_sites:
+                    b = resolve_mutex(d.qualifier, lock)
+                    if b is not None:
+                        add_edge(r, b, (d.path, line, col))
+                for callee, line, col in d.call_sites:
+                    for b in summaries.get(callee) or ():
+                        add_edge(r, b, (d.path, line, col))
+
+    cycles = _find_cycles(edges)
+    for cycle in cycles:
+        chain = " -> ".join(cycle + (cycle[0],))
+        cyc_edges = [(cycle[i], cycle[(i + 1) % len(cycle)])
+                     for i in range(len(cycle))]
+        sites = sorted((edges[e], e) for e in cyc_edges)
+        (path, line, col), (a, b) = sites[0]
+        others = "; ".join(
+            f"{ea} -> {eb} at {p}:{l}" for (p, l, _c), (ea, eb) in sites[1:])
+        detail = f" (also {others})" if others else ""
+        findings.add((RULE_LATCH_ORDER, path, line, col,
+                      f"lock acquisition order cycle {chain}: {b} is "
+                      f"acquired here with {a} held{detail}; pick one "
+                      f"global order (GRANULOCK_ACQUIRED_BEFORE) and "
+                      f"release before re-acquiring"))
+
+    # -- held-across-blocking ---------------------------------------------
+    def blocking_finding(lock_id: str, op: str, path: str, line: int,
+                         col: int, via: str = "") -> None:
+        findings.add((
+            RULE_HELD_ACROSS_BLOCKING, path, line, col,
+            f"{lock_id} is held across blocking call {op}(){via}; release "
+            f"the mutex around the blocking region (a condition-variable "
+            f"Wait is the only sanctioned wait-while-holding)"))
+
+    for defs in conc.fns.values():
+        for d in defs:
+            for holder, kind, recv, op, line, col in d.held_blocks:
+                a = resolve_mutex(d.qualifier, holder)
+                if a is None:
+                    continue
+                if kind == "wait" and cv_exempt(d.qualifier, recv):
+                    continue
+                name = f"{recv}.{op}" if kind == "wait" and recv else op
+                blocking_finding(a, name, d.path, line, col)
+            for holder, callee, line, col in d.held_calls:
+                if callee not in blocking or callee not in conc.fns:
+                    continue
+                a = resolve_mutex(d.qualifier, holder)
+                if a is not None:
+                    blocking_finding(
+                        a, callee, d.path, line, col,
+                        via=", which blocks on every definition "
+                            "(transitive file I/O, join, or sleep)")
+            for rqual, rname in conc.requires.get(d.name, ()):
+                r = resolve_mutex(rqual, rname)
+                if r is None:
+                    continue
+                for op, line, col in d.blocking_sites:
+                    blocking_finding(r, op, d.path, line, col,
+                                     via=" (held via GRANULOCK_REQUIRES)")
+                for recv, line, col in d.wait_sites:
+                    if not cv_exempt(d.qualifier, recv):
+                        blocking_finding(r, f"{recv}.wait" if recv
+                                         else "wait", d.path, line, col,
+                                         via=" (held via GRANULOCK_"
+                                             "REQUIRES)")
+                for callee, line, col in d.call_sites:
+                    if callee in blocking and callee in conc.fns:
+                        blocking_finding(
+                            r, callee, d.path, line, col,
+                            via=", which blocks on every definition "
+                                "(held via GRANULOCK_REQUIRES)")
+
+    # -- thread roots and reachability ------------------------------------
+    resolve_container = _resolver(conc.thread_containers)
+    roots: Set[str] = set()
+    for recv, qual, args, _path, _line in conc.spawns:
+        if recv is not None and resolve_container(qual, recv) is None:
+            continue
+        for arg in args:
+            if arg in unique:
+                roots.add(arg)
+    reach: Set[str] = set()
+    frontier = sorted(roots)
+    while frontier:
+        name = frontier.pop()
+        if name in reach:
+            continue
+        reach.add(name)
+        for callee, _l, _c in conc.fns[name][0].call_sites:
+            if callee in unique and callee not in reach:
+                frontier.append(callee)
+
+    # -- atomic discipline -------------------------------------------------
+    exempt_ids = (conc.atomics | conc.thread_locals | conc.condvars
+                  | conc.thread_containers | set(conc.guarded)
+                  | set(conc.mutexes))
+
+    def classified(qual: str, name: str) -> bool:
+        return _lock_id(qual, name) in exempt_ids \
+            or _lock_id("", name) in exempt_ids
+
+    acc: Dict[str, Dict] = {}
+    for fname, defs in conc.fns.items():
+        for d in defs:
+            in_reach = fname in reach
+            for member, is_write, line, col in d.accesses:
+                if classified(d.qualifier, member):
+                    continue
+                mid = _lock_id("" if member.startswith("g_")
+                               else d.qualifier, member)
+                rec = acc.setdefault(mid, {"thread_sites": [],
+                                           "thread_fns": set(),
+                                           "written": False})
+                if in_reach:
+                    rec["thread_sites"].append((d.path, line, col))
+                    rec["thread_fns"].add(fname)
+                if is_write and not d.is_ctor_dtor:
+                    rec["written"] = True
+    for mid in sorted(acc):
+        rec = acc[mid]
+        if not rec["thread_sites"] or not rec["written"]:
+            continue
+        path, line, col = min(rec["thread_sites"])
+        via = ", ".join(sorted(rec["thread_fns"]))
+        findings.add((
+            RULE_ATOMIC_DISCIPLINE, path, line, col,
+            f"'{mid}' is touched on a spawned thread (in {via}) and "
+            f"written outside construction without synchronization; make "
+            f"it std::atomic, annotate it GRANULOCK_GUARDED_BY, or "
+            f"suppress with granulock-lint: "
+            f"allow({RULE_ATOMIC_DISCIPLINE})"))
+
+    findings_by_path: Dict[str, List[Tuple[str, int, int, str]]] = {}
+    for rule, path, line, col, message in sorted(findings):
+        findings_by_path.setdefault(path, []).append(
+            (rule, line, col, message))
+    return ConcurrencyResult(
+        findings_by_path=findings_by_path,
+        lock_order_edges=edges,
+        cycles=tuple(cycles),
+        acquire_summaries={k: frozenset(v) for k, v in summaries.items()},
+        blocking_fns=frozenset(blocking),
+        thread_roots=frozenset(roots),
+        thread_reachable=frozenset(reach),
+    )
+
+
+def _find_cycles(edges: Dict[Tuple[str, str], Tuple[str, int, int]]
+                 ) -> List[Tuple[str, ...]]:
+    """Distinct elementary cycles reachable by DFS, canonicalized
+    (rotated to their least node) and sorted for deterministic output.
+    One witness per cycle node-set is enough for reporting."""
+    adj: Dict[str, List[str]] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, [])
+    for dsts in adj.values():
+        dsts.sort()
+    seen: Set[Tuple[str, ...]] = set()
+    out: List[Tuple[str, ...]] = []
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def canonical(cycle: List[str]) -> Tuple[str, ...]:
+        pivot = cycle.index(min(cycle))
+        return tuple(cycle[pivot:] + cycle[:pivot])
+
+    def dfs(node: str) -> None:
+        color[node] = 1
+        stack.append(node)
+        for nxt in adj[node]:
+            if color.get(nxt, 0) == 0:
+                dfs(nxt)
+            elif color.get(nxt) == 1:
+                cycle = canonical(stack[stack.index(nxt):])
+                if cycle not in seen:
+                    seen.add(cycle)
+                    out.append(cycle)
+        stack.pop()
+        color[node] = 2
+
+    for node in sorted(adj):
+        if color.get(node, 0) == 0:
+            dfs(node)
+    out.sort()
+    return out

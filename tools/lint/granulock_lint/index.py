@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from . import concurrency as concurrency_mod
 from . import summaries as summaries_mod
 from .cpp_model import FileModel
 from .lexer import Token, match_paren
@@ -54,6 +55,11 @@ class ProjectIndex:
     fn_facts: Dict[str, List["summaries_mod.FnFact"]] = field(
         default_factory=dict)
     summaries: Optional["summaries_mod.Summaries"] = None
+    # Raw concurrency facts (locks, threads, per-function events), closed
+    # into ``concurrency`` by finalize().
+    conc_facts: "concurrency_mod.ConcFacts" = field(
+        default_factory=concurrency_mod.ConcFacts)
+    concurrency: Optional["concurrency_mod.ConcurrencyResult"] = None
 
     def returns_status(self, name: str) -> bool:
         return name in self.status_names and name not in self.non_status_names
@@ -65,6 +71,7 @@ class ProjectIndex:
         """Closes the callee summaries; call once after all files are
         indexed (build_index does)."""
         self.summaries = summaries_mod.finalize(self.fn_facts)
+        self.concurrency = concurrency_mod.finalize(self.conc_facts)
 
 
 def _is_declaration(tokens: List[Token], name_index: int) -> bool:
@@ -180,4 +187,5 @@ def index_file(index: ProjectIndex, model: FileModel) -> None:
             elif tail == ";" and kind is not None:
                 index.nonconst_methods.add(tok.text)
     summaries_mod.collect(index.fn_facts, model)
+    concurrency_mod.collect(index.conc_facts, model)
     index.files_indexed += 1

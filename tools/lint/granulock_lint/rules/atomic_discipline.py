@@ -1,0 +1,48 @@
+"""Cross-thread members must be atomic, guarded, or suppressed.
+
+The analysis lives in :mod:`granulock_lint.concurrency`: thread entry
+points (``std::thread`` constructor arguments and functions emplaced
+into a declared ``std::vector<std::thread>``) seed a reachability walk
+over the project call graph (unique-definition names only — an
+ambiguous name cuts the walk, which can only hide findings).  A member
+or ``g_``-prefixed global that is **accessed** from thread-reachable
+code and **written** anywhere outside construction must carry an
+explicit concurrency classification: ``std::atomic``,
+``GRANULOCK_GUARDED_BY``, ``thread_local``, or an inline
+``granulock-lint: allow(...)`` with a justification.
+
+The point is not that every flagged member is a data race — it is that
+its safety argument exists only in someone's head.  The classification
+makes the argument part of the declaration, where the Clang
+``-Wthread-safety`` wall (for guarded members) or the type system (for
+atomics) can keep enforcing it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..concurrency import RULE_ATOMIC_DISCIPLINE
+from ..cpp_model import FileModel
+from . import Finding, Rule, RuleContext, register
+
+
+@register
+class AtomicDisciplineRule(Rule):
+    id = RULE_ATOMIC_DISCIPLINE
+    rationale = (
+        "a member touched from a spawned thread and mutated outside "
+        "construction with no atomic/guard/thread_local classification "
+        "has an unwritten safety argument; write it into the declaration"
+    )
+    paths = ["src/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        conc = ctx.index.concurrency
+        if conc is None:
+            return
+        for rule, line, col, message in conc.findings_by_path.get(
+                rel_path, ()):
+            if rule == self.id:
+                yield self.finding(rel_path, line, col, message)

@@ -42,12 +42,15 @@ class UnorderedIterationRule(Rule):
     # Lock managers (src/lockmgr) iterate unordered tables only inside
     # order-insensitive CheckConsistency scans and Supremum folds; they
     # stay out of scope until someone audits them in.
+    # src/storage and src/workload are in scope: granule placement and
+    # reference-string generation both feed the engines, so an unordered
+    # walk there reorders the simulated access stream itself.
     # src/util/arena* is in scope because the arena backs engine scratch
     # state: an unordered walk there would order allocations (and thus
     # pointer values observable via container growth) nondeterministically.
     # The calendar queue itself is covered by src/sim/*.
     paths = ["src/sim/*", "src/core/*", "src/db/*", "src/obs/*",
-             "src/util/arena*"]
+             "src/storage/*", "src/workload/*", "src/util/arena*"]
 
     def check(self, rel_path: str, model: FileModel,
               ctx: RuleContext) -> Iterable[Finding]:

@@ -1,0 +1,46 @@
+"""No mutex held across a blocking operation.
+
+The analysis lives in :mod:`granulock_lint.concurrency`: per function it
+intersects lexical lock-held intervals with blocking sites — file I/O,
+``join()``, sleeps, and calls to functions that block on *every*
+definition (summarized bottom-up through the project call graph) — and
+``GRANULOCK_REQUIRES`` extends the held set to the whole body.  A wait
+on a declared condition variable is the one sanctioned
+wait-while-holding: the primitive releases the mutex while blocked.
+
+Holding a latch across disk I/O serializes every would-be-concurrent
+critical-section entrant behind the device: exactly the convoy the
+paper's coarse-granularity regime models, but inflicted by code
+structure rather than by a granularity choice.  CheckpointJournal's
+group commit (enqueue under the mutex, flush with it dropped) is the
+shape this rule enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..concurrency import RULE_HELD_ACROSS_BLOCKING
+from ..cpp_model import FileModel
+from . import Finding, Rule, RuleContext, register
+
+
+@register
+class HeldAcrossBlockingRule(Rule):
+    id = RULE_HELD_ACROSS_BLOCKING
+    rationale = (
+        "a mutex held across file I/O, join, or a transitively blocking "
+        "callee turns device latency into lock hold time and convoys "
+        "every contender; release around the blocking region instead"
+    )
+    paths = ["src/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        conc = ctx.index.concurrency
+        if conc is None:
+            return
+        for rule, line, col, message in conc.findings_by_path.get(
+                rel_path, ()):
+            if rule == self.id:
+                yield self.finding(rel_path, line, col, message)

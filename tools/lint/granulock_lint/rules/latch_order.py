@@ -1,0 +1,44 @@
+"""Global lock-acquisition-order (latch-order) rule.
+
+The analysis itself lives in :mod:`granulock_lint.concurrency`: during
+indexing every acquisition nesting, ``GRANULOCK_ACQUIRED_BEFORE/AFTER``
+annotation, and hold-while-calling-an-acquiring-callee contributes an
+edge to one project-wide lock-order graph, and :func:`finalize` reports
+each cycle once, at its lexically earliest witness edge, with the full
+witness path in the message.  This rule only routes those findings to
+the file pass (rules run per file in worker processes; the graph cannot
+be built there).
+
+A clean run is a machine-checked proof that the shipped tree's
+lock-order graph is acyclic — the static complement of what a deadlock
+would demonstrate dynamically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..concurrency import RULE_LATCH_ORDER
+from ..cpp_model import FileModel
+from . import Finding, Rule, RuleContext, register
+
+
+@register
+class LatchOrderRule(Rule):
+    id = RULE_LATCH_ORDER
+    rationale = (
+        "two mutexes acquired in opposite orders on two code paths can "
+        "deadlock under the right interleaving; an acyclic global "
+        "acquisition-order graph makes that interleaving impossible"
+    )
+    paths = ["src/*"]
+
+    def check(self, rel_path: str, model: FileModel,
+              ctx: RuleContext) -> Iterable[Finding]:
+        conc = ctx.index.concurrency
+        if conc is None:
+            return
+        for rule, line, col, message in conc.findings_by_path.get(
+                rel_path, ()):
+            if rule == self.id:
+                yield self.finding(rel_path, line, col, message)
